@@ -1,0 +1,168 @@
+// Benchmark harness: one testing.B benchmark per table and figure in the
+// paper's evaluation. Each benchmark regenerates (a reduced-scale version
+// of) its artifact and prints it once; `cmd/experiments` produces the
+// full-scale versions.
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration cost measured by testing.B is the cost of regenerating
+// the artifact; the printed tables are the reproduction itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/spec"
+)
+
+var benchFull = flag.Bool("benchfull", false, "run benchmark harness at full paper scale")
+
+func benchParams() (scale float64, runs int) {
+	if *benchFull {
+		return 1.0, 30
+	}
+	return 0.2, 10
+}
+
+// printOnce guards table output so -benchtime loops print each artifact once.
+var printOnce sync.Map
+
+func printArtifact(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+// BenchmarkE1FigLinkOrder regenerates the §1 link-order bias measurement.
+func BenchmarkE1FigLinkOrder(b *testing.B) {
+	scale, _ := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.LinkOrder(experiment.LinkOrderOptions{
+			Scale: scale, Orders: 12, Runs: 2, Seed: 2013,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "linkorder", res.Table())
+	}
+}
+
+// BenchmarkE2FigEnvSize regenerates the §1 environment-size bias sweep.
+func BenchmarkE2FigEnvSize(b *testing.B) {
+	scale, _ := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.EnvSize(experiment.EnvSizeOptions{
+			Scale: scale, Runs: 3, Seed: 2013,
+			EnvSizes: []uint64{0, 1024, 2048, 3072, 4096},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "envsize", res.Table())
+	}
+}
+
+// BenchmarkE3TableNIST regenerates the §3.2 randomness table.
+func BenchmarkE3TableNIST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.NIST(experiment.NISTOptions{Seed: 2013})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "nist", res.Table())
+	}
+}
+
+// BenchmarkE4E5TableNormality regenerates Table 1 (and the Figure 5 QQ data
+// behind it).
+func BenchmarkE4E5TableNormality(b *testing.B) {
+	scale, runs := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Normality(experiment.NormalityOptions{
+			Scale: scale, Runs: runs, Seed: 2013,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "normality", res.Table()+res.Summary())
+	}
+}
+
+// BenchmarkE6FigOverhead regenerates Figure 6.
+func BenchmarkE6FigOverhead(b *testing.B) {
+	scale, runs := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Overhead(experiment.OverheadOptions{
+			Scale: scale, Runs: runs, Seed: 2013,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "overhead", res.Figure())
+	}
+}
+
+// BenchmarkE7E8FigSpeedupANOVA regenerates Figure 7 and the §6.1 ANOVA.
+func BenchmarkE7E8FigSpeedupANOVA(b *testing.B) {
+	scale, runs := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Speedup(experiment.SpeedupOptions{
+			Scale: scale, Runs: runs, Seed: 2013,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printArtifact(b, "speedup", res.Figure()+res.ANOVATable())
+	}
+}
+
+// BenchmarkRunNative measures the simulator's own throughput: one native run
+// of each benchmark at reduced scale.
+func BenchmarkRunNative(b *testing.B) {
+	scale, _ := benchParams()
+	for _, bench := range spec.Suite() {
+		b.Run(bench.Name, func(b *testing.B) {
+			cc, err := experiment.CompileBench(bench, experiment.Config{Scale: scale, Level: compiler.O2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				r, err := cc.Run(uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs = r.Instructions
+			}
+			b.ReportMetric(float64(instrs), "sim-instrs/op")
+		})
+	}
+}
+
+// BenchmarkRunStabilized measures a fully randomized run of each benchmark.
+func BenchmarkRunStabilized(b *testing.B) {
+	scale, _ := benchParams()
+	st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
+	for _, bench := range spec.Suite() {
+		b.Run(bench.Name, func(b *testing.B) {
+			cc, err := experiment.CompileBench(bench, experiment.Config{Scale: scale, Level: compiler.O2, Stabilizer: &st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cc.Run(uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

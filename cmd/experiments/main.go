@@ -1,0 +1,247 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation (see DESIGN.md's per-experiment index):
+//
+//	linkorder  — §1's link-order bias measurement
+//	envsize    — §1's environment-size bias (Mytkowicz et al.)
+//	nist       — §3.2's randomness table
+//	normality  — Table 1 + Figure 5 (Shapiro-Wilk / Brown-Forsythe / QQ)
+//	overhead   — Figure 6 (overhead by randomization combination)
+//	speedup    — Figure 7 + §6.1 ANOVA (-O2 vs -O1, -O3 vs -O2)
+//	interval   — ablation: §4's periods-per-run normality claim
+//	adaptive   — ablation: §8's counter-triggered re-randomization
+//	phases     — §4's phase-behavior claim (trace + normality)
+//	deployment — §1's suggested deployment-time outlier-reduction use case
+//	shuffledepth — ablation: §3.2's shuffling-depth cost claim
+//
+// Usage:
+//
+//	experiments [-only name[,name...]] [-quick] [-scale f] [-runs n]
+//	            [-seed n] [-qq benchmark]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/spec"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	quick := flag.Bool("quick", false, "reduced scale and run counts (CI mode)")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	runs := flag.Int("runs", 30, "runs per configuration")
+	seed := flag.Uint64("seed", 2013, "master seed")
+	qq := flag.String("qq", "", "also print Figure 5 QQ data for this benchmark")
+	csvDir := flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+	svgDir := flag.String("svg", "", "also render figures as SVG into this directory")
+	charts := flag.Bool("charts", false, "also render bar-chart views of the figures")
+	cxx := flag.Bool("cxx", false, "include the five C++ benchmarks the paper omitted (exception support implemented here)")
+	list := flag.Bool("list", false, "list the available experiments")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(`linkorder     E1: link-order bias (§1)
+envsize       E2: environment-size bias (§1, Mytkowicz et al.)
+nist          E3: randomness of heap addresses (§3.2)
+normality     E4+E5: Table 1 and Figure 5 (Shapiro-Wilk, Brown-Forsythe, QQ)
+overhead      E6: Figure 6 (overhead by randomization combination)
+speedup       E7+E8: Figure 7 and the §6.1 ANOVA
+interval      E9: ablation — randomization periods vs normality (§4)
+shuffledepth  E10: ablation — shuffle depth and heap substrates (§3.2, §7)
+adaptive      E11: extension — counter-triggered re-randomization (§8)
+deployment    E13: extension — deployment-time outlier reduction (§1)
+phases        E14: extension — phase behavior under re-randomization (§4)`)
+		return
+	}
+
+	suite := spec.Suite()
+	if *cxx {
+		suite = spec.FullSuite()
+	}
+
+	if *quick {
+		*scale = 0.25
+		if *runs > 15 {
+			*runs = 15
+		}
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	enabled := func(name string) bool { return len(want) == 0 || want[name] }
+
+	run := func(name string, f func() error) {
+		if !enabled(name) {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("linkorder", func() error {
+		r, err := experiment.LinkOrder(experiment.LinkOrderOptions{
+			Scale: *scale, Seed: *seed, Orders: 32, Runs: 3,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		if *charts {
+			fmt.Print(r.Chart())
+		}
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("envsize", func() error {
+		r, err := experiment.EnvSize(experiment.EnvSizeOptions{
+			Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("nist", func() error {
+		r, err := experiment.NIST(experiment.NISTOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("normality", func() error {
+		r, err := experiment.Normality(experiment.NormalityOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		fmt.Println(r.Summary())
+		if *qq != "" {
+			fmt.Print(r.QQFigure(*qq))
+		}
+		if err := maybeCSV(*svgDir, r.WriteSVG); err != nil {
+			return err
+		}
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("overhead", func() error {
+		r, err := experiment.Overhead(experiment.OverheadOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Figure())
+		if *charts {
+			fmt.Print(r.Chart())
+		}
+		if err := maybeCSV(*svgDir, r.WriteSVG); err != nil {
+			return err
+		}
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("interval", func() error {
+		r, err := experiment.RerandInterval(experiment.IntervalAblationOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		if err := maybeCSV(*svgDir, r.WriteSVG); err != nil {
+			return err
+		}
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("shuffledepth", func() error {
+		r, err := experiment.ShuffleDepth(experiment.ShuffleDepthOptions{
+			Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("deployment", func() error {
+		r, err := experiment.Deployment(experiment.DeploymentOptions{
+			Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return nil
+	})
+
+	run("phases", func() error {
+		r, err := experiment.Phases(experiment.PhasesOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return nil
+	})
+
+	run("adaptive", func() error {
+		r, err := experiment.Adaptive(experiment.AdaptiveOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Table())
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+
+	run("speedup", func() error {
+		r, err := experiment.Speedup(experiment.SpeedupOptions{
+			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Figure())
+		fmt.Print(r.ANOVATable())
+		if *charts {
+			fmt.Print(r.Chart())
+		}
+		if err := maybeCSV(*svgDir, r.WriteSVG); err != nil {
+			return err
+		}
+		return maybeCSV(*csvDir, r.WriteCSV)
+	})
+}
+
+// maybeCSV invokes the writer when a CSV directory was requested.
+func maybeCSV(dir string, write func(string) error) error {
+	if dir == "" {
+		return nil
+	}
+	return write(dir)
+}

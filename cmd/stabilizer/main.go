@@ -1,0 +1,132 @@
+// Command stabilizer runs one benchmark under a chosen randomization
+// configuration and reports timing, machine counters, and runtime activity.
+//
+// Usage:
+//
+//	stabilizer -bench astar [-code] [-stack] [-heap] [-rerand]
+//	           [-interval 25000] [-runs 5] [-seed 1] [-O 2] [-scale 1]
+//	           [-compare]
+//
+// With -compare, it also runs natively and prints the overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	code := flag.Bool("code", false, "randomize code")
+	stack := flag.Bool("stack", false, "randomize stack")
+	heapR := flag.Bool("heap", false, "randomize heap")
+	all := flag.Bool("all", false, "shorthand for -code -stack -heap -rerand")
+	rerand := flag.Bool("rerand", false, "re-randomize periodically")
+	interval := flag.Uint64("interval", 25_000, "re-randomization interval (cycles)")
+	runs := flag.Int("runs", 5, "number of runs")
+	seed := flag.Uint64("seed", 1, "base seed")
+	level := flag.Int("O", 2, "optimization level")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	compare := flag.Bool("compare", false, "also run natively and report overhead")
+	counters := flag.Bool("counters", false, "print perf-stat-style machine counters for the last run")
+	profile := flag.Bool("profile", false, "print per-function cycle attribution for the last run")
+	flag.Parse()
+
+	b, ok := spec.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "stabilizer: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	if *all {
+		*code, *stack, *heapR, *rerand = true, true, true, true
+	}
+
+	opts := &core.Options{
+		Code: *code, Stack: *stack, Heap: *heapR,
+		Rerandomize: *rerand, Interval: *interval,
+	}
+	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Profile: *profile}
+	if *code || *stack || *heapR {
+		cfg.Stabilizer = opts
+	}
+	cc, err := experiment.CompileBench(b, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s %s (-O%d), randomizations: %s, rerand: %v\n",
+		b.Name, b.Lang, *level, opts.EnabledString(), *rerand)
+	samples := make([]float64, 0, *runs)
+	var last experiment.RunResult
+	for i := 0; i < *runs; i++ {
+		r, err := cc.Run(*seed + uint64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stabilizer: run %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  run %2d: %.6fs  (%d instructions, %d cycles, output %#x)\n",
+			i, r.Seconds, r.Instructions, r.Cycles, r.Output)
+		samples = append(samples, r.Seconds)
+		last = r
+	}
+	if cfg.Stabilizer != nil {
+		fmt.Printf("runtime: %d relocations, %d re-randomizations, %d adaptive triggers (last run)\n",
+			last.Relocations, last.Rerands, last.AdaptiveTriggers)
+	}
+	if *counters {
+		fmt.Print(last.Counters)
+	}
+	if *profile && last.Profile != nil {
+		type entry struct {
+			name   string
+			cycles uint64
+		}
+		entries := make([]entry, 0, len(last.Profile))
+		for fi, cyc := range last.Profile {
+			if cyc > 0 {
+				entries = append(entries, entry{cc.Module.Funcs[fi].Name, cyc})
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].cycles > entries[j].cycles })
+		fmt.Println("hot functions (exclusive cycles, last run):")
+		for i, e := range entries {
+			if i >= 12 {
+				fmt.Printf("  ... and %d more\n", len(entries)-i)
+				break
+			}
+			fmt.Printf("  %10d  %5.1f%%  %s\n", e.cycles,
+				float64(e.cycles)/float64(last.Cycles)*100, e.name)
+		}
+	}
+	if len(samples) >= 2 {
+		fmt.Printf("mean %.6fs  stddev %.6fs  cv %.2f%%\n",
+			stats.Mean(samples), stats.StdDev(samples),
+			stats.StdDev(samples)/stats.Mean(samples)*100)
+	} else {
+		fmt.Printf("mean %.6fs\n", stats.Mean(samples))
+	}
+
+	if *compare {
+		nat, err := experiment.CompileBench(b, experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level)})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
+			os.Exit(1)
+		}
+		ns, err := nat.Samples(*runs, *seed+1000)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("native mean %.6fs -> overhead %+.1f%%\n",
+			stats.Mean(ns), (stats.Mean(samples)/stats.Mean(ns)-1)*100)
+	}
+}

@@ -1,0 +1,122 @@
+// Command szc mirrors the paper's szc compiler driver (§3.1): it builds a
+// benchmark from the suite at a chosen optimization level, optionally applies
+// the STABILIZER compiler transformations (floating-point constant
+// extraction and conversion outlining), links it, and reports the image.
+//
+// Usage:
+//
+//	szc -bench mcf [-O 2] [-stabilize] [-scale 1.0] [-dump] [-order shuffled -seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/spec"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	level := flag.Int("O", 2, "optimization level 0-3")
+	stabilize := flag.Bool("stabilize", false, "apply STABILIZER compiler transformations")
+	scale := flag.Float64("scale", 1.0, "workload scale")
+	dump := flag.Bool("dump", false, "dump the compiled IR")
+	order := flag.String("order", "default", "link order: default or shuffled")
+	seed := flag.Uint64("seed", 1, "seed for -order shuffled")
+	levels := flag.Bool("levels", false, "compare static code across -O0..-O3")
+	flag.Parse()
+
+	if *list {
+		for _, b := range spec.Suite() {
+			fmt.Printf("%-12s (%s)  %s\n", b.Name, b.Lang, b.Notes)
+		}
+		return
+	}
+	b, ok := spec.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "szc: unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+	if *level < 0 || *level > 3 {
+		fmt.Fprintln(os.Stderr, "szc: -O must be 0..3")
+		os.Exit(2)
+	}
+
+	if *levels {
+		compareLevels(b, *scale, *stabilize)
+		return
+	}
+
+	src := b.Build(*scale)
+	m, err := compiler.Compile(src, compiler.Options{
+		Level:     compiler.OptLevel(*level),
+		Stabilize: *stabilize,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "szc: %v\n", err)
+		os.Exit(1)
+	}
+
+	ord := compiler.DefaultOrder(len(m.Funcs))
+	if *order == "shuffled" {
+		ord = compiler.RandomOrder(len(m.Funcs), rng.NewMarsaglia(*seed))
+	}
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, ord, as)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "szc: link: %v\n", err)
+		os.Exit(1)
+	}
+
+	var codeBytes uint64
+	instrs := 0
+	for _, f := range m.Funcs {
+		codeBytes += f.Size
+		for _, blk := range f.Blocks {
+			instrs += len(blk.Instrs)
+		}
+	}
+	fmt.Printf("module     %s (-O%d%s)\n", m.Name, *level, map[bool]string{true: ", stabilized", false: ""}[*stabilize])
+	fmt.Printf("functions  %d\n", len(m.Funcs))
+	fmt.Printf("globals    %d\n", len(m.Globals))
+	fmt.Printf("static IR  %d instructions, %d bytes of code\n", instrs, codeBytes)
+	fmt.Printf("text       %#x .. %#x\n", uint64(img.FuncAddrs[ord[0]]),
+		uint64(img.FuncAddrs[ord[len(ord)-1]])+m.Funcs[ord[len(ord)-1]].Size)
+	entry := m.Entry()
+	fmt.Printf("entry      %s at %#x\n", m.Funcs[entry].Name, uint64(img.FuncAddrs[entry]))
+
+	if *dump {
+		fmt.Println()
+		fmt.Print(m.String())
+	}
+}
+
+// compareLevels prints the static footprint of every optimization level.
+func compareLevels(b spec.Benchmark, scale float64, stabilize bool) {
+	fmt.Printf("%-6s %10s %12s %10s %10s\n", "level", "functions", "instructions", "code (B)", "globals")
+	for lvl := 0; lvl <= 3; lvl++ {
+		src := b.Build(scale)
+		m, err := compiler.Compile(src, compiler.Options{
+			Level:     compiler.OptLevel(lvl),
+			Stabilize: stabilize,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "szc: -O%d: %v\n", lvl, err)
+			os.Exit(1)
+		}
+		instrs := 0
+		var code uint64
+		for _, f := range m.Funcs {
+			code += f.Size
+			for _, blk := range f.Blocks {
+				instrs += len(blk.Instrs)
+			}
+		}
+		fmt.Printf("-O%-5d %10d %12d %10d %10d\n", lvl, len(m.Funcs), instrs, code, len(m.Globals))
+	}
+}

@@ -1,0 +1,88 @@
+// Layoutbias: demonstrate the two measurement biases from the paper's
+// introduction on one benchmark — link order and environment size — and
+// show that neither is visible once STABILIZER randomizes layout.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	b, _ := spec.ByName("gobmk")
+	const scale = 0.5
+
+	// 1. Link order: the same code, linked in 24 different orders.
+	fmt.Println("== link-order bias (gobmk, 24 random orders) ==")
+	cl, err := experiment.CompileBench(b, experiment.Config{
+		Scale: scale, Level: compiler.O2, RandomLinkOrder: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var best, worst float64
+	for o := 0; o < 24; o++ {
+		r, err := cl.Run(uint64(o + 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if best == 0 || r.Seconds < best {
+			best = r.Seconds
+		}
+		if r.Seconds > worst {
+			worst = r.Seconds
+		}
+	}
+	fmt.Printf("fastest order %.6fs, slowest %.6fs: changing ONLY the link\n", best, worst)
+	fmt.Printf("order moved performance by %.1f%%\n\n", (worst/best-1)*100)
+
+	// 2. Environment size: same binary, different environment block.
+	fmt.Println("== environment-size bias (same binary, env 0 vs 3 KiB) ==")
+	for _, env := range []uint64{0, 3072} {
+		ce, err := experiment.CompileBench(b, experiment.Config{
+			Scale: scale, Level: compiler.O2, EnvSize: env,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := ce.Samples(8, 500)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("env %4d bytes: mean %.6fs\n", env, stats.Mean(s))
+	}
+	fmt.Println()
+
+	// 3. Under STABILIZER the link order stops mattering: compare two
+	// fixed link orders, each sampled under re-randomization.
+	fmt.Println("== the same link orders under STABILIZER ==")
+	st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
+	cs, err := experiment.CompileBench(b, experiment.Config{
+		Scale: scale, Level: compiler.O2, Stabilizer: &st, RandomLinkOrder: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a1, err := cs.Samples(15, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a2, err := cs.Samples(15, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := stats.WelchT(a1, a2)
+	fmt.Printf("order A mean %.6fs, order B mean %.6fs, t-test p = %.3f",
+		stats.Mean(a1), stats.Mean(a2), t.P)
+	if !t.Significant(0.05) {
+		fmt.Println(" -> indistinguishable, as they should be")
+	} else {
+		fmt.Println()
+	}
+}

@@ -1,0 +1,151 @@
+// Quickstart: build a program, run it natively and under STABILIZER, and
+// use a t-test to ask the paper's question — "does a given change to a
+// program affect its performance, or is this effect indistinguishable from
+// noise?" (§2).
+//
+// The "change" here is deliberately a non-change: the same program with a
+// padding variable added to one function. Natively, the padding shifts every
+// downstream function and the measured difference looks real; under
+// STABILIZER the layouts are randomized away and the t-test correctly finds
+// nothing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// buildProgram returns a small program: a hot hash loop over a few helper
+// functions. extraPad adds a do-nothing stack slot to one helper — the kind
+// of incidental edit (§1: "adding or removing a stack variable") that moves
+// every address after it.
+func buildProgram(extraPad bool) *ir.Module {
+	mb := ir.NewModuleBuilder("quickstart")
+
+	helpers := make([]int32, 6)
+	for i := range helpers {
+		f := mb.Func(fmt.Sprintf("mix%d", i), 1)
+		if extraPad && i == 0 {
+			f.Slot("padding", 64) // the "change" under test
+		}
+		v := f.Mov(f.Param(0))
+		for r := 0; r < 6; r++ {
+			m := f.Mul(v, f.ConstI(int64(2654435761+i*37+r)))
+			v = f.Xor(m, f.Shr(m, f.ConstI(int64(11+r))))
+		}
+		f.Ret(v)
+		helpers[i] = f.Index()
+	}
+
+	main := mb.Func("main", 0)
+	acc := main.ConstI(12345)
+	main.LoopN(4000, func(i ir.Reg) {
+		for _, h := range helpers {
+			main.MovTo(acc, main.Call(h, main.Add(acc, i)))
+		}
+	})
+	main.Sink(acc)
+	main.Ret(ir.NoReg)
+	return mb.Module()
+}
+
+// run executes m once and returns simulated seconds. Under STABILIZER when
+// stabilized is true, natively otherwise. The seed drives every random
+// choice of the run.
+func run(m *ir.Module, stabilized bool, seed uint64) float64 {
+	r := rng.NewMarsaglia(seed)
+	as := mem.NewAddressSpace()
+	as.SetASLR(r.Split().Intn)
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	mach.SetPhysicalSeed(r.Next64())
+
+	var rt interp.Runtime
+	if stabilized {
+		st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.Options{
+			Code: true, Stack: true, Heap: true,
+			Rerandomize: true, Interval: 20_000, Seed: r.Next64(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt = st
+	} else {
+		rt = &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewTLSF(as, 1<<22),
+			Mach:        mach,
+		}
+	}
+	res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: rt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A pinch of system noise, as on any real machine.
+	return res.Seconds * (1 + 0.0025*r.NormFloat64())
+}
+
+func main() {
+	const runs = 30
+
+	before, err := compiler.Compile(buildProgram(false), compiler.Options{Level: compiler.O1, Stabilize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := compiler.Compile(buildProgram(true), compiler.Options{Level: compiler.O1, Stabilize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	beforeNative, _ := compiler.Compile(buildProgram(false), compiler.Options{Level: compiler.O1})
+	afterNative, _ := compiler.Compile(buildProgram(true), compiler.Options{Level: compiler.O1})
+
+	sample := func(m *ir.Module, stabilized bool, base uint64) []float64 {
+		out := make([]float64, runs)
+		for i := range out {
+			out[i] = run(m, stabilized, base+uint64(i))
+		}
+		return out
+	}
+
+	fmt.Println("The 'change': an unused 64-byte stack slot in one helper function.")
+	fmt.Println()
+
+	nb := sample(beforeNative, false, 100)
+	na := sample(afterNative, false, 200)
+	tn := stats.WelchT(nb, na)
+	fmt.Printf("native:     before %.6fs, after %.6fs (%+.2f%%), t-test p = %.4f",
+		stats.Mean(nb), stats.Mean(na),
+		(stats.Mean(na)/stats.Mean(nb)-1)*100, tn.P)
+	if tn.Significant(0.05) {
+		fmt.Println("  -> 'significant' (measurement bias!)")
+	} else {
+		fmt.Println("  -> not significant")
+	}
+
+	sb := sample(before, true, 300)
+	sa := sample(after, true, 400)
+	ts := stats.WelchT(sb, sa)
+	fmt.Printf("STABILIZER: before %.6fs, after %.6fs (%+.2f%%), t-test p = %.4f",
+		stats.Mean(sb), stats.Mean(sa),
+		(stats.Mean(sa)/stats.Mean(sb)-1)*100, ts.P)
+	if ts.Significant(0.05) {
+		fmt.Println("  -> significant")
+	} else {
+		fmt.Println("  -> not significant (correct: the change does nothing)")
+	}
+}

@@ -1,0 +1,134 @@
+package compiler_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// fuzzRun executes a module natively with the given link order.
+func fuzzRun(t *testing.T, m *ir.Module, order []int) (interp.Result, error) {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, order, as)
+	if err != nil {
+		return interp.Result{}, err
+	}
+	mach := machine.New(machine.DefaultConfig())
+	return interp.Run(m, interp.Options{
+		Machine:  mach,
+		MaxSteps: 50_000_000,
+		Runtime: &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewSegregated(as),
+			Mach:        mach,
+		},
+	})
+}
+
+// TestFuzzPassesPreserveSemantics is the compiler's strongest correctness
+// test: across many random programs, every optimization level (with and
+// without the STABILIZER transformations) must produce the -O0 output.
+func TestFuzzPassesPreserveSemantics(t *testing.T) {
+	const programs = 60
+	for seed := uint64(0); seed < programs; seed++ {
+		src := ir.Generate(seed, ir.GenConfig{})
+		ref, err := compiler.Compile(src, compiler.Options{Level: compiler.O0})
+		if err != nil {
+			t.Fatalf("seed %d: O0 compile: %v", seed, err)
+		}
+		want, err := fuzzRun(t, ref, compiler.DefaultOrder(len(ref.Funcs)))
+		if err != nil {
+			t.Fatalf("seed %d: O0 run: %v", seed, err)
+		}
+		for _, level := range []compiler.OptLevel{compiler.O1, compiler.O2, compiler.O3} {
+			for _, stab := range []bool{false, true} {
+				m, err := compiler.Compile(src, compiler.Options{Level: level, Stabilize: stab})
+				if err != nil {
+					t.Fatalf("seed %d %v stab=%v: compile: %v", seed, level, stab, err)
+				}
+				got, err := fuzzRun(t, m, compiler.DefaultOrder(len(m.Funcs)))
+				if err != nil {
+					t.Fatalf("seed %d %v stab=%v: run: %v", seed, level, stab, err)
+				}
+				if got.Output != want.Output {
+					t.Errorf("seed %d: %v stab=%v changed output %#x -> %#x",
+						seed, level, stab, want.Output, got.Output)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzLinkOrderInvariance checks that link order never changes a random
+// program's output (only its cost).
+func TestFuzzLinkOrderInvariance(t *testing.T) {
+	r := rng.NewMarsaglia(99)
+	for seed := uint64(100); seed < 130; seed++ {
+		src := ir.Generate(seed, ir.GenConfig{})
+		m, err := compiler.Compile(src, compiler.Options{Level: compiler.O2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := fuzzRun(t, m, compiler.DefaultOrder(len(m.Funcs)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got, err := fuzzRun(t, m, compiler.RandomOrder(len(m.Funcs), r.Split()))
+		if err != nil {
+			t.Fatalf("seed %d permuted: %v", seed, err)
+		}
+		if got.Output != want.Output {
+			t.Errorf("seed %d: link order changed output", seed)
+		}
+	}
+}
+
+// TestFuzzStabilizerInvariance checks that full randomization (including the
+// fine-grain §8 extension) never changes a random program's output.
+func TestFuzzStabilizerInvariance(t *testing.T) {
+	for seed := uint64(200); seed < 230; seed++ {
+		src := ir.Generate(seed, ir.GenConfig{})
+		m, err := compiler.Compile(src, compiler.Options{Level: compiler.O2, Stabilize: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := fuzzRun(t, m, compiler.DefaultOrder(len(m.Funcs)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, fine := range []bool{false, true} {
+			as := mem.NewAddressSpace()
+			img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			mach := machine.New(machine.DefaultConfig())
+			st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.Options{
+				Code: true, Stack: true, Heap: true,
+				Rerandomize: true, Interval: 5_000,
+				FineGrainCode: fine,
+				Seed:          seed * 31,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			got, err := interp.Run(m, interp.Options{Machine: mach, Runtime: st, MaxSteps: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d fine=%v: %v", seed, fine, err)
+			}
+			if got.Output != want.Output {
+				t.Errorf("seed %d fine=%v: stabilizer changed output", seed, fine)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package compiler_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+)
+
+// TestPassesIdempotent: running a cleanup pass twice must equal running it
+// once — a standard compiler hygiene property that catches passes that keep
+// "optimizing" their own output.
+func TestPassesIdempotent(t *testing.T) {
+	passes := []compiler.Pass{
+		compiler.ConstFold{},
+		compiler.DCE{},
+		compiler.LocalCSE{},
+		compiler.SRA{},
+		compiler.DeadGlobals{},
+		compiler.GlobalCSE{},
+	}
+	for _, p := range passes {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				m := ir.Generate(seed%200, ir.GenConfig{})
+				p.Run(m)
+				once := m.String()
+				p.Run(m)
+				return m.String() == once
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPassesPreserveValidity: every pass output must validate on random
+// inputs (complement of the semantic fuzz test).
+func TestPassesPreserveValidity(t *testing.T) {
+	passes := []compiler.Pass{
+		compiler.ConstFold{}, compiler.DCE{}, compiler.LocalCSE{},
+		compiler.LICM{}, compiler.Inline{Threshold: 128, MaxGrowth: 4096},
+		compiler.IPConstProp{}, compiler.GlobalCSE{}, compiler.SRA{},
+		compiler.DeadGlobals{},
+		compiler.FPConstToGlobal{}, compiler.OutlineConversions{},
+	}
+	for seed := uint64(300); seed < 320; seed++ {
+		m := ir.Generate(seed, ir.GenConfig{})
+		for _, p := range passes {
+			p.Run(m)
+			if err := m.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid after %s: %v", seed, p.Name(), err)
+			}
+		}
+	}
+}
+
+// TestPipelineNeverGrowsDynamicWork: on random programs, -O2 must never
+// retire more instructions than -O0 (passes may only remove or simplify
+// dynamic work; code size may grow, instruction count must not).
+func TestPipelineNeverGrowsDynamicWork(t *testing.T) {
+	for seed := uint64(400); seed < 430; seed++ {
+		src := ir.Generate(seed, ir.GenConfig{})
+		o0, err := compiler.Compile(src, compiler.Options{Level: compiler.O0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := compiler.Compile(src, compiler.Options{Level: compiler.O2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r0, err := fuzzRun(t, o0, compiler.DefaultOrder(len(o0.Funcs)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r2, err := fuzzRun(t, o2, compiler.DefaultOrder(len(o2.Funcs)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r2.Instructions > r0.Instructions {
+			t.Errorf("seed %d: -O2 retired %d instructions, -O0 only %d",
+				seed, r2.Instructions, r0.Instructions)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// Image is a linked program: every function and global has a fixed address.
+// It is the "one sample from the space of layouts" the paper's introduction
+// warns about — and the thing the link-order bias experiment permutes.
+type Image struct {
+	Module      *ir.Module
+	FuncAddrs   []mem.Addr
+	GlobalAddrs []mem.Addr
+	Order       []int // link order used
+}
+
+// DefaultOrder returns the identity link order.
+func DefaultOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// RandomOrder returns a random permutation of n function indices — the
+// "randomized link order" baseline of Figure 6.
+func RandomOrder(n int, r *rng.Marsaglia) []int {
+	order := DefaultOrder(n)
+	r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// Link lays the module out in the address space: functions in the given link
+// order in the text segment, globals in declaration order in the data
+// segment. The module must be sized (Compile does this).
+func Link(m *ir.Module, order []int, as *mem.AddressSpace) (*Image, error) {
+	if len(order) != len(m.Funcs) {
+		return nil, fmt.Errorf("compiler: link order has %d entries for %d functions", len(order), len(m.Funcs))
+	}
+	seen := make([]bool, len(m.Funcs))
+	img := &Image{
+		Module:      m,
+		FuncAddrs:   make([]mem.Addr, len(m.Funcs)),
+		GlobalAddrs: make([]mem.Addr, len(m.Globals)),
+		Order:       append([]int(nil), order...),
+	}
+	for _, fi := range order {
+		if fi < 0 || fi >= len(m.Funcs) || seen[fi] {
+			return nil, fmt.Errorf("compiler: invalid link order entry %d", fi)
+		}
+		seen[fi] = true
+		f := m.Funcs[fi]
+		if f.Size == 0 {
+			return nil, fmt.Errorf("compiler: function %s has no size; compile first", f.Name)
+		}
+		img.FuncAddrs[fi] = as.PlaceCode(f.Size, ir.FuncAlign)
+	}
+	for gi, g := range m.Globals {
+		img.GlobalAddrs[gi] = as.PlaceGlobal(g.Size, 8)
+	}
+	return img, nil
+}

@@ -1,0 +1,424 @@
+package compiler
+
+import "repro/internal/ir"
+
+// cfg holds per-function control-flow analysis shared by the loop passes.
+type cfg struct {
+	f     *ir.Function
+	succs [][]int
+	preds [][]int
+	idom  []int // immediate dominator; entry's idom is itself
+	order []int // reverse-postorder numbering
+}
+
+// buildCFG computes successors, predecessors, and dominators for f.
+func buildCFG(f *ir.Function) *cfg {
+	n := len(f.Blocks)
+	c := &cfg{f: f, succs: make([][]int, n), preds: make([][]int, n), idom: make([]int, n)}
+	for i, b := range f.Blocks {
+		switch b.Term.Kind {
+		case ir.TermJmp:
+			c.succs[i] = []int{b.Term.Then}
+		case ir.TermBr:
+			c.succs[i] = []int{b.Term.Then, b.Term.Else}
+		}
+		for _, s := range c.succs[i] {
+			c.preds[s] = append(c.preds[s], i)
+		}
+	}
+	c.computeOrder()
+	c.computeDominators()
+	return c
+}
+
+// computeOrder numbers reachable blocks in reverse postorder.
+func (c *cfg) computeOrder() {
+	n := len(c.f.Blocks)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range c.succs[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	c.order = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		c.order = append(c.order, post[i])
+	}
+}
+
+// computeDominators runs the iterative algorithm of Cooper, Harvey, and
+// Kennedy over the reverse postorder.
+func (c *cfg) computeDominators() {
+	n := len(c.f.Blocks)
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range c.order {
+		rpoNum[b] = i
+	}
+	for i := range c.idom {
+		c.idom[i] = -1
+	}
+	c.idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = c.idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = c.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.preds[b] {
+				if c.idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && c.idom[b] != newIdom {
+				c.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// dominates reports whether block a dominates block b.
+func (c *cfg) dominates(a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || c.idom[b] == -1 {
+			return false
+		}
+		if c.idom[b] == b {
+			return false
+		}
+		b = c.idom[b]
+	}
+}
+
+// loop is a natural loop: a header plus its body blocks.
+type loop struct {
+	header int
+	blocks map[int]bool
+}
+
+// naturalLoops finds the natural loop of every back edge, merging loops that
+// share a header.
+func (c *cfg) naturalLoops() []*loop {
+	byHeader := map[int]*loop{}
+	for _, u := range c.order {
+		for _, h := range c.succs[u] {
+			if !c.dominates(h, u) {
+				continue // not a back edge
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &loop{header: h, blocks: map[int]bool{h: true}}
+				byHeader[h] = l
+			}
+			// Walk backwards from u collecting nodes that reach u without
+			// passing through h.
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.blocks[b] {
+					continue
+				}
+				l.blocks[b] = true
+				stack = append(stack, c.preds[b]...)
+			}
+		}
+	}
+	out := make([]*loop, 0, len(byHeader))
+	for _, o := range c.order {
+		if l, ok := byHeader[o]; ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LICM hoists loop-invariant pure computations into a preheader. Because the
+// IR is not SSA, an instruction is hoisted only when it is the sole
+// definition of its destination inside the loop, its destination is not read
+// inside the loop before it on any path (conservatively: only read in its
+// own block after it), and its operands have no definitions inside the loop.
+type LICM struct{}
+
+// Name implements Pass.
+func (LICM) Name() string { return "licm" }
+
+// Run implements Pass.
+func (LICM) Run(m *ir.Module) {
+	for _, f := range m.Funcs {
+		licmFunc(f)
+	}
+}
+
+func licmFunc(f *ir.Function) {
+	// Hoisting inserts preheaders, which invalidates the CFG analysis, so
+	// rebuild and retry until no loop yields further motion.
+	for rounds := 0; rounds < 16; rounds++ {
+		c := buildCFG(f)
+		changed := false
+		for _, l := range c.naturalLoops() {
+			if hoistLoop(f, c, l) {
+				changed = true
+				break // CFG is stale after a preheader insertion
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// sortedBlocks returns the loop's block indices in ascending order, keeping
+// pass output deterministic (map iteration order must never influence
+// generated code — generated code *is* layout).
+func sortedBlocks(l *loop) []int {
+	out := make([]int, 0, len(l.blocks))
+	for b := range l.blocks {
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// defsIn counts definitions of each register inside the loop.
+func defsIn(f *ir.Function, l *loop) []int {
+	defs := make([]int, f.NumRegs)
+	for b := range l.blocks {
+		for i := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[i]
+			if in.Op == ir.OpNop {
+				continue
+			}
+			if in.Dst != ir.NoReg && !in.Op.IsStore() {
+				defs[in.Dst]++
+			}
+		}
+	}
+	return defs
+}
+
+func hoistLoop(f *ir.Function, c *cfg, l *loop) bool {
+	defs := defsIn(f, l)
+	blocks := sortedBlocks(l)
+
+	// An instruction may move only once its operands are defined outside
+	// the loop, so iterate to a fixpoint; the resulting hoisted sequence is
+	// automatically in dependency order.
+	var hoisted []ir.Instr
+	for moved := true; moved; {
+		moved = false
+		for _, b := range blocks {
+			blk := f.Blocks[b]
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op == ir.OpNop || !isPure(in.Op) || in.Dst == ir.NoReg {
+					continue
+				}
+				if defs[in.Dst] != 1 {
+					continue
+				}
+				if in.A != ir.NoReg && defs[in.A] != 0 {
+					continue
+				}
+				if in.B != ir.NoReg && defs[in.B] != 0 {
+					continue
+				}
+				if !readsConfined(f, l, b, i, in.Dst) {
+					continue
+				}
+				hoisted = append(hoisted, *in)
+				in.Op, in.A, in.B, in.Args = ir.OpNop, ir.NoReg, ir.NoReg, nil
+				defs[in.Dst] = 0 // now defined outside the loop
+				moved = true
+			}
+		}
+	}
+	if len(hoisted) == 0 {
+		return false
+	}
+
+	// Build a preheader and retarget the non-back-edge predecessors of the
+	// header to it.
+	pre := len(f.Blocks)
+	f.Blocks = append(f.Blocks, &ir.Block{
+		Instrs: hoisted,
+		Term:   ir.Terminator{Kind: ir.TermJmp, Then: l.header, Cond: ir.NoReg, Val: ir.NoReg},
+	})
+	for _, p := range c.preds[l.header] {
+		if l.blocks[p] {
+			continue // back edge stays on the header
+		}
+		t := &f.Blocks[p].Term
+		if t.Kind == ir.TermJmp || t.Kind == ir.TermBr {
+			if t.Then == l.header {
+				t.Then = pre
+			}
+			if t.Kind == ir.TermBr && t.Else == l.header {
+				t.Else = pre
+			}
+		}
+	}
+	if l.header == 0 {
+		// The entry block cannot have a preheader spliced in front without
+		// renumbering; loops produced by the builder never start at block
+		// 0, but guard anyway by swapping the blocks.
+		f.Blocks[0], f.Blocks[pre] = f.Blocks[pre], f.Blocks[0]
+		remapTargets(f, map[int]int{0: pre, pre: 0})
+	}
+	return true
+}
+
+// readsConfined reports whether every read of reg in the whole function
+// occurs inside the loop, in block b, strictly after instruction index i.
+// (Reads outside the loop would observe the hoisted value even when the loop
+// body never runs, so they disqualify hoisting; reads before the definition
+// would observe the previous value.)
+func readsConfined(f *ir.Function, l *loop, b, i int, reg ir.Reg) bool {
+	reads := func(in *ir.Instr, r ir.Reg) bool {
+		if in.A == r || in.B == r {
+			return true
+		}
+		if in.Op == ir.OpStoreH || in.Op == ir.OpStoreHF {
+			if in.Dst == r {
+				return true
+			}
+		}
+		for _, a := range in.Args {
+			if a == r {
+				return true
+			}
+		}
+		return false
+	}
+	for bb, blk := range f.Blocks {
+		for j := range blk.Instrs {
+			in := &blk.Instrs[j]
+			if in.Op == ir.OpNop {
+				continue
+			}
+			if reads(in, reg) && !(bb == b && j > i) {
+				return false
+			}
+		}
+		if blk.Term.Cond == reg || blk.Term.Val == reg {
+			if bb != b {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// remapTargets rewrites all terminator targets through the given mapping.
+func remapTargets(f *ir.Function, mapping map[int]int) {
+	for _, b := range f.Blocks {
+		if nb, ok := mapping[b.Term.Then]; ok {
+			b.Term.Then = nb
+		}
+		if b.Term.Kind == ir.TermBr {
+			if nb, ok := mapping[b.Term.Else]; ok {
+				b.Term.Else = nb
+			}
+		}
+	}
+}
+
+// GlobalCSE extends value numbering across blocks along the dominator tree.
+// To stay sound without SSA, it only records expressions whose destination
+// and operands each have a single definition in the whole function; such a
+// value is available at every block the defining block dominates.
+type GlobalCSE struct{}
+
+// Name implements Pass.
+func (GlobalCSE) Name() string { return "globalcse" }
+
+// Run implements Pass.
+func (GlobalCSE) Run(m *ir.Module) {
+	for _, f := range m.Funcs {
+		globalCSEFunc(f)
+	}
+}
+
+func globalCSEFunc(f *ir.Function) {
+	defs := make([]int, f.NumRegs)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op != ir.OpNop && in.Dst != ir.NoReg && !in.Op.IsStore() {
+				defs[in.Dst]++
+			}
+		}
+	}
+	single := func(r ir.Reg) bool { return r == ir.NoReg || defs[r] == 1 }
+
+	c := buildCFG(f)
+	type gKey struct {
+		op   ir.Op
+		a, b ir.Reg
+		imm  int64
+	}
+	type gDef struct {
+		reg   ir.Reg
+		block int
+	}
+	avail := map[gKey][]gDef{}
+
+	for _, bi := range c.order {
+		blk := f.Blocks[bi]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.OpNop || !isPure(in.Op) || in.Dst == ir.NoReg {
+				continue
+			}
+			if !single(in.Dst) || !single(in.A) || !single(in.B) {
+				continue
+			}
+			key := gKey{op: in.Op, a: in.A, b: in.B, imm: in.Imm}
+			replaced := false
+			for _, d := range avail[key] {
+				if d.reg != in.Dst && c.dominates(d.block, bi) {
+					in.Op, in.A, in.B, in.Imm = ir.OpMov, d.reg, ir.NoReg, 0
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				avail[key] = append(avail[key], gDef{reg: in.Dst, block: bi})
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// OptLevel selects a pass pipeline, mirroring the paper's -O1/-O2/-O3
+// evaluation (§6).
+type OptLevel int
+
+const (
+	O0 OptLevel = iota
+	O1
+	O2
+	O3
+)
+
+// String returns the conventional flag spelling.
+func (o OptLevel) String() string {
+	return [...]string{"-O0", "-O1", "-O2", "-O3"}[o]
+}
+
+// Pipeline returns the pass sequence for a level.
+//
+//	-O1: constant folding, basic-block CSE (early-cse), dead code
+//	     elimination.
+//	-O2: adds basic-block CSE, loop-invariant code motion, and inlining.
+//	-O3: adds argument promotion (interprocedural constant propagation),
+//	     global CSE, scalar replacement of aggregates, dead global
+//	     elimination, and more aggressive inlining.
+func Pipeline(level OptLevel) []Pass {
+	switch level {
+	case O0:
+		return nil
+	case O1:
+		return []Pass{ConstFold{}, LocalCSE{}, DCE{}}
+	case O2:
+		return []Pass{
+			ConstFold{}, LocalCSE{}, DCE{},
+			LICM{},
+			Inline{Threshold: 176, MaxGrowth: 8192},
+			ConstFold{}, LocalCSE{}, DCE{},
+		}
+	case O3:
+		return []Pass{
+			ConstFold{}, LocalCSE{}, DCE{},
+			LICM{},
+			Inline{Threshold: 176, MaxGrowth: 8192},
+			ConstFold{}, LocalCSE{}, DCE{},
+			Inline{Threshold: 256, MaxGrowth: 16384},
+			IPConstProp{},
+			ConstFold{}, DCE{},
+			GlobalCSE{},
+			SRA{},
+			DeadGlobals{},
+			DCE{},
+		}
+	default:
+		panic(fmt.Sprintf("compiler: unknown optimization level %d", level))
+	}
+}
+
+// Options configures a compilation.
+type Options struct {
+	Level OptLevel
+	// Stabilize applies the STABILIZER compiler transformations (§3.3):
+	// floating-point constants to globals and outlined conversions. The
+	// szc driver sets this when any randomization is enabled.
+	Stabilize bool
+}
+
+// Compile clones src, runs the configured pipeline plus (optionally) the
+// STABILIZER transformations, computes sizes, and validates. The input
+// module is never mutated.
+func Compile(src *ir.Module, opts Options) (*ir.Module, error) {
+	m := src.Clone()
+	for _, p := range Pipeline(opts.Level) {
+		p.Run(m)
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("compiler: after pass %s: %w", p.Name(), err)
+		}
+	}
+	if opts.Stabilize {
+		for _, p := range []Pass{FPConstToGlobal{}, OutlineConversions{}} {
+			p.Run(m)
+			if err := m.Validate(); err != nil {
+				return nil, fmt.Errorf("compiler: after pass %s: %w", p.Name(), err)
+			}
+		}
+	}
+	m.Finalize()
+	ir.ComputeSizes(m)
+	return m, nil
+}

@@ -1,0 +1,106 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// FPConstToGlobal implements the STABILIZER compiler transformation of §3.3:
+// every non-zero floating-point constant becomes a global variable read
+// through a (relocatable) indirect access, because code generation would
+// otherwise embed constant-pool references that cannot move with the
+// function. Identical constants share one global.
+type FPConstToGlobal struct{}
+
+// Name implements Pass.
+func (FPConstToGlobal) Name() string { return "fpconst2global" }
+
+// Run implements Pass.
+func (FPConstToGlobal) Run(m *ir.Module) {
+	pool := map[int64]int32{} // constant bits -> global index
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpConstF || in.Imm == 0 {
+					continue // zero stays an immediate (xorps)
+				}
+				g, ok := pool[in.Imm]
+				if !ok {
+					g = int32(len(m.Globals))
+					name := fmt.Sprintf("__sz_fpconst_%x", uint64(in.Imm))
+					m.Globals = append(m.Globals, ir.Global{Name: name, Size: 8, Init: []int64{in.Imm}})
+					pool[in.Imm] = g
+				}
+				*in = ir.Instr{Op: ir.OpLoadGF, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Sym: g}
+			}
+		}
+	}
+}
+
+// OutlineConversions implements the second §3.3 transformation: int-to-float
+// and float-to-int conversions generate implicit global references that
+// STABILIZER cannot rewrite, so they are replaced by calls to per-module
+// conversion functions, which are the only code the runtime does not
+// relocate.
+type OutlineConversions struct{}
+
+// Name implements Pass.
+func (OutlineConversions) Name() string { return "outlineconv" }
+
+// Run implements Pass.
+func (OutlineConversions) Run(m *ir.Module) {
+	i2f, f2i := int32(-1), int32(-1)
+	needI2F, needF2I := false, false
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				switch b.Instrs[i].Op {
+				case ir.OpI2F:
+					needI2F = true
+				case ir.OpF2I:
+					needF2I = true
+				}
+			}
+		}
+	}
+	if !needI2F && !needF2I {
+		return
+	}
+	if needI2F {
+		i2f = addConversionFunc(m, "__sz_i2f", ir.OpI2F)
+	}
+	if needF2I {
+		f2i = addConversionFunc(m, "__sz_f2i", ir.OpF2I)
+	}
+	for _, f := range m.Funcs {
+		if f.NoRelocate {
+			continue // don't rewrite the outlines themselves
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case ir.OpI2F:
+					*in = ir.Instr{Op: ir.OpCall, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Sym: i2f, Args: []ir.Reg{in.A}}
+				case ir.OpF2I:
+					*in = ir.Instr{Op: ir.OpCall, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Sym: f2i, Args: []ir.Reg{in.A}}
+				}
+			}
+		}
+	}
+	m.Finalize()
+}
+
+// addConversionFunc appends a one-instruction, non-relocatable conversion
+// function and returns its index.
+func addConversionFunc(m *ir.Module, name string, op ir.Op) int32 {
+	f := &ir.Function{Name: name, Params: 1, NumRegs: 2, NoRelocate: true}
+	f.Blocks = []*ir.Block{{
+		Instrs: []ir.Instr{{Op: op, Dst: 1, A: 0, B: ir.NoReg}},
+		Term:   ir.Terminator{Kind: ir.TermRet, Val: 1, Cond: ir.NoReg},
+	}}
+	m.Funcs = append(m.Funcs, f)
+	return int32(len(m.Funcs) - 1)
+}

@@ -1,0 +1,333 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// IntervalRow is one point of the re-randomization interval ablation.
+type IntervalRow struct {
+	// Interval in cycles; 0 means one-time randomization (no timer).
+	Interval uint64
+	// PeriodsPerRun is the mean number of randomization periods per run.
+	PeriodsPerRun float64
+	// SWp is the Shapiro-Wilk p-value of the run-time distribution.
+	SWp float64
+	// CV is the coefficient of variation of the samples.
+	CV float64
+	// MeanOverhead is mean time relative to the one-time configuration.
+	MeanOverhead float64
+}
+
+// IntervalAblation tests the paper's §4 claim that normality emerges once a
+// run spans enough randomization periods ("30 is typical" for the Central
+// Limit Theorem): it sweeps the re-randomization interval on one benchmark
+// and reports how the execution-time distribution changes.
+type IntervalAblation struct {
+	Benchmark string
+	Rows      []IntervalRow
+	Runs      int
+}
+
+// IntervalAblationOptions configures the sweep.
+type IntervalAblationOptions struct {
+	Benchmark string // default astar (the paper's cleanest normality flip)
+	Scale     float64
+	Runs      int
+	Seed      uint64
+	Intervals []uint64 // 0 = one-time; default a 2x-spaced sweep
+}
+
+func (o *IntervalAblationOptions) defaults() {
+	if o.Benchmark == "" {
+		o.Benchmark = "astar"
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 30
+	}
+	if o.Intervals == nil {
+		o.Intervals = []uint64{0, 800_000, 400_000, 200_000, 100_000, 50_000, 25_000, 12_500}
+	}
+}
+
+// RerandInterval runs the sweep.
+func RerandInterval(opts IntervalAblationOptions) (*IntervalAblation, error) {
+	opts.defaults()
+	b, ok := spec.ByName(opts.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown benchmark %q", opts.Benchmark)
+	}
+	res := &IntervalAblation{Benchmark: opts.Benchmark, Runs: opts.Runs}
+	var baseMean float64
+	for ii, interval := range opts.Intervals {
+		st := core.Options{Code: true, Stack: true, Heap: true}
+		if interval > 0 {
+			st.Rerandomize = true
+			st.Interval = interval
+		}
+		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
+		if err != nil {
+			return nil, err
+		}
+		samples := make([]float64, 0, opts.Runs)
+		var cycles float64
+		for i := 0; i < opts.Runs; i++ {
+			r, err := cc.Run(opts.Seed + uint64(ii)*1000 + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, r.Seconds)
+			cycles += float64(r.Cycles)
+		}
+		cycles /= float64(opts.Runs)
+		mean := stats.Mean(samples)
+		if ii == 0 {
+			baseMean = mean
+		}
+		periods := 1.0
+		if interval > 0 {
+			periods = cycles / float64(interval)
+		}
+		res.Rows = append(res.Rows, IntervalRow{
+			Interval:      interval,
+			PeriodsPerRun: periods,
+			SWp:           stats.ShapiroWilk(samples).P,
+			CV:            stats.StdDev(samples) / mean,
+			MeanOverhead:  mean/baseMean - 1,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *IntervalAblation) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Re-randomization interval ablation (%s, %d runs): §4 predicts\n", r.Benchmark, r.Runs)
+	fmt.Fprintf(&sb, "normality once a run spans ~30 randomization periods\n")
+	fmt.Fprintf(&sb, "%12s %12s %12s %8s %10s\n", "interval", "periods/run", "ShapiroW p", "CV", "overhead")
+	for _, row := range r.Rows {
+		label := "one-time"
+		if row.Interval > 0 {
+			label = fmt.Sprintf("%d", row.Interval)
+		}
+		mark := " "
+		if row.SWp < 0.05 {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%12s %12.1f %11.3f%s %7.2f%% %+9.1f%%\n",
+			label, row.PeriodsPerRun, row.SWp, mark, row.CV*100, row.MeanOverhead*100)
+	}
+	sb.WriteString("(* = non-normal at p < 0.05)\n")
+	return sb.String()
+}
+
+// ShuffleDepthRow is one point of the shuffling-depth overhead sweep.
+type ShuffleDepthRow struct {
+	Label    string
+	Overhead float64 // vs native
+	CV       float64
+}
+
+// ShuffleDepthAblation tests §3.2's cost claim: N must be large enough to
+// randomize the index bits, but "values that are too large will increase
+// overhead with no added benefit."
+type ShuffleDepthAblation struct {
+	Benchmark string
+	Rows      []ShuffleDepthRow
+	Runs      int
+}
+
+// ShuffleDepthOptions configures the sweep.
+type ShuffleDepthOptions struct {
+	Benchmark string // default mcf (heap-bound)
+	Scale     float64
+	Runs      int
+	Seed      uint64
+	Depths    []int
+}
+
+func (o *ShuffleDepthOptions) defaults() {
+	if o.Benchmark == "" {
+		o.Benchmark = "mcf"
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 15
+	}
+	if o.Depths == nil {
+		o.Depths = []int{1, 16, 64, 256, 1024, 4096}
+	}
+}
+
+// ShuffleDepth runs the sweep.
+func ShuffleDepth(opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
+	opts.defaults()
+	b, ok := spec.ByName(opts.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown benchmark %q", opts.Benchmark)
+	}
+	res := &ShuffleDepthAblation{Benchmark: opts.Benchmark, Runs: opts.Runs}
+
+	nat, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2})
+	if err != nil {
+		return nil, err
+	}
+	ns, err := nat.Samples(opts.Runs, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base := stats.Mean(ns)
+
+	measure := func(label string, st core.Options, di int) error {
+		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
+		if err != nil {
+			return err
+		}
+		s, err := cc.Samples(opts.Runs, opts.Seed+uint64(di+1)*500)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, ShuffleDepthRow{
+			Label:    label,
+			Overhead: stats.Mean(s)/base - 1,
+			CV:       stats.StdDev(s) / stats.Mean(s),
+		})
+		return nil
+	}
+	for di, depth := range opts.Depths {
+		if err := measure(fmt.Sprintf("shuffle(N=%d)", depth), core.Options{Heap: true, ShuffleN: depth}, di); err != nil {
+			return nil, err
+		}
+	}
+	// The substrate comparisons of §3.2/§7: TLSF under the shuffle, and the
+	// original DieHard configuration.
+	if err := measure("shuffle(tlsf)", core.Options{Heap: true, UseTLSF: true}, len(opts.Depths)+1); err != nil {
+		return nil, err
+	}
+	if err := measure("diehard", core.Options{Heap: true, UseDieHard: true}, len(opts.Depths)+2); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *ShuffleDepthAblation) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Shuffling-depth / substrate ablation (%s, heap randomization only, %d runs)\n", r.Benchmark, r.Runs)
+	fmt.Fprintf(&sb, "%16s %12s %8s\n", "heap", "overhead", "CV")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%16s %+11.1f%% %7.2f%%\n", row.Label, row.Overhead*100, row.CV*100)
+	}
+	return sb.String()
+}
+
+// AdaptiveRow compares one re-randomization policy.
+type AdaptiveRow struct {
+	Policy   string
+	Mean     float64
+	CV       float64
+	Rerands  float64 // mean re-randomizations per run
+	Triggers float64 // mean adaptive triggers per run
+}
+
+// AdaptiveAblation compares the §8 adaptive policy ("sampling with
+// performance counters could ... trigger a complete or partial
+// re-randomization") against one-time and fixed-interval randomization.
+type AdaptiveAblation struct {
+	Benchmark string
+	Rows      []AdaptiveRow
+	Runs      int
+}
+
+// AdaptiveOptions configures the comparison.
+type AdaptiveOptions struct {
+	Benchmark string
+	Scale     float64
+	Runs      int
+	Seed      uint64
+	Interval  uint64
+}
+
+func (o *AdaptiveOptions) defaults() {
+	if o.Benchmark == "" {
+		o.Benchmark = "astar"
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 20
+	}
+	if o.Interval == 0 {
+		o.Interval = 100_000
+	}
+}
+
+// Adaptive runs the comparison. The fixed and adaptive policies share the
+// same base interval, so any difference comes from the early triggers.
+func Adaptive(opts AdaptiveOptions) (*AdaptiveAblation, error) {
+	opts.defaults()
+	b, ok := spec.ByName(opts.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown benchmark %q", opts.Benchmark)
+	}
+	res := &AdaptiveAblation{Benchmark: opts.Benchmark, Runs: opts.Runs}
+
+	policies := []struct {
+		name string
+		opts core.Options
+	}{
+		{"one-time", core.Options{Code: true, Stack: true, Heap: true}},
+		{"fixed", core.Options{Code: true, Stack: true, Heap: true,
+			Rerandomize: true, Interval: opts.Interval}},
+		{"adaptive", core.Options{Code: true, Stack: true, Heap: true,
+			Rerandomize: true, Interval: opts.Interval, Adaptive: true}},
+	}
+	for pi, p := range policies {
+		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &p.opts})
+		if err != nil {
+			return nil, err
+		}
+		samples := make([]float64, 0, opts.Runs)
+		var rerands, triggers float64
+		for i := 0; i < opts.Runs; i++ {
+			r, err := cc.Run(opts.Seed + uint64(pi)*1000 + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, r.Seconds)
+			rerands += float64(r.Rerands)
+			triggers += float64(r.AdaptiveTriggers)
+		}
+		res.Rows = append(res.Rows, AdaptiveRow{
+			Policy:   p.name,
+			Mean:     stats.Mean(samples),
+			CV:       stats.StdDev(samples) / stats.Mean(samples),
+			Rerands:  rerands / float64(opts.Runs),
+			Triggers: triggers / float64(opts.Runs),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AdaptiveAblation) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Adaptive re-randomization (§8 extension) on %s (%d runs)\n", r.Benchmark, r.Runs)
+	fmt.Fprintf(&sb, "%10s %12s %8s %12s %12s\n", "policy", "mean (s)", "CV", "rerands/run", "triggers/run")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%10s %12.6f %7.2f%% %12.1f %12.1f\n",
+			row.Policy, row.Mean, row.CV*100, row.Rerands, row.Triggers)
+	}
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// writeCSV writes rows to dir/name.csv.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteCSV dumps the Table 1 data plus per-benchmark QQ series (Figure 5)
+// into dir.
+func (r *NormalityResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Benchmark, f64(row.SWOnce), f64(row.SWRerand),
+			f64(row.BrownForsythe), f64(row.VarianceChange),
+		})
+	}
+	if err := writeCSV(dir, "table1_normality",
+		[]string{"benchmark", "sw_once_p", "sw_rerand_p", "brown_forsythe_p", "variance_change"}, rows); err != nil {
+		return err
+	}
+	var qq [][]string
+	for _, row := range r.Rows {
+		for i := range row.QQOnce {
+			qq = append(qq, []string{
+				row.Benchmark, f64(row.QQOnce[i].Theoretical),
+				f64(row.QQOnce[i].Observed), f64(row.QQRerand[i].Observed),
+			})
+		}
+	}
+	return writeCSV(dir, "fig5_qq",
+		[]string{"benchmark", "theoretical", "observed_once", "observed_rerand"}, qq)
+}
+
+// WriteCSV dumps Figure 6 into dir.
+func (r *OverheadResult) WriteCSV(dir string) error {
+	header := append([]string{"benchmark"}, r.Configs...)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := []string{row.Benchmark}
+		for _, o := range row.Overhead {
+			rec = append(rec, f64(o))
+		}
+		rows = append(rows, rec)
+	}
+	return writeCSV(dir, "fig6_overhead", header, rows)
+}
+
+// WriteCSV dumps Figure 7 into dir.
+func (r *SpeedupResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Benchmark,
+			f64(row.SpeedupO2), fmt.Sprint(row.SignificantO2), f64(row.PO2),
+			f64(row.SpeedupO3), fmt.Sprint(row.SignificantO3), f64(row.PO3),
+		})
+	}
+	return writeCSV(dir, "fig7_speedup",
+		[]string{"benchmark", "speedup_o2", "sig_o2", "p_o2", "speedup_o3", "sig_o3", "p_o3"}, rows)
+}
+
+// WriteCSV dumps the link-order experiment into dir.
+func (r *LinkOrderResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Benchmark, f64(row.Best), f64(row.Worst), f64(row.Default), f64(row.MaxDegradation),
+		})
+	}
+	return writeCSV(dir, "e1_linkorder",
+		[]string{"benchmark", "best_s", "worst_s", "default_s", "max_degradation"}, rows)
+}
+
+// WriteCSV dumps the env-size sweep into dir.
+func (r *EnvSizeResult) WriteCSV(dir string) error {
+	var rows [][]string
+	for _, row := range r.Rows {
+		for i, s := range row.Seconds {
+			rows = append(rows, []string{
+				row.Benchmark, strconv.FormatUint(r.EnvSizes[i], 10), f64(s),
+			})
+		}
+	}
+	return writeCSV(dir, "e2_envsize", []string{"benchmark", "env_bytes", "seconds"}, rows)
+}
+
+// WriteCSV dumps the NIST table into dir.
+func (r *NISTResult) WriteCSV(dir string) error {
+	header := []string{"source"}
+	for _, res := range r.Rows[0].Results {
+		header = append(header, res.Name)
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := []string{row.Source}
+		for _, res := range row.Results {
+			rec = append(rec, f64(res.P))
+		}
+		rows = append(rows, rec)
+	}
+	return writeCSV(dir, "e3_nist", header, rows)
+}
+
+// WriteCSV dumps the interval ablation into dir.
+func (r *IntervalAblation) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			strconv.FormatUint(row.Interval, 10), f64(row.PeriodsPerRun),
+			f64(row.SWp), f64(row.CV), f64(row.MeanOverhead),
+		})
+	}
+	return writeCSV(dir, "e9_interval",
+		[]string{"interval_cycles", "periods_per_run", "sw_p", "cv", "overhead"}, rows)
+}
+
+// WriteCSV dumps the shuffle-depth/substrate ablation into dir.
+func (r *ShuffleDepthAblation) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Label, f64(row.Overhead), f64(row.CV)})
+	}
+	return writeCSV(dir, "e10_shuffledepth", []string{"heap", "overhead", "cv"}, rows)
+}
+
+// WriteCSV dumps the adaptive-policy comparison into dir.
+func (r *AdaptiveAblation) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy, f64(row.Mean), f64(row.CV), f64(row.Rerands), f64(row.Triggers),
+		})
+	}
+	return writeCSV(dir, "e11_adaptive",
+		[]string{"policy", "mean_s", "cv", "rerands_per_run", "triggers_per_run"}, rows)
+}

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// DeploymentRow summarizes one benchmark's outlier exposure.
+type DeploymentRow struct {
+	Benchmark string
+	// Native: each sample is one "shipped binary" — one draw from the
+	// space of layouts (one-time randomization), measured once. A fleet of
+	// builds differs in exactly this way: each compile/link/environment
+	// combination fixes a layout for the binary's whole life.
+	NativeMedian, NativeP95, NativeWorst float64
+	// Stabilized: each sample is one run under re-randomization.
+	StabMedian, StabP95, StabWorst float64
+}
+
+// DeploymentResult explores the use case §1 mentions but does not evaluate:
+// "STABILIZER's low overhead means that it could be used at deployment time
+// to reduce the risk of performance outliers." Shipping N differently-laid-
+// out binaries natively yields a spread of permanent layout luck; running
+// under STABILIZER, every instance re-randomizes its way to the mean, so the
+// worst case tightens toward the median.
+type DeploymentResult struct {
+	Rows    []DeploymentRow
+	Samples int
+}
+
+// DeploymentOptions configures the experiment.
+type DeploymentOptions struct {
+	Scale    float64
+	Samples  int // binaries / runs per benchmark
+	Seed     uint64
+	Interval uint64
+	Suite    []spec.Benchmark
+}
+
+func (o *DeploymentOptions) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Samples == 0 {
+		o.Samples = 40
+	}
+	if o.Interval == 0 {
+		o.Interval = 25_000
+	}
+	if o.Suite == nil {
+		// The layout-luck-heavy benchmarks where outliers live.
+		names := []string{"astar", "gobmk", "sjeng", "gcc"}
+		for _, n := range names {
+			b, _ := spec.ByName(n)
+			o.Suite = append(o.Suite, b)
+		}
+	}
+}
+
+// Deployment runs the comparison.
+func Deployment(opts DeploymentOptions) (*DeploymentResult, error) {
+	opts.defaults()
+	res := &DeploymentResult{Samples: opts.Samples}
+	for bi, b := range opts.Suite {
+		once := core.Options{Code: true, Stack: true, Heap: true}
+		nat, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &once})
+		if err != nil {
+			return nil, err
+		}
+		natSamples, err := nat.Samples(opts.Samples, opts.Seed+uint64(bi)*10_000)
+		if err != nil {
+			return nil, err
+		}
+
+		st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
+		stab, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
+		if err != nil {
+			return nil, err
+		}
+		stabSamples, err := stab.Samples(opts.Samples, opts.Seed+uint64(bi)*10_000+5_000)
+		if err != nil {
+			return nil, err
+		}
+
+		res.Rows = append(res.Rows, DeploymentRow{
+			Benchmark:    b.Name,
+			NativeMedian: stats.Median(natSamples),
+			NativeP95:    stats.Quantile(natSamples, 0.95),
+			NativeWorst:  maxOf(natSamples),
+			StabMedian:   stats.Median(stabSamples),
+			StabP95:      stats.Quantile(stabSamples, 0.95),
+			StabWorst:    maxOf(stabSamples),
+		})
+	}
+	return res, nil
+}
+
+func maxOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)-1]
+}
+
+// Table renders the comparison as tail-over-median ratios.
+func (r *DeploymentResult) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Deployment-time outlier risk (%d binaries/runs per benchmark)\n", r.Samples)
+	fmt.Fprintf(&sb, "tail latitude = p95/median and worst/median; closer to 1.0 is safer\n")
+	fmt.Fprintf(&sb, "%-12s | %22s | %22s\n", "", "fixed layouts (builds)", "re-randomized")
+	fmt.Fprintf(&sb, "%-12s | %10s %10s | %10s %10s\n", "Benchmark", "p95/med", "worst/med", "p95/med", "worst/med")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s | %10.3f %10.3f | %10.3f %10.3f\n",
+			row.Benchmark,
+			row.NativeP95/row.NativeMedian, row.NativeWorst/row.NativeMedian,
+			row.StabP95/row.StabMedian, row.StabWorst/row.StabMedian)
+	}
+	return sb.String()
+}

@@ -1,0 +1,437 @@
+package experiment
+
+import (
+	"encoding/xml"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+const testScale = 0.1
+
+// subset returns a small, fast benchmark subset for integration tests.
+func subset(t *testing.T, names ...string) []spec.Benchmark {
+	t.Helper()
+	out := make([]spec.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, ok := spec.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %s", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	b, _ := spec.ByName("astar")
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cc.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cc.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Seconds != r2.Seconds || r1.Cycles != r2.Cycles || r1.Output != r2.Output {
+		t.Fatalf("same seed gave different results: %+v vs %+v", r1, r2)
+	}
+	r3, err := cc.Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Seconds == r1.Seconds {
+		t.Fatal("different seeds gave identical times — noise and layout inert?")
+	}
+	if r3.Output != r1.Output {
+		t.Fatal("output depends on seed")
+	}
+}
+
+func TestNoiseControls(t *testing.T) {
+	b, _ := spec.ByName("lbm")
+	noiseless, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2, Noise: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := noiseless.Run(1)
+	r2, _ := noiseless.Run(1)
+	if r1.Seconds != r2.Seconds {
+		t.Fatal("noise applied despite being disabled")
+	}
+	if float64(r1.Cycles)/3.2e9 != r1.Seconds {
+		t.Fatal("noiseless Seconds should equal Cycles/clock")
+	}
+}
+
+func TestStabilizedRunsUseRuntime(t *testing.T) {
+	b, _ := spec.ByName("mcf")
+	st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 10_000}
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2, Stabilizer: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cc.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := nat.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Output != rn.Output {
+		t.Fatal("stabilized output differs from native")
+	}
+	if rs.Cycles == rn.Cycles {
+		t.Fatal("stabilized run cost identical to native — runtime inert?")
+	}
+}
+
+func TestNormalityExperiment(t *testing.T) {
+	res, err := Normality(NormalityOptions{
+		Scale: testScale, Runs: 8, Seed: 1,
+		Suite: subset(t, "astar", "lbm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.SamplesOnce) != 8 || len(row.SamplesRerand) != 8 {
+			t.Fatalf("%s: wrong sample counts", row.Benchmark)
+		}
+		if len(row.QQOnce) != 8 {
+			t.Fatalf("%s: QQ data missing", row.Benchmark)
+		}
+		if math.IsNaN(row.SWOnce) || math.IsNaN(row.SWRerand) {
+			t.Fatalf("%s: NaN p-values", row.Benchmark)
+		}
+	}
+	tbl := res.Table()
+	for _, want := range []string{"astar", "lbm", "Shapiro-Wilk"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	if !strings.Contains(res.QQFigure("astar"), "theoretical") {
+		t.Error("QQ figure malformed")
+	}
+	if !strings.Contains(res.QQFigure("nope"), "unknown") {
+		t.Error("QQ figure should reject unknown benchmarks")
+	}
+	if !strings.Contains(res.Summary(), "non-normal") {
+		t.Error("summary malformed")
+	}
+}
+
+func TestOverheadExperiment(t *testing.T) {
+	res, err := Overhead(OverheadOptions{
+		Scale: testScale, Runs: 6, Seed: 1,
+		Suite: subset(t, "perlbench", "lbm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(res.Configs) != 3 {
+		t.Fatalf("rows=%d configs=%d", len(res.Rows), len(res.Configs))
+	}
+	if res.Configs[2] != "code.heap.stack" {
+		t.Fatalf("config label %q", res.Configs[2])
+	}
+	// perlbench (many functions) must show clearly more overhead than lbm.
+	var perl, lbm float64
+	for _, row := range res.Rows {
+		if row.Benchmark == "perlbench" {
+			perl = row.Overhead[2]
+		} else {
+			lbm = row.Overhead[2]
+		}
+	}
+	if perl <= lbm {
+		t.Errorf("perlbench overhead (%.1f%%) not above lbm (%.1f%%)", perl*100, lbm*100)
+	}
+	if !strings.Contains(res.Figure(), "median overhead") {
+		t.Error("figure missing median line")
+	}
+	if m := res.MedianOverhead(); math.IsNaN(m) {
+		t.Error("median is NaN")
+	}
+}
+
+func TestSpeedupExperiment(t *testing.T) {
+	res, err := Speedup(SpeedupOptions{
+		Scale: testScale, Runs: 6, Seed: 1,
+		Suite: subset(t, "gromacs", "libquantum", "sjeng"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SpeedupO2 <= 0 || row.SpeedupO3 <= 0 {
+			t.Errorf("%s: nonpositive speedups", row.Benchmark)
+		}
+	}
+	if res.ANOVAO2.DFError != 2 { // 3 subjects, 2 treatments
+		t.Errorf("ANOVA df wrong: %v", res.ANOVAO2.DFError)
+	}
+	if !strings.Contains(res.Figure(), "O2/O1") || !strings.Contains(res.ANOVATable(), "ANOVA") {
+		t.Error("speedup output malformed")
+	}
+}
+
+func TestLinkOrderExperiment(t *testing.T) {
+	res, err := LinkOrder(LinkOrderOptions{
+		Scale: testScale, Orders: 6, Runs: 2, Seed: 1,
+		Suite: subset(t, "gobmk"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.Worst < row.Best {
+		t.Fatal("worst faster than best")
+	}
+	if row.MaxDegradation < 0 {
+		t.Fatal("negative degradation")
+	}
+	if !strings.Contains(res.Table(), "worst/best") {
+		t.Error("table malformed")
+	}
+}
+
+func TestEnvSizeExperiment(t *testing.T) {
+	res, err := EnvSize(EnvSizeOptions{
+		Scale: testScale, Runs: 2, Seed: 1,
+		EnvSizes: []uint64{0, 2048},
+		Suite:    subset(t, "sjeng"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows[0].Seconds) != 2 {
+		t.Fatalf("points: %d", len(res.Rows[0].Seconds))
+	}
+	if !strings.Contains(res.Table(), "sjeng") {
+		t.Error("table malformed")
+	}
+}
+
+func TestNISTExperiment(t *testing.T) {
+	res, err := NIST(NISTOptions{Values: 6000, Seed: 3, ShuffleN: []int{1, 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lrand48, DieHard, segregated, shuffle(1), shuffle(256).
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	passCount := func(i int) int {
+		n := 0
+		for _, r := range res.Rows[i].Results {
+			if r.Pass() {
+				n++
+			}
+		}
+		return n
+	}
+	// The shape that matters: the deep shuffle passes more tests than the
+	// raw base allocator.
+	if passCount(4) <= passCount(2) {
+		t.Errorf("shuffle(256) passes %d tests, base %d — randomization invisible",
+			passCount(4), passCount(2))
+	}
+	if !strings.Contains(res.Table(), "lrand48") {
+		t.Error("table malformed")
+	}
+}
+
+func TestSamplesLengthAndVariation(t *testing.T) {
+	b, _ := spec.ByName("namd")
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cc.Samples(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 10 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	if stats.StdDev(s) == 0 {
+		t.Fatal("no run-to-run variation")
+	}
+}
+
+func TestPhasesExperiment(t *testing.T) {
+	r, err := Phases(PhasesOptions{Scale: 0.15, Runs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PhaseCount < 2 {
+		t.Fatalf("phase detector found %d phases in the phased program", r.PhaseCount)
+	}
+	if math.IsNaN(r.SWOnce) || math.IsNaN(r.SWRerand) {
+		t.Fatal("NaN normality p-values")
+	}
+	if !strings.Contains(r.Table(), "Phase behavior") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestAdaptiveExperiment(t *testing.T) {
+	r, err := Adaptive(AdaptiveOptions{Scale: 0.15, Runs: 5, Seed: 5, Interval: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d policies", len(r.Rows))
+	}
+	if r.Rows[0].Policy != "one-time" || r.Rows[2].Policy != "adaptive" {
+		t.Fatalf("policy order wrong: %+v", r.Rows)
+	}
+	if r.Rows[0].Rerands != 0 {
+		t.Fatal("one-time policy re-randomized")
+	}
+	if r.Rows[1].Rerands == 0 {
+		t.Fatal("fixed policy never re-randomized")
+	}
+	if !strings.Contains(r.Table(), "policy") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestIntervalAblationSmoke(t *testing.T) {
+	r, err := RerandInterval(IntervalAblationOptions{
+		Scale: 0.15, Runs: 6, Seed: 5,
+		Intervals: []uint64{0, 50_000, 10_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	if r.Rows[0].PeriodsPerRun != 1 {
+		t.Fatal("one-time row should report 1 period")
+	}
+	if r.Rows[2].PeriodsPerRun <= r.Rows[1].PeriodsPerRun {
+		t.Fatal("smaller interval should give more periods")
+	}
+	if !strings.Contains(r.Table(), "periods/run") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestShuffleDepthSmoke(t *testing.T) {
+	r, err := ShuffleDepth(ShuffleDepthOptions{
+		Scale: 0.15, Runs: 4, Seed: 5, Depths: []int{1, 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 depth rows + tlsf + diehard.
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Label != "diehard" {
+		t.Fatalf("last row %q, want diehard", last.Label)
+	}
+	// DieHard's no-reuse policy must be the costliest heap configuration.
+	for _, row := range r.Rows[:len(r.Rows)-1] {
+		if row.Overhead >= last.Overhead {
+			t.Fatalf("diehard (%.1f%%) not the most expensive (vs %s %.1f%%)",
+				last.Overhead*100, row.Label, row.Overhead*100)
+		}
+	}
+}
+
+func TestCSVAndSVGWriters(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Normality(NormalityOptions{
+		Scale: 0.1, Runs: 6, Seed: 1, Suite: subset(t, "astar"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSVG(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1_normality.csv", "fig5_qq.csv", "fig5_qq_astar.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	// SVG must be well-formed enough to parse as XML.
+	raw, _ := os.ReadFile(filepath.Join(dir, "fig5_qq_astar.svg"))
+	var doc interface{}
+	if err := xml.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("SVG not valid XML: %v", err)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	r, err := Overhead(OverheadOptions{
+		Scale: 0.1, Runs: 3, Seed: 1, Suite: subset(t, "astar", "lbm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := r.Chart()
+	if !strings.Contains(chart, "astar") || !strings.Contains(chart, "#") {
+		t.Fatalf("chart malformed:\n%s", chart)
+	}
+}
+
+func TestDeploymentExperiment(t *testing.T) {
+	r, err := Deployment(DeploymentOptions{
+		Scale: 0.2, Samples: 12, Seed: 3, Suite: subset(t, "gobmk"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.NativeWorst < row.NativeP95 || row.NativeP95 < row.NativeMedian {
+		t.Fatal("native quantiles out of order")
+	}
+	if row.StabWorst < row.StabP95 || row.StabP95 < row.StabMedian {
+		t.Fatal("stabilized quantiles out of order")
+	}
+	// The core claim: re-randomization tightens the worst-case tail.
+	nativeTail := row.NativeWorst / row.NativeMedian
+	stabTail := row.StabWorst / row.StabMedian
+	if stabTail >= nativeTail {
+		t.Logf("note: tail not tightened at this tiny scale (%.3f vs %.3f)", stabTail, nativeTail)
+	}
+	if !strings.Contains(r.Table(), "worst/med") {
+		t.Fatal("table malformed")
+	}
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// OverheadConfigs are the randomization combinations of Figure 6, in its
+// legend order.
+func OverheadConfigs() []core.Options {
+	return []core.Options{
+		{Code: true, Rerandomize: true},
+		{Code: true, Stack: true, Rerandomize: true},
+		{Code: true, Heap: true, Stack: true, Rerandomize: true},
+	}
+}
+
+// OverheadRow is one benchmark's bar group in Figure 6.
+type OverheadRow struct {
+	Benchmark string
+	// Overhead[i] is mean(stabilized)/mean(baseline) - 1 for
+	// OverheadConfigs()[i]; the baseline is native execution with
+	// randomized link order, exactly as in the paper.
+	Overhead []float64
+}
+
+// OverheadResult is the Figure 6 reproduction.
+type OverheadResult struct {
+	Rows    []OverheadRow
+	Configs []string
+	Runs    int
+}
+
+// OverheadOptions configures the experiment.
+type OverheadOptions struct {
+	Scale    float64
+	Runs     int
+	Seed     uint64
+	Interval uint64
+	Suite    []spec.Benchmark
+}
+
+func (o *OverheadOptions) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 30
+	}
+	if o.Interval == 0 {
+		o.Interval = 25_000
+	}
+	if o.Suite == nil {
+		o.Suite = spec.Suite()
+	}
+}
+
+// Overhead measures STABILIZER's cost per randomization combination against
+// the randomized-link-order baseline (Figure 6).
+func Overhead(opts OverheadOptions) (*OverheadResult, error) {
+	opts.defaults()
+	configs := OverheadConfigs()
+	res := &OverheadResult{Runs: opts.Runs}
+	for _, c := range configs {
+		res.Configs = append(res.Configs, c.EnabledString())
+	}
+	for bi, b := range opts.Suite {
+		base, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, RandomLinkOrder: true})
+		if err != nil {
+			return nil, err
+		}
+		baseSamples, err := base.Samples(opts.Runs, opts.Seed+uint64(bi)*10_000)
+		if err != nil {
+			return nil, err
+		}
+		baseMean := stats.Mean(baseSamples)
+
+		row := OverheadRow{Benchmark: b.Name}
+		for ci, cfg := range configs {
+			cfg.Interval = opts.Interval
+			cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &cfg})
+			if err != nil {
+				return nil, err
+			}
+			samples, err := cc.Samples(opts.Runs, opts.Seed+uint64(bi)*10_000+uint64(ci+1)*1000)
+			if err != nil {
+				return nil, err
+			}
+			row.Overhead = append(row.Overhead, stats.Mean(samples)/baseMean-1)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// MedianOverhead returns the median across benchmarks for the full
+// (code.heap.stack) configuration — the paper's headline "<7% median".
+func (r *OverheadResult) MedianOverhead() float64 {
+	last := len(r.Configs) - 1
+	vals := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		vals = append(vals, row.Overhead[last])
+	}
+	return stats.Median(vals)
+}
+
+// Figure renders Figure 6 as a table, sorted by full-configuration overhead
+// as the paper's bar chart is.
+func (r *OverheadResult) Figure() string {
+	rows := append([]OverheadRow(nil), r.Rows...)
+	last := len(r.Configs) - 1
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Overhead[last] < rows[j].Overhead[last] })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6: overhead of STABILIZER vs randomized link order (%d runs)\n", r.Runs)
+	fmt.Fprintf(&sb, "%-12s", "Benchmark")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&sb, " %16s", c)
+	}
+	sb.WriteString("\n")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-12s", row.Benchmark)
+		for _, o := range row.Overhead {
+			fmt.Fprintf(&sb, " %+15.1f%%", o*100)
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "median overhead (all randomizations): %+.1f%%\n", r.MedianOverhead()*100)
+	return sb.String()
+}

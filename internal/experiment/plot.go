@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// barChart renders labeled horizontal bars, the terminal rendition of the
+// paper's bar figures. Negative values extend left of the axis.
+func barChart(title string, labels []string, values []float64, format func(float64) string, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	maxAbs := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteString("\n")
+	}
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		bar := strings.Repeat("#", n)
+		if v < 0 {
+			bar = strings.Repeat("-", n)
+		}
+		fmt.Fprintf(&sb, "%-*s |%-*s %s\n", maxLabel, labels[i], width, bar, format(v))
+	}
+	return sb.String()
+}
+
+// Chart renders Figure 6 as a bar chart of the full-randomization overhead.
+func (r *OverheadResult) Chart() string {
+	rows := append([]OverheadRow(nil), r.Rows...)
+	last := len(r.Configs) - 1
+	// Sort ascending, as the paper's figure is.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].Overhead[last] < rows[j-1].Overhead[last]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, row := range rows {
+		labels[i] = row.Benchmark
+		values[i] = row.Overhead[last]
+	}
+	return barChart(
+		fmt.Sprintf("Figure 6 (bars): %s overhead vs randomized link order", r.Configs[last]),
+		labels, values,
+		func(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }, 48)
+}
+
+// Chart renders Figure 7 as two bar groups (speedup minus 1, so bars grow
+// from the 1.0 line as in the paper).
+func (r *SpeedupResult) Chart() string {
+	labels := make([]string, len(r.Rows))
+	o2 := make([]float64, len(r.Rows))
+	o3 := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = row.Benchmark
+		o2[i] = row.SpeedupO2 - 1
+		o3[i] = row.SpeedupO3 - 1
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }
+	return barChart("Figure 7 (bars): -O2 over -O1 (speedup-1)", labels, o2, pct, 48) +
+		"\n" +
+		barChart("Figure 7 (bars): -O3 over -O2 (speedup-1)", labels, o3, pct, 48)
+}
+
+// Chart renders the link-order spread as bars of worst/best degradation.
+func (r *LinkOrderResult) Chart() string {
+	rows := append([]LinkOrderRow(nil), r.Rows...)
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].MaxDegradation > rows[j-1].MaxDegradation; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	labels := make([]string, len(rows))
+	values := make([]float64, len(rows))
+	for i, row := range rows {
+		labels[i] = row.Benchmark
+		values[i] = row.MaxDegradation
+	}
+	return barChart("Link-order bias (bars): worst/best - 1 across random orders",
+		labels, values,
+		func(v float64) string { return fmt.Sprintf("%+.1f%%", v*100) }, 48)
+}

@@ -1,0 +1,182 @@
+// Package experiment orchestrates the paper's evaluation: it compiles
+// benchmarks at the requested optimization levels, runs them repeatedly
+// under native or STABILIZER runtimes, collects execution-time samples, and
+// formats the tables and figures of §5 and §6.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/spec"
+)
+
+// Config describes one experimental cell: how a benchmark is built and run.
+type Config struct {
+	// Scale sizes the workload (1.0 = full evaluation size).
+	Scale float64
+	// Level is the optimization level (default O2, the paper's baseline).
+	Level compiler.OptLevel
+	// Stabilizer, if non-nil, runs the program under the STABILIZER
+	// runtime with these options (the per-run seed overrides Seed).
+	Stabilizer *core.Options
+	// RandomLinkOrder permutes the link order per run (the Figure 6
+	// baseline); otherwise the identity order is used.
+	RandomLinkOrder bool
+	// EnvSize is the simulated environment block size in bytes.
+	EnvSize uint64
+	// Noise is the relative standard deviation of the multiplicative
+	// system-noise term applied to cycle counts (OS jitter on a real
+	// machine; the simulator is otherwise deterministic). Negative
+	// disables it; zero selects DefaultNoise.
+	Noise float64
+	// MaxSteps caps retired instructions per run (safety net).
+	MaxSteps uint64
+	// Profile enables per-function cycle attribution in RunResult.Profile.
+	Profile bool
+}
+
+// DefaultNoise is the default relative sigma of run-to-run system noise.
+const DefaultNoise = 0.0025
+
+// Compiled is a benchmark compiled under one configuration, ready to run
+// many times with different seeds.
+type Compiled struct {
+	Bench  spec.Benchmark
+	Module *ir.Module
+	Cfg    Config
+}
+
+// CompileBench builds and compiles the benchmark once for the configuration.
+func CompileBench(b spec.Benchmark, cfg Config) (*Compiled, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	src := b.Build(cfg.Scale)
+	m, err := compiler.Compile(src, compiler.Options{
+		Level:     cfg.Level,
+		Stabilize: cfg.Stabilizer != nil,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: compile %s: %w", b.Name, err)
+	}
+	return &Compiled{Bench: b, Module: m, Cfg: cfg}, nil
+}
+
+// RunResult is one execution's measurements.
+type RunResult struct {
+	Seconds      float64 // noisy simulated wall time (the measured quantity)
+	Cycles       uint64  // raw cycle count before noise
+	Instructions uint64
+	Output       uint64
+	// Runtime activity (zero for native runs).
+	Rerands          uint64
+	Relocations      uint64
+	AdaptiveTriggers uint64
+	// Counters is the machine's perf-stat snapshot at program exit.
+	Counters machine.Counters
+	// Profile is per-function exclusive cycles (nil unless Config.Profile).
+	Profile []uint64
+}
+
+// Run executes the compiled benchmark once with the given seed. The seed
+// determines every random choice of the run: link order (if randomized),
+// layout randomization, and the noise draw.
+func (c *Compiled) Run(seed uint64) (RunResult, error) {
+	r := rng.NewMarsaglia(seed ^ 0x5ab1112e)
+	as := mem.NewAddressSpaceEnv(c.Cfg.EnvSize)
+	// mmap ASLR is on for every run, native or stabilized, as on a stock
+	// Linux kernel: large allocations land at a fresh random base each run.
+	aslr := r.Split()
+	as.SetASLR(aslr.Intn)
+
+	order := compiler.DefaultOrder(len(c.Module.Funcs))
+	if c.Cfg.RandomLinkOrder {
+		order = compiler.RandomOrder(len(c.Module.Funcs), r.Split())
+	}
+	img, err := compiler.Link(c.Module, order, as)
+	if err != nil {
+		return RunResult{}, err
+	}
+	mach := machine.New(machine.DefaultConfig())
+	// Every run gets a fresh physical page assignment, as on a real OS.
+	mach.SetPhysicalSeed(r.Next64())
+
+	var rt interp.Runtime
+	var st *core.Stabilizer
+	if c.Cfg.Stabilizer != nil {
+		opts := *c.Cfg.Stabilizer
+		opts.Seed = r.Next64()
+		var err error
+		st, err = core.New(c.Module, mach, as, img.FuncAddrs, img.GlobalAddrs, opts)
+		if err != nil {
+			return RunResult{}, err
+		}
+		rt = st
+	} else {
+		// Native runs get the fine-grained coalescing allocator in the role
+		// of libc malloc; STABILIZER's power-of-two base then shows the
+		// size-class waste the paper attributes cactusADM's overhead to.
+		rt = &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewTLSF(as, 1<<22),
+			Mach:        mach,
+		}
+	}
+
+	res, err := interp.Run(c.Module, interp.Options{
+		Machine:  mach,
+		Runtime:  rt,
+		MaxSteps: c.Cfg.MaxSteps,
+		Profile:  c.Cfg.Profile,
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("experiment: run %s: %w", c.Bench.Name, err)
+	}
+
+	noise := c.Cfg.Noise
+	if noise == 0 {
+		noise = DefaultNoise
+	}
+	seconds := res.Seconds
+	if noise > 0 {
+		seconds *= 1 + noise*r.NormFloat64()
+	}
+	out := RunResult{
+		Seconds:      seconds,
+		Cycles:       res.Cycles,
+		Instructions: res.Instructions,
+		Output:       res.Output,
+		Counters:     mach.Snapshot(),
+		Profile:      res.Profile,
+	}
+	if st != nil {
+		out.Rerands = st.Stats.Rerands
+		out.Relocations = st.Stats.Relocations
+		out.AdaptiveTriggers = st.Stats.AdaptiveTriggers
+	}
+	return out, nil
+}
+
+// Samples runs the benchmark `runs` times with seeds seedBase, seedBase+1, …
+// and returns the measured times in seconds.
+func (c *Compiled) Samples(runs int, seedBase uint64) ([]float64, error) {
+	out := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		r, err := c.Run(seedBase + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.Seconds
+	}
+	return out, nil
+}

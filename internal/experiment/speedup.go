@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+// SpeedupRow is one benchmark's pair of bars in Figure 7.
+type SpeedupRow struct {
+	Benchmark string
+	// SpeedupO2 = time(-O1)/time(-O2); SpeedupO3 = time(-O2)/time(-O3).
+	// Values above 1 mean the higher level helped.
+	SpeedupO2, SpeedupO3 float64
+	// Significance of each comparison: the t-test for benchmarks whose
+	// stabilized times are normal, the Wilcoxon signed-rank test otherwise
+	// (§6), at alpha = 0.05.
+	SignificantO2, SignificantO3 bool
+	PO2, PO3                     float64
+	// NormalO1..O3 report the Shapiro-Wilk screening used to choose the
+	// test.
+	NormalO1, NormalO2, NormalO3 bool
+
+	meansByLevel [3]float64 // O1, O2, O3
+}
+
+// SpeedupResult reproduces Figure 7 and feeds the §6.1 ANOVA.
+type SpeedupResult struct {
+	Rows []SpeedupRow
+	Runs int
+
+	// ANOVAO2 tests -O2 vs -O1 across all benchmarks; ANOVAO3 tests -O3 vs
+	// -O2 (§6.1's two one-way within-subjects analyses).
+	ANOVAO2, ANOVAO3 stats.ANOVAResult
+	// TwoWayO2/TwoWayO3 are the full benchmark × treatment partitions with
+	// replication — "the fraction due to differences between benchmarks,
+	// the impact of optimizations, interactions between the independent
+	// factors, and random variation between runs" (§6.1).
+	TwoWayO2, TwoWayO3 stats.TwoWayANOVAResult
+}
+
+// SpeedupOptions configures the experiment.
+type SpeedupOptions struct {
+	Scale    float64
+	Runs     int
+	Seed     uint64
+	Interval uint64
+	Suite    []spec.Benchmark
+}
+
+func (o *SpeedupOptions) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 30
+	}
+	if o.Interval == 0 {
+		o.Interval = 25_000
+	}
+	if o.Suite == nil {
+		o.Suite = spec.Suite()
+	}
+}
+
+// Speedup runs every benchmark at -O1, -O2, and -O3 under full STABILIZER
+// randomization and evaluates the optimization levels (Figure 7 and §6.1).
+func Speedup(opts SpeedupOptions) (*SpeedupResult, error) {
+	opts.defaults()
+	levels := []compiler.OptLevel{compiler.O1, compiler.O2, compiler.O3}
+	res := &SpeedupResult{Runs: opts.Runs}
+
+	anovaO2 := make([][]float64, 0, len(opts.Suite))
+	anovaO3 := make([][]float64, 0, len(opts.Suite))
+	twoWayO2 := make([][][]float64, 0, len(opts.Suite))
+	twoWayO3 := make([][][]float64, 0, len(opts.Suite))
+
+	for bi, b := range opts.Suite {
+		samples := make([][]float64, len(levels))
+		for li, level := range levels {
+			st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
+			cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: level, Stabilizer: &st})
+			if err != nil {
+				return nil, err
+			}
+			s, err := cc.Samples(opts.Runs, opts.Seed+uint64(bi)*100_000+uint64(li)*1000)
+			if err != nil {
+				return nil, err
+			}
+			samples[li] = s
+		}
+
+		normal := [3]bool{}
+		for li := range samples {
+			normal[li] = stats.ShapiroWilk(samples[li]).P >= 0.05
+		}
+		// Choose the test per comparison: parametric when both sides are
+		// normal, Wilcoxon otherwise (§6).
+		test := func(a, b []float64, bothNormal bool) stats.TestResult {
+			if bothNormal {
+				return stats.WelchT(a, b)
+			}
+			return stats.WilcoxonSignedRankExact(a, b)
+		}
+		tO2 := test(samples[0], samples[1], normal[0] && normal[1])
+		tO3 := test(samples[1], samples[2], normal[1] && normal[2])
+
+		m1, m2, m3 := stats.Mean(samples[0]), stats.Mean(samples[1]), stats.Mean(samples[2])
+		row := SpeedupRow{
+			Benchmark:     b.Name,
+			SpeedupO2:     m1 / m2,
+			SpeedupO3:     m2 / m3,
+			SignificantO2: tO2.Significant(0.05),
+			SignificantO3: tO3.Significant(0.05),
+			PO2:           tO2.P,
+			PO3:           tO3.P,
+			NormalO1:      normal[0],
+			NormalO2:      normal[1],
+			NormalO3:      normal[2],
+			meansByLevel:  [3]float64{m1, m2, m3},
+		}
+		res.Rows = append(res.Rows, row)
+
+		anovaO2 = append(anovaO2, []float64{m1, m2})
+		anovaO3 = append(anovaO3, []float64{m2, m3})
+		// Normalize each benchmark's replicates by its own -O1 mean so the
+		// two-way partition is not swamped by absolute-scale differences
+		// between benchmarks.
+		norm := func(xs []float64, by float64) []float64 {
+			out := make([]float64, len(xs))
+			for i, x := range xs {
+				out[i] = x / by
+			}
+			return out
+		}
+		twoWayO2 = append(twoWayO2, [][]float64{norm(samples[0], m1), norm(samples[1], m1)})
+		twoWayO3 = append(twoWayO3, [][]float64{norm(samples[1], m2), norm(samples[2], m2)})
+	}
+
+	res.ANOVAO2 = stats.RepeatedMeasuresANOVA(anovaO2)
+	res.ANOVAO3 = stats.RepeatedMeasuresANOVA(anovaO3)
+	res.TwoWayO2 = stats.TwoWayANOVA(twoWayO2)
+	res.TwoWayO3 = stats.TwoWayANOVA(twoWayO3)
+	return res, nil
+}
+
+// Figure renders the Figure 7 reproduction.
+func (r *SpeedupResult) Figure() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7: speedup of -O2 over -O1 and -O3 over -O2 under STABILIZER (%d runs)\n", r.Runs)
+	fmt.Fprintf(&sb, "%-12s %12s %6s %9s | %12s %6s %9s\n",
+		"Benchmark", "O2/O1", "sig", "p", "O3/O2", "sig", "p")
+	sigO2, sigO3 := 0, 0
+	for _, row := range r.Rows {
+		mark := func(sig bool, speedup float64) string {
+			s := " "
+			if sig {
+				s = "S"
+			}
+			if speedup < 1 {
+				s += "*" // the paper's asterisk: optimization slowed the benchmark
+			} else {
+				s += " "
+			}
+			return s
+		}
+		fmt.Fprintf(&sb, "%-12s %12.3f %6s %9.4f | %12.3f %6s %9.4f\n",
+			row.Benchmark,
+			row.SpeedupO2, mark(row.SignificantO2, row.SpeedupO2), row.PO2,
+			row.SpeedupO3, mark(row.SignificantO3, row.SpeedupO3), row.PO3)
+		if row.SignificantO2 {
+			sigO2++
+		}
+		if row.SignificantO3 {
+			sigO3++
+		}
+	}
+	fmt.Fprintf(&sb, "significant at 95%%: -O2 vs -O1 for %d of %d, -O3 vs -O2 for %d of %d\n",
+		sigO2, len(r.Rows), sigO3, len(r.Rows))
+	fmt.Fprintf(&sb, "(S = statistically significant, * = slowdown)\n")
+	return sb.String()
+}
+
+// ANOVATable renders the §6.1 analysis.
+func (r *SpeedupResult) ANOVATable() string {
+	var sb strings.Builder
+	sb.WriteString("ANOVA (one-way, within subjects; subjects = benchmarks)\n")
+	report := func(name string, a stats.ANOVAResult) {
+		fmt.Fprintf(&sb, "%-12s F(%g, %g) = %-8.3f p = %.4f -> ", name, a.DFTreatment, a.DFError, a.FValue, a.P)
+		switch {
+		case a.P < 0.05:
+			sb.WriteString("significant at 95%\n")
+		case a.P < 0.10:
+			sb.WriteString("significant at 90% but not 95%\n")
+		default:
+			sb.WriteString("not significant (indistinguishable from noise)\n")
+		}
+	}
+	report("-O2 vs -O1:", r.ANOVAO2)
+	report("-O3 vs -O2:", r.ANOVAO3)
+	sb.WriteString("\nVariance partition (two-way with replication, per-benchmark normalized):\n")
+	partition := func(name string, a stats.TwoWayANOVAResult) {
+		total := a.SSA + a.SSB + a.SSInteraction + a.SSError
+		if total == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%-12s benchmarks %4.1f%%  treatment %4.1f%% (p=%.3g)  interaction %4.1f%% (p=%.3g)  runs %4.1f%%\n",
+			name,
+			a.SSA/total*100, a.SSB/total*100, a.PB,
+			a.SSInteraction/total*100, a.PInteraction,
+			a.SSError/total*100)
+	}
+	partition("-O2 vs -O1:", r.TwoWayO2)
+	partition("-O3 vs -O2:", r.TwoWayO3)
+	return sb.String()
+}

@@ -1,0 +1,235 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// svgCanvas accumulates SVG elements with a y-axis pointing up in data
+// space, mapped onto a fixed-size canvas with margins.
+type svgCanvas struct {
+	w, h          float64
+	marginL       float64
+	marginB       float64
+	marginT       float64
+	marginR       float64
+	xmin, xmax    float64
+	ymin, ymax    float64
+	body          strings.Builder
+	title, xl, yl string
+}
+
+func newSVG(title, xlabel, ylabel string, xmin, xmax, ymin, ymax float64) *svgCanvas {
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return &svgCanvas{
+		w: 720, h: 480, marginL: 70, marginB: 60, marginT: 40, marginR: 20,
+		xmin: xmin, xmax: xmax, ymin: ymin, ymax: ymax,
+		title: title, xl: xlabel, yl: ylabel,
+	}
+}
+
+func (c *svgCanvas) x(v float64) float64 {
+	return c.marginL + (v-c.xmin)/(c.xmax-c.xmin)*(c.w-c.marginL-c.marginR)
+}
+
+func (c *svgCanvas) y(v float64) float64 {
+	return c.h - c.marginB - (v-c.ymin)/(c.ymax-c.ymin)*(c.h-c.marginB-c.marginT)
+}
+
+func (c *svgCanvas) circle(x, y, r float64, fill string) {
+	fmt.Fprintf(&c.body, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n",
+		c.x(x), c.y(y), r, fill)
+}
+
+func (c *svgCanvas) line(x1, y1, x2, y2 float64, stroke string, width float64, dash string) {
+	d := ""
+	if dash != "" {
+		d = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+	}
+	fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+		c.x(x1), c.y(y1), c.x(x2), c.y(y2), stroke, width, d)
+}
+
+func (c *svgCanvas) rect(x, y, wData, hData float64, fill string) {
+	px, py := c.x(x), c.y(y+hData)
+	pw := c.x(x+wData) - c.x(x)
+	ph := c.y(y) - c.y(y+hData)
+	fmt.Fprintf(&c.body, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		px, py, pw, ph, fill)
+}
+
+func (c *svgCanvas) textAt(px, py float64, size float64, anchor, s string) {
+	fmt.Fprintf(&c.body, `<text x="%.1f" y="%.1f" font-size="%.0f" font-family="sans-serif" text-anchor="%s">%s</text>`+"\n",
+		px, py, size, anchor, svgEscape(s))
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// render assembles the document with axes and labels.
+func (c *svgCanvas) render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.w, c.h, c.w, c.h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		c.marginL, c.h-c.marginB, c.w-c.marginR, c.h-c.marginB)
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		c.marginL, c.marginT, c.marginL, c.h-c.marginB)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := c.xmin + (c.xmax-c.xmin)*float64(i)/4
+		fy := c.ymin + (c.ymax-c.ymin)*float64(i)/4
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			c.x(fx), c.h-c.marginB+16, trimNum(fx))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" text-anchor="end">%s</text>`+"\n",
+			c.marginL-6, c.y(fy)+4, trimNum(fy))
+	}
+	// Labels and title.
+	fmt.Fprintf(&sb, `<text x="%.1f" y="20" font-size="15" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		c.w/2, svgEscape(c.title))
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+		c.w/2, c.h-14, svgEscape(c.xl))
+	fmt.Fprintf(&sb, `<text x="16" y="%.1f" font-size="12" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		c.h/2, c.h/2, svgEscape(c.yl))
+	sb.WriteString(c.body.String())
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func trimNum(v float64) string {
+	if math.Abs(v) >= 100 || v == math.Trunc(v) {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func writeSVGFile(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".svg"), []byte(content), 0o644)
+}
+
+// WriteSVG renders each benchmark's Figure 5 QQ panel into dir.
+func (r *NormalityResult) WriteSVG(dir string) error {
+	for _, row := range r.Rows {
+		lo, hi := -3.0, 3.0
+		for _, p := range row.QQOnce {
+			lo = math.Min(lo, math.Min(p.Theoretical, p.Observed))
+			hi = math.Max(hi, math.Max(p.Theoretical, p.Observed))
+		}
+		for _, p := range row.QQRerand {
+			lo = math.Min(lo, p.Observed)
+			hi = math.Max(hi, p.Observed)
+		}
+		c := newSVG("Figure 5: "+row.Benchmark+" (QQ, normalized)",
+			"normal quantile", "observed quantile", lo, hi, lo, hi)
+		c.line(lo, lo, hi, hi, "#999999", 1, "4,3")
+		for _, p := range row.QQOnce {
+			c.circle(p.Theoretical, p.Observed, 3, "#d62728")
+		}
+		for _, p := range row.QQRerand {
+			c.circle(p.Theoretical, p.Observed, 3, "#1f77b4")
+		}
+		c.textAt(c.w-160, 50, 12, "start", "red: one-time")
+		c.textAt(c.w-160, 66, 12, "start", "blue: re-randomized")
+		if err := writeSVGFile(dir, "fig5_qq_"+row.Benchmark, c.render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSVG renders Figure 6 as horizontal bars into dir.
+func (r *OverheadResult) WriteSVG(dir string) error {
+	last := len(r.Configs) - 1
+	rows := append([]OverheadRow(nil), r.Rows...)
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].Overhead[last] < rows[j-1].Overhead[last]; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	maxV := 0.0
+	for _, row := range rows {
+		maxV = math.Max(maxV, row.Overhead[last])
+	}
+	c := newSVG("Figure 6: overhead of "+r.Configs[last]+" vs randomized link order",
+		"overhead", "", 0, maxV*1.1, 0, float64(len(rows)))
+	for i, row := range rows {
+		y := float64(len(rows)-1-i) + 0.2
+		c.rect(0, y, row.Overhead[last], 0.6, "#1f77b4")
+		c.textAt(c.marginL-4, c.y(y+0.3)+4, 11, "end", row.Benchmark)
+		c.textAt(c.x(row.Overhead[last])+4, c.y(y+0.3)+4, 11, "start",
+			fmt.Sprintf("%+.1f%%", row.Overhead[last]*100))
+	}
+	return writeSVGFile(dir, "fig6_overhead", c.render())
+}
+
+// WriteSVG renders Figure 7 into dir: paired bars per benchmark around the
+// 1.0 line.
+func (r *SpeedupResult) WriteSVG(dir string) error {
+	lo, hi := 0.95, 1.05
+	for _, row := range r.Rows {
+		lo = math.Min(lo, math.Min(row.SpeedupO2, row.SpeedupO3))
+		hi = math.Max(hi, math.Max(row.SpeedupO2, row.SpeedupO3))
+	}
+	c := newSVG("Figure 7: speedup under STABILIZER", "", "speedup",
+		0, float64(len(r.Rows)), lo-0.02, hi+0.02)
+	c.line(0, 1, float64(len(r.Rows)), 1, "#999999", 1, "4,3")
+	for i, row := range r.Rows {
+		x := float64(i)
+		colO2, colO3 := "#bbbbbb", "#dddddd"
+		if row.SignificantO2 {
+			colO2 = "#1f77b4"
+		}
+		if row.SignificantO3 {
+			colO3 = "#d62728"
+		}
+		c.rect(x+0.12, math.Min(1, row.SpeedupO2), 0.32, math.Abs(row.SpeedupO2-1), colO2)
+		c.rect(x+0.54, math.Min(1, row.SpeedupO3), 0.32, math.Abs(row.SpeedupO3-1), colO3)
+		px := c.x(x + 0.5)
+		fmt.Fprintf(&c.body,
+			`<text x="%.1f" y="%.1f" font-size="10" font-family="sans-serif" text-anchor="end" transform="rotate(-60 %.1f %.1f)">%s</text>`+"\n",
+			px, c.h-c.marginB+14, px, c.h-c.marginB+14, svgEscape(row.Benchmark))
+	}
+	c.textAt(c.w-220, 50, 12, "start", "blue: O2/O1 (filled = significant)")
+	c.textAt(c.w-220, 66, 12, "start", "red: O3/O2 (filled = significant)")
+	return writeSVGFile(dir, "fig7_speedup", c.render())
+}
+
+// WriteSVG renders the interval ablation as a CV-vs-periods line chart.
+func (r *IntervalAblation) WriteSVG(dir string) error {
+	maxP, maxCV := 1.0, 0.0
+	for _, row := range r.Rows {
+		maxP = math.Max(maxP, row.PeriodsPerRun)
+		maxCV = math.Max(maxCV, row.CV)
+	}
+	c := newSVG("Re-randomization periods vs run-time variation ("+r.Benchmark+")",
+		"randomization periods per run (log2 spacing)", "coefficient of variation",
+		0, math.Log2(maxP)+0.5, 0, maxCV*1.1)
+	var prevX, prevY float64
+	for i, row := range r.Rows {
+		x := 0.0
+		if row.PeriodsPerRun > 1 {
+			x = math.Log2(row.PeriodsPerRun)
+		}
+		c.circle(x, row.CV, 4, "#1f77b4")
+		if i > 0 {
+			c.line(prevX, prevY, x, row.CV, "#1f77b4", 1.5, "")
+		}
+		prevX, prevY = x, row.CV
+	}
+	return writeSVGFile(dir, "e9_interval", c.render())
+}

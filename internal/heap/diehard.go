@@ -1,0 +1,101 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// DieHard is a miniature DieHard-style randomized allocator: per size class
+// it holds a bitmap-managed region sized heapMultiplier times larger than
+// needed, and satisfies each request by probing random slots until a free
+// one is found. Unlike conventional allocators it never prefers
+// recently-freed memory, and its sparse, random placement inflates TLB
+// pressure — the overhead the paper cites as the reason STABILIZER moved to
+// a shuffled segregated heap.
+type DieHard struct {
+	as    *mem.AddressSpace
+	r     *rng.Marsaglia
+	cls   [numClasses]*dieHardClass
+	sizes map[mem.Addr]int
+	large map[mem.Addr]bool
+}
+
+type dieHardClass struct {
+	region mem.Region
+	bitmap []uint64
+	slots  uint64
+	used   uint64
+}
+
+// dieHardSlots is the number of slots per size-class region. With a
+// occupancy cap of 1/2 the allocator stays O(1) in expectation.
+const dieHardSlots = 1 << 14
+
+// NewDieHard returns a DieHard-style allocator drawing from as and taking
+// randomness from r.
+func NewDieHard(as *mem.AddressSpace, r *rng.Marsaglia) *DieHard {
+	return &DieHard{as: as, r: r, sizes: make(map[mem.Addr]int), large: make(map[mem.Addr]bool)}
+}
+
+// Name implements Allocator.
+func (d *DieHard) Name() string { return "diehard" }
+
+func (d *DieHard) class(c int) *dieHardClass {
+	if d.cls[c] == nil {
+		size := classSize(c) * dieHardSlots
+		d.cls[c] = &dieHardClass{
+			region: d.as.Map(size, mem.MapAnywhere),
+			bitmap: make([]uint64, dieHardSlots/64),
+			slots:  dieHardSlots,
+		}
+	}
+	return d.cls[c]
+}
+
+// Alloc implements Allocator by random probing.
+func (d *DieHard) Alloc(size uint64) mem.Addr {
+	c := sizeClass(size)
+	if c >= numClasses {
+		r := d.as.Map(size, mem.MapAnywhere)
+		d.large[r.Base] = true
+		return r.Base
+	}
+	dc := d.class(c)
+	if dc.used*2 >= dc.slots {
+		panic(fmt.Sprintf("heap: diehard class %d over half full (miniature heap; raise dieHardSlots)", c))
+	}
+	for {
+		slot := d.r.Uint64n(dc.slots)
+		w, b := slot/64, slot%64
+		if dc.bitmap[w]&(1<<b) == 0 {
+			dc.bitmap[w] |= 1 << b
+			dc.used++
+			a := dc.region.Base + mem.Addr(slot*classSize(c))
+			d.sizes[a] = c
+			return a
+		}
+	}
+}
+
+// Free implements Allocator.
+func (d *DieHard) Free(addr mem.Addr) {
+	if d.large[addr] {
+		delete(d.large, addr)
+		return
+	}
+	c, ok := d.sizes[addr]
+	if !ok {
+		panic(fmt.Sprintf("heap: diehard free of unknown address %#x", uint64(addr)))
+	}
+	delete(d.sizes, addr)
+	dc := d.cls[c]
+	slot := uint64(addr-dc.region.Base) / classSize(c)
+	w, b := slot/64, slot%64
+	if dc.bitmap[w]&(1<<b) == 0 {
+		panic(fmt.Sprintf("heap: diehard double free at %#x", uint64(addr)))
+	}
+	dc.bitmap[w] &^= 1 << b
+	dc.used--
+}

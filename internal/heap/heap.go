@@ -1,0 +1,136 @@
+// Package heap implements the simulated heap allocators from §3.2 of the
+// paper: a power-of-two size-segregated base allocator, a TLSF (two-level
+// segregated fits) base allocator, a DieHard-style randomized allocator, and
+// STABILIZER's shuffling layer that wraps a base allocator to randomize the
+// addresses it returns.
+//
+// Allocators hand out simulated addresses obtained from a mem.AddressSpace;
+// object contents live in interpreter structures, so allocators only manage
+// address arithmetic and free lists — exactly the part whose policy decides
+// memory layout.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Allocator is a simulated malloc/free pair.
+type Allocator interface {
+	// Alloc returns the simulated address of a new object of the given
+	// size in bytes. Addresses are at least 16-byte aligned.
+	Alloc(size uint64) mem.Addr
+	// Free releases an address previously returned by Alloc. Freeing an
+	// unknown address panics: in this simulation that is always a bug in
+	// the caller, never user error.
+	Free(addr mem.Addr)
+	// Name identifies the allocator in experiment output.
+	Name() string
+}
+
+// MinAlign is the minimum alignment of every allocation.
+const MinAlign = 16
+
+// sizeClass returns the power-of-two size class index for a request:
+// class i holds objects of 2^(i+4) bytes (16, 32, 64, ...).
+func sizeClass(size uint64) int {
+	if size == 0 {
+		size = 1
+	}
+	c := 0
+	s := uint64(MinAlign)
+	for s < size {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// classSize returns the byte size of class c.
+func classSize(c int) uint64 { return MinAlign << c }
+
+const (
+	numClasses = 18 // 16 B .. 2 MiB
+	chunkSize  = 1 << 16
+)
+
+// Segregated is the power-of-two, size-segregated base allocator the paper
+// uses by default. Freed objects go to a per-class LIFO free list and are
+// preferentially reused — the conventional locality-friendly policy that
+// makes heap layout deterministic and history-dependent.
+type Segregated struct {
+	as    *mem.AddressSpace
+	flag  mem.MapFlag
+	free  [numClasses][]mem.Addr
+	curs  [numClasses]mem.Addr // bump cursor within the current chunk
+	lim   [numClasses]mem.Addr
+	sizes map[mem.Addr]int // live object -> class
+	large map[mem.Addr]bool
+}
+
+// NewSegregated returns a segregated allocator drawing from as.
+func NewSegregated(as *mem.AddressSpace) *Segregated {
+	return NewSegregatedAt(as, mem.MapAnywhere)
+}
+
+// NewSegregatedAt returns a segregated allocator whose chunks are mapped
+// with the given placement flag. The STABILIZER code heap uses MapLow32 so
+// relocated functions stay reachable by 32-bit jumps (§3.5).
+func NewSegregatedAt(as *mem.AddressSpace, flag mem.MapFlag) *Segregated {
+	return &Segregated{as: as, flag: flag, sizes: make(map[mem.Addr]int), large: make(map[mem.Addr]bool)}
+}
+
+// Name implements Allocator.
+func (s *Segregated) Name() string { return "segregated" }
+
+// Alloc implements Allocator. Requests beyond the largest class are mapped
+// directly (rounded to pages), like real malloc's mmap path.
+func (s *Segregated) Alloc(size uint64) mem.Addr {
+	c := sizeClass(size)
+	if c >= numClasses {
+		r := s.as.Map(size, s.flag)
+		s.large[r.Base] = true
+		return r.Base
+	}
+	if n := len(s.free[c]); n > 0 {
+		a := s.free[c][n-1]
+		s.free[c] = s.free[c][:n-1]
+		s.sizes[a] = c
+		return a
+	}
+	if s.curs[c] == s.lim[c] {
+		r := s.as.Map(chunkSize, s.flag)
+		s.curs[c], s.lim[c] = r.Base, r.End()
+	}
+	a := s.curs[c]
+	s.curs[c] += mem.Addr(classSize(c))
+	s.sizes[a] = c
+	return a
+}
+
+// Free implements Allocator.
+func (s *Segregated) Free(addr mem.Addr) {
+	if s.large[addr] {
+		delete(s.large, addr)
+		return // large mappings are not recycled
+	}
+	c, ok := s.sizes[addr]
+	if !ok {
+		panic(fmt.Sprintf("heap: segregated free of unknown address %#x", uint64(addr)))
+	}
+	delete(s.sizes, addr)
+	s.free[c] = append(s.free[c], addr)
+}
+
+// SizeOf returns the usable size of a live object (its class size), used by
+// wrapping layers.
+func (s *Segregated) SizeOf(addr mem.Addr) (uint64, bool) {
+	if c, ok := s.sizes[addr]; ok {
+		return classSize(c), true
+	}
+	if s.large[addr] {
+		return 0, true
+	}
+	return 0, false
+}

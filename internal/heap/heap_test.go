@@ -1,0 +1,294 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+func TestSizeClass(t *testing.T) {
+	cases := []struct {
+		size uint64
+		cls  int
+	}{
+		{0, 0}, {1, 0}, {16, 0}, {17, 1}, {32, 1}, {33, 2}, {64, 2},
+		{1024, 6}, {1 << 20, 16},
+	}
+	for _, c := range cases {
+		if got := sizeClass(c.size); got != c.cls {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.size, got, c.cls)
+		}
+	}
+}
+
+func TestClassSizeCoversRequest(t *testing.T) {
+	f := func(sz uint32) bool {
+		size := uint64(sz)%(1<<20) + 1
+		c := sizeClass(size)
+		return classSize(c) >= size && (c == 0 || classSize(c-1) < size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exerciseAllocator runs a deterministic alloc/free workload and checks the
+// fundamental invariants: alignment, no overlap among live objects, and no
+// double-handout.
+func exerciseAllocator(t *testing.T, a Allocator) {
+	t.Helper()
+	r := rng.NewMarsaglia(1234)
+	type obj struct {
+		addr mem.Addr
+		size uint64
+	}
+	var live []obj
+	for step := 0; step < 4000; step++ {
+		if len(live) > 0 && (r.Intn(2) == 0 || len(live) > 500) {
+			i := r.Intn(len(live))
+			a.Free(live[i].addr)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(r.Intn(2000) + 1)
+		addr := a.Alloc(size)
+		if uint64(addr)%MinAlign != 0 {
+			t.Fatalf("%s: address %#x not %d-aligned", a.Name(), uint64(addr), MinAlign)
+		}
+		for _, o := range live {
+			if addr < o.addr+mem.Addr(o.size) && o.addr < addr+mem.Addr(size) {
+				t.Fatalf("%s: allocation [%#x,%d) overlaps live [%#x,%d)",
+					a.Name(), uint64(addr), size, uint64(o.addr), o.size)
+			}
+		}
+		live = append(live, obj{addr, size})
+	}
+}
+
+func TestSegregatedInvariants(t *testing.T) {
+	exerciseAllocator(t, NewSegregated(mem.NewAddressSpace()))
+}
+
+func TestTLSFInvariants(t *testing.T) {
+	a := NewTLSF(mem.NewAddressSpace(), 1<<22)
+	exerciseAllocator(t, a)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDieHardInvariants(t *testing.T) {
+	exerciseAllocator(t, NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(7)))
+}
+
+func TestShuffleInvariants(t *testing.T) {
+	as := mem.NewAddressSpace()
+	exerciseAllocator(t, NewShuffle(NewSegregated(as), rng.NewMarsaglia(7), DefaultShuffleN))
+}
+
+func TestShuffleOverTLSFInvariants(t *testing.T) {
+	as := mem.NewAddressSpace()
+	exerciseAllocator(t, NewShuffle(NewTLSF(as, 1<<22), rng.NewMarsaglia(7), DefaultShuffleN))
+}
+
+func TestSegregatedReusesFreedMemory(t *testing.T) {
+	s := NewSegregated(mem.NewAddressSpace())
+	a := s.Alloc(64)
+	s.Free(a)
+	b := s.Alloc(64)
+	if a != b {
+		t.Fatalf("segregated LIFO reuse broken: freed %#x, got %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestSegregatedFreeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unknown address did not panic")
+		}
+	}()
+	NewSegregated(mem.NewAddressSpace()).Free(0xdead0)
+}
+
+func TestSegregatedLargeObject(t *testing.T) {
+	s := NewSegregated(mem.NewAddressSpace())
+	a := s.Alloc(64 << 20)
+	s.Free(a) // must not panic
+}
+
+func TestTLSFCoalescing(t *testing.T) {
+	tl := NewTLSF(mem.NewAddressSpace(), 1<<20)
+	a := tl.Alloc(128)
+	b := tl.Alloc(128)
+	c := tl.Alloc(128)
+	tl.Free(a)
+	tl.Free(c)
+	tl.Free(b) // should merge all three with the wilderness
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// After full coalescing a pool-sized allocation must succeed without
+	// growing: count mapped regions before and after.
+	as2 := mem.NewAddressSpace()
+	tl2 := NewTLSF(as2, 1<<20)
+	x := tl2.Alloc(1 << 12)
+	tl2.Free(x)
+	before := len(as2.Mapped())
+	tl2.Alloc(1<<20 - 64)
+	if len(as2.Mapped()) != before {
+		t.Fatal("TLSF grew despite a fully coalesced pool")
+	}
+}
+
+func TestTLSFGrowth(t *testing.T) {
+	tl := NewTLSF(mem.NewAddressSpace(), 1<<16)
+	var addrs []mem.Addr
+	for i := 0; i < 100; i++ {
+		addrs = append(addrs, tl.Alloc(4096))
+	}
+	for _, a := range addrs {
+		tl.Free(a)
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLSFDoubleFreePanics(t *testing.T) {
+	tl := NewTLSF(mem.NewAddressSpace(), 1<<20)
+	a := tl.Alloc(64)
+	tl.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	tl.Free(a)
+}
+
+func TestTLSFRandomWorkloadProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tl := NewTLSF(mem.NewAddressSpace(), 1<<20)
+		r := rng.NewMarsaglia(seed)
+		var live []mem.Addr
+		for i := 0; i < 300; i++ {
+			if len(live) > 0 && r.Intn(2) == 0 {
+				j := r.Intn(len(live))
+				tl.Free(live[j])
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+			} else {
+				live = append(live, tl.Alloc(uint64(r.Intn(8192)+1)))
+			}
+		}
+		return tl.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDieHardNoImmediateReuse(t *testing.T) {
+	// DieHard's defining property: a freed address is unlikely to be
+	// returned by the very next allocation.
+	d := NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(3))
+	reused := 0
+	for i := 0; i < 200; i++ {
+		a := d.Alloc(64)
+		d.Free(a)
+		if d.Alloc(64) == a {
+			reused++
+		}
+	}
+	if reused > 5 {
+		t.Fatalf("diehard reused the freed address %d/200 times", reused)
+	}
+}
+
+func TestShuffleDisplacesBaseOrder(t *testing.T) {
+	// The shuffling layer must break the base allocator's deterministic
+	// bump order: consecutive allocations should rarely be adjacent.
+	as := mem.NewAddressSpace()
+	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(5), DefaultShuffleN)
+	prev := sh.Alloc(64)
+	adjacent := 0
+	for i := 0; i < 500; i++ {
+		cur := sh.Alloc(64)
+		if cur == prev+64 {
+			adjacent++
+		}
+		prev = cur
+	}
+	if adjacent > 25 {
+		t.Fatalf("shuffled heap produced %d/500 sequential allocations", adjacent)
+	}
+}
+
+func TestShufflePermutationProperty(t *testing.T) {
+	// Every address handed out by the layer came from the base allocator,
+	// and the layer never hands out the same address twice while live.
+	as := mem.NewAddressSpace()
+	base := NewSegregated(as)
+	sh := NewShuffle(base, rng.NewMarsaglia(11), 16)
+	seen := map[mem.Addr]bool{}
+	var live []mem.Addr
+	r := rng.NewMarsaglia(12)
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && r.Intn(3) == 0 {
+			j := r.Intn(len(live))
+			sh.Free(live[j])
+			delete(seen, live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		a := sh.Alloc(48)
+		if seen[a] {
+			t.Fatalf("address %#x handed out while live", uint64(a))
+		}
+		seen[a] = true
+		live = append(live, a)
+	}
+}
+
+func TestShuffleLargeObjectBypass(t *testing.T) {
+	as := mem.NewAddressSpace()
+	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(1), DefaultShuffleN)
+	a := sh.Alloc(32 << 20)
+	sh.Free(a) // must not panic
+}
+
+func TestShuffleFreeUnknownPanics(t *testing.T) {
+	as := mem.NewAddressSpace()
+	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(1), DefaultShuffleN)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unknown address did not panic")
+		}
+	}()
+	sh.Free(0x12340)
+}
+
+func BenchmarkSegregatedAllocFree(b *testing.B) {
+	s := NewSegregated(mem.NewAddressSpace())
+	for i := 0; i < b.N; i++ {
+		s.Free(s.Alloc(64))
+	}
+}
+
+func BenchmarkTLSFAllocFree(b *testing.B) {
+	tl := NewTLSF(mem.NewAddressSpace(), 1<<24)
+	for i := 0; i < b.N; i++ {
+		tl.Free(tl.Alloc(64))
+	}
+}
+
+func BenchmarkShuffleAllocFree(b *testing.B) {
+	sh := NewShuffle(NewSegregated(mem.NewAddressSpace()), rng.NewMarsaglia(1), DefaultShuffleN)
+	for i := 0; i < b.N; i++ {
+		sh.Free(sh.Alloc(64))
+	}
+}

@@ -1,0 +1,96 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// DefaultShuffleN is the shuffling-layer depth the paper settles on after
+// NIST testing (§3.2): N = 256 randomizes the cache-index bits of heap
+// addresses as well as DieHard does, at a fraction of the cost.
+const DefaultShuffleN = 256
+
+// Shuffle is STABILIZER's shuffling layer (Figure 1): it wraps a
+// deterministic base allocator in a size-N array per size class. At first
+// use the array is filled with N objects from the base heap and shuffled
+// with Fisher-Yates. Each malloc allocates a fresh object from the base
+// heap, swaps it with a random array slot, and returns the swapped-out
+// pointer; each free swaps the freed pointer into a random slot and returns
+// the displaced pointer to the base heap. malloc and free are each one
+// iteration of the inside-out Fisher-Yates shuffle.
+type Shuffle struct {
+	base  Allocator
+	r     *rng.Marsaglia
+	n     int
+	slots [numClasses][]mem.Addr
+	sizes map[mem.Addr]uint64 // live (handed-out) object -> request size
+}
+
+// NewShuffle wraps base in a shuffling layer of depth n (use
+// DefaultShuffleN), drawing randomness from r.
+func NewShuffle(base Allocator, r *rng.Marsaglia, n int) *Shuffle {
+	if n <= 0 {
+		panic("heap: shuffle layer depth must be positive")
+	}
+	return &Shuffle{base: base, r: r, n: n, sizes: make(map[mem.Addr]uint64)}
+}
+
+// Name implements Allocator.
+func (s *Shuffle) Name() string { return "shuffle(" + s.base.Name() + ")" }
+
+// fill performs the startup fill for one size class: N base allocations
+// followed by a Fisher-Yates shuffle.
+func (s *Shuffle) fill(c int) []mem.Addr {
+	arr := make([]mem.Addr, s.n)
+	sz := classSize(c)
+	for i := range arr {
+		arr[i] = s.base.Alloc(sz)
+	}
+	s.r.Shuffle(len(arr), func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
+	s.slots[c] = arr
+	return arr
+}
+
+// Alloc implements Allocator.
+func (s *Shuffle) Alloc(size uint64) mem.Addr {
+	c := sizeClass(size)
+	if c >= numClasses {
+		// Large objects bypass the layer, as in the paper (STABILIZER
+		// "cannot break apart large heap allocations").
+		a := s.base.Alloc(size)
+		s.sizes[a] = size
+		return a
+	}
+	arr := s.slots[c]
+	if arr == nil {
+		arr = s.fill(c)
+	}
+	p := s.base.Alloc(classSize(c))
+	i := s.r.Intn(s.n)
+	p, arr[i] = arr[i], p
+	s.sizes[p] = size
+	return p
+}
+
+// Free implements Allocator.
+func (s *Shuffle) Free(addr mem.Addr) {
+	size, ok := s.sizes[addr]
+	if !ok {
+		panic(fmt.Sprintf("heap: shuffle free of unknown address %#x", uint64(addr)))
+	}
+	delete(s.sizes, addr)
+	c := sizeClass(size)
+	if c >= numClasses {
+		s.base.Free(addr)
+		return
+	}
+	arr := s.slots[c]
+	if arr == nil {
+		arr = s.fill(c)
+	}
+	i := s.r.Intn(s.n)
+	addr, arr[i] = arr[i], addr
+	s.base.Free(addr)
+}

@@ -1,0 +1,237 @@
+package heap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// TLSF is a two-level segregated fits allocator (Masmano et al.), the
+// paper's optional base allocator. It manages a contiguous pool with
+// good-fit free lists indexed by a first level (size magnitude) and second
+// level (linear subdivision), with immediate coalescing of physical
+// neighbours — constant-time malloc and free with low fragmentation.
+type TLSF struct {
+	as       *mem.AddressSpace
+	pool     mem.Region
+	blocks   map[mem.Addr]*tlsfBlock // all blocks by base address
+	freeList [tlsfFL][tlsfSL]*tlsfBlock
+	flBitmap uint32
+	slBitmap [tlsfFL]uint32
+}
+
+const (
+	tlsfFL      = 30 // first-level buckets: sizes up to 2^30
+	tlsfSLShift = 4  // 16 second-level subdivisions
+	tlsfSL      = 1 << tlsfSLShift
+	tlsfMinSize = 32
+)
+
+type tlsfBlock struct {
+	addr     mem.Addr
+	size     uint64
+	free     bool
+	physPrev *tlsfBlock // physically previous block (by address)
+	physNext *tlsfBlock
+	freePrev *tlsfBlock // free-list links
+	freeNext *tlsfBlock
+	fl, sl   int
+}
+
+// NewTLSF returns a TLSF allocator with a pool of poolSize bytes drawn
+// from as.
+func NewTLSF(as *mem.AddressSpace, poolSize uint64) *TLSF {
+	t := &TLSF{as: as, blocks: make(map[mem.Addr]*tlsfBlock)}
+	t.pool = as.Map(poolSize, mem.MapAnywhere)
+	b := &tlsfBlock{addr: t.pool.Base, size: t.pool.Size, free: true}
+	t.blocks[b.addr] = b
+	t.insertFree(b)
+	return t
+}
+
+// Name implements Allocator.
+func (t *TLSF) Name() string { return "tlsf" }
+
+// mapping computes the (first, second) level indices for a size.
+func tlsfMapping(size uint64) (int, int) {
+	if size < tlsfMinSize {
+		size = tlsfMinSize
+	}
+	fl := bits.Len64(size) - 1
+	sl := int((size >> (uint(fl) - tlsfSLShift)) - tlsfSL)
+	if fl >= tlsfFL {
+		fl = tlsfFL - 1
+		sl = tlsfSL - 1
+	}
+	return fl, sl
+}
+
+func (t *TLSF) insertFree(b *tlsfBlock) {
+	fl, sl := tlsfMapping(b.size)
+	b.fl, b.sl = fl, sl
+	b.free = true
+	b.freePrev = nil
+	b.freeNext = t.freeList[fl][sl]
+	if b.freeNext != nil {
+		b.freeNext.freePrev = b
+	}
+	t.freeList[fl][sl] = b
+	t.flBitmap |= 1 << uint(fl)
+	t.slBitmap[fl] |= 1 << uint(sl)
+}
+
+func (t *TLSF) removeFree(b *tlsfBlock) {
+	if b.freePrev != nil {
+		b.freePrev.freeNext = b.freeNext
+	} else {
+		t.freeList[b.fl][b.sl] = b.freeNext
+	}
+	if b.freeNext != nil {
+		b.freeNext.freePrev = b.freePrev
+	}
+	if t.freeList[b.fl][b.sl] == nil {
+		t.slBitmap[b.fl] &^= 1 << uint(b.sl)
+		if t.slBitmap[b.fl] == 0 {
+			t.flBitmap &^= 1 << uint(b.fl)
+		}
+	}
+	b.free = false
+	b.freePrev, b.freeNext = nil, nil
+}
+
+// findSuitable locates a free block of at least size bytes, searching the
+// same second-level list and then larger buckets via the bitmaps.
+func (t *TLSF) findSuitable(size uint64) *tlsfBlock {
+	fl, sl := tlsfMapping(size)
+	// Round up within the second level so any block in the list fits.
+	slMap := t.slBitmap[fl] & (^uint32(0) << uint(sl))
+	if slMap == 0 {
+		flMap := t.flBitmap & (^uint32(0) << uint(fl+1))
+		if flMap == 0 {
+			return nil
+		}
+		fl = bits.TrailingZeros32(flMap)
+		slMap = t.slBitmap[fl]
+		if slMap == 0 {
+			return nil
+		}
+	}
+	sl = bits.TrailingZeros32(slMap)
+	for b := t.freeList[fl][sl]; b != nil; b = b.freeNext {
+		if b.size >= size {
+			return b
+		}
+	}
+	// The head list can contain blocks slightly smaller than requested at
+	// the mapped (fl, sl); fall back to the next larger bucket.
+	flMap := t.flBitmap & (^uint32(0) << uint(fl+1))
+	if flMap == 0 {
+		return nil
+	}
+	fl = bits.TrailingZeros32(flMap)
+	sl = bits.TrailingZeros32(t.slBitmap[fl])
+	return t.freeList[fl][sl]
+}
+
+// Alloc implements Allocator.
+func (t *TLSF) Alloc(size uint64) mem.Addr {
+	size = (size + MinAlign - 1) &^ (MinAlign - 1)
+	if size < tlsfMinSize {
+		size = tlsfMinSize
+	}
+	b := t.findSuitable(size)
+	if b == nil {
+		// Grow: map another pool region the size of the original (or the
+		// request, whichever is larger) and retry.
+		grow := t.pool.Size
+		if size > grow {
+			grow = size
+		}
+		r := t.as.Map(grow, mem.MapAnywhere)
+		nb := &tlsfBlock{addr: r.Base, size: r.Size, free: true}
+		t.blocks[nb.addr] = nb
+		t.insertFree(nb)
+		b = t.findSuitable(size)
+		if b == nil {
+			panic("heap: tlsf could not satisfy allocation after growth")
+		}
+	}
+	t.removeFree(b)
+	// Split the remainder if it is big enough to be useful.
+	if b.size >= size+tlsfMinSize {
+		rest := &tlsfBlock{
+			addr:     b.addr + mem.Addr(size),
+			size:     b.size - size,
+			physPrev: b,
+			physNext: b.physNext,
+		}
+		if rest.physNext != nil {
+			rest.physNext.physPrev = rest
+		}
+		b.physNext = rest
+		b.size = size
+		t.blocks[rest.addr] = rest
+		t.insertFree(rest)
+	}
+	return b.addr
+}
+
+// Free implements Allocator, coalescing with free physical neighbours.
+func (t *TLSF) Free(addr mem.Addr) {
+	b, ok := t.blocks[addr]
+	if !ok || b.free {
+		panic(fmt.Sprintf("heap: tlsf free of unknown or free address %#x", uint64(addr)))
+	}
+	if next := b.physNext; next != nil && next.free {
+		t.removeFree(next)
+		delete(t.blocks, next.addr)
+		b.size += next.size
+		b.physNext = next.physNext
+		if b.physNext != nil {
+			b.physNext.physPrev = b
+		}
+	}
+	if prev := b.physPrev; prev != nil && prev.free {
+		t.removeFree(prev)
+		delete(t.blocks, b.addr)
+		prev.size += b.size
+		prev.physNext = b.physNext
+		if prev.physNext != nil {
+			prev.physNext.physPrev = prev
+		}
+		b = prev
+	}
+	t.insertFree(b)
+}
+
+// CheckInvariants validates the physical chain and free lists; tests call it
+// after randomized workloads.
+func (t *TLSF) CheckInvariants() error {
+	for addr, b := range t.blocks {
+		if b.addr != addr {
+			return fmt.Errorf("tlsf: block map key %#x != block addr %#x", uint64(addr), uint64(b.addr))
+		}
+		if b.physNext != nil {
+			if b.physNext.addr != b.addr+mem.Addr(b.size) {
+				return fmt.Errorf("tlsf: physical chain gap at %#x", uint64(b.addr))
+			}
+			if b.physNext.physPrev != b {
+				return fmt.Errorf("tlsf: broken physical back link at %#x", uint64(b.addr))
+			}
+			if b.free && b.physNext.free {
+				return fmt.Errorf("tlsf: adjacent free blocks not coalesced at %#x", uint64(b.addr))
+			}
+		}
+	}
+	for fl := 0; fl < tlsfFL; fl++ {
+		for sl := 0; sl < tlsfSL; sl++ {
+			for b := t.freeList[fl][sl]; b != nil; b = b.freeNext {
+				if !b.free {
+					return fmt.Errorf("tlsf: non-free block %#x on free list", uint64(b.addr))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// buildThrower builds: thrower(x) throws x*3 when x is odd, else returns
+// x*2; main invokes it for i in 0..9, sinking results and caught values.
+func buildThrower() *ir.Module {
+	mb := ir.NewModuleBuilder("exc")
+	th := mb.Func("thrower", 1)
+	x := th.Param(0)
+	odd := th.And(x, th.ConstI(1))
+	th.If(odd, func() {
+		th.Throw(th.Mul(x, th.ConstI(3)))
+	}, nil)
+	th.Ret(th.Mul(x, th.ConstI(2)))
+
+	main := mb.Func("main", 0)
+	main.LoopN(10, func(i ir.Reg) {
+		handler := main.NewBlock()
+		cont := main.NewBlock()
+		r := main.Invoke(th.Index(), handler, i)
+		main.Jmp(cont)
+		main.SetBlock(handler)
+		main.Sink(r) // caught value
+		main.Jmp(cont)
+		main.SetBlock(cont)
+		main.Sink(r) // result (or caught value twice when thrown)
+	})
+	main.Ret(ir.NoReg)
+	return mb.Module()
+}
+
+func execNative(t *testing.T, m *ir.Module) interp.Result {
+	t.Helper()
+	m.Finalize()
+	ir.ComputeSizes(m)
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: &interp.NativeRuntime{
+		FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+		Stack: as.StackBase(), Heap: heap.NewSegregated(as), Mach: mach,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestThrowCaughtByInvoke(t *testing.T) {
+	// Expected output: even i takes the normal path (one sink of 2i); odd i
+	// throws, so the handler sinks 3i and the join block sinks it again.
+	want := uint64(0)
+	for i := int64(0); i < 10; i++ {
+		if i%2 == 1 {
+			want = want*1099511628211 + uint64(3*i)
+			want = want*1099511628211 + uint64(3*i)
+		} else {
+			want = want*1099511628211 + uint64(2*i)
+		}
+	}
+	got := execNative(t, buildThrower()).Output
+	if got != want {
+		t.Fatalf("output %#x, want %#x", got, want)
+	}
+}
+
+func TestUncaughtExceptionAborts(t *testing.T) {
+	mb := ir.NewModuleBuilder("boom")
+	main := mb.Func("main", 0)
+	main.Throw(main.ConstI(0xdead))
+	main.Ret(ir.NoReg)
+	m := mb.Module()
+	m.Finalize()
+	ir.ComputeSizes(m)
+	as := mem.NewAddressSpace()
+	img, _ := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	mach := machine.New(machine.DefaultConfig())
+	_, err := interp.Run(m, interp.Options{Machine: mach, Runtime: &interp.NativeRuntime{
+		FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+		Stack: as.StackBase(), Mach: mach,
+	}})
+	if err == nil || !strings.Contains(err.Error(), "uncaught exception") {
+		t.Fatalf("uncaught exception not reported: %v", err)
+	}
+}
+
+func TestThrowUnwindsNestedFrames(t *testing.T) {
+	// main --invoke--> a --call--> b --call--> c --throw-->
+	// The exception must unwind through b and a to main's handler, and the
+	// simulated stack pointer must be fully restored (verified by looping).
+	mb := ir.NewModuleBuilder("nest")
+	c := mb.Func("c", 1)
+	c.Slot("pad", 256)
+	c.Throw(c.Add(c.Param(0), c.ConstI(1000)))
+	c.Ret(ir.NoReg)
+	b := mb.Func("b", 1)
+	b.Slot("pad", 512)
+	b.Ret(b.Call(c.Index(), b.Param(0)))
+	a := mb.Func("a", 1)
+	a.Slot("pad", 1024)
+	a.Ret(a.Call(b.Index(), a.Param(0)))
+
+	main := mb.Func("main", 0)
+	main.LoopN(2000, func(i ir.Reg) { // would overflow the stack if SP leaked
+		handler := main.NewBlock()
+		cont := main.NewBlock()
+		r := main.Invoke(a.Index(), handler, i)
+		main.Jmp(cont)
+		main.SetBlock(handler)
+		main.Jmp(cont)
+		main.SetBlock(cont)
+		main.Sink(main.And(r, main.ConstI(0xffff)))
+	})
+	main.Ret(ir.NoReg)
+	res := execNative(t, mb.Module())
+	if res.Output == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestExceptionsLayoutInvariantUnderStabilizer(t *testing.T) {
+	m, err := compiler.Compile(buildThrower(), compiler.Options{Level: compiler.O2, Stabilize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := execNative(t, m)
+	for seed := uint64(0); seed < 3; seed++ {
+		as := mem.NewAddressSpace()
+		img, _ := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+		mach := machine.New(machine.DefaultConfig())
+		st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.Options{
+			Code: true, Stack: true, Heap: true,
+			Rerandomize: true, Interval: 2_000, FineGrainCode: true, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != ref.Output {
+			t.Fatalf("seed %d: exceptions under stabilizer changed output", seed)
+		}
+	}
+}
+
+func TestUnwindingHasCost(t *testing.T) {
+	// Throwing through three frames must cost more than returning through
+	// them: compare the thrower loop against an equivalent non-throwing one.
+	mb := ir.NewModuleBuilder("costly")
+	c := mb.Func("c", 1)
+	c.Throw(c.Param(0))
+	c.Ret(ir.NoReg)
+	b := mb.Func("b", 1)
+	b.Ret(b.Call(c.Index(), b.Param(0)))
+	main := mb.Func("main", 0)
+	main.LoopN(100, func(i ir.Reg) {
+		h := main.NewBlock()
+		cont := main.NewBlock()
+		r := main.Invoke(b.Index(), h, i)
+		main.Jmp(cont)
+		main.SetBlock(h)
+		main.Jmp(cont)
+		main.SetBlock(cont)
+		main.Sink(r)
+	})
+	main.Ret(ir.NoReg)
+	throwing := execNative(t, mb.Module())
+
+	mb2 := ir.NewModuleBuilder("calm")
+	c2 := mb2.Func("c", 1)
+	c2.Ret(c2.Param(0))
+	b2 := mb2.Func("b", 1)
+	b2.Ret(b2.Call(c2.Index(), b2.Param(0)))
+	main2 := mb2.Func("main", 0)
+	main2.LoopN(100, func(i ir.Reg) {
+		main2.Sink(main2.Call(b2.Index(), i))
+	})
+	main2.Ret(ir.NoReg)
+	calm := execNative(t, mb2.Module())
+
+	if throwing.Cycles <= calm.Cycles {
+		t.Fatalf("throwing loop (%d cycles) not costlier than plain calls (%d)",
+			throwing.Cycles, calm.Cycles)
+	}
+}

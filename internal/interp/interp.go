@@ -1,0 +1,702 @@
+// Package interp executes IR programs against the simulated machine.
+//
+// The interpreter is the meeting point of the reproduction: program
+// semantics (which are layout-independent) come from the IR; performance
+// (which is layout-dependent) comes from the addresses the active Runtime
+// assigns to code, stack frames, and heap objects, fed through the machine
+// model. Running the same program under different Runtimes — the native
+// static layout versus the STABILIZER runtime — must produce identical
+// Output but different Cycles.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Runtime supplies layout and runtime services to an executing program. The
+// interpreter calls it for every address decision; implementations decide
+// whether layout is static (NativeRuntime) or randomized (the STABILIZER
+// runtime in internal/core).
+type Runtime interface {
+	// CodeBase returns the address function fn's code currently starts at.
+	CodeBase(fn int) mem.Addr
+	// BlockOffsets returns per-block offsets (relative to CodeBase) for the
+	// current copy of fn, or nil when blocks sit at their static offsets.
+	// A runtime doing basic-block-granularity randomization (the paper's
+	// §8 extension) returns the current copy's permutation; the interpreter
+	// snapshots it together with CodeBase at activation entry, so an
+	// activation keeps executing its own copy even if the function is
+	// re-randomized while it sleeps on the stack.
+	BlockOffsets(fn int) []uint64
+	// GlobalAddr returns the address of global g.
+	GlobalAddr(g int) mem.Addr
+	// StackBase returns the address the stack grows down from.
+	StackBase() mem.Addr
+	// BeforeCall runs just before control transfers to fn. It may charge
+	// runtime costs on the machine (traps, relocation, pad-table loads)
+	// and returns the padding in bytes inserted below the caller's frame.
+	BeforeCall(fn int) (pad uint64)
+	// RelocCall returns the relocation-table slot a call from curFn to
+	// callee reads, or ok=false if the call is direct.
+	RelocCall(curFn, callee int) (slot mem.Addr, ok bool)
+	// RelocGlobal returns the relocation-table slot an access from curFn
+	// to global g reads, or ok=false if the access is absolute.
+	RelocGlobal(curFn, g int) (slot mem.Addr, ok bool)
+	// Alloc and Free implement the program's heap, charging their own
+	// costs on the machine.
+	Alloc(size uint64) mem.Addr
+	Free(addr mem.Addr)
+	// Tick runs at every block boundary so the runtime can react to the
+	// passage of simulated time (re-randomization timers). stack yields
+	// the return addresses currently on the simulated call stack, for the
+	// code garbage collector.
+	Tick(stack func() []mem.Addr)
+}
+
+// Heap pointer encoding: bit 62 tags a value as a heap pointer; bits 61..32
+// hold the object handle; bits 31..0 the byte offset.
+const (
+	ptrTag      = uint64(1) << 62
+	ptrHandleSh = 32
+	ptrOffMask  = (uint64(1) << 32) - 1
+)
+
+// IsPointer reports whether a raw register value is an encoded heap pointer.
+func IsPointer(v uint64) bool { return v&ptrTag != 0 }
+
+type heapObject struct {
+	addr mem.Addr
+	data []uint64
+	size uint64
+	live bool
+}
+
+// Options configures one execution.
+type Options struct {
+	Machine *machine.Machine
+	Runtime Runtime
+	// MaxSteps bounds retired instructions (0 means the default of 1e9);
+	// exceeding it aborts with an error, catching runaway programs.
+	MaxSteps uint64
+	// StackLimit bounds stack depth in bytes (default 8 MiB).
+	StackLimit uint64
+	// Profile enables per-function cycle attribution (Result.Profile).
+	Profile bool
+}
+
+// Result reports one execution.
+type Result struct {
+	Output       uint64 // order-sensitive checksum of all Sink values
+	Cycles       uint64
+	Instructions uint64
+	Seconds      float64
+	// Profile holds per-function cycle attribution when Options.Profile is
+	// set: Profile[fn] is the cycles spent executing fn's own blocks
+	// (exclusive of callees).
+	Profile []uint64
+}
+
+// interpreter is the per-run state.
+type interp struct {
+	m       *ir.Module
+	mach    *machine.Machine
+	rt      Runtime
+	opts    Options
+	globals [][]uint64
+	objects []heapObject
+	freeObj []int // recycled handles
+
+	sp        mem.Addr
+	stackLow  mem.Addr
+	output    uint64
+	steps     uint64
+	callStack []callRecord
+	liveBase  map[uint64]bool // exact encodings of live base pointers
+	ras       []mem.Addr      // modeled return-address stack (16 entries)
+	profile   []uint64        // per-function exclusive cycles (nil unless profiling)
+}
+
+// rasDepth is the modeled hardware return-address stack depth.
+const rasDepth = 16
+
+type callRecord struct {
+	fn    int
+	retPC mem.Addr
+}
+
+var (
+	// ErrMaxSteps reports that the instruction budget was exhausted.
+	ErrMaxSteps = errors.New("interp: instruction budget exhausted")
+	// ErrStackOverflow reports simulated stack exhaustion.
+	ErrStackOverflow = errors.New("interp: stack overflow")
+)
+
+// Run executes module m under the given options and returns the result.
+// The module must have been finalized and sized (ir.ComputeSizes).
+func Run(m *ir.Module, opts Options) (res Result, err error) {
+	if opts.Machine == nil || opts.Runtime == nil {
+		return Result{}, errors.New("interp: Machine and Runtime are required")
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1e9
+	}
+	if opts.StackLimit == 0 {
+		opts.StackLimit = 8 << 20
+	}
+	for fi, f := range m.Funcs {
+		if f.Size == 0 {
+			return Result{}, fmt.Errorf("interp: function %d (%s) has no size; run ir.ComputeSizes", fi, f.Name)
+		}
+	}
+	it := &interp{m: m, mach: opts.Machine, rt: opts.Runtime, opts: opts,
+		liveBase: make(map[uint64]bool)}
+	if opts.Profile {
+		it.profile = make([]uint64, len(m.Funcs))
+	}
+	it.globals = make([][]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		words := make([]uint64, g.Size/8)
+		for j, v := range g.Init {
+			if j < len(words) {
+				words[j] = uint64(v)
+			}
+		}
+		it.globals[i] = words
+	}
+	it.sp = opts.Runtime.StackBase()
+	it.stackLow = it.sp - mem.Addr(opts.StackLimit)
+
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(runError); ok {
+				err = e.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	entry := m.Entry()
+	if _, exc := it.call(entry, nil, 0); exc != nil {
+		return Result{}, fmt.Errorf("interp: uncaught exception with value %#x", *exc)
+	}
+
+	return Result{
+		Output:       it.output,
+		Cycles:       it.mach.Cycles,
+		Instructions: it.mach.Instructions,
+		Seconds:      it.mach.Seconds(),
+		Profile:      it.profile,
+	}, nil
+}
+
+// runError carries an error through panic/recover so deep recursion can
+// abort cleanly.
+type runError struct{ err error }
+
+func (it *interp) fail(err error) {
+	panic(runError{err})
+}
+
+func (it *interp) failf(format string, args ...any) {
+	it.fail(fmt.Errorf("interp: "+format, args...))
+}
+
+// returnAddrs snapshots the return addresses on the simulated stack, for the
+// STABILIZER code garbage collector's stack walk.
+func (it *interp) returnAddrs() []mem.Addr {
+	out := make([]mem.Addr, len(it.callStack))
+	for i, c := range it.callStack {
+		out[i] = c.retPC
+	}
+	return out
+}
+
+// unwindCost is the modeled per-frame cost of exception unwinding (table
+// lookup plus register restoration), charged on top of the frame's memory
+// traffic.
+const unwindCost = 60
+
+// call transfers control to function fn with the given argument values and
+// returns its result. callerPC is the simulated address of the call site
+// (zero for the entry call). A non-nil second result is an in-flight
+// exception unwinding through this frame.
+func (it *interp) call(fn int, args []uint64, callerPC mem.Addr) (uint64, *uint64) {
+	f := it.m.Funcs[fn]
+	if len(args) != f.Params {
+		it.failf("call to %s with %d args, want %d", f.Name, len(args), f.Params)
+	}
+
+	// The call record is pushed before BeforeCall so a runtime stack walk
+	// during trap handling sees the caller's return address, exactly as the
+	// hardware stack would at the time the trap fires (§3.3).
+	it.callStack = append(it.callStack, callRecord{fn: fn, retPC: callerPC})
+
+	pad := it.rt.BeforeCall(fn)
+	codeBase := it.rt.CodeBase(fn)
+	blockOffs := it.rt.BlockOffsets(fn)
+
+	// Frame layout (Figure 4): padding below the caller's frame, then the
+	// return address and frame pointer, then this frame's slots.
+	frameTop := it.sp - mem.Addr(pad)
+	frameBase := frameTop - mem.Addr(f.FrameSize)
+	if frameBase < it.stackLow {
+		it.fail(ErrStackOverflow)
+	}
+	savedSP := it.sp
+	it.sp = frameBase
+
+	// Push the return address (frame pointers are omitted, as optimizing
+	// compilers do).
+	it.mach.Data(frameTop-8, 8)
+	it.mach.Retire(1)
+
+	// Return-address stack: hardware predicts returns from a small LIFO;
+	// overflow drops the oldest entry, which will mispredict on its return.
+	if len(it.ras) == rasDepth {
+		copy(it.ras, it.ras[1:])
+		it.ras = it.ras[:rasDepth-1]
+	}
+	it.ras = append(it.ras, callerPC)
+
+	regs := make([]uint64, f.NumRegs)
+	copy(regs, args)
+	stack := make([]uint64, (f.FrameSize-16)/8)
+
+	ret, exc := it.exec(fn, f, codeBase, blockOffs, frameBase, regs, stack)
+	if exc != nil {
+		// Unwind: the runtime walks this frame's metadata and restores
+		// state; the return address is read but not branched through.
+		it.mach.Data(frameTop-8, 8)
+		it.mach.Stall(unwindCost)
+		if n := len(it.ras); n > 0 {
+			it.ras = it.ras[:n-1]
+		}
+		it.callStack = it.callStack[:len(it.callStack)-1]
+		it.sp = savedSP
+		return 0, exc
+	}
+
+	// Pop: reload the return address and branch back.
+	it.mach.Data(frameTop-8, 8)
+	it.mach.Retire(1)
+	// Returns predict through the RAS, not the BTB: correct unless the
+	// entry was displaced by overflow.
+	if n := len(it.ras); n > 0 && it.ras[n-1] == callerPC {
+		it.ras = it.ras[:n-1]
+	} else {
+		it.mach.Stall(it.mach.Costs.Mispredict)
+		if n > 0 {
+			it.ras = it.ras[:n-1]
+		}
+	}
+	if callerPC != 0 && !mem.Below4G(it.rt.CodeBase(fn)) {
+		// Returning out of high memory uses the slow jump sequence (§3.5).
+		it.mach.Stall(it.mach.Costs.SlowJump)
+	}
+
+	it.callStack = it.callStack[:len(it.callStack)-1]
+	it.sp = savedSP
+	return ret, nil
+}
+
+// exec runs the body of one activation.
+func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []uint64, frameBase mem.Addr, regs, stack []uint64) (uint64, *uint64) {
+	bi := 0
+	var blockStart uint64
+	for {
+		if it.profile != nil {
+			blockStart = it.mach.Cycles
+		}
+		b := f.Blocks[bi]
+		off := b.Off
+		if blockOffs != nil {
+			off = blockOffs[bi]
+		}
+		blockPC := codeBase + mem.Addr(off)
+		it.mach.Fetch(blockPC, b.Size)
+		it.rt.Tick(it.returnAddrs)
+
+		n := b.Live
+		it.steps += n + 1 // +1 for the terminator, so empty loops still hit the budget
+		if it.steps > it.opts.MaxSteps {
+			it.fail(ErrMaxSteps)
+		}
+		it.mach.Retire(n)
+
+		jumped := false
+	instrs:
+		for idx := range b.Instrs {
+			in := &b.Instrs[idx]
+			switch in.Op {
+			case ir.OpNop:
+				// deleted instruction
+
+			case ir.OpConstI, ir.OpConstF:
+				regs[in.Dst] = uint64(in.Imm)
+			case ir.OpMov:
+				regs[in.Dst] = regs[in.A]
+
+			case ir.OpAdd:
+				regs[in.Dst] = uint64(int64(regs[in.A]) + int64(regs[in.B]))
+			case ir.OpSub:
+				regs[in.Dst] = uint64(int64(regs[in.A]) - int64(regs[in.B]))
+			case ir.OpMul:
+				it.mach.Stall(2)
+				regs[in.Dst] = uint64(int64(regs[in.A]) * int64(regs[in.B]))
+			case ir.OpDiv:
+				it.mach.Stall(20)
+				regs[in.Dst] = uint64(safeDiv(int64(regs[in.A]), int64(regs[in.B])))
+			case ir.OpRem:
+				it.mach.Stall(20)
+				regs[in.Dst] = uint64(safeRem(int64(regs[in.A]), int64(regs[in.B])))
+			case ir.OpAnd:
+				regs[in.Dst] = regs[in.A] & regs[in.B]
+			case ir.OpOr:
+				regs[in.Dst] = regs[in.A] | regs[in.B]
+			case ir.OpXor:
+				regs[in.Dst] = regs[in.A] ^ regs[in.B]
+			case ir.OpShl:
+				regs[in.Dst] = regs[in.A] << (regs[in.B] & 63)
+			case ir.OpShr:
+				regs[in.Dst] = regs[in.A] >> (regs[in.B] & 63)
+
+			case ir.OpFAdd:
+				regs[in.Dst] = fbits(f2(regs[in.A]) + f2(regs[in.B]))
+			case ir.OpFSub:
+				regs[in.Dst] = fbits(f2(regs[in.A]) - f2(regs[in.B]))
+			case ir.OpFMul:
+				it.mach.Stall(2)
+				regs[in.Dst] = fbits(f2(regs[in.A]) * f2(regs[in.B]))
+			case ir.OpFDiv:
+				it.mach.Stall(12)
+				regs[in.Dst] = fbits(safeFDiv(f2(regs[in.A]), f2(regs[in.B])))
+
+			case ir.OpCmpEQ:
+				regs[in.Dst] = b2u(int64(regs[in.A]) == int64(regs[in.B]))
+			case ir.OpCmpLT:
+				regs[in.Dst] = b2u(int64(regs[in.A]) < int64(regs[in.B]))
+			case ir.OpCmpLE:
+				regs[in.Dst] = b2u(int64(regs[in.A]) <= int64(regs[in.B]))
+			case ir.OpFCmpLT:
+				regs[in.Dst] = b2u(f2(regs[in.A]) < f2(regs[in.B]))
+
+			case ir.OpI2F:
+				it.mach.Stall(3)
+				regs[in.Dst] = fbits(float64(int64(regs[in.A])))
+			case ir.OpF2I:
+				it.mach.Stall(3)
+				regs[in.Dst] = uint64(safeF2I(f2(regs[in.A])))
+
+			case ir.OpLoadG, ir.OpLoadGF:
+				regs[in.Dst] = it.globalAccess(fn, in, regs, false)
+			case ir.OpStoreG, ir.OpStoreGF:
+				it.globalAccess(fn, in, regs, true)
+
+			case ir.OpLoadS, ir.OpLoadSF:
+				regs[in.Dst] = it.stackAccess(f, frameBase, in, regs, stack, false)
+			case ir.OpStoreS, ir.OpStoreSF:
+				it.stackAccess(f, frameBase, in, regs, stack, true)
+
+			case ir.OpLoadH, ir.OpLoadHF:
+				regs[in.Dst] = it.heapAccess(fn, in, regs, false)
+			case ir.OpStoreH, ir.OpStoreHF:
+				it.heapAccess(fn, in, regs, true)
+
+			case ir.OpAlloc:
+				regs[in.Dst] = it.alloc(uint64(in.Imm))
+			case ir.OpFree:
+				it.free(regs[in.A])
+
+			case ir.OpCall:
+				callee := int(in.Sym)
+				// Distinguish call sites within a block: the BTB and the
+				// return-address records key on the site address.
+				callPC := blockPC + mem.Addr(idx)*5
+				if slot, ok := it.rt.RelocCall(fn, callee); ok {
+					// Indirect call through the relocation table: one extra
+					// load instruction, then an indirect transfer predicted
+					// by the BTB.
+					it.mach.Data(slot, 8)
+					it.mach.Retire(1)
+					it.mach.IndirectBranch(callPC, it.rt.CodeBase(callee))
+				}
+				args := make([]uint64, len(in.Args))
+				for ai, a := range in.Args {
+					args[ai] = regs[a]
+				}
+				if it.profile != nil {
+					// Close this block's attribution window before the
+					// callee runs, and reopen it after, so callee cycles
+					// are not double-counted against the caller.
+					it.profile[fn] += it.mach.Cycles - blockStart
+				}
+				v, exc := it.call(callee, args, callPC)
+				if it.profile != nil {
+					blockStart = it.mach.Cycles
+				}
+				if exc != nil {
+					if in.Imm != 0 {
+						// Invoke: land in the handler with the exception
+						// value in the result register.
+						if in.Dst != ir.NoReg {
+							regs[in.Dst] = *exc
+						}
+						bi = int(in.Imm) - 1
+						jumped = true
+						break instrs
+					}
+					return 0, exc // propagate
+				}
+				if in.Dst != ir.NoReg {
+					regs[in.Dst] = v
+				}
+
+			case ir.OpThrow:
+				v := regs[in.A]
+				return 0, &v
+
+			case ir.OpSink:
+				v := regs[in.A]
+				if it.liveBase[v] {
+					it.failf("%s sinks a heap pointer; output would be layout-dependent", f.Name)
+				}
+				it.output = it.output*1099511628211 + v
+			case ir.OpSinkF:
+				it.output = it.output*1099511628211 + regs[in.A]
+
+			default:
+				it.failf("%s: unimplemented opcode %v", f.Name, in.Op)
+			}
+		}
+
+		if it.profile != nil {
+			// Exclusive attribution: callees account for themselves, so
+			// subtract nothing — OpCall's nested exec already advanced the
+			// clock under the callee's id; what remains here is this
+			// block's own cost plus runtime services charged while it ran.
+			it.profile[fn] += it.mach.Cycles - blockStart
+		}
+		if jumped {
+			continue // control transferred to an exception handler
+		}
+		term := b.Term
+		termPC := blockPC + mem.Addr(b.Size) - mem.Addr(term.EncodedSize())
+		switch term.Kind {
+		case ir.TermJmp:
+			bi = term.Then
+		case ir.TermBr:
+			taken := regs[term.Cond] != 0
+			it.mach.CondBranch(termPC, taken)
+			it.mach.Retire(1)
+			if taken {
+				bi = term.Then
+			} else {
+				bi = term.Else
+			}
+		case ir.TermRet:
+			it.mach.Retire(1)
+			if term.Val == ir.NoReg {
+				return 0, nil
+			}
+			return regs[term.Val], nil
+		default:
+			it.failf("%s: unterminated block %d", f.Name, bi)
+		}
+	}
+}
+
+// globalAccess performs a load or store on a global, charging the memory
+// system (and the relocation-table indirection, if the runtime imposes one).
+func (it *interp) globalAccess(fn int, in *ir.Instr, regs []uint64, store bool) uint64 {
+	g := int(in.Sym)
+	idx := int64(0)
+	if in.A != ir.NoReg {
+		idx = int64(regs[in.A])
+	}
+	byteOff := in.Imm + idx*8
+	words := it.globals[g]
+	w := byteOff / 8
+	if byteOff < 0 || w >= int64(len(words)) || byteOff%8 != 0 {
+		it.failf("global %s access at byte %d outside %d bytes",
+			it.m.Globals[g].Name, byteOff, len(words)*8)
+	}
+	if slot, ok := it.rt.RelocGlobal(fn, g); ok {
+		// The table indirection is one extra load instruction (§3.3).
+		it.mach.Data(slot, 8)
+		it.mach.Retire(1)
+	}
+	addr := it.rt.GlobalAddr(g) + mem.Addr(byteOff)
+	it.mach.Data(addr, 8)
+	if in.Op.IsFloat() && uint64(addr)%16 != 0 {
+		it.mach.Stall(it.mach.Costs.UnalignedFP)
+	}
+	if store {
+		words[w] = regs[in.B]
+		return 0
+	}
+	return words[w]
+}
+
+// stackAccess performs a load or store on the current frame.
+func (it *interp) stackAccess(f *ir.Function, frameBase mem.Addr, in *ir.Instr, regs, stack []uint64, store bool) uint64 {
+	slot := f.Slots[in.Sym]
+	idx := int64(0)
+	if in.A != ir.NoReg {
+		idx = int64(regs[in.A])
+	}
+	byteOff := in.Imm + idx*8
+	if byteOff < 0 || uint64(byteOff) >= slot.Size || byteOff%8 != 0 {
+		it.failf("%s: stack slot %s access at byte %d outside %d bytes",
+			f.Name, slot.Name, byteOff, slot.Size)
+	}
+	addr := frameBase + mem.Addr(slot.Off) + mem.Addr(byteOff)
+	it.mach.Data(addr, 8)
+	if in.Op.IsFloat() && uint64(addr)%16 != 0 {
+		it.mach.Stall(it.mach.Costs.UnalignedFP)
+	}
+	w := (slot.Off + uint64(byteOff)) / 8
+	if store {
+		stack[w] = regs[in.B]
+		return 0
+	}
+	return stack[w]
+}
+
+// heapAccess performs a load or store through a heap pointer.
+func (it *interp) heapAccess(fn int, in *ir.Instr, regs []uint64, store bool) uint64 {
+	ptr := regs[in.A]
+	if !IsPointer(ptr) {
+		it.failf("heap access through non-pointer value %#x", ptr)
+	}
+	idx := int64(0)
+	if in.B != ir.NoReg {
+		idx = int64(regs[in.B])
+	}
+	handle := int((ptr &^ ptrTag) >> ptrHandleSh)
+	baseOff := int64(ptr & ptrOffMask)
+	byteOff := baseOff + in.Imm + idx*8
+	if handle >= len(it.objects) {
+		it.failf("heap access through invalid handle %d", handle)
+	}
+	obj := &it.objects[handle]
+	if !obj.live {
+		it.failf("heap use after free (handle %d)", handle)
+	}
+	w := byteOff / 8
+	if byteOff < 0 || uint64(byteOff) >= obj.size || byteOff%8 != 0 {
+		it.failf("heap access at byte %d outside object of %d bytes", byteOff, obj.size)
+	}
+	addr := obj.addr + mem.Addr(byteOff)
+	it.mach.Data(addr, 8)
+	if in.Op.IsFloat() && uint64(addr)%16 != 0 {
+		it.mach.Stall(it.mach.Costs.UnalignedFP)
+	}
+	if store {
+		obj.data[w] = regs[in.Dst] // value register rides in Dst for StoreH
+		return 0
+	}
+	return obj.data[w]
+}
+
+// alloc creates a heap object via the runtime's allocator.
+func (it *interp) alloc(size uint64) uint64 {
+	if size == 0 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	addr := it.rt.Alloc(size)
+	var handle int
+	if n := len(it.freeObj); n > 0 {
+		handle = it.freeObj[n-1]
+		it.freeObj = it.freeObj[:n-1]
+		it.objects[handle] = heapObject{addr: addr, data: make([]uint64, size/8), size: size, live: true}
+	} else {
+		handle = len(it.objects)
+		it.objects = append(it.objects, heapObject{addr: addr, data: make([]uint64, size/8), size: size, live: true})
+	}
+	if handle >= 1<<30 {
+		it.failf("too many heap objects")
+	}
+	p := ptrTag | uint64(handle)<<ptrHandleSh
+	it.liveBase[p] = true
+	return p
+}
+
+// free releases a heap object.
+func (it *interp) free(ptr uint64) {
+	if !IsPointer(ptr) {
+		it.failf("free of non-pointer value %#x", ptr)
+	}
+	if ptr&ptrOffMask != 0 {
+		it.failf("free of interior pointer (offset %d)", ptr&ptrOffMask)
+	}
+	handle := int((ptr &^ ptrTag) >> ptrHandleSh)
+	if handle >= len(it.objects) || !it.objects[handle].live {
+		it.failf("double or invalid free (handle %d)", handle)
+	}
+	obj := &it.objects[handle]
+	it.rt.Free(obj.addr)
+	obj.live = false
+	obj.data = nil
+	delete(it.liveBase, ptr)
+	it.freeObj = append(it.freeObj, handle)
+}
+
+func f2(v uint64) float64 { return math.Float64frombits(v) }
+func fbits(v float64) uint64 {
+	return math.Float64bits(v)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func safeDiv(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		return a
+	}
+	return a / b
+}
+
+func safeRem(a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+func safeFDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func safeF2I(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}

@@ -1,0 +1,347 @@
+package interp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// execModule links and runs m natively, failing the test on error.
+func execModule(t *testing.T, m *ir.Module, opts ...func(*interp.Options)) interp.Result {
+	t.Helper()
+	res, err := tryExec(m, opts...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func tryExec(m *ir.Module, opts ...func(*interp.Options)) (interp.Result, error) {
+	m.Finalize()
+	ir.ComputeSizes(m)
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		return interp.Result{}, err
+	}
+	mach := machine.New(machine.DefaultConfig())
+	o := interp.Options{
+		Machine: mach,
+		Runtime: &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewSegregated(as),
+			Mach:        mach,
+		},
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	return interp.Run(m, o)
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	mb := ir.NewModuleBuilder("arith")
+	f := mb.Func("main", 0)
+	a := f.ConstI(100)
+	b := f.ConstI(7)
+	f.Sink(f.Add(a, b))           // 107
+	f.Sink(f.Sub(a, b))           // 93
+	f.Sink(f.Mul(a, b))           // 700
+	f.Sink(f.Div(a, b))           // 14
+	f.Sink(f.Rem(a, b))           // 2
+	f.Sink(f.Div(a, f.ConstI(0))) // 0 (saturating)
+	f.Sink(f.CmpLT(b, a))         // 1
+	f.Sink(f.CmpLE(a, a))         // 1
+	f.Sink(f.CmpEQ(a, b))         // 0
+	f.Sink(f.Shl(b, f.ConstI(3))) // 56
+	f.Sink(f.Shr(a, f.ConstI(2))) // 25
+	f.Ret(ir.NoReg)
+	m := mb.Module()
+
+	// Mirror the checksum.
+	want := uint64(0)
+	for _, v := range []uint64{107, 93, 700, 14, 2, 0, 1, 1, 0, 56, 25} {
+		want = want*1099511628211 + v
+	}
+	if got := execModule(t, m).Output; got != want {
+		t.Fatalf("output %#x, want %#x", got, want)
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	mb := ir.NewModuleBuilder("float")
+	f := mb.Func("main", 0)
+	x := f.ConstF(2.5)
+	y := f.ConstF(4.0)
+	f.Sink(f.F2I(f.FMul(x, y)))                  // 10
+	f.Sink(f.F2I(f.FDiv(y, x)))                  // 1 (1.6 truncated)
+	f.Sink(f.FCmpLT(x, y))                       // 1
+	f.Sink(f.F2I(f.FSub(f.I2F(f.ConstI(7)), x))) // 4 (4.5 truncated)
+	f.Ret(ir.NoReg)
+	want := uint64(0)
+	for _, v := range []uint64{10, 1, 1, 4} {
+		want = want*1099511628211 + v
+	}
+	if got := execModule(t, mb.Module()).Output; got != want {
+		t.Fatalf("output %#x, want %#x", got, want)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	mb := ir.NewModuleBuilder("fib")
+	fib := mb.Func("fib", 1)
+	n := fib.Param(0)
+	res := fib.Mov(n)
+	cond := fib.CmpLE(n, fib.ConstI(1))
+	fib.If(cond, nil, func() {
+		a := fib.Call(fib.Index(), fib.Sub(n, fib.ConstI(1)))
+		b := fib.Call(fib.Index(), fib.Sub(n, fib.ConstI(2)))
+		fib.MovTo(res, fib.Add(a, b))
+	})
+	fib.Ret(res)
+	main := mb.Func("main", 0)
+	main.Sink(main.Call(fib.Index(), main.ConstI(15)))
+	main.Ret(ir.NoReg)
+	want := uint64(0)*1099511628211 + 610
+	if got := execModule(t, mb.Module()).Output; got != want {
+		t.Fatalf("fib(15): output %#x, want %#x", got, want)
+	}
+}
+
+func TestHeapRoundTrip(t *testing.T) {
+	mb := ir.NewModuleBuilder("heap")
+	f := mb.Func("main", 0)
+	p := f.Alloc(128)
+	f.LoopN(16, func(i ir.Reg) {
+		f.StoreH(p, 0, i, f.Mul(i, i))
+	})
+	sum := f.ConstI(0)
+	f.LoopN(16, func(i ir.Reg) {
+		f.MovTo(sum, f.Add(sum, f.LoadH(p, 0, i)))
+	})
+	f.Free(p)
+	f.Sink(sum) // sum of squares 0..15 = 1240
+	f.Ret(ir.NoReg)
+	want := uint64(0)*1099511628211 + 1240
+	if got := execModule(t, mb.Module()).Output; got != want {
+		t.Fatalf("output %#x, want %#x", got, want)
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	mb := ir.NewModuleBuilder("uaf")
+	f := mb.Func("main", 0)
+	p := f.Alloc(64)
+	f.Free(p)
+	f.Sink(f.LoadH(p, 0, ir.NoReg))
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "use after free") {
+		t.Fatalf("use after free not detected: %v", err)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	mb := ir.NewModuleBuilder("df")
+	f := mb.Func("main", 0)
+	p := f.Alloc(64)
+	f.Free(p)
+	f.Free(p)
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "free") {
+		t.Fatalf("double free not detected: %v", err)
+	}
+}
+
+func TestHeapBoundsChecked(t *testing.T) {
+	mb := ir.NewModuleBuilder("oob")
+	f := mb.Func("main", 0)
+	p := f.Alloc(64)
+	f.Sink(f.LoadH(p, 64, ir.NoReg)) // one past the end
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "outside object") {
+		t.Fatalf("out-of-bounds not detected: %v", err)
+	}
+}
+
+func TestPointerSinkRejected(t *testing.T) {
+	// Sinking a pointer would make program output depend on layout, which
+	// would invalidate every experiment; the interpreter must refuse.
+	mb := ir.NewModuleBuilder("psink")
+	f := mb.Func("main", 0)
+	p := f.Alloc(64)
+	f.Sink(p)
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "layout-dependent") {
+		t.Fatalf("pointer sink not rejected: %v", err)
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	mb := ir.NewModuleBuilder("so")
+	rec := mb.Func("rec", 1)
+	rec.Slot("pad", 1024)
+	rec.CallVoid(rec.Index(), rec.Param(0))
+	rec.Ret(ir.NoReg)
+	main := mb.Func("main", 0)
+	main.CallVoid(rec.Index(), main.ConstI(0))
+	main.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module(), func(o *interp.Options) { o.StackLimit = 64 << 10 })
+	if !errors.Is(err, interp.ErrStackOverflow) {
+		t.Fatalf("expected stack overflow, got %v", err)
+	}
+}
+
+func TestMaxStepsEnforced(t *testing.T) {
+	mb := ir.NewModuleBuilder("inf")
+	f := mb.Func("main", 0)
+	loop := f.NewBlock()
+	f.Jmp(loop)
+	f.SetBlock(loop)
+	f.Jmp(loop)
+	_, err := tryExec(mb.Module(), func(o *interp.Options) { o.MaxSteps = 1000 })
+	if !errors.Is(err, interp.ErrMaxSteps) {
+		t.Fatalf("expected step budget error, got %v", err)
+	}
+}
+
+func TestGlobalBoundsChecked(t *testing.T) {
+	mb := ir.NewModuleBuilder("gb")
+	g := mb.Global("g", 16)
+	f := mb.Func("main", 0)
+	f.Sink(f.LoadG(g, 16, ir.NoReg))
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("global OOB not detected: %v", err)
+	}
+}
+
+func TestStackSlotBoundsChecked(t *testing.T) {
+	mb := ir.NewModuleBuilder("sb")
+	f := mb.Func("main", 0)
+	s := f.Slot("s", 16)
+	f.Sink(f.LoadS(s, 24, ir.NoReg))
+	f.Ret(ir.NoReg)
+	_, err := tryExec(mb.Module())
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("stack OOB not detected: %v", err)
+	}
+}
+
+func TestGlobalsInitialized(t *testing.T) {
+	mb := ir.NewModuleBuilder("gi")
+	g := mb.GlobalInit("g", []int64{11, 22, 33})
+	f := mb.Func("main", 0)
+	f.Sink(f.LoadG(g, 8, ir.NoReg))
+	f.Sink(f.LoadG(g, 0, f.ConstI(2)))
+	f.Ret(ir.NoReg)
+	want := (uint64(0)*1099511628211+22)*1099511628211 + 33
+	if got := execModule(t, mb.Module()).Output; got != want {
+		t.Fatalf("output %#x, want %#x", got, want)
+	}
+}
+
+func TestOutputIdenticalAcrossLinkOrders(t *testing.T) {
+	// The whole methodology depends on semantics being layout-free.
+	mb := ir.NewModuleBuilder("layoutfree")
+	a := mb.Func("a", 1)
+	a.Ret(a.Mul(a.Param(0), a.ConstI(3)))
+	b := mb.Func("b", 1)
+	b.Ret(b.Add(b.Param(0), b.ConstI(17)))
+	main := mb.Func("main", 0)
+	s := main.ConstI(0)
+	main.LoopN(50, func(i ir.Reg) {
+		main.MovTo(s, main.Add(s, main.Call(a.Index(), main.Call(b.Index(), i))))
+	})
+	main.Sink(s)
+	main.Ret(ir.NoReg)
+	m := mb.Module()
+	m.Finalize()
+	ir.ComputeSizes(m)
+
+	var outputs []uint64
+	var cycles []uint64
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+	for _, order := range orders {
+		as := mem.NewAddressSpace()
+		img, err := compiler.Link(m, order, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mach := machine.New(machine.DefaultConfig())
+		res, err := interp.Run(m, interp.Options{
+			Machine: mach,
+			Runtime: &interp.NativeRuntime{
+				FuncAddrs:   img.FuncAddrs,
+				GlobalAddrs: img.GlobalAddrs,
+				Stack:       as.StackBase(),
+				Heap:        heap.NewSegregated(as),
+				Mach:        mach,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, res.Output)
+		cycles = append(cycles, res.Cycles)
+	}
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Fatalf("outputs differ across link orders: %v", outputs)
+	}
+	if cycles[0] == 0 {
+		t.Fatal("no cycles charged")
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	mb := ir.NewModuleBuilder("det")
+	f := mb.Func("main", 0)
+	s := f.ConstI(1)
+	f.LoopN(100, func(i ir.Reg) {
+		f.MovTo(s, f.Xor(f.Mul(s, f.ConstI(31)), i))
+	})
+	f.Sink(s)
+	f.Ret(ir.NoReg)
+	m := mb.Module()
+	r1 := execModule(t, m)
+	r2 := execModule(t, m)
+	if r1.Output != r2.Output || r1.Cycles != r2.Cycles {
+		t.Fatalf("identical runs differ: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSecondsPositive(t *testing.T) {
+	mb := ir.NewModuleBuilder("sec")
+	f := mb.Func("main", 0)
+	f.Sink(f.ConstI(1))
+	f.Ret(ir.NoReg)
+	res := execModule(t, mb.Module())
+	if res.Seconds <= 0 {
+		t.Fatalf("Seconds = %v", res.Seconds)
+	}
+}
+
+func TestMissingSizesRejected(t *testing.T) {
+	mb := ir.NewModuleBuilder("nosize")
+	f := mb.Func("main", 0)
+	f.Ret(ir.NoReg)
+	m := mb.Module() // finalized but never sized
+	mach := machine.New(machine.DefaultConfig())
+	_, err := interp.Run(m, interp.Options{Machine: mach, Runtime: &interp.NativeRuntime{Mach: mach}})
+	if err == nil || !strings.Contains(err.Error(), "ComputeSizes") {
+		t.Fatalf("unsized module accepted: %v", err)
+	}
+}

@@ -1,0 +1,63 @@
+package interp
+
+import (
+	"repro/internal/heap"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Runtime cost constants shared by all runtimes: the modeled cycle cost of
+// the allocator's own bookkeeping.
+const (
+	MallocCost = 30
+	FreeCost   = 20
+)
+
+// NativeRuntime is the baseline execution environment: functions and globals
+// at the fixed addresses the static linker assigned, stack frames packed
+// back to back, and a conventional heap. It is "a binary": one point in the
+// space of layouts, sampled over and over on every run — the methodological
+// problem the paper begins from.
+type NativeRuntime struct {
+	FuncAddrs   []mem.Addr
+	GlobalAddrs []mem.Addr
+	Stack       mem.Addr
+	Heap        heap.Allocator
+	Mach        *machine.Machine
+}
+
+// CodeBase implements Runtime.
+func (n *NativeRuntime) CodeBase(fn int) mem.Addr { return n.FuncAddrs[fn] }
+
+// BlockOffsets implements Runtime; native blocks sit at static offsets.
+func (n *NativeRuntime) BlockOffsets(fn int) []uint64 { return nil }
+
+// GlobalAddr implements Runtime.
+func (n *NativeRuntime) GlobalAddr(g int) mem.Addr { return n.GlobalAddrs[g] }
+
+// StackBase implements Runtime.
+func (n *NativeRuntime) StackBase() mem.Addr { return n.Stack }
+
+// BeforeCall implements Runtime; native calls have no padding or extra work.
+func (n *NativeRuntime) BeforeCall(fn int) uint64 { return 0 }
+
+// RelocCall implements Runtime; native calls are direct.
+func (n *NativeRuntime) RelocCall(curFn, callee int) (mem.Addr, bool) { return 0, false }
+
+// RelocGlobal implements Runtime; native global accesses are absolute.
+func (n *NativeRuntime) RelocGlobal(curFn, g int) (mem.Addr, bool) { return 0, false }
+
+// Alloc implements Runtime.
+func (n *NativeRuntime) Alloc(size uint64) mem.Addr {
+	n.Mach.Stall(MallocCost)
+	return n.Heap.Alloc(size)
+}
+
+// Free implements Runtime.
+func (n *NativeRuntime) Free(addr mem.Addr) {
+	n.Mach.Stall(FreeCost)
+	n.Heap.Free(addr)
+}
+
+// Tick implements Runtime; the native runtime has no timers.
+func (n *NativeRuntime) Tick(stack func() []mem.Addr) {}

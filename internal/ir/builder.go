@@ -1,0 +1,346 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// ModuleBuilder constructs a Module incrementally.
+type ModuleBuilder struct {
+	m *Module
+}
+
+// NewModuleBuilder returns a builder for a module with the given name.
+func NewModuleBuilder(name string) *ModuleBuilder {
+	return &ModuleBuilder{m: &Module{Name: name}}
+}
+
+// Global declares a global of size bytes and returns its index.
+func (mb *ModuleBuilder) Global(name string, size uint64) int32 {
+	mb.m.Globals = append(mb.m.Globals, Global{Name: name, Size: (size + 7) &^ 7})
+	return int32(len(mb.m.Globals) - 1)
+}
+
+// GlobalInit declares a global initialized with the given words.
+func (mb *ModuleBuilder) GlobalInit(name string, words []int64) int32 {
+	g := Global{Name: name, Size: uint64(len(words)) * 8, Init: words}
+	mb.m.Globals = append(mb.m.Globals, g)
+	return int32(len(mb.m.Globals) - 1)
+}
+
+// Func starts a new function with the given parameter count and returns its
+// builder. The function's index is assigned immediately, so mutually
+// recursive call graphs can be constructed by declaring functions first.
+func (mb *ModuleBuilder) Func(name string, params int) *FuncBuilder {
+	f := &Function{Name: name, Params: params, NumRegs: params}
+	mb.m.Funcs = append(mb.m.Funcs, f)
+	fb := &FuncBuilder{f: f, index: int32(len(mb.m.Funcs) - 1), cur: -1}
+	fb.entry = fb.NewBlock()
+	fb.SetBlock(fb.entry)
+	return fb
+}
+
+// Module finalizes and returns the module.
+func (mb *ModuleBuilder) Module() *Module {
+	mb.m.Finalize()
+	return mb.m
+}
+
+// FuncBuilder builds one function. It keeps a current-block cursor; emit
+// methods append to the current block.
+type FuncBuilder struct {
+	f     *Function
+	index int32
+	cur   int
+	entry int
+}
+
+// Index returns the function's index in the module.
+func (fb *FuncBuilder) Index() int32 { return fb.index }
+
+// Param returns the register holding the i'th parameter.
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.f.Params {
+		panic(fmt.Sprintf("ir: function %s has no parameter %d", fb.f.Name, i))
+	}
+	return Reg(i)
+}
+
+// Slot declares a stack slot of size bytes and returns its index.
+func (fb *FuncBuilder) Slot(name string, size uint64) int32 {
+	fb.f.Slots = append(fb.f.Slots, StackSlot{Name: name, Size: (size + 7) &^ 7})
+	return int32(len(fb.f.Slots) - 1)
+}
+
+// NewBlock appends an empty block and returns its index. It does not change
+// the cursor.
+func (fb *FuncBuilder) NewBlock() int {
+	fb.f.Blocks = append(fb.f.Blocks, &Block{})
+	return len(fb.f.Blocks) - 1
+}
+
+// SetBlock moves the emission cursor.
+func (fb *FuncBuilder) SetBlock(b int) { fb.cur = b }
+
+// CurrentBlock returns the cursor position.
+func (fb *FuncBuilder) CurrentBlock() int { return fb.cur }
+
+// NoRelocate marks the function as unmovable by the STABILIZER runtime.
+func (fb *FuncBuilder) NoRelocate() { fb.f.NoRelocate = true }
+
+func (fb *FuncBuilder) newReg() Reg {
+	r := Reg(fb.f.NumRegs)
+	fb.f.NumRegs++
+	return r
+}
+
+func (fb *FuncBuilder) emit(i Instr) Reg {
+	b := fb.f.Blocks[fb.cur]
+	if b.Term.Kind != TermNone {
+		panic(fmt.Sprintf("ir: emitting into terminated block %d of %s", fb.cur, fb.f.Name))
+	}
+	b.Instrs = append(b.Instrs, i)
+	return i.Dst
+}
+
+// ConstI materializes an integer constant.
+func (fb *FuncBuilder) ConstI(v int64) Reg {
+	return fb.emit(Instr{Op: OpConstI, Dst: fb.newReg(), A: NoReg, B: NoReg, Imm: v})
+}
+
+// ConstF materializes a floating-point constant.
+func (fb *FuncBuilder) ConstF(v float64) Reg {
+	return fb.emit(Instr{Op: OpConstF, Dst: fb.newReg(), A: NoReg, B: NoReg, Imm: int64(math.Float64bits(v))})
+}
+
+// Mov copies a register.
+func (fb *FuncBuilder) Mov(a Reg) Reg {
+	return fb.emit(Instr{Op: OpMov, Dst: fb.newReg(), A: a, B: NoReg})
+}
+
+// MovTo copies src into an existing register (the IR's assignment form, used
+// for loop-carried variables).
+func (fb *FuncBuilder) MovTo(dst, src Reg) {
+	fb.emit(Instr{Op: OpMov, Dst: dst, A: src, B: NoReg})
+}
+
+// Bin emits a two-operand instruction.
+func (fb *FuncBuilder) Bin(op Op, a, b Reg) Reg {
+	return fb.emit(Instr{Op: op, Dst: fb.newReg(), A: a, B: b})
+}
+
+// Convenience arithmetic wrappers.
+func (fb *FuncBuilder) Add(a, b Reg) Reg    { return fb.Bin(OpAdd, a, b) }
+func (fb *FuncBuilder) Sub(a, b Reg) Reg    { return fb.Bin(OpSub, a, b) }
+func (fb *FuncBuilder) Mul(a, b Reg) Reg    { return fb.Bin(OpMul, a, b) }
+func (fb *FuncBuilder) Div(a, b Reg) Reg    { return fb.Bin(OpDiv, a, b) }
+func (fb *FuncBuilder) Rem(a, b Reg) Reg    { return fb.Bin(OpRem, a, b) }
+func (fb *FuncBuilder) And(a, b Reg) Reg    { return fb.Bin(OpAnd, a, b) }
+func (fb *FuncBuilder) Or(a, b Reg) Reg     { return fb.Bin(OpOr, a, b) }
+func (fb *FuncBuilder) Xor(a, b Reg) Reg    { return fb.Bin(OpXor, a, b) }
+func (fb *FuncBuilder) Shl(a, b Reg) Reg    { return fb.Bin(OpShl, a, b) }
+func (fb *FuncBuilder) Shr(a, b Reg) Reg    { return fb.Bin(OpShr, a, b) }
+func (fb *FuncBuilder) FAdd(a, b Reg) Reg   { return fb.Bin(OpFAdd, a, b) }
+func (fb *FuncBuilder) FSub(a, b Reg) Reg   { return fb.Bin(OpFSub, a, b) }
+func (fb *FuncBuilder) FMul(a, b Reg) Reg   { return fb.Bin(OpFMul, a, b) }
+func (fb *FuncBuilder) FDiv(a, b Reg) Reg   { return fb.Bin(OpFDiv, a, b) }
+func (fb *FuncBuilder) CmpEQ(a, b Reg) Reg  { return fb.Bin(OpCmpEQ, a, b) }
+func (fb *FuncBuilder) CmpLT(a, b Reg) Reg  { return fb.Bin(OpCmpLT, a, b) }
+func (fb *FuncBuilder) CmpLE(a, b Reg) Reg  { return fb.Bin(OpCmpLE, a, b) }
+func (fb *FuncBuilder) FCmpLT(a, b Reg) Reg { return fb.Bin(OpFCmpLT, a, b) }
+
+// I2F converts an integer register to floating point.
+func (fb *FuncBuilder) I2F(a Reg) Reg {
+	return fb.emit(Instr{Op: OpI2F, Dst: fb.newReg(), A: a, B: NoReg})
+}
+
+// F2I truncates a floating-point register to integer.
+func (fb *FuncBuilder) F2I(a Reg) Reg {
+	return fb.emit(Instr{Op: OpF2I, Dst: fb.newReg(), A: a, B: NoReg})
+}
+
+// LoadG loads globals[g] at byte offset off (+ 8*idx if idx != NoReg).
+func (fb *FuncBuilder) LoadG(g int32, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadG, Dst: fb.newReg(), A: idx, B: NoReg, Imm: off, Sym: g})
+}
+
+// StoreG stores val into globals[g] at byte offset off (+ 8*idx).
+func (fb *FuncBuilder) StoreG(g int32, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreG, Dst: NoReg, A: idx, B: val, Imm: off, Sym: g})
+}
+
+// LoadGF is the floating-point (alignment-sensitive) global load.
+func (fb *FuncBuilder) LoadGF(g int32, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadGF, Dst: fb.newReg(), A: idx, B: NoReg, Imm: off, Sym: g})
+}
+
+// StoreGF is the floating-point global store.
+func (fb *FuncBuilder) StoreGF(g int32, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreGF, Dst: NoReg, A: idx, B: val, Imm: off, Sym: g})
+}
+
+// LoadS loads the stack slot at byte offset off (+ 8*idx).
+func (fb *FuncBuilder) LoadS(slot int32, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadS, Dst: fb.newReg(), A: idx, B: NoReg, Imm: off, Sym: slot})
+}
+
+// StoreS stores val into the stack slot at byte offset off (+ 8*idx).
+func (fb *FuncBuilder) StoreS(slot int32, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreS, Dst: NoReg, A: idx, B: val, Imm: off, Sym: slot})
+}
+
+// LoadSF / StoreSF are the floating-point stack accesses.
+func (fb *FuncBuilder) LoadSF(slot int32, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadSF, Dst: fb.newReg(), A: idx, B: NoReg, Imm: off, Sym: slot})
+}
+
+func (fb *FuncBuilder) StoreSF(slot int32, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreSF, Dst: NoReg, A: idx, B: val, Imm: off, Sym: slot})
+}
+
+// LoadH loads *(ptr + off + 8*idx).
+func (fb *FuncBuilder) LoadH(ptr Reg, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadH, Dst: fb.newReg(), A: ptr, B: idx, Imm: off})
+}
+
+// StoreH stores val to *(ptr + off + 8*idx). The value register rides in the
+// Dst slot (see Instr documentation).
+func (fb *FuncBuilder) StoreH(ptr Reg, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreH, Dst: val, A: ptr, B: idx, Imm: off})
+}
+
+// LoadHF / StoreHF are the floating-point heap accesses.
+func (fb *FuncBuilder) LoadHF(ptr Reg, off int64, idx Reg) Reg {
+	return fb.emit(Instr{Op: OpLoadHF, Dst: fb.newReg(), A: ptr, B: idx, Imm: off})
+}
+
+func (fb *FuncBuilder) StoreHF(ptr Reg, off int64, idx Reg, val Reg) {
+	fb.emit(Instr{Op: OpStoreHF, Dst: val, A: ptr, B: idx, Imm: off})
+}
+
+// Alloc allocates size heap bytes and returns the pointer register.
+func (fb *FuncBuilder) Alloc(size int64) Reg {
+	return fb.emit(Instr{Op: OpAlloc, Dst: fb.newReg(), A: NoReg, B: NoReg, Imm: size})
+}
+
+// Free releases a heap pointer.
+func (fb *FuncBuilder) Free(ptr Reg) {
+	fb.emit(Instr{Op: OpFree, Dst: NoReg, A: ptr, B: NoReg})
+}
+
+// Call invokes the function with index fn and returns the result register.
+func (fb *FuncBuilder) Call(fn int32, args ...Reg) Reg {
+	as := append([]Reg(nil), args...)
+	return fb.emit(Instr{Op: OpCall, Dst: fb.newReg(), A: NoReg, B: NoReg, Sym: fn, Args: as})
+}
+
+// Invoke is a call with an exception handler: if the callee (or anything it
+// calls) throws, control transfers to the handler block and the returned
+// register holds the exception value instead of the call result.
+func (fb *FuncBuilder) Invoke(fn int32, handler int, args ...Reg) Reg {
+	as := append([]Reg(nil), args...)
+	return fb.emit(Instr{Op: OpCall, Dst: fb.newReg(), A: NoReg, B: NoReg,
+		Sym: fn, Imm: int64(handler) + 1, Args: as})
+}
+
+// Throw raises v as an exception, unwinding to the nearest Invoke handler.
+func (fb *FuncBuilder) Throw(v Reg) {
+	fb.emit(Instr{Op: OpThrow, Dst: NoReg, A: v, B: NoReg})
+}
+
+// CallVoid invokes fn, discarding any result.
+func (fb *FuncBuilder) CallVoid(fn int32, args ...Reg) {
+	as := append([]Reg(nil), args...)
+	fb.emit(Instr{Op: OpCall, Dst: NoReg, A: NoReg, B: NoReg, Sym: fn, Args: as})
+}
+
+// Sink mixes an integer register into the program output.
+func (fb *FuncBuilder) Sink(a Reg) {
+	fb.emit(Instr{Op: OpSink, Dst: NoReg, A: a, B: NoReg})
+}
+
+// SinkF mixes a floating-point register into the program output.
+func (fb *FuncBuilder) SinkF(a Reg) {
+	fb.emit(Instr{Op: OpSinkF, Dst: NoReg, A: a, B: NoReg})
+}
+
+func (fb *FuncBuilder) terminate(t Terminator) {
+	b := fb.f.Blocks[fb.cur]
+	if b.Term.Kind != TermNone {
+		panic(fmt.Sprintf("ir: block %d of %s already terminated", fb.cur, fb.f.Name))
+	}
+	b.Term = t
+}
+
+// Jmp terminates the current block with an unconditional jump.
+func (fb *FuncBuilder) Jmp(target int) {
+	fb.terminate(Terminator{Kind: TermJmp, Then: target, Cond: NoReg, Val: NoReg})
+}
+
+// Br terminates the current block with a conditional branch.
+func (fb *FuncBuilder) Br(cond Reg, then, els int) {
+	fb.terminate(Terminator{Kind: TermBr, Cond: cond, Then: then, Else: els, Val: NoReg})
+}
+
+// Ret terminates the current block with a return.
+func (fb *FuncBuilder) Ret(val Reg) {
+	fb.terminate(Terminator{Kind: TermRet, Val: val, Cond: NoReg})
+}
+
+// Loop emits a counted loop running body n times (n from a register).
+// It allocates the induction register, emits header/body/exit blocks, and
+// leaves the cursor in the exit block. The body callback receives the
+// induction register (counting 0..n-1) and must not terminate the block it
+// is left in; Loop adds the back edge.
+func (fb *FuncBuilder) Loop(n Reg, body func(i Reg)) {
+	i := fb.ConstI(0)
+	header := fb.NewBlock()
+	bodyBlk := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Jmp(header)
+
+	fb.SetBlock(header)
+	cond := fb.CmpLT(i, n)
+	fb.Br(cond, bodyBlk, exit)
+
+	fb.SetBlock(bodyBlk)
+	body(i)
+	one := fb.ConstI(1)
+	next := fb.Add(i, one)
+	fb.MovTo(i, next)
+	fb.Jmp(header)
+
+	fb.SetBlock(exit)
+}
+
+// LoopN is Loop with a constant trip count.
+func (fb *FuncBuilder) LoopN(n int64, body func(i Reg)) {
+	fb.Loop(fb.ConstI(n), body)
+}
+
+// If emits an if/else diamond. Either branch callback may be nil. The cursor
+// ends in the join block.
+func (fb *FuncBuilder) If(cond Reg, then func(), els func()) {
+	thenBlk := fb.NewBlock()
+	elseBlk := fb.NewBlock()
+	join := fb.NewBlock()
+	fb.Br(cond, thenBlk, elseBlk)
+
+	fb.SetBlock(thenBlk)
+	if then != nil {
+		then()
+	}
+	if fb.f.Blocks[fb.cur].Term.Kind == TermNone {
+		fb.Jmp(join)
+	}
+
+	fb.SetBlock(elseBlk)
+	if els != nil {
+		els()
+	}
+	if fb.f.Blocks[fb.cur].Term.Kind == TermNone {
+		fb.Jmp(join)
+	}
+
+	fb.SetBlock(join)
+}

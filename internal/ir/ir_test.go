@@ -1,0 +1,231 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildSquare builds a module computing and sinking n*n in a loop.
+func buildSquare() *Module {
+	mb := NewModuleBuilder("square")
+	g := mb.Global("acc", 8)
+
+	sq := mb.Func("square", 1)
+	x := sq.Param(0)
+	sq.Ret(sq.Mul(x, x))
+
+	main := mb.Func("main", 0)
+	main.LoopN(10, func(i Reg) {
+		v := main.Call(sq.Index(), i)
+		old := main.LoadG(g, 0, NoReg)
+		main.StoreG(g, 0, NoReg, main.Add(old, v))
+	})
+	main.Sink(main.LoadG(g, 0, NoReg))
+	main.Ret(NoReg)
+	return mb.Module()
+}
+
+func TestBuilderProducesValidModule(t *testing.T) {
+	m := buildSquare()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestEntryResolution(t *testing.T) {
+	m := buildSquare()
+	if m.Entry() != m.FuncIndex("main") {
+		t.Fatal("Entry did not find main")
+	}
+	if m.FuncIndex("nonexistent") != -1 {
+		t.Fatal("FuncIndex invented a function")
+	}
+}
+
+func TestFinalizeFrameLayout(t *testing.T) {
+	mb := NewModuleBuilder("frames")
+	f := mb.Func("f", 0)
+	a := f.Slot("a", 8)
+	b := f.Slot("b", 24)
+	c := f.Slot("c", 3) // rounds to 8
+	f.Ret(NoReg)
+	m := mb.Module()
+	fn := m.Funcs[0]
+	if fn.Slots[a].Off != 0 || fn.Slots[b].Off != 8 || fn.Slots[c].Off != 32 {
+		t.Fatalf("slot offsets %v", fn.Slots)
+	}
+	if fn.FrameSize != 40+16 {
+		t.Fatalf("frame size %d, want 56", fn.FrameSize)
+	}
+}
+
+func TestValidateCatchesUnterminatedBlock(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.ConstI(1) // no terminator
+	m := mb.Module()
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "not terminated") {
+		t.Fatalf("unterminated block not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadBranchTarget(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.Jmp(99)
+	if err := mb.Module().Validate(); err == nil {
+		t.Fatal("bad jump target not caught")
+	}
+	_ = f
+}
+
+func TestValidateCatchesArityMismatch(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	callee := mb.Func("callee", 2)
+	callee.Ret(NoReg)
+	caller := mb.Func("main", 0)
+	one := caller.ConstI(1)
+	caller.Call(callee.Index(), one) // missing second arg
+	caller.Ret(NoReg)
+	if err := mb.Module().Validate(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("arity mismatch not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadGlobal(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.LoadG(5, 0, NoReg) // no globals declared
+	f.Ret(NoReg)
+	if err := mb.Module().Validate(); err == nil || !strings.Contains(err.Error(), "global") {
+		t.Fatalf("bad global not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadRegister(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.Ret(Reg(42)) // register never allocated
+	if err := mb.Module().Validate(); err == nil {
+		t.Fatal("out-of-range register not caught")
+	}
+}
+
+func TestEmitIntoTerminatedBlockPanics(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.Ret(NoReg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("emit into terminated block did not panic")
+		}
+	}()
+	f.ConstI(1)
+}
+
+func TestDoubleTerminatePanics(t *testing.T) {
+	mb := NewModuleBuilder("bad")
+	f := mb.Func("f", 0)
+	f.Ret(NoReg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double terminate did not panic")
+		}
+	}()
+	f.Ret(NoReg)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := buildSquare()
+	c := m.Clone()
+	// Mutate the clone thoroughly.
+	c.Funcs[0].Blocks[0].Instrs = nil
+	c.Funcs[0].Name = "mutated"
+	c.Globals[0].Size = 999
+	if m.Funcs[0].Name == "mutated" || len(m.Funcs[0].Blocks[0].Instrs) == 0 || m.Globals[0].Size == 999 {
+		t.Fatal("clone aliases original")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestCloneEquivalentStructure(t *testing.T) {
+	m := buildSquare()
+	c := m.Clone()
+	if m.String() != c.String() {
+		t.Fatal("clone renders differently from original")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpLoadH.IsLoad() || OpStoreH.IsLoad() {
+		t.Fatal("IsLoad wrong")
+	}
+	if !OpStoreGF.IsStore() || OpLoadG.IsStore() {
+		t.Fatal("IsStore wrong")
+	}
+	if !OpFAdd.IsFloat() || OpAdd.IsFloat() {
+		t.Fatal("IsFloat wrong")
+	}
+	if !OpCall.HasSideEffects() || OpAdd.HasSideEffects() {
+		t.Fatal("HasSideEffects wrong")
+	}
+	if !OpSink.HasSideEffects() || !OpFree.HasSideEffects() {
+		t.Fatal("side-effect ops misclassified")
+	}
+}
+
+func TestEncodedSizesPositive(t *testing.T) {
+	for op := OpConstI; op < opCount; op++ {
+		if op.EncodedSize() == 0 {
+			t.Errorf("op %s has zero encoded size", op)
+		}
+	}
+	if OpNop.EncodedSize() != 0 {
+		t.Error("nop should be free")
+	}
+}
+
+func TestLoopStructure(t *testing.T) {
+	mb := NewModuleBuilder("loop")
+	f := mb.Func("main", 0)
+	bodies := 0
+	f.LoopN(5, func(i Reg) { bodies++; f.Sink(i) })
+	f.Ret(NoReg)
+	if bodies != 1 {
+		t.Fatal("loop body callback invoked more than once at build time")
+	}
+	m := mb.Module()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("loop module invalid: %v", err)
+	}
+	// Entry + header + body + exit.
+	if len(m.Funcs[0].Blocks) != 4 {
+		t.Fatalf("loop emitted %d blocks, want 4", len(m.Funcs[0].Blocks))
+	}
+}
+
+func TestIfStructure(t *testing.T) {
+	mb := NewModuleBuilder("if")
+	f := mb.Func("main", 0)
+	c := f.ConstI(1)
+	thenRan, elseRan := false, false
+	f.If(c, func() { thenRan = true; f.Sink(f.ConstI(1)) }, func() { elseRan = true })
+	f.Ret(NoReg)
+	if !thenRan || !elseRan {
+		t.Fatal("If did not invoke both builders")
+	}
+	if err := mb.Module().Validate(); err != nil {
+		t.Fatalf("if module invalid: %v", err)
+	}
+}
+
+func TestStringRendersAllInstrs(t *testing.T) {
+	s := buildSquare().String()
+	for _, want := range []string{"module square", "fn 0 square", "call f0", "storeg", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// GenConfig bounds the random-program generator.
+type GenConfig struct {
+	MaxFuncs     int // besides main (default 6)
+	MaxBlockLen  int // instructions per straight-line burst (default 12)
+	MaxLoopIters int64
+	MaxGlobals   int
+	MaxSlots     int
+	MaxDepth     int // nesting depth of loops/ifs (default 3)
+}
+
+func (c *GenConfig) defaults() {
+	if c.MaxFuncs == 0 {
+		c.MaxFuncs = 6
+	}
+	if c.MaxBlockLen == 0 {
+		c.MaxBlockLen = 12
+	}
+	if c.MaxLoopIters == 0 {
+		c.MaxLoopIters = 12
+	}
+	if c.MaxGlobals == 0 {
+		c.MaxGlobals = 4
+	}
+	if c.MaxSlots == 0 {
+		c.MaxSlots = 3
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+}
+
+// Generate builds a random, valid, terminating module from the seed. The
+// output always validates, always terminates (loops have bounded constant
+// trip counts, calls form a DAG), never frees memory it does not own, and
+// sinks enough values that its checksum exercises the whole program. It is
+// the fuzz driver for the compiler-equivalence and layout-invariance tests:
+// any pass or runtime that changes a generated program's output is broken.
+func Generate(seed uint64, cfg GenConfig) *Module {
+	cfg.defaults()
+	r := rng.NewMarsaglia(seed)
+	g := &irgen{r: r, cfg: cfg, mb: NewModuleBuilder(fmt.Sprintf("gen%d", seed))}
+
+	for i := 0; i < 1+r.Intn(cfg.MaxGlobals); i++ {
+		words := 1 + r.Intn(16)
+		init := make([]int64, words)
+		for w := range init {
+			init[w] = int64(r.Next()) - 1<<30
+		}
+		g.mb.GlobalInit(fmt.Sprintf("g%d", i), init)
+		g.globalWords = append(g.globalWords, int64(words))
+	}
+
+	// Callee functions first (callable only "downward", so no recursion and
+	// guaranteed termination).
+	nFuncs := r.Intn(cfg.MaxFuncs + 1)
+	for i := 0; i < nFuncs; i++ {
+		params := 1 + r.Intn(2)
+		fb := g.mb.Func(fmt.Sprintf("f%d", i), params)
+		g.buildBody(fb, params, cfg.MaxDepth, i, true)
+		g.funcs = append(g.funcs, genFunc{index: fb.Index(), params: params})
+	}
+
+	// main may not throw (an uncaught exception aborts the run), but its
+	// invoke handlers catch whatever the helpers raise.
+	main := g.mb.Func("main", 0)
+	g.buildBody(main, 0, cfg.MaxDepth, nFuncs, false)
+	m := g.mb.Module()
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("ir: generator produced invalid module: %v", err))
+	}
+	return m
+}
+
+type genFunc struct {
+	index  int32
+	params int
+}
+
+type irgen struct {
+	r           *rng.Marsaglia
+	cfg         GenConfig
+	mb          *ModuleBuilder
+	funcs       []genFunc
+	globalWords []int64
+}
+
+// buildBody emits a function body: bursts of instructions interleaved with
+// nested control flow, ending in a return. callableBelow limits callees to
+// functions with smaller indices.
+func (g *irgen) buildBody(fb *FuncBuilder, params, depth, callableBelow int, mayThrow bool) {
+	// Tracked integer values available as operands.
+	vals := []Reg{fb.ConstI(int64(g.r.Intn(100) + 1))}
+	for p := 0; p < params; p++ {
+		vals = append(vals, fb.Param(p))
+	}
+	// Tracked float values.
+	fvals := []Reg{fb.ConstF(1.25)}
+	// Live heap pointers, scoped: a loop body or if-branch gets a fresh
+	// scope, and only the innermost scope's objects may be freed there.
+	// A free emitted inside a loop would execute once per iteration; only
+	// objects allocated in the same body are re-allocated each iteration,
+	// so only they can be freed safely. Objects allocated in conditional
+	// code never escape their scope (their register may be unassigned on
+	// the other path). Unfreed inner objects simply leak, which is valid.
+	type obj struct {
+		ptr   Reg
+		words int64
+	}
+	scopes := []*[]obj{{}}
+
+	nSlots := g.r.Intn(g.cfg.MaxSlots + 1)
+	slots := make([]struct {
+		idx   int32
+		words int64
+	}, nSlots)
+	for i := range slots {
+		slots[i].words = int64(1 + g.r.Intn(8))
+		slots[i].idx = fb.Slot(fmt.Sprintf("s%d", i), uint64(slots[i].words*8))
+		fb.StoreS(slots[i].idx, 0, NoReg, vals[g.r.Intn(len(vals))])
+	}
+
+	pickI := func() Reg { return vals[g.r.Intn(len(vals))] }
+	pickF := func() Reg { return fvals[g.r.Intn(len(fvals))] }
+
+	var emitBurst func(depth int)
+	emitBurst = func(depth int) {
+		n := 1 + g.r.Intn(g.cfg.MaxBlockLen)
+		for k := 0; k < n; k++ {
+			switch g.r.Intn(21) {
+			case 0:
+				vals = append(vals, fb.ConstI(int64(g.r.Next())%1000))
+			case 1:
+				vals = append(vals, fb.Add(pickI(), pickI()))
+			case 2:
+				vals = append(vals, fb.Sub(pickI(), pickI()))
+			case 3:
+				vals = append(vals, fb.Mul(pickI(), pickI()))
+			case 4:
+				vals = append(vals, fb.Div(pickI(), pickI()))
+			case 5:
+				vals = append(vals, fb.Xor(pickI(), pickI()))
+			case 6:
+				vals = append(vals, fb.Shr(pickI(), fb.ConstI(int64(g.r.Intn(8)))))
+			case 7:
+				vals = append(vals, fb.CmpLT(pickI(), pickI()))
+			case 8: // global access
+				gi := int32(g.r.Intn(len(g.globalWords)))
+				off := int64(g.r.Intn(int(g.globalWords[gi]))) * 8
+				if g.r.Intn(2) == 0 {
+					vals = append(vals, fb.LoadG(gi, off, NoReg))
+				} else {
+					fb.StoreG(gi, off, NoReg, pickI())
+				}
+			case 9: // stack access
+				if nSlots > 0 {
+					s := slots[g.r.Intn(nSlots)]
+					off := int64(g.r.Intn(int(s.words))) * 8
+					if g.r.Intn(2) == 0 {
+						vals = append(vals, fb.LoadS(s.idx, off, NoReg))
+					} else {
+						fb.StoreS(s.idx, off, NoReg, pickI())
+					}
+				}
+			case 10: // allocate into the innermost scope
+				words := int64(1 + g.r.Intn(8))
+				p := fb.Alloc(words * 8)
+				fb.StoreH(p, 0, NoReg, pickI())
+				top := scopes[len(scopes)-1]
+				*top = append(*top, obj{ptr: p, words: words})
+			case 11: // heap access: any scope's objects are live here
+				var all []obj
+				for _, sc := range scopes {
+					all = append(all, *sc...)
+				}
+				if len(all) > 0 {
+					o := all[g.r.Intn(len(all))]
+					off := int64(g.r.Intn(int(o.words))) * 8
+					if g.r.Intn(2) == 0 {
+						vals = append(vals, fb.LoadH(o.ptr, off, NoReg))
+					} else {
+						fb.StoreH(o.ptr, off, NoReg, pickI())
+					}
+				}
+			case 12: // free, innermost scope only (no double free, no UAF)
+				top := scopes[len(scopes)-1]
+				if n := len(*top); n > 0 {
+					i := g.r.Intn(n)
+					fb.Free((*top)[i].ptr)
+					(*top)[i] = (*top)[n-1]
+					*top = (*top)[:n-1]
+				}
+			case 13: // float math
+				switch g.r.Intn(4) {
+				case 0:
+					fvals = append(fvals, fb.FAdd(pickF(), pickF()))
+				case 1:
+					fvals = append(fvals, fb.FMul(pickF(), pickF()))
+				case 2:
+					fvals = append(fvals, fb.I2F(pickI()))
+				default:
+					vals = append(vals, fb.F2I(pickF()))
+				}
+			case 14: // call someone strictly earlier in the build order
+				var callable []genFunc
+				for _, f := range g.funcs {
+					if int(f.index) < callableBelow {
+						callable = append(callable, f)
+					}
+				}
+				if len(callable) > 0 {
+					callee := callable[g.r.Intn(len(callable))]
+					args := make([]Reg, callee.params)
+					for ai := range args {
+						args[ai] = pickI()
+					}
+					if !mayThrow || g.r.Intn(2) == 0 {
+						// Invoke form: catch anything the callee throws,
+						// observe it, and continue. main always invokes —
+						// an exception escaping main aborts the program.
+						handler := fb.NewBlock()
+						cont := fb.NewBlock()
+						res := fb.Invoke(callee.index, handler, args...)
+						fb.Jmp(cont)
+						fb.SetBlock(handler)
+						fb.Sink(res) // the caught exception value
+						fb.Jmp(cont)
+						fb.SetBlock(cont)
+						vals = append(vals, res)
+					} else {
+						vals = append(vals, fb.Call(callee.index, args...))
+					}
+				}
+			case 15: // sink
+				fb.Sink(pickI())
+			case 18: // conditional throw (helpers only)
+				if mayThrow {
+					cond := fb.CmpEQ(fb.And(pickI(), fb.ConstI(7)), fb.ConstI(3))
+					thrown := fb.Xor(pickI(), fb.ConstI(0x7fff))
+					fb.If(cond, func() { fb.Throw(thrown) }, nil)
+				}
+			case 16: // if/else, each branch in its own object scope
+				if depth > 0 {
+					cond := fb.CmpLT(pickI(), pickI())
+					inScope := func(body func()) func() {
+						return func() {
+							scopes = append(scopes, &[]obj{})
+							body()
+							scopes = scopes[:len(scopes)-1]
+						}
+					}
+					fb.If(cond,
+						inScope(func() { emitBurst(depth - 1) }),
+						inScope(func() { emitBurst(depth - 1) }))
+				}
+			case 17: // bounded loop, body in its own object scope
+				if depth > 0 {
+					iters := 1 + int64(g.r.Intn(int(g.cfg.MaxLoopIters)))
+					fb.LoopN(iters, func(i Reg) {
+						vals = append(vals, i)
+						scopes = append(scopes, &[]obj{})
+						emitBurst(depth - 1)
+						scopes = scopes[:len(scopes)-1]
+					})
+				}
+			default:
+				vals = append(vals, fb.Mov(pickI()))
+			}
+			// Keep operand pools bounded.
+			if len(vals) > 64 {
+				vals = vals[len(vals)-32:]
+			}
+			if len(fvals) > 32 {
+				fvals = fvals[len(fvals)-16:]
+			}
+		}
+	}
+
+	emitBurst(depth)
+	// Always observe something.
+	fb.Sink(pickI())
+	// Free outer-scope leftovers so allocators see balanced workloads half
+	// the time; the rest leak, which is valid.
+	if g.r.Intn(2) == 0 {
+		for _, o := range *scopes[0] {
+			fb.Free(o.ptr)
+		}
+	}
+	fb.Ret(pickI())
+}

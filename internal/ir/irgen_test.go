@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateProducesValidModules(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := Generate(seed%1000, GenConfig{})
+		return m.Validate() == nil && m.FuncIndex("main") >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(42, GenConfig{})
+	b := Generate(42, GenConfig{})
+	if a.String() != b.String() {
+		t.Fatal("same seed generated different modules")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(1, GenConfig{})
+	b := Generate(2, GenConfig{})
+	if a.String() == b.String() {
+		t.Fatal("different seeds generated identical modules")
+	}
+}
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	m := Generate(7, GenConfig{MaxFuncs: 1, MaxGlobals: 1, MaxDepth: 1})
+	// main + at most 1 helper.
+	if len(m.Funcs) > 2 {
+		t.Fatalf("%d functions with MaxFuncs=1", len(m.Funcs))
+	}
+	if len(m.Globals) > 1 {
+		t.Fatalf("%d globals with MaxGlobals=1", len(m.Globals))
+	}
+}
+
+func TestGenerateCallGraphIsAcyclic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		m := Generate(seed, GenConfig{})
+		// Every call must target a strictly smaller function index (the
+		// generator's termination guarantee).
+		for fi, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == OpCall && int(in.Sym) >= fi {
+						t.Fatalf("seed %d: %s calls forward/self (f%d -> f%d)",
+							seed, f.Name, fi, in.Sym)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func testCache() *Cache {
+	return NewCache(CacheConfig{Name: "test", Size: 1024, LineSize: 64, Ways: 2})
+	// 8 sets, 2 ways.
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "a", Size: 1024, LineSize: 60, Ways: 2}, // non-power-of-two line
+		{Name: "b", Size: 1024, LineSize: 64, Ways: 0}, // zero ways
+		{Name: "c", Size: 1000, LineSize: 64, Ways: 2}, // non-power-of-two sets
+		{Name: "d", Size: 64, LineSize: 64, Ways: 2},   // zero sets
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q validated but should not", cfg.Name)
+		}
+	}
+	good := CacheConfig{Name: "g", Size: 32 << 10, LineSize: 64, Ways: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestCacheColdMissThenHit(t *testing.T) {
+	c := testCache()
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x103f) { // same line
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x1040) { // next line
+		t.Fatal("next-line access hit cold")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := testCache() // 8 sets × 2 ways; addresses 512 bytes apart share a set
+	const stride = 8 * 64
+	a := mem.Addr(0)
+	b := mem.Addr(stride)
+	d := mem.Addr(2 * stride)
+	c.Access(a)
+	c.Access(b)
+	// Touch a so b becomes LRU.
+	c.Access(a)
+	c.Access(d) // evicts b
+	if !c.Probe(a) {
+		t.Fatal("a evicted but was MRU")
+	}
+	if c.Probe(b) {
+		t.Fatal("b resident but was LRU at eviction")
+	}
+	if !c.Probe(d) {
+		t.Fatal("d not resident after install")
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", c.Evictions)
+	}
+}
+
+func TestCacheSetMapping(t *testing.T) {
+	c := testCache()
+	if c.Sets() != 8 {
+		t.Fatalf("sets=%d, want 8", c.Sets())
+	}
+	// Addresses that differ only above the index bits map to the same set.
+	if c.SetOf(0x40) != c.SetOf(0x40+8*64) {
+		t.Fatal("stride of sets*line did not alias")
+	}
+	if c.SetOf(0x0) == c.SetOf(0x40) {
+		t.Fatal("adjacent lines mapped to the same set")
+	}
+}
+
+func TestCacheConflictVsCapacity(t *testing.T) {
+	// Two addresses in the same set conflict even though the cache is
+	// nearly empty — the core mechanism behind layout luck.
+	c := testCache()
+	const stride = 8 * 64
+	addrs := []mem.Addr{0, stride, 2 * stride}
+	for round := 0; round < 10; round++ {
+		for _, a := range addrs {
+			c.Access(a)
+		}
+	}
+	// With 3 lines cycling through a 2-way set in LRU order every access
+	// misses after the first round.
+	if c.Hits != 0 {
+		t.Fatalf("expected pure conflict thrashing, got %d hits", c.Hits)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := testCache()
+	c.Access(0x1000)
+	c.Flush()
+	if c.Probe(0x1000) {
+		t.Fatal("line survived flush")
+	}
+}
+
+func TestCacheProbeDoesNotDisturb(t *testing.T) {
+	c := testCache()
+	c.Access(0x0)
+	h, m0 := c.Hits, c.Misses
+	c.Probe(0x0)
+	c.Probe(0x9999)
+	if c.Hits != h || c.Misses != m0 {
+		t.Fatal("probe changed counters")
+	}
+}
+
+func TestCacheAddressZeroResident(t *testing.T) {
+	// Address 0 must be representable despite the empty-slot sentinel.
+	c := testCache()
+	c.Access(0)
+	if !c.Probe(0) {
+		t.Fatal("line 0 not tracked")
+	}
+}
+
+func TestCacheAccessIdempotentProperty(t *testing.T) {
+	// After any access sequence, accessing the last address again must hit.
+	f := func(seq []uint32) bool {
+		c := testCache()
+		var last mem.Addr
+		for _, a := range seq {
+			last = mem.Addr(a)
+			c.Access(last)
+		}
+		if len(seq) == 0 {
+			return true
+		}
+		return c.Access(last)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBGranularity(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	if tlb.LineSize() != mem.PageSize {
+		t.Fatalf("TLB granularity %d, want page size", tlb.LineSize())
+	}
+	tlb.Access(0x1000)
+	if !tlb.Probe(0x1fff) {
+		t.Fatal("same page missed")
+	}
+	if tlb.Probe(0x2000) {
+		t.Fatal("next page resident")
+	}
+}

@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters is a point-in-time snapshot of every statistic the machine
+// keeps, in the style of `perf stat`.
+type Counters struct {
+	Cycles, Instructions                 uint64
+	L1IHits, L1IMisses                   uint64
+	L1DHits, L1DMisses                   uint64
+	L2Hits, L2Misses                     uint64
+	L3Hits, L3Misses                     uint64
+	TLBHits, TLBMisses                   uint64
+	BranchLookups                        uint64
+	DirectionMispredicts, BTBMispredicts uint64
+}
+
+// Snapshot captures the current counters.
+func (m *Machine) Snapshot() Counters {
+	return Counters{
+		Cycles:               m.Cycles,
+		Instructions:         m.Instructions,
+		L1IHits:              m.L1I.Hits,
+		L1IMisses:            m.L1I.Misses,
+		L1DHits:              m.L1D.Hits,
+		L1DMisses:            m.L1D.Misses,
+		L2Hits:               m.L2.Hits,
+		L2Misses:             m.L2.Misses,
+		L3Hits:               m.L3.Hits,
+		L3Misses:             m.L3.Misses,
+		TLBHits:              m.TLB.Hits,
+		TLBMisses:            m.TLB.Misses,
+		BranchLookups:        m.BP.Lookups,
+		DirectionMispredicts: m.BP.DirectionMispredicts,
+		BTBMispredicts:       m.BP.TargetMispredicts,
+	}
+}
+
+// Sub returns the counter deltas c - prev; used for windowed sampling.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Cycles:               c.Cycles - prev.Cycles,
+		Instructions:         c.Instructions - prev.Instructions,
+		L1IHits:              c.L1IHits - prev.L1IHits,
+		L1IMisses:            c.L1IMisses - prev.L1IMisses,
+		L1DHits:              c.L1DHits - prev.L1DHits,
+		L1DMisses:            c.L1DMisses - prev.L1DMisses,
+		L2Hits:               c.L2Hits - prev.L2Hits,
+		L2Misses:             c.L2Misses - prev.L2Misses,
+		L3Hits:               c.L3Hits - prev.L3Hits,
+		L3Misses:             c.L3Misses - prev.L3Misses,
+		TLBHits:              c.TLBHits - prev.TLBHits,
+		TLBMisses:            c.TLBMisses - prev.TLBMisses,
+		BranchLookups:        c.BranchLookups - prev.BranchLookups,
+		DirectionMispredicts: c.DirectionMispredicts - prev.DirectionMispredicts,
+		BTBMispredicts:       c.BTBMispredicts - prev.BTBMispredicts,
+	}
+}
+
+// IPC returns instructions per cycle.
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// String renders the snapshot in a perf-stat-like layout.
+func (c Counters) String() string {
+	var sb strings.Builder
+	rate := func(miss, hit uint64) float64 {
+		total := miss + hit
+		if total == 0 {
+			return 0
+		}
+		return float64(miss) / float64(total) * 100
+	}
+	fmt.Fprintf(&sb, "%15d cycles\n", c.Cycles)
+	fmt.Fprintf(&sb, "%15d instructions        # %5.2f IPC\n", c.Instructions, c.IPC())
+	fmt.Fprintf(&sb, "%15d L1I misses          # %5.2f%% of accesses\n", c.L1IMisses, rate(c.L1IMisses, c.L1IHits))
+	fmt.Fprintf(&sb, "%15d L1D misses          # %5.2f%% of accesses\n", c.L1DMisses, rate(c.L1DMisses, c.L1DHits))
+	fmt.Fprintf(&sb, "%15d L2 misses           # %5.2f%% of accesses\n", c.L2Misses, rate(c.L2Misses, c.L2Hits))
+	fmt.Fprintf(&sb, "%15d L3 misses           # %5.2f%% of accesses\n", c.L3Misses, rate(c.L3Misses, c.L3Hits))
+	fmt.Fprintf(&sb, "%15d TLB misses          # %5.2f%% of accesses\n", c.TLBMisses, rate(c.TLBMisses, c.TLBHits))
+	fmt.Fprintf(&sb, "%15d branch lookups\n", c.BranchLookups)
+	fmt.Fprintf(&sb, "%15d mispredicted        # direction %d, target %d\n",
+		c.DirectionMispredicts+c.BTBMispredicts, c.DirectionMispredicts, c.BTBMispredicts)
+	return sb.String()
+}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	memp "repro/internal/mem"
+)
+
+func TestSnapshotCapturesCounters(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Retire(100)
+	m.Data(0x1000, 8)
+	m.Fetch(0x400000, 16)
+	m.CondBranch(0x400010, true)
+	c := m.Snapshot()
+	if c.Instructions != 100 || c.Cycles == 0 {
+		t.Fatalf("snapshot: %+v", c)
+	}
+	if c.L1DMisses != 1 || c.L1IMisses != 1 {
+		t.Fatalf("miss counts: %+v", c)
+	}
+	if c.BranchLookups != 1 {
+		t.Fatalf("branch lookups: %d", c.BranchLookups)
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Retire(50)
+	before := m.Snapshot()
+	m.Retire(25)
+	m.Data(0x2000, 8)
+	d := m.Snapshot().Sub(before)
+	if d.Instructions != 25 {
+		t.Fatalf("delta instructions = %d", d.Instructions)
+	}
+	if d.L1DMisses != 1 {
+		t.Fatalf("delta L1D misses = %d", d.L1DMisses)
+	}
+}
+
+func TestCountersIPC(t *testing.T) {
+	c := Counters{Cycles: 200, Instructions: 100}
+	if c.IPC() != 0.5 {
+		t.Fatalf("IPC = %v", c.IPC())
+	}
+	if (Counters{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Retire(10)
+	m.Data(0x1000, 8)
+	s := m.Snapshot().String()
+	for _, want := range []string{"cycles", "instructions", "IPC", "L1D misses", "TLB misses", "mispredicted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPhysicalTranslationDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) uint64 {
+		m := New(DefaultConfig())
+		m.SetPhysicalSeed(seed)
+		// Touch many pages; L2/L3 behaviour depends on frame assignment.
+		for i := 0; i < 4096; i++ {
+			m.Data(pageAddr(i), 8)
+		}
+		return m.Cycles
+	}
+	if run(5) != run(5) {
+		t.Fatal("same physical seed, different cycles")
+	}
+}
+
+func TestPhysicalTranslationPreservesPageColor(t *testing.T) {
+	m := New(DefaultConfig())
+	m.SetPhysicalSeed(9)
+	for page := uint64(0); page < 64; page++ {
+		virt := page * 4096
+		phys := uint64(m.translate(memp.Addr(virt)))
+		if phys%4096 != 0 {
+			t.Fatalf("frame not page aligned: %#x", phys)
+		}
+		if (phys/4096)&7 != page&7 {
+			t.Fatalf("page color not preserved: page %d -> frame %d", page, phys/4096)
+		}
+	}
+}
+
+func TestPhysicalTranslationStablePerPage(t *testing.T) {
+	m := New(DefaultConfig())
+	m.SetPhysicalSeed(11)
+	a := m.translate(0x10000000)
+	b := m.translate(0x10000040) // same page
+	if uint64(a)/4096 != uint64(b)/4096 {
+		t.Fatal("same virtual page translated to different frames")
+	}
+	if m.translate(0x10000000) != a {
+		t.Fatal("translation not memoized")
+	}
+}
+
+func pageAddr(i int) memp.Addr { return memp.Addr(0x10000000 + i*4096) }

@@ -1,0 +1,180 @@
+// Package mem models the simulated 64-bit address space in which every
+// program in this reproduction runs.
+//
+// The paper's layout effects are functions of concrete addresses, so the
+// substrate needs a faithful notion of where things live: a static code
+// segment populated by the linker, a globals segment, an mmap region used by
+// the heap allocators and by STABILIZER's code heap (including a MAP_32BIT
+// analogue for cheap jumps, §3.5), and a downward-growing stack whose base is
+// displaced by the size of the environment block — the mechanism behind the
+// Mytkowicz et al. environment-variable bias that the paper cites.
+package mem
+
+import "fmt"
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageSize is the simulated page size (4 KiB, as on the paper's test system).
+const PageSize = 4096
+
+// Canonical segment bases, loosely mirroring a classic x86-64 Linux layout.
+const (
+	CodeBase    Addr = 0x0000000000400000 // static text segment
+	GlobalsBase Addr = 0x0000000000600000 // data/bss
+	MmapBase    Addr = 0x0000000010000000 // bottom of the mmap region
+	MmapLow32   Addr = 0x0000000040000000 // start of MAP_32BIT allocations
+	MmapHigh    Addr = 0x00007f0000000000 // high mmap area (beyond 32-bit reach)
+	StackTop    Addr = 0x00007fffffffe000 // top of stack before the env block
+)
+
+// Page returns the page number containing a.
+func (a Addr) Page() uint64 { return uint64(a) / PageSize }
+
+// AlignUp rounds a up to the next multiple of align (a power of two).
+func (a Addr) AlignUp(align uint64) Addr {
+	return Addr((uint64(a) + align - 1) &^ (align - 1))
+}
+
+// Region is a contiguous range of simulated memory.
+type Region struct {
+	Base Addr
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether a falls inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// MapFlag selects where Map places a region, mirroring mmap flags.
+type MapFlag int
+
+const (
+	// MapAnywhere places the region at the current mmap cursor.
+	MapAnywhere MapFlag = iota
+	// MapLow32 places the region below 4 GiB so that 32-bit jump encodings
+	// can reach it (MAP_32BIT). Low memory is finite; when exhausted, Map
+	// falls back to high memory and the caller pays the slow-jump cost.
+	MapLow32
+	// MapHigh places the region in the high mmap area.
+	MapHigh
+)
+
+// AddressSpace is a simulated process address space. It tracks segment
+// cursors and mapped regions; it does not store data — programs in this
+// reproduction carry their state in interpreter structures, and the machine
+// model only needs addresses.
+type AddressSpace struct {
+	codeCursor  Addr
+	globCursor  Addr
+	mmapCursor  Addr
+	low32Cursor Addr
+	highCursor  Addr
+	low32Limit  Addr
+	stackBase   Addr // after env displacement; stack grows down from here
+	mapped      []Region
+	aslr        func(n int) int // random page-gap source; nil = deterministic
+}
+
+// SetASLR makes Map insert a random gap of up to 256 pages before each
+// region, modeling mmap address randomization. STABILIZER's heap
+// randomization enables this so that large allocations — which bypass the
+// shuffling layer ("STABILIZER cannot break apart large heap allocations",
+// §4) — still draw one random placement per run, as mmap ASLR gives them on
+// a real system. intn must return a uniform value in [0, n).
+func (as *AddressSpace) SetASLR(intn func(n int) int) { as.aslr = intn }
+
+// NewAddressSpace returns an address space with an empty environment block.
+func NewAddressSpace() *AddressSpace {
+	return NewAddressSpaceEnv(0)
+}
+
+// NewAddressSpaceEnv returns an address space whose environment block
+// occupies envSize bytes above the stack. As on a real system, the
+// environment is copied onto the top of the stack at exec time, so its size
+// displaces the stack base downward (rounded to 16-byte alignment). This is
+// the knob the env-size bias experiment turns.
+func NewAddressSpaceEnv(envSize uint64) *AddressSpace {
+	displacement := (envSize + 15) &^ 15
+	return &AddressSpace{
+		codeCursor:  CodeBase,
+		globCursor:  GlobalsBase,
+		mmapCursor:  MmapBase,
+		low32Cursor: MmapLow32,
+		highCursor:  MmapHigh,
+		low32Limit:  Addr(1) << 32,
+		stackBase:   StackTop - Addr(displacement),
+	}
+}
+
+// StackBase returns the address the stack grows down from.
+func (as *AddressSpace) StackBase() Addr { return as.stackBase }
+
+// PlaceCode reserves size bytes in the static code segment with the given
+// alignment and returns the base address. The static linker uses this to lay
+// out functions in link order.
+func (as *AddressSpace) PlaceCode(size, align uint64) Addr {
+	base := as.codeCursor.AlignUp(align)
+	as.codeCursor = base + Addr(size)
+	return base
+}
+
+// PlaceGlobal reserves size bytes in the globals segment.
+func (as *AddressSpace) PlaceGlobal(size, align uint64) Addr {
+	base := as.globCursor.AlignUp(align)
+	as.globCursor = base + Addr(size)
+	return base
+}
+
+// Map reserves a region of the mmap area. size is rounded up to whole pages.
+// With MapLow32, low memory is used until exhausted, then the request
+// silently falls back to high memory (the caller can detect this from the
+// returned address; see Below4G).
+func (as *AddressSpace) Map(size uint64, flag MapFlag) Region {
+	size = (size + PageSize - 1) &^ (PageSize - 1)
+	if as.aslr != nil {
+		gap := Addr(as.aslr(256)) * PageSize
+		switch flag {
+		case MapAnywhere:
+			as.mmapCursor += gap
+		case MapLow32:
+			as.low32Cursor += gap
+		case MapHigh:
+			as.highCursor += gap
+		}
+	}
+	var base Addr
+	switch flag {
+	case MapAnywhere:
+		base = as.mmapCursor
+		as.mmapCursor += Addr(size)
+	case MapLow32:
+		if as.low32Cursor+Addr(size) <= as.low32Limit {
+			base = as.low32Cursor
+			as.low32Cursor += Addr(size)
+		} else {
+			base = as.highCursor
+			as.highCursor += Addr(size)
+		}
+	case MapHigh:
+		base = as.highCursor
+		as.highCursor += Addr(size)
+	default:
+		panic(fmt.Sprintf("mem: unknown map flag %d", flag))
+	}
+	r := Region{Base: base, Size: size}
+	as.mapped = append(as.mapped, r)
+	return r
+}
+
+// SetLow32Limit constrains the MAP_32BIT area, for tests that need to force
+// exhaustion of low memory.
+func (as *AddressSpace) SetLow32Limit(limit Addr) { as.low32Limit = limit }
+
+// Mapped returns the regions handed out by Map, in allocation order.
+func (as *AddressSpace) Mapped() []Region { return as.mapped }
+
+// Below4G reports whether a is reachable with a 32-bit absolute encoding.
+func Below4G(a Addr) bool { return a < 1<<32 }

@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		a     Addr
+		align uint64
+		want  Addr
+	}{
+		{0, 16, 0},
+		{1, 16, 16},
+		{16, 16, 16},
+		{17, 16, 32},
+		{4095, 4096, 4096},
+		{4096, 4096, 4096},
+	}
+	for _, c := range cases {
+		if got := c.a.AlignUp(c.align); got != c.want {
+			t.Errorf("AlignUp(%#x, %d) = %#x, want %#x", uint64(c.a), c.align, uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestAlignUpProperty(t *testing.T) {
+	f := func(a uint32, shift uint8) bool {
+		align := uint64(1) << (shift % 13)
+		got := Addr(a).AlignUp(align)
+		return uint64(got)%align == 0 && got >= Addr(a) && uint64(got) < uint64(a)+align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPage(t *testing.T) {
+	if Addr(0).Page() != 0 || Addr(4095).Page() != 0 || Addr(4096).Page() != 1 {
+		t.Fatal("page arithmetic wrong")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x1000}
+	if r.Contains(0xfff) || !r.Contains(0x1000) || !r.Contains(0x1fff) || r.Contains(0x2000) {
+		t.Fatal("Contains boundaries wrong")
+	}
+	if r.End() != 0x2000 {
+		t.Fatalf("End = %#x", uint64(r.End()))
+	}
+}
+
+func TestPlaceCodeSequential(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.PlaceCode(100, 16)
+	b := as.PlaceCode(100, 16)
+	if a != CodeBase {
+		t.Fatalf("first function at %#x, want %#x", uint64(a), uint64(CodeBase))
+	}
+	if b != a+Addr(112) { // 100 rounded up to 112 by the next 16-alignment
+		t.Fatalf("second function at %#x, want %#x", uint64(b), uint64(a+112))
+	}
+}
+
+func TestPlaceGlobalAlignment(t *testing.T) {
+	as := NewAddressSpace()
+	as.PlaceGlobal(3, 1)
+	g := as.PlaceGlobal(8, 8)
+	if uint64(g)%8 != 0 {
+		t.Fatalf("global not 8-aligned: %#x", uint64(g))
+	}
+}
+
+func TestMapAnywherePageRounding(t *testing.T) {
+	as := NewAddressSpace()
+	r := as.Map(1, MapAnywhere)
+	if r.Size != PageSize {
+		t.Fatalf("size %d, want one page", r.Size)
+	}
+	r2 := as.Map(PageSize+1, MapAnywhere)
+	if r2.Size != 2*PageSize {
+		t.Fatalf("size %d, want two pages", r2.Size)
+	}
+	if r2.Base != r.End() {
+		t.Fatal("mmap regions not contiguous")
+	}
+}
+
+func TestMapLow32Fallback(t *testing.T) {
+	as := NewAddressSpace()
+	as.SetLow32Limit(MmapLow32 + 2*PageSize)
+	a := as.Map(PageSize, MapLow32)
+	b := as.Map(PageSize, MapLow32)
+	c := as.Map(PageSize, MapLow32)
+	if !Below4G(a.Base) || !Below4G(b.Base) {
+		t.Fatal("first two low32 maps should be below 4G")
+	}
+	if Below4G(c.Base) {
+		t.Fatal("third map should have fallen back to high memory")
+	}
+}
+
+func TestMapRegionsDisjoint(t *testing.T) {
+	as := NewAddressSpace()
+	sizes := []uint64{1, 4096, 8192, 100, 12288}
+	flags := []MapFlag{MapAnywhere, MapLow32, MapHigh, MapAnywhere, MapLow32}
+	for i, s := range sizes {
+		as.Map(s, flags[i])
+	}
+	regions := as.Mapped()
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Fatalf("regions %d and %d overlap: %+v %+v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestEnvDisplacesStack(t *testing.T) {
+	plain := NewAddressSpace()
+	withEnv := NewAddressSpaceEnv(100)
+	if withEnv.StackBase() >= plain.StackBase() {
+		t.Fatal("environment block did not displace the stack downward")
+	}
+	// Displacement is the env size rounded to 16.
+	if got := plain.StackBase() - withEnv.StackBase(); got != 112 {
+		t.Fatalf("displacement %d, want 112", got)
+	}
+}
+
+func TestEnvDisplacementMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return NewAddressSpaceEnv(hi).StackBase() <= NewAddressSpaceEnv(lo).StackBase()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsDoNotCollide(t *testing.T) {
+	as := NewAddressSpace()
+	for i := 0; i < 1000; i++ {
+		as.PlaceCode(256, 16)
+		as.PlaceGlobal(64, 8)
+	}
+	if as.codeCursor >= GlobalsBase {
+		t.Fatal("code segment ran into globals")
+	}
+	if as.globCursor >= MmapBase {
+		t.Fatal("globals segment ran into mmap region")
+	}
+}
+
+func TestASLRRandomizesMapPlacement(t *testing.T) {
+	seq := []int{3, 0, 7}
+	i := 0
+	as := NewAddressSpace()
+	as.SetASLR(func(n int) int { v := seq[i%len(seq)]; i++; return v })
+	r1 := as.Map(PageSize, MapAnywhere)
+	r2 := as.Map(PageSize, MapAnywhere)
+	if r1.Base != MmapBase+3*PageSize {
+		t.Fatalf("first ASLR map at %#x", uint64(r1.Base))
+	}
+	if r2.Base != r1.End() { // gap of 0 pages
+		t.Fatalf("second ASLR map at %#x, want %#x", uint64(r2.Base), uint64(r1.End()))
+	}
+	r3 := as.Map(PageSize, MapLow32)
+	if r3.Base != MmapLow32+7*PageSize {
+		t.Fatalf("low32 ASLR map at %#x", uint64(r3.Base))
+	}
+}

@@ -1,0 +1,356 @@
+// Package nist implements the subset of the NIST SP 800-22 statistical test
+// suite that §3.2 of the paper uses to validate heap randomization:
+// Frequency, BlockFrequency, CumulativeSums, Runs, LongestRun, FFT
+// (spectral), and Rank. The paper reports that lrand48, DieHard, and the
+// shuffled heap with N = 256 pass the first six with >95% confidence and
+// fail only Rank.
+//
+// Tests consume a Bits stream; BitsFromValues builds one from the index bits
+// (bits 6–17 on the paper's Core 2) of a sequence of addresses or generator
+// outputs.
+package nist
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/stats"
+)
+
+// Bits is a packed bit stream.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// NewBits returns an empty stream with capacity hint n.
+func NewBits(n int) *Bits {
+	return &Bits{words: make([]uint64, 0, (n+63)/64)}
+}
+
+// Append adds the low `count` bits of v (LSB first) to the stream.
+func (b *Bits) Append(v uint64, count int) {
+	for i := 0; i < count; i++ {
+		if b.n%64 == 0 {
+			b.words = append(b.words, 0)
+		}
+		if v&(1<<uint(i)) != 0 {
+			b.words[b.n/64] |= 1 << uint(b.n%64)
+		}
+		b.n++
+	}
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Bit returns bit i as 0 or 1.
+func (b *Bits) Bit(i int) int {
+	return int(b.words[i/64]>>uint(i%64)) & 1
+}
+
+// Ones returns the total number of one bits.
+func (b *Bits) Ones() int {
+	total := 0
+	for i, w := range b.words {
+		if i == len(b.words)-1 && b.n%64 != 0 {
+			w &= (1 << uint(b.n%64)) - 1
+		}
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// BitsFromValues extracts bits [lo, hi] (inclusive) from each value and
+// concatenates them. For heap addresses the paper uses the cache index bits,
+// 6 through 17.
+func BitsFromValues(values []uint64, lo, hi int) *Bits {
+	count := hi - lo + 1
+	b := NewBits(len(values) * count)
+	for _, v := range values {
+		b.Append(v>>uint(lo), count)
+	}
+	return b
+}
+
+// Result is one test outcome. The NIST criterion at the 1% level is
+// P >= 0.01; the paper quotes >95% confidence, so Pass uses alpha = 0.05.
+type Result struct {
+	Name string
+	P    float64
+}
+
+// Pass reports success at the conventional alpha = 0.05 (>95% confidence).
+func (r Result) Pass() bool { return !math.IsNaN(r.P) && r.P >= 0.05 }
+
+// Frequency is the monobit test.
+func Frequency(b *Bits) Result {
+	n := b.Len()
+	s := 2*b.Ones() - n
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	return Result{Name: "Frequency", P: math.Erfc(sObs / math.Sqrt2)}
+}
+
+// BlockFrequency tests the proportion of ones within M-bit blocks.
+func BlockFrequency(b *Bits, m int) Result {
+	n := b.Len()
+	nBlocks := n / m
+	if nBlocks == 0 {
+		return Result{Name: "BlockFrequency", P: math.NaN()}
+	}
+	chi2 := 0.0
+	for blk := 0; blk < nBlocks; blk++ {
+		ones := 0
+		for i := blk * m; i < (blk+1)*m; i++ {
+			ones += b.Bit(i)
+		}
+		pi := float64(ones) / float64(m)
+		chi2 += (pi - 0.5) * (pi - 0.5)
+	}
+	chi2 *= 4 * float64(m)
+	return Result{Name: "BlockFrequency", P: stats.GammaQ(float64(nBlocks)/2, chi2/2)}
+}
+
+// CumulativeSums is the forward cusum test.
+func CumulativeSums(b *Bits) Result {
+	n := b.Len()
+	sum, z := 0, 0
+	for i := 0; i < n; i++ {
+		sum += 2*b.Bit(i) - 1
+		if a := abs(sum); a > z {
+			z = a
+		}
+	}
+	if z == 0 {
+		return Result{Name: "CumulativeSums", P: 0}
+	}
+	fn := float64(n)
+	fz := float64(z)
+	sqn := math.Sqrt(fn)
+	p := 1.0
+	start := (-n/z + 1) / 4
+	end := (n/z - 1) / 4
+	for k := start; k <= end; k++ {
+		fk := float64(k)
+		p -= stats.NormalCDF((4*fk+1)*fz/sqn) - stats.NormalCDF((4*fk-1)*fz/sqn)
+	}
+	start = (-n/z - 3) / 4
+	for k := start; k <= end; k++ {
+		fk := float64(k)
+		p += stats.NormalCDF((4*fk+3)*fz/sqn) - stats.NormalCDF((4*fk+1)*fz/sqn)
+	}
+	return Result{Name: "CumulativeSums", P: clampP(p)}
+}
+
+// Runs tests the number of uninterrupted runs of identical bits.
+func Runs(b *Bits) Result {
+	n := b.Len()
+	pi := float64(b.Ones()) / float64(n)
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return Result{Name: "Runs", P: 0}
+	}
+	v := 1
+	for i := 0; i < n-1; i++ {
+		if b.Bit(i) != b.Bit(i+1) {
+			v++
+		}
+	}
+	fn := float64(n)
+	num := math.Abs(float64(v) - 2*fn*pi*(1-pi))
+	den := 2 * math.Sqrt(2*fn) * pi * (1 - pi)
+	return Result{Name: "Runs", P: math.Erfc(num / den)}
+}
+
+// LongestRun tests the longest run of ones within 128-bit blocks
+// (the n >= 6272 parameterization: K = 5, M = 128).
+func LongestRun(b *Bits) Result {
+	const m = 128
+	n := b.Len()
+	nBlocks := n / m
+	if nBlocks < 49 {
+		return Result{Name: "LongestRun", P: math.NaN()}
+	}
+	piTable := []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	var v [6]int
+	for blk := 0; blk < nBlocks; blk++ {
+		longest, cur := 0, 0
+		for i := blk * m; i < (blk+1)*m; i++ {
+			if b.Bit(i) == 1 {
+				cur++
+				if cur > longest {
+					longest = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		switch {
+		case longest <= 4:
+			v[0]++
+		case longest >= 9:
+			v[5]++
+		default:
+			v[longest-4]++
+		}
+	}
+	chi2 := 0.0
+	for i, pi := range piTable {
+		expected := float64(nBlocks) * pi
+		d := float64(v[i]) - expected
+		chi2 += d * d / expected
+	}
+	return Result{Name: "LongestRun", P: stats.GammaQ(5.0/2, chi2/2)}
+}
+
+// FFT is the discrete Fourier transform (spectral) test. The stream is
+// truncated to the largest power-of-two length for the radix-2 transform.
+func FFT(b *Bits) Result {
+	n := 1
+	for n*2 <= b.Len() {
+		n *= 2
+	}
+	if n < 64 {
+		return Result{Name: "FFT", P: math.NaN()}
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = complex(float64(2*b.Bit(i)-1), 0)
+	}
+	fft(x)
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(n))
+	n0 := 0.95 * float64(n) / 2
+	n1 := 0
+	for i := 0; i < n/2; i++ {
+		if cmplx.Abs(x[i]) < threshold {
+			n1++
+		}
+	}
+	d := (float64(n1) - n0) / math.Sqrt(float64(n)*0.95*0.05/4)
+	return Result{Name: "FFT", P: math.Erfc(math.Abs(d) / math.Sqrt2)}
+}
+
+// fft is an in-place iterative radix-2 Cooley-Tukey transform.
+func fft(x []complex128) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Rect(1, step*float64(k))
+				a := x[start+k]
+				bv := x[start+k+half] * w
+				x[start+k] = a + bv
+				x[start+k+half] = a - bv
+			}
+		}
+	}
+}
+
+// Rank is the binary matrix rank test over 32×32 matrices.
+func Rank(b *Bits) Result {
+	const m = 32
+	n := b.Len()
+	nMat := n / (m * m)
+	if nMat < 38 {
+		return Result{Name: "Rank", P: math.NaN()}
+	}
+	var f32, f31, rest int
+	for mat := 0; mat < nMat; mat++ {
+		var rows [m]uint32
+		base := mat * m * m
+		for r := 0; r < m; r++ {
+			var row uint32
+			for c := 0; c < m; c++ {
+				if b.Bit(base+r*m+c) == 1 {
+					row |= 1 << uint(c)
+				}
+			}
+			rows[r] = row
+		}
+		switch rank32(rows) {
+		case 32:
+			f32++
+		case 31:
+			f31++
+		default:
+			rest++
+		}
+	}
+	// Asymptotic class probabilities from SP 800-22.
+	p32, p31, pRest := 0.2888, 0.5776, 0.1336
+	fN := float64(nMat)
+	chi2 := sq(float64(f32)-p32*fN)/(p32*fN) +
+		sq(float64(f31)-p31*fN)/(p31*fN) +
+		sq(float64(rest)-pRest*fN)/(pRest*fN)
+	return Result{Name: "Rank", P: math.Exp(-chi2 / 2)}
+}
+
+// rank32 computes the GF(2) rank of a 32×32 bit matrix.
+func rank32(rows [32]uint32) int {
+	rank := 0
+	for col := 0; col < 32; col++ {
+		pivot := -1
+		for r := rank; r < 32; r++ {
+			if rows[r]&(1<<uint(col)) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		rows[rank], rows[pivot] = rows[pivot], rows[rank]
+		for r := 0; r < 32; r++ {
+			if r != rank && rows[r]&(1<<uint(col)) != 0 {
+				rows[r] ^= rows[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// Suite runs all seven tests on the stream.
+func Suite(b *Bits) []Result {
+	return []Result{
+		Frequency(b),
+		BlockFrequency(b, 128),
+		CumulativeSums(b),
+		Runs(b),
+		LongestRun(b),
+		FFT(b),
+		Rank(b),
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sq(x float64) float64 { return x * x }
+
+func clampP(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

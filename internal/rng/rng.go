@@ -1,0 +1,155 @@
+// Package rng provides the pseudo-random number generators used throughout
+// the STABILIZER reproduction.
+//
+// The paper's runtime uses the Marsaglia multiply-with-carry generator
+// inherited from DieHard; we implement the same recurrence here. An
+// lrand48-style 48-bit linear congruential generator is provided as the
+// libc comparator for the NIST randomness experiments (§3.2 of the paper).
+// All generators are deterministic given a seed so that every experiment in
+// this repository is reproducible.
+package rng
+
+import "math"
+
+// Marsaglia is the multiply-with-carry pseudo-random number generator used
+// by DieHard and by the STABILIZER runtime. It combines two MWC sequences
+// and has a period long enough for any experiment in this repository.
+//
+// The zero value is not useful; construct with NewMarsaglia.
+type Marsaglia struct {
+	z uint32
+	w uint32
+}
+
+// NewMarsaglia returns a Marsaglia generator seeded from seed. The two
+// internal state words are derived from the seed with a SplitMix-style
+// scrambler so that nearby seeds produce unrelated streams.
+func NewMarsaglia(seed uint64) *Marsaglia {
+	s := splitMix(seed)
+	z := uint32(s)
+	w := uint32(s >> 32)
+	// The MWC recurrence degenerates if a state word is 0 or the modulus
+	// complement; nudge away from the absorbing states.
+	if z == 0 || z == 0x9068ffff {
+		z = 362436069
+	}
+	if w == 0 || w == 0x464fffff {
+		w = 521288629
+	}
+	return &Marsaglia{z: z, w: w}
+}
+
+// Next returns the next 32 random bits.
+func (m *Marsaglia) Next() uint32 {
+	m.z = 36969*(m.z&65535) + (m.z >> 16)
+	m.w = 18000*(m.w&65535) + (m.w >> 16)
+	return (m.z << 16) + m.w
+}
+
+// Next64 returns the next 64 random bits by concatenating two draws.
+func (m *Marsaglia) Next64() uint64 {
+	hi := uint64(m.Next())
+	lo := uint64(m.Next())
+	return hi<<32 | lo
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0. Rejection sampling removes modulo bias.
+func (m *Marsaglia) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	bound := uint32(n)
+	// Largest multiple of bound that fits in 32 bits.
+	limit := ^uint32(0) - ^uint32(0)%bound
+	for {
+		v := m.Next()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n). It panics if
+// n == 0.
+func (m *Marsaglia) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	limit := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := m.Next64()
+		if v < limit {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (m *Marsaglia) Float64() float64 {
+	return float64(m.Next64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normally distributed value using the
+// Marsaglia polar method (fittingly).
+func (m *Marsaglia) NormFloat64() float64 {
+	for {
+		u := 2*m.Float64() - 1
+		v := 2*m.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Split returns a new generator whose stream is statistically independent of
+// the receiver's. It is used to hand independent streams to subsystems
+// (heap, code layout, stack pads) so that enabling one randomization does not
+// perturb the draws seen by another — a property §2.5 of the paper relies on
+// when randomizations are enabled independently.
+func (m *Marsaglia) Split() *Marsaglia {
+	return NewMarsaglia(m.Next64())
+}
+
+// Shuffle performs a Fisher-Yates shuffle of n elements using swap, exactly
+// as the STABILIZER shuffling layer does for its startup fill.
+func (m *Marsaglia) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := m.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Lrand48 mimics glibc's lrand48: a 48-bit linear congruential generator
+// returning 31-bit values. It is the "libc" comparator stream in the
+// NIST randomness table of §3.2.
+type Lrand48 struct {
+	state uint64
+}
+
+// NewLrand48 returns an lrand48-style generator seeded as srand48 would:
+// the high 32 bits from the seed, low 16 bits set to 0x330e.
+func NewLrand48(seed uint32) *Lrand48 {
+	return &Lrand48{state: uint64(seed)<<16 | 0x330e}
+}
+
+const (
+	lcgA    = 0x5deece66d
+	lcgC    = 0xb
+	lcgMask = (1 << 48) - 1
+)
+
+// Next returns the next value in [0, 2^31).
+func (l *Lrand48) Next() uint32 {
+	l.state = (l.state*lcgA + lcgC) & lcgMask
+	return uint32(l.state >> 17)
+}
+
+// splitMix is the SplitMix64 scrambler, used only for seed derivation.
+func splitMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

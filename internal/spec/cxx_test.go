@@ -1,0 +1,73 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestExtendedSuiteNames(t *testing.T) {
+	want := []string{"omnetpp", "xalancbmk", "dealII", "soplex", "povray"}
+	ext := spec.ExtendedSuite()
+	if len(ext) != len(want) {
+		t.Fatalf("extended suite has %d benchmarks", len(ext))
+	}
+	for i, b := range ext {
+		if b.Name != want[i] {
+			t.Errorf("extended[%d] = %s, want %s", i, b.Name, want[i])
+		}
+		if b.Lang != "c++" {
+			t.Errorf("%s: lang %q, want c++", b.Name, b.Lang)
+		}
+	}
+	if len(spec.FullSuite()) != 23 {
+		t.Fatalf("full suite has %d benchmarks, want 23", len(spec.FullSuite()))
+	}
+	if _, ok := spec.ByNameFull("soplex"); !ok {
+		t.Fatal("ByNameFull missed soplex")
+	}
+}
+
+func TestExtendedSuiteRunsAndIsLayoutInvariant(t *testing.T) {
+	for _, b := range spec.ExtendedSuite() {
+		native := runBench(t, b, false, 0)
+		if native.Instructions == 0 || native.Output == 0 {
+			t.Errorf("%s: empty run", b.Name)
+			continue
+		}
+		for seed := uint64(1); seed <= 2; seed++ {
+			stab := runBench(t, b, true, seed)
+			if stab.Output != native.Output {
+				t.Errorf("%s: stabilized output differs (seed %d)", b.Name, seed)
+			}
+		}
+	}
+}
+
+func TestExtendedSuiteActuallyThrows(t *testing.T) {
+	// Every extended benchmark must exercise its exception paths: run with
+	// a tiny scale and verify via deterministic replay that the invoke
+	// handler path contributes to output. We can't observe throws directly
+	// from outside, so check structurally: each module contains OpThrow and
+	// at least one invoke (OpCall with a handler).
+	for _, b := range spec.ExtendedSuite() {
+		m := b.Build(0.05)
+		throws, invokes := 0, 0
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				for i := range blk.Instrs {
+					in := &blk.Instrs[i]
+					switch {
+					case in.Op.String() == "throw":
+						throws++
+					case in.Op.String() == "call" && in.Imm != 0:
+						invokes++
+					}
+				}
+			}
+		}
+		if throws == 0 || invokes == 0 {
+			t.Errorf("%s: throws=%d invokes=%d", b.Name, throws, invokes)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package spec defines the 18-benchmark synthetic suite standing in for the
+// SPEC CPU2006 subset the paper evaluates (§5): the C benchmarks astar,
+// bzip2, gcc, gobmk, h264ref, hmmer, lbm, libquantum, mcf, milc, perlbench,
+// sjeng, sphinx3 and the Fortran benchmarks cactusADM, gromacs, namd, wrf,
+// zeusmp.
+//
+// Each synthetic benchmark is a real program in the reproduction's IR — it
+// computes actual values whose checksum must be layout-invariant — whose
+// structure encodes the traits the paper calls out for its namesake:
+// function counts (gobmk, gcc, and perlbench have many functions, §5.2),
+// heap behaviour (cactusADM allocates large arrays at startup, §5.2 and §4),
+// floating-point and alignment sensitivity (hmmer, §5.1), pointer chasing
+// (mcf), and so on.
+//
+// Kernels are emitted unrolled and wide on purpose: layout effects on a real
+// machine come from hot code bodies of tens of kilobytes competing for
+// I-cache sets and from hundreds of branch sites competing for predictor
+// slots. A ten-instruction loop has no layout luck to sample; a four-way
+// unrolled kernel with dozens of distinct branch sites does.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// lcgStep emits x' = x*6364136223846793005 + 1442695040888963407, the
+// deterministic in-program source of "random" data every benchmark uses for
+// data-dependent control flow.
+func lcgStep(f *ir.FuncBuilder, x ir.Reg) ir.Reg {
+	return f.Add(f.Mul(x, f.ConstI(6364136223846793005)), f.ConstI(1442695040888963407))
+}
+
+// addHashChain adds n integer hash functions (each a few mixing rounds,
+// ~150 bytes of code) and returns their indices. Call-heavy benchmarks route
+// work through them; their number inflates the function count (and, under
+// STABILIZER, the number of stack pad tables).
+func addHashChain(mb *ir.ModuleBuilder, prefix string, n int) []int32 {
+	idx := make([]int32, n)
+	for i := 0; i < n; i++ {
+		f := mb.Func(fmt.Sprintf("%s_h%d", prefix, i), 1)
+		v := f.Mov(f.Param(0))
+		// Four mixing rounds with per-function constants.
+		for r := 0; r < 4; r++ {
+			m1 := f.Mul(v, f.ConstI(int64(2654435761+i*2+r*977)))
+			switch (i + r) % 4 {
+			case 0:
+				v = f.Xor(m1, f.Shr(m1, f.ConstI(13)))
+			case 1:
+				v = f.Add(m1, f.Shr(m1, f.ConstI(int64(7+(i+r)%5))))
+			case 2:
+				v = f.Xor(f.Shl(m1, f.ConstI(3)), f.Shr(m1, f.ConstI(17)))
+			default:
+				v = f.Sub(f.Xor(m1, f.ConstI(int64(i)*0x9e37+int64(r))), f.Shr(m1, f.ConstI(11)))
+			}
+		}
+		f.Ret(v)
+		idx[i] = f.Index()
+	}
+	return idx
+}
+
+// sweepUnroll is the unroll factor of addArraySweep bodies.
+const sweepUnroll = 8
+
+// addArraySweep adds a function walking a global array with a given stride,
+// eight elements per iteration (so one call to the sweep covers
+// 8*n elements). Regular array codes (lbm, libquantum, bzip2) are built
+// from these; the unrolled body is ~0.5 KiB of hot code.
+func addArraySweep(mb *ir.ModuleBuilder, name string, g int32, words, stride int64) int32 {
+	f := mb.Func(name, 1)
+	n := f.Param(0)
+	acc := f.ConstI(0)
+	pos := f.ConstI(0)
+	f.Loop(n, func(i ir.Reg) {
+		p := f.Mov(pos)
+		for u := 0; u < sweepUnroll; u++ {
+			v := f.LoadG(g, 0, p)
+			f.StoreG(g, 0, p, f.Add(v, f.Xor(i, f.ConstI(int64(u)))))
+			mixed := f.Add(v, f.Add(p, f.Shr(v, f.ConstI(int64(u%7+1)))))
+			f.MovTo(acc, f.Xor(f.Mul(acc, f.ConstI(131)), mixed))
+			f.MovTo(p, f.Rem(f.Add(p, f.ConstI(stride)), f.ConstI(words)))
+		}
+		f.MovTo(pos, p)
+	})
+	f.Ret(acc)
+	return f.Index()
+}
+
+// addPointerChase adds two functions: one that builds n 32-byte heap nodes
+// linked in a scrambled (cache-hostile) order — real mcf arcs have no
+// allocation-order locality — and one that chases the links four nodes per
+// iteration. The build function returns a node-table pointer whose first
+// entry is the chase's start node.
+func addPointerChase(mb *ir.ModuleBuilder, prefix string) (build, chase int32) {
+	b := mb.Func(prefix+"_build", 1)
+	n := b.Param(0)
+	table := b.Alloc(1 << 20) // up to 128k node slots
+	b.Loop(n, func(j ir.Reg) {
+		node := b.Alloc(32)
+		b.StoreH(node, 8, ir.NoReg, b.Add(j, b.ConstI(1)))
+		b.StoreH(node, 16, ir.NoReg, b.Xor(j, b.ConstI(0x5a5a)))
+		b.StoreH(table, 0, j, node)
+	})
+	// Link j -> (j*40503 + 7) mod n: a fixed scramble, identical under
+	// every layout.
+	b.Loop(n, func(j ir.Reg) {
+		node := b.LoadH(table, 0, j)
+		k := b.Rem(b.Add(b.Mul(j, b.ConstI(40503)), b.ConstI(7)), n)
+		b.StoreH(node, 0, ir.NoReg, b.LoadH(table, 0, k))
+	})
+	b.Ret(table)
+
+	c := mb.Func(prefix+"_chase", 2)
+	p := c.LoadH(c.Param(0), 0, ir.NoReg)
+	steps := c.Param(1)
+	acc := c.ConstI(0)
+	c.Loop(steps, func(i ir.Reg) {
+		for u := 0; u < 4; u++ {
+			v := c.LoadH(p, 8, ir.NoReg)
+			w := c.LoadH(p, 16, ir.NoReg)
+			c.MovTo(acc, c.Add(acc, c.Xor(v, c.Shr(w, c.ConstI(int64(u+1))))))
+			c.MovTo(p, c.LoadH(p, 0, ir.NoReg))
+		}
+	})
+	c.Ret(acc)
+	return b.Index(), c.Index()
+}
+
+// addInterleavedStencil adds a kernel reading one element from each of k
+// grids per step (cactusADM's many-fields-per-grid-point pattern). With the
+// grids' base addresses drawn by the allocator, the number that collide in
+// the same cache sets is per-run placement luck — luck that persists for the
+// whole run because the grids are never freed.
+func addInterleavedStencil(mb *ir.ModuleBuilder, name string, k int) int32 {
+	f := mb.Func(name, 4) // (table, base, words, iters)
+	table, base, words, iters := f.Param(0), f.Param(1), f.Param(2), f.Param(3)
+	acc := f.ConstF(0.5)
+	f.Loop(iters, func(it ir.Reg) {
+		idx := f.Rem(it, words)
+		for j := 0; j < k; j++ {
+			g := f.LoadH(table, int64(j)*8, base)
+			v := f.LoadHF(g, 0, idx)
+			// Contractive update keeps values bounded and layout-free.
+			nacc := f.FAdd(f.FMul(acc, f.ConstF(0.5)), f.FMul(v, f.ConstF(0.25)))
+			f.MovTo(acc, nacc)
+			f.StoreHF(g, 0, idx, f.FAdd(f.FMul(v, f.ConstF(0.75)), f.FMul(nacc, f.ConstF(0.125))))
+		}
+	})
+	f.Ret(f.F2I(f.FMul(acc, f.ConstF(512))))
+	return f.Index()
+}
+
+// addFPKernel adds a floating-point stencil over a heap array: a daxpy-like
+// sweep, four elements per iteration, with constant coefficients (which
+// become relocation-table globals under STABILIZER) and int/float
+// conversions (outlined under STABILIZER).
+func addFPKernel(mb *ir.ModuleBuilder, name string, misalign bool) int32 {
+	f := mb.Func(name, 3) // (ptr, words, iters)
+	ptr, words, iters := f.Param(0), f.Param(1), f.Param(2)
+	off := int64(0)
+	if misalign {
+		// Alignment-sensitive FP: every second element sits on an odd
+		// 8-byte boundary relative to 16 (hmmer's trait, §5.1).
+		off = 8
+	}
+	acc := f.ConstF(0)
+	f.Loop(iters, func(it ir.Reg) {
+		idx := f.Rem(f.Mul(it, f.ConstI(4)), f.Sub(words, f.ConstI(8)))
+		for u := 0; u < 4; u++ {
+			a := f.LoadHF(ptr, int64(u)*8, idx)
+			bv := f.LoadHF(ptr, off+int64(u)*8, idx)
+			v := f.FAdd(f.FMul(a, f.ConstF(0.7319+float64(u)*0.01)), f.FMul(bv, f.ConstF(0.2681)))
+			f.StoreHF(ptr, int64(u)*8, idx, v)
+			f.MovTo(acc, f.FAdd(f.FMul(acc, f.ConstF(0.5)), v))
+		}
+	})
+	// Convert to a stable integer digest: quantize.
+	q := f.F2I(f.FMul(acc, f.ConstF(4096)))
+	f.Ret(q)
+	return f.Index()
+}
+
+// addBranchMaze adds a branchy decision kernel (sjeng/gobmk-style): `width`
+// separate chain functions, each a run of `depth` biased data-dependent
+// branches, called in turn by a driver. The branches are biased (≈81/19)
+// with per-site direction, so a bimodal predictor handles each well in
+// isolation — but when two opposite-bias sites from *different* functions
+// alias onto one counter, they thrash it. Which sites collide depends on
+// where the placement puts each chain function, which is exactly the branch
+// aliasing the paper credits for code-randomization effects (§5.2). The
+// chains must be separate functions: sites within one function keep fixed
+// relative offsets, so only cross-function placement can change aliasing.
+func addBranchMaze(mb *ir.ModuleBuilder, name string, depth, width int) int32 {
+	chains := make([]int32, width)
+	for w := 0; w < width; w++ {
+		c := mb.Func(fmt.Sprintf("%s_c%d", name, w), 1)
+		bit := c.Mov(c.Param(0))
+		acc := c.ConstI(int64(w))
+		for d := 0; d < depth; d++ {
+			nib := c.And(c.Shr(bit, c.ConstI(int64((d*3+w*5)%41+1))), c.ConstI(15))
+			var cond ir.Reg
+			if (d+w)%2 == 0 {
+				cond = c.CmpLT(nib, c.ConstI(13)) // mostly taken
+			} else {
+				cond = c.CmpLT(c.ConstI(12), nib) // mostly not taken
+			}
+			c.If(cond, func() {
+				c.MovTo(acc, c.Add(acc, c.ConstI(int64(d*7+w*3+1))))
+			}, func() {
+				c.MovTo(acc, c.Xor(acc, c.ConstI(int64(d*13+w*11+5))))
+			})
+		}
+		c.Ret(acc)
+		chains[w] = c.Index()
+	}
+
+	f := mb.Func(name, 2) // (seed, rounds)
+	seed, rounds := f.Param(0), f.Param(1)
+	x := f.Mov(seed)
+	acc := f.ConstI(0)
+	f.Loop(rounds, func(i ir.Reg) {
+		f.MovTo(x, lcgStep(f, x))
+		for _, chain := range chains {
+			f.MovTo(acc, f.Add(acc, f.Call(chain, x)))
+		}
+	})
+	f.Ret(acc)
+	return f.Index()
+}
+
+// addDispatch adds a dispatcher that calls one of the given functions per
+// iteration, selected by the LCG — an indirect-flavored call pattern
+// (perlbench/gcc-style interpreter loops) whose selection chain is itself a
+// row of predictor-hungry branch sites.
+func addDispatch(mb *ir.ModuleBuilder, name string, targets []int32) int32 {
+	f := mb.Func(name, 2) // (seed, rounds)
+	seed, rounds := f.Param(0), f.Param(1)
+	x := f.Mov(seed)
+	acc := f.ConstI(0)
+	f.Loop(rounds, func(i ir.Reg) {
+		f.MovTo(x, lcgStep(f, x))
+		sel := f.Rem(f.Shr(x, f.ConstI(33)), f.ConstI(int64(len(targets))))
+		cur := f.Mov(acc)
+		for ti, target := range targets {
+			cond := f.CmpEQ(sel, f.ConstI(int64(ti)))
+			f.If(cond, func() {
+				f.MovTo(cur, f.Add(cur, f.Call(target, x)))
+			}, nil)
+		}
+		f.MovTo(acc, cur)
+	})
+	f.Ret(acc)
+	return f.Index()
+}
+
+// addHeapChurn adds a function performing alloc/free churn across several
+// size classes with short object lifetimes — the generational behaviour §4
+// relies on for heap re-randomization to bite.
+func addHeapChurn(mb *ir.ModuleBuilder, name string, sizes []int64) int32 {
+	f := mb.Func(name, 2) // (seed, rounds)
+	seed, rounds := f.Param(0), f.Param(1)
+	x := f.Mov(seed)
+	acc := f.ConstI(0)
+	f.Loop(rounds, func(i ir.Reg) {
+		f.MovTo(x, lcgStep(f, x))
+		for _, size := range sizes {
+			p := f.Alloc(size)
+			words := size / 8
+			f.StoreH(p, 0, ir.NoReg, x)
+			f.StoreH(p, (words-1)*8, ir.NoReg, i)
+			a := f.LoadH(p, 0, ir.NoReg)
+			bv := f.LoadH(p, (words-1)*8, ir.NoReg)
+			f.MovTo(acc, f.Add(acc, f.Xor(a, bv)))
+			f.Free(p)
+		}
+	})
+	f.Ret(acc)
+	return f.Index()
+}
+
+// addStackHeavy adds a function with a large frame-resident buffer that it
+// fills and reduces per call, four slots per iteration — stack-layout
+// sensitive work (gcc/perlbench style recursion over big frames).
+func addStackHeavy(mb *ir.ModuleBuilder, name string, bufWords int64) int32 {
+	f := mb.Func(name, 1)
+	x := f.Param(0)
+	buf := f.Slot("buf", uint64(bufWords*8))
+	v := f.Mov(x)
+	f.LoopN(bufWords/4, func(i ir.Reg) {
+		base := f.Mul(i, f.ConstI(4))
+		for u := 0; u < 4; u++ {
+			f.MovTo(v, lcgStep(f, v))
+			f.StoreS(buf, int64(u)*8, base, v)
+		}
+	})
+	acc := f.ConstI(0)
+	f.LoopN(bufWords/4, func(i ir.Reg) {
+		base := f.Mul(i, f.ConstI(4))
+		for u := 0; u < 4; u++ {
+			f.MovTo(acc, f.Xor(acc, f.LoadS(buf, int64(u)*8, base)))
+		}
+	})
+	f.Ret(acc)
+	return f.Index()
+}
+
+// addMatMulFP adds a small dense float matrix multiply over one heap
+// allocation holding A, B, and C back to back (namd/gromacs-style compute).
+func addMatMulFP(mb *ir.ModuleBuilder, name string, dim int64) int32 {
+	f := mb.Func(name, 1) // (ptr) -> digest
+	ptr := f.Param(0)
+	n := f.ConstI(dim)
+	nn := f.Mul(n, n)
+	// C[i][j] += A[i][k] * B[k][j]; matrices are row-major, consecutive.
+	f.LoopN(dim, func(i ir.Reg) {
+		rowA := f.Mul(i, n)
+		rowC := f.Add(f.Add(nn, nn), rowA)
+		f.LoopN(dim, func(j ir.Reg) {
+			acc := f.ConstF(0)
+			f.LoopN(dim/2, func(k2 ir.Reg) {
+				k := f.Mul(k2, f.ConstI(2))
+				for u := int64(0); u < 2; u++ {
+					a := f.LoadHF(ptr, u*8, f.Add(rowA, k))
+					b := f.LoadHF(ptr, 0, f.Add(nn, f.Add(f.Mul(f.Add(k, f.ConstI(u)), n), j)))
+					f.MovTo(acc, f.FAdd(acc, f.FMul(a, b)))
+				}
+			})
+			f.StoreHF(ptr, 0, f.Add(rowC, j), acc)
+		})
+	})
+	// Digest the C diagonal.
+	d := f.ConstF(0)
+	f.LoopN(dim, func(i ir.Reg) {
+		c := f.LoadHF(ptr, 0, f.Add(f.Add(nn, nn), f.Add(f.Mul(i, n), i)))
+		f.MovTo(d, f.FAdd(d, c))
+	})
+	f.Ret(f.F2I(f.FMul(d, f.ConstF(1024))))
+	return f.Index()
+}

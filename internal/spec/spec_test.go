@@ -1,0 +1,185 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/spec"
+)
+
+const testScale = 0.05
+
+func runBench(t *testing.T, b spec.Benchmark, stabilize bool, seed uint64) interp.Result {
+	t.Helper()
+	src := b.Build(testScale)
+	m, err := compiler.Compile(src, compiler.Options{Level: compiler.O2, Stabilize: stabilize})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatalf("%s: link: %v", b.Name, err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	var rt interp.Runtime
+	if stabilize {
+		st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.AllRandomizations(seed))
+		if err != nil {
+			t.Fatalf("%s: stabilizer: %v", b.Name, err)
+		}
+		rt = st
+	} else {
+		rt = &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewTLSF(as, 1<<22),
+			Mach:        mach,
+		}
+	}
+	res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: rt})
+	if err != nil {
+		t.Fatalf("%s: run: %v", b.Name, err)
+	}
+	return res
+}
+
+func TestSuiteHas18Benchmarks(t *testing.T) {
+	s := spec.Suite()
+	if len(s) != 18 {
+		t.Fatalf("suite has %d benchmarks, want 18", len(s))
+	}
+	want := map[string]bool{
+		"astar": true, "bzip2": true, "cactusADM": true, "gcc": true,
+		"gobmk": true, "gromacs": true, "h264ref": true, "hmmer": true,
+		"lbm": true, "libquantum": true, "mcf": true, "milc": true,
+		"namd": true, "perlbench": true, "sjeng": true, "sphinx3": true,
+		"wrf": true, "zeusmp": true,
+	}
+	for _, b := range s {
+		if !want[b.Name] {
+			t.Errorf("unexpected benchmark %q", b.Name)
+		}
+		delete(want, b.Name)
+		if b.Lang != "c" && b.Lang != "fortran" {
+			t.Errorf("%s: bad language %q", b.Name, b.Lang)
+		}
+		if b.Notes == "" {
+			t.Errorf("%s: missing notes", b.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("missing benchmark %q", name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := spec.ByName("mcf"); !ok {
+		t.Fatal("mcf not found")
+	}
+	if _, ok := spec.ByName("doom"); ok {
+		t.Fatal("nonexistent benchmark found")
+	}
+	if len(spec.Names()) != 18 {
+		t.Fatal("Names() wrong length")
+	}
+}
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	for _, b := range spec.Suite() {
+		m := b.Build(testScale)
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if m.Entry() < 0 || m.Funcs[m.Entry()].Name != "main" {
+			t.Errorf("%s: no main entry", b.Name)
+		}
+	}
+}
+
+func TestAllBenchmarksRunNatively(t *testing.T) {
+	for _, b := range spec.Suite() {
+		res := runBench(t, b, false, 0)
+		if res.Instructions == 0 || res.Cycles == 0 {
+			t.Errorf("%s: empty run (%d instrs)", b.Name, res.Instructions)
+		}
+		if res.Output == 0 {
+			t.Errorf("%s: zero output checksum — benchmark result unused?", b.Name)
+		}
+	}
+}
+
+func TestOutputsLayoutInvariant(t *testing.T) {
+	// The single most important property of the suite: semantics never
+	// depend on layout, under any randomization seed.
+	for _, b := range spec.Suite() {
+		native := runBench(t, b, false, 0)
+		for seed := uint64(1); seed <= 2; seed++ {
+			stab := runBench(t, b, true, seed)
+			if stab.Output != native.Output {
+				t.Errorf("%s: stabilized output %#x != native %#x (seed %d)",
+					b.Name, stab.Output, native.Output, seed)
+			}
+		}
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, b := range spec.Suite() {
+		m1 := b.Build(testScale)
+		m2 := b.Build(testScale)
+		if m1.String() != m2.String() {
+			t.Errorf("%s: two builds differ", b.Name)
+		}
+	}
+}
+
+func TestScaleControlsWork(t *testing.T) {
+	b, _ := spec.ByName("libquantum")
+	small := runBench(t, b, false, 0)
+
+	src := b.Build(4 * testScale)
+	m, err := compiler.Compile(src, compiler.Options{Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	img, _ := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	mach := machine.New(machine.DefaultConfig())
+	big, err := interp.Run(m, interp.Options{Machine: mach, Runtime: &interp.NativeRuntime{
+		FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+		Stack: as.StackBase(), Heap: heap.NewTLSF(as, 1<<22), Mach: mach,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Instructions < 2*small.Instructions {
+		t.Fatalf("scale x4 only grew instructions from %d to %d",
+			small.Instructions, big.Instructions)
+	}
+}
+
+func TestManyFunctionTraits(t *testing.T) {
+	// The paper's §5.2 singles out gobmk, gcc, and perlbench for their
+	// function counts; the synthetics must preserve that trait.
+	counts := map[string]int{}
+	for _, b := range spec.Suite() {
+		counts[b.Name] = len(b.Build(testScale).Funcs)
+	}
+	for _, many := range []string{"gcc", "gobmk", "perlbench"} {
+		if counts[many] < 100 {
+			t.Errorf("%s has only %d functions; the original is function-heavy", many, counts[many])
+		}
+	}
+	for _, few := range []string{"lbm", "libquantum", "cactusADM"} {
+		if counts[few] > 20 {
+			t.Errorf("%s has %d functions; the original is kernel-dominated", few, counts[few])
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package spec
+
+import (
+	"repro/internal/ir"
+)
+
+// Benchmark is one synthetic SPEC CPU2006 stand-in.
+type Benchmark struct {
+	// Name matches the paper's benchmark (astar, bzip2, ...).
+	Name string
+	// Lang records the original benchmark's language (c or fortran); kept
+	// for reporting parity with the paper's tables.
+	Lang string
+	// Notes documents which structural traits of the original this
+	// synthetic encodes.
+	Notes string
+	// Build constructs the benchmark at the given scale (1.0 is the full
+	// evaluation size; tests use smaller scales). Every call builds a
+	// fresh module.
+	Build func(scale float64) *ir.Module
+}
+
+// Suite returns the 18 benchmarks in the paper's order.
+func Suite() []Benchmark {
+	return []Benchmark{
+		astar(), bzip2(), cactusADM(), gcc(), gobmk(), gromacs(),
+		h264ref(), hmmer(), lbm(), libquantum(), mcf(), milc(),
+		namd(), perlbench(), sjeng(), sphinx3(), wrf(), zeusmp(),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Suite() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// n scales an iteration count, keeping at least 1.
+func n(scale float64, base int64) int64 {
+	v := int64(scale * float64(base))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func astar() Benchmark {
+	return Benchmark{
+		Name: "astar", Lang: "c",
+		Notes: "path search: two hot branchy kernels plus a node ring; few hot functions, so one-time layout luck is nearly binary",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("astar")
+			maze := addBranchMaze(mb, "search", 5, 6)
+			build, chase := addPointerChase(mb, "graph")
+			h := addHashChain(mb, "cost", 3)
+			main := mb.Func("main", 0)
+			ring := main.Call(build, main.ConstI(n(scale, 2000)))
+			acc := main.Call(maze, main.ConstI(11), main.ConstI(n(scale, 1500)))
+			acc2 := main.Call(chase, ring, main.ConstI(n(scale, 8000)))
+			acc3 := main.Call(h[0], main.Call(h[1], main.Call(h[2], acc)))
+			main.Sink(main.Add(acc, main.Add(acc2, acc3)))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func bzip2() Benchmark {
+	return Benchmark{
+		Name: "bzip2", Lang: "c",
+		Notes: "block compression: global buffer sweeps with data-dependent strides and a hash pipeline",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("bzip2")
+			buf := mb.Global("block", 128<<10)
+			sweep := addArraySweep(mb, "bwt", buf, (128<<10)/8, 1)
+			sweep2 := addArraySweep(mb, "mtf", buf, (128<<10)/8, 77)
+			h := addHashChain(mb, "crc", 6)
+			disp := addDispatch(mb, "huff", h)
+			main := mb.Func("main", 0)
+			a := main.Call(sweep, main.ConstI(n(scale, 9000)))
+			b := main.Call(sweep2, main.ConstI(n(scale, 9000)))
+			c := main.Call(disp, main.ConstI(5), main.ConstI(n(scale, 5000)))
+			main.Sink(main.Add(a, main.Add(b, c)))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func cactusADM() Benchmark {
+	return Benchmark{
+		Name: "cactusADM", Lang: "fortran",
+		Notes: "numerical relativity: several multi-megabyte grids allocated once at startup (beyond the shuffling layer's reach) dominate runtime; power-of-two size classes waste heap",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("cactusADM")
+			stencil := addInterleavedStencil(mb, "adm_step", 12)
+			main := mb.Func("main", 0)
+			// Many 40 KiB grids, allocated once at startup: each rounds up
+			// to a 64 KiB size class under STABILIZER's power-of-two base
+			// (the waste the paper blames for cactusADM's overhead), and
+			// none is ever freed, so re-randomization cannot touch them —
+			// their placement is one draw of layout luck per run.
+			const grids = 48
+			const gridWords = 5000 // ~40 KiB per grid (not a page multiple, like real malloc)
+			table := main.Alloc(grids * 8)
+			main.LoopN(grids, func(j ir.Reg) {
+				p := main.Alloc(gridWords * 8)
+				main.LoopN(gridWords, func(i ir.Reg) {
+					v := main.FAdd(main.ConstF(1.0), main.FMul(main.I2F(i), main.ConstF(1e-6)))
+					main.StoreHF(p, 0, i, v)
+				})
+				main.StoreHF(p, 8*(gridWords-1), ir.NoReg, main.ConstF(0.5))
+				main.StoreH(table, 0, j, p)
+			})
+			sum := main.ConstI(0)
+			main.LoopN(n(scale, 9), func(round ir.Reg) {
+				main.LoopN(4, func(w ir.Reg) {
+					base := main.Mul(w, main.ConstI(12))
+					d := main.Call(stencil, table, base, main.ConstI(gridWords), main.ConstI(2200))
+					main.MovTo(sum, main.Add(sum, d))
+				})
+			})
+			main.Sink(sum)
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func gcc() Benchmark {
+	return Benchmark{
+		Name: "gcc", Lang: "c",
+		Notes: "compiler: ~160 functions (many pad tables under STABILIZER, §5.2), an interpreter-style dispatcher, deep stack frames, allocation churn",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("gcc")
+			funcs := addHashChain(mb, "pass", 160)
+			disp := addDispatch(mb, "fold", funcs[:12])
+			disp2 := addDispatch(mb, "expand", funcs[12:24])
+			frame := addStackHeavy(mb, "parse", 192)
+			churn := addHeapChurn(mb, "tree_alloc", []int64{24, 48, 96})
+			main := mb.Func("main", 0)
+			acc := main.Call(disp, main.ConstI(3), main.ConstI(n(scale, 3000)))
+			acc2 := main.Call(disp2, main.ConstI(17), main.ConstI(n(scale, 3000)))
+			sum := main.Add(acc, acc2)
+			main.LoopN(n(scale, 300), func(i ir.Reg) {
+				main.MovTo(sum, main.Add(sum, main.Call(frame, i)))
+				// Touch the long tail of functions so they all relocate.
+				for k := 24; k < len(funcs); k += 17 {
+					main.MovTo(sum, main.Xor(sum, main.Call(funcs[k], i)))
+				}
+			})
+			ch := main.Call(churn, main.ConstI(7), main.ConstI(n(scale, 2500)))
+			main.Sink(main.Add(sum, ch))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func gobmk() Benchmark {
+	return Benchmark{
+		Name: "gobmk", Lang: "c",
+		Notes: "go engine: many functions, deep data-dependent branch trees (predictor-bound), moderate frames",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("gobmk")
+			funcs := addHashChain(mb, "pattern", 110)
+			maze := addBranchMaze(mb, "readladder", 7, 5)
+			disp := addDispatch(mb, "owl", funcs[:10])
+			main := mb.Func("main", 0)
+			a := main.Call(maze, main.ConstI(99), main.ConstI(n(scale, 1100)))
+			b := main.Call(disp, main.ConstI(5), main.ConstI(n(scale, 3500)))
+			sum := main.Add(a, b)
+			main.LoopN(n(scale, 500), func(i ir.Reg) {
+				for k := 10; k < len(funcs); k += 23 {
+					main.MovTo(sum, main.Xor(sum, main.Call(funcs[k], main.Add(i, sum))))
+				}
+			})
+			main.Sink(sum)
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func gromacs() Benchmark {
+	return Benchmark{
+		Name: "gromacs", Lang: "fortran",
+		Notes: "molecular dynamics: one dominant FP inner loop plus a small matrix kernel; hot-code luck is concentrated",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("gromacs")
+			force := addFPKernel(mb, "nonbonded", false)
+			cutoff := addBranchMaze(mb, "cutoff", 7, 4)
+			mm := addMatMulFP(mb, "box", 10)
+			main := mb.Func("main", 0)
+			arr := main.Alloc(4096 * 8)
+			main.StoreHF(arr, 0, ir.NoReg, main.ConstF(1.5))
+			main.LoopN(4095, func(i ir.Reg) {
+				v := main.LoadHF(arr, 0, i)
+				main.StoreHF(arr, 8, i, main.FMul(v, main.ConstF(0.99997)))
+			})
+			d := main.Call(force, arr, main.ConstI(4096), main.ConstI(n(scale, 27000)))
+			mat := main.Alloc(3 * 10 * 10 * 8)
+			main.LoopN(200, func(i ir.Reg) {
+				main.StoreHF(mat, 0, i, main.FAdd(main.ConstF(0.25), main.I2F(i)))
+			})
+			d2 := main.Call(mm, mat)
+			d3 := main.Call(cutoff, main.ConstI(5), main.ConstI(n(scale, 900)))
+			main.Sink(main.Add(d, main.Add(d2, d3)))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func h264ref() Benchmark {
+	return Benchmark{
+		Name: "h264ref", Lang: "c",
+		Notes: "video encoder: motion-search branch maze over global frame buffers; two hot kernels",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("h264ref")
+			frame := mb.Global("frame", 64<<10)
+			sweep := addArraySweep(mb, "sad", frame, (64<<10)/8, 16)
+			maze := addBranchMaze(mb, "mode_decide", 12, 3)
+			main := mb.Func("main", 0)
+			a := main.Call(sweep, main.ConstI(n(scale, 7000)))
+			b := main.Call(maze, main.ConstI(31), main.ConstI(n(scale, 2500)))
+			main.Sink(main.Add(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func hmmer() Benchmark {
+	return Benchmark{
+		Name: "hmmer", Lang: "c",
+		Notes: "profile HMM search: alignment-sensitive FP recurrences (§5.1's anomaly) over a dynamic-programming band",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("hmmer")
+			viterbi := addFPKernel(mb, "viterbi", true) // misaligned FP trait
+			h := addHashChain(mb, "trace", 4)
+			main := mb.Func("main", 0)
+			band := main.Alloc(8192 * 8)
+			main.LoopN(8192, func(i ir.Reg) {
+				main.StoreHF(band, 0, i, main.FAdd(main.ConstF(0.125), main.I2F(i)))
+			})
+			d := main.Call(viterbi, band, main.ConstI(8192), main.ConstI(n(scale, 30000)))
+			t := main.Call(h[0], main.Call(h[3], d))
+			main.Sink(main.Add(d, t))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func lbm() Benchmark {
+	return Benchmark{
+		Name: "lbm", Lang: "c",
+		Notes: "lattice Boltzmann: one perfectly regular sweep over a large global grid; the least layout-sensitive shape",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("lbm")
+			grid := mb.Global("grid", 512<<10)
+			sweep := addArraySweep(mb, "stream", grid, (512<<10)/8, 1)
+			collide := addFPKernel(mb, "collide", false)
+			main := mb.Func("main", 0)
+			a := main.Call(sweep, main.ConstI(n(scale, 14000)))
+			cells := main.Alloc(2048 * 8)
+			main.StoreHF(cells, 0, ir.NoReg, main.ConstF(2.0))
+			b := main.Call(collide, cells, main.ConstI(2048), main.ConstI(n(scale, 12000)))
+			main.Sink(a)
+			main.Sink(b)
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func libquantum() Benchmark {
+	return Benchmark{
+		Name: "libquantum", Lang: "c",
+		Notes: "quantum simulation: tight gate loops over one register array with power-of-two strides",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("libquantum")
+			reg := mb.Global("qreg", 64<<10)
+			gate1 := addArraySweep(mb, "toffoli", reg, (64<<10)/8, 1)
+			gate2 := addArraySweep(mb, "cnot", reg, (64<<10)/8, 64)
+			main := mb.Func("main", 0)
+			a := main.Call(gate1, main.ConstI(n(scale, 11000)))
+			b := main.Call(gate2, main.ConstI(n(scale, 11000)))
+			main.Sink(main.Xor(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func mcf() Benchmark {
+	return Benchmark{
+		Name: "mcf", Lang: "c",
+		Notes: "network simplex: a large pointer-chased node ring with churn; dominated by memory latency, so heap placement decides everything",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("mcf")
+			build, chase := addPointerChase(mb, "arcs")
+			churn := addHeapChurn(mb, "basket", []int64{32, 64})
+			main := mb.Func("main", 0)
+			ring := main.Call(build, main.ConstI(n(scale, 6000)))
+			a := main.Call(chase, ring, main.ConstI(n(scale, 35000)))
+			b := main.Call(churn, main.ConstI(3), main.ConstI(n(scale, 1500)))
+			main.Sink(main.Add(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func milc() Benchmark {
+	return Benchmark{
+		Name: "milc", Lang: "c",
+		Notes: "lattice QCD: strided FP sweeps over global field arrays",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("milc")
+			field := mb.Global("su3", 128<<10)
+			sweep := addArraySweep(mb, "mult_su3", field, (128<<10)/8, 24)
+			fp := addFPKernel(mb, "project", false)
+			main := mb.Func("main", 0)
+			a := main.Call(sweep, main.ConstI(n(scale, 7000)))
+			v := main.Alloc(3072 * 8)
+			main.StoreHF(v, 0, ir.NoReg, main.ConstF(0.75))
+			b := main.Call(fp, v, main.ConstI(3072), main.ConstI(n(scale, 15000)))
+			main.Sink(main.Add(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func namd() Benchmark {
+	return Benchmark{
+		Name: "namd", Lang: "fortran",
+		Notes: "molecular dynamics: dense FP compute (matrix kernels) with little memory pressure",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("namd")
+			mm := addMatMulFP(mb, "patch", 14)
+			fp := addFPKernel(mb, "angles", false)
+			main := mb.Func("main", 0)
+			mat := main.Alloc(3 * 14 * 14 * 8)
+			main.LoopN(2*14*14, func(i ir.Reg) {
+				main.StoreHF(mat, 0, i, main.FAdd(main.ConstF(0.01), main.I2F(i)))
+			})
+			sum := main.ConstI(0)
+			main.LoopN(n(scale, 12), func(i ir.Reg) {
+				main.MovTo(sum, main.Add(sum, main.Call(mm, mat)))
+			})
+			arr := main.Alloc(1024 * 8)
+			main.StoreHF(arr, 0, ir.NoReg, main.ConstF(1.0))
+			b := main.Call(fp, arr, main.ConstI(1024), main.ConstI(n(scale, 10000)))
+			main.Sink(main.Add(sum, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func perlbench() Benchmark {
+	return Benchmark{
+		Name: "perlbench", Lang: "c",
+		Notes: "interpreter: ~200 opcode handlers dispatched data-dependently, heavy stack frames, string-ish heap churn — the worst case for stack randomization (§5.2)",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("perlbench")
+			ops := addHashChain(mb, "pp", 200)
+			magic := addBranchMaze(mb, "magic_check", 7, 4)
+			disp := addDispatch(mb, "runops", ops[:14])
+			frame := addStackHeavy(mb, "sv_stack", 256)
+			churn := addHeapChurn(mb, "sv_alloc", []int64{16, 40, 80, 160})
+			main := mb.Func("main", 0)
+			a := main.Call(disp, main.ConstI(1), main.ConstI(n(scale, 4000)))
+			sum := main.Mov(a)
+			main.LoopN(n(scale, 250), func(i ir.Reg) {
+				main.MovTo(sum, main.Add(sum, main.Call(frame, i)))
+				for k := 14; k < len(ops); k += 31 {
+					main.MovTo(sum, main.Xor(sum, main.Call(ops[k], i)))
+				}
+			})
+			b := main.Call(churn, main.ConstI(13), main.ConstI(n(scale, 2000)))
+			mg := main.Call(magic, main.ConstI(21), main.ConstI(n(scale, 1000)))
+			main.Sink(main.Add(sum, main.Add(b, mg)))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func sjeng() Benchmark {
+	return Benchmark{
+		Name: "sjeng", Lang: "c",
+		Notes: "chess search: deep branch trees, small frames, a transposition-table global",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("sjeng")
+			tt := mb.Global("ttable", 64<<10)
+			maze := addBranchMaze(mb, "alphabeta", 8, 8)
+			sweep := addArraySweep(mb, "probe", tt, (64<<10)/8, 4099)
+			main := mb.Func("main", 0)
+			a := main.Call(maze, main.ConstI(77), main.ConstI(n(scale, 800)))
+			b := main.Call(sweep, main.ConstI(n(scale, 5000)))
+			main.Sink(main.Add(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func sphinx3() Benchmark {
+	return Benchmark{
+		Name: "sphinx3", Lang: "c",
+		Notes: "speech recognition: Gaussian-mixture FP scoring dispatched over senone handlers",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("sphinx3")
+			score := addFPKernel(mb, "gmm", false)
+			h := addHashChain(mb, "senone", 30)
+			disp := addDispatch(mb, "frame", h[:8])
+			main := mb.Func("main", 0)
+			feat := main.Alloc(2048 * 8)
+			main.StoreHF(feat, 0, ir.NoReg, main.ConstF(0.33))
+			a := main.Call(score, feat, main.ConstI(2048), main.ConstI(n(scale, 20000)))
+			b := main.Call(disp, main.ConstI(9), main.ConstI(n(scale, 4000)))
+			main.Sink(main.Add(a, b))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func wrf() Benchmark {
+	return Benchmark{
+		Name: "wrf", Lang: "fortran",
+		Notes: "weather model: FP sweeps over many global field arrays plus physics branch logic",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("wrf")
+			u := mb.Global("u_field", 48<<10)
+			v := mb.Global("v_field", 48<<10)
+			sweepU := addArraySweep(mb, "advect_u", u, (48<<10)/8, 3)
+			sweepV := addArraySweep(mb, "advect_v", v, (48<<10)/8, 5)
+			maze := addBranchMaze(mb, "microphysics", 4, 6)
+			fp := addFPKernel(mb, "radiation", false)
+			main := mb.Func("main", 0)
+			a := main.Call(sweepU, main.ConstI(n(scale, 6000)))
+			b := main.Call(sweepV, main.ConstI(n(scale, 6000)))
+			c := main.Call(maze, main.ConstI(3), main.ConstI(n(scale, 700)))
+			col := main.Alloc(1536 * 8)
+			main.StoreHF(col, 0, ir.NoReg, main.ConstF(288.15))
+			d := main.Call(fp, col, main.ConstI(1536), main.ConstI(n(scale, 10000)))
+			main.Sink(main.Add(main.Add(a, b), main.Add(c, d)))
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+func zeusmp() Benchmark {
+	return Benchmark{
+		Name: "zeusmp", Lang: "fortran",
+		Notes: "magnetohydrodynamics: stencil sweeps over several global grids",
+		Build: func(scale float64) *ir.Module {
+			mb := ir.NewModuleBuilder("zeusmp")
+			d := mb.Global("density", 96<<10)
+			e := mb.Global("energy", 96<<10)
+			sweepD := addArraySweep(mb, "hsmoc_d", d, (96<<10)/8, 1)
+			sweepE := addArraySweep(mb, "hsmoc_e", e, (96<<10)/8, 9)
+			fp := addFPKernel(mb, "lorentz", false)
+			main := mb.Func("main", 0)
+			a := main.Call(sweepD, main.ConstI(n(scale, 7500)))
+			b := main.Call(sweepE, main.ConstI(n(scale, 7500)))
+			grid := main.Alloc(2560 * 8)
+			main.StoreHF(grid, 0, ir.NoReg, main.ConstF(1.0))
+			c := main.Call(fp, grid, main.ConstI(2560), main.ConstI(n(scale, 10000)))
+			main.Sink(a)
+			main.Sink(b)
+			main.Sink(c)
+			main.Ret(ir.NoReg)
+			return mb.Module()
+		},
+	}
+}
+
+// suiteNames is exported through Names for harness convenience.
+func Names() []string {
+	s := Suite()
+	out := make([]string, len(s))
+	for i, b := range s {
+		out[i] = b.Name
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package stats
+
+import "math"
+
+// ANOVAResult reports a one-way repeated-measures (within-subjects) ANOVA:
+// the variance partition of §6.1.
+type ANOVAResult struct {
+	FValue float64
+	P      float64
+
+	DFTreatment float64
+	DFError     float64
+
+	SSSubjects  float64 // variance between benchmarks (excluded from the test)
+	SSTreatment float64 // variance explained by the treatment
+	SSError     float64 // residual (treatment × subject interaction)
+}
+
+// Significant reports rejection at level alpha.
+func (r ANOVAResult) Significant(alpha float64) bool {
+	return !math.IsNaN(r.P) && r.P < alpha
+}
+
+// RepeatedMeasuresANOVA runs a one-way within-subjects ANOVA.
+//
+// data[s][t] is the response of subject s (a benchmark) under treatment t
+// (an optimization level); every subject must have every treatment. Using
+// subjects as their own controls removes between-benchmark variance from the
+// error term, exactly as "a one-way analysis of variance within subjects
+// [ensures] execution times are only compared between runs of the same
+// benchmark" (§6.1).
+//
+// When each cell holds several runs, pass the per-cell means (the classical
+// unreplicated RM-ANOVA); the experiment harness does this.
+func RepeatedMeasuresANOVA(data [][]float64) ANOVAResult {
+	s := len(data)
+	if s < 2 {
+		return ANOVAResult{P: math.NaN(), FValue: math.NaN()}
+	}
+	t := len(data[0])
+	if t < 2 {
+		return ANOVAResult{P: math.NaN(), FValue: math.NaN()}
+	}
+	for _, row := range data {
+		if len(row) != t {
+			return ANOVAResult{P: math.NaN(), FValue: math.NaN()}
+		}
+	}
+	fs, ft := float64(s), float64(t)
+
+	grand := 0.0
+	for _, row := range data {
+		for _, v := range row {
+			grand += v
+		}
+	}
+	grand /= fs * ft
+
+	// Marginal means.
+	subjMean := make([]float64, s)
+	treatMean := make([]float64, t)
+	for i, row := range data {
+		for j, v := range row {
+			subjMean[i] += v
+			treatMean[j] += v
+		}
+	}
+	for i := range subjMean {
+		subjMean[i] /= ft
+	}
+	for j := range treatMean {
+		treatMean[j] /= fs
+	}
+
+	ssSubj, ssTreat, ssErr := 0.0, 0.0, 0.0
+	for i := range subjMean {
+		d := subjMean[i] - grand
+		ssSubj += ft * d * d
+	}
+	for j := range treatMean {
+		d := treatMean[j] - grand
+		ssTreat += fs * d * d
+	}
+	for i, row := range data {
+		for j, v := range row {
+			r := v - subjMean[i] - treatMean[j] + grand
+			ssErr += r * r
+		}
+	}
+
+	dfT := ft - 1
+	dfE := (fs - 1) * (ft - 1)
+	msT := ssTreat / dfT
+	msE := ssErr / dfE
+	res := ANOVAResult{
+		DFTreatment: dfT,
+		DFError:     dfE,
+		SSSubjects:  ssSubj,
+		SSTreatment: ssTreat,
+		SSError:     ssErr,
+	}
+	if msE == 0 {
+		res.FValue = math.Inf(1)
+		res.P = 0
+		return res
+	}
+	res.FValue = msT / msE
+	res.P = 1 - FCDF(res.FValue, dfT, dfE)
+	return res
+}

@@ -1,0 +1,175 @@
+package stats
+
+import "math"
+
+// TwoWayANOVAResult partitions variance for a benchmark × treatment design
+// with replication: the "total variance ... broken down by source: the
+// fraction due to differences between benchmarks, the impact of
+// optimizations, interactions between the independent factors, and random
+// variation between runs" of §6.1.
+type TwoWayANOVAResult struct {
+	// Main effect of factor A (benchmarks) and factor B (treatments), and
+	// their interaction; each with its F statistic and p-value.
+	FA, FB, FInteraction float64
+	PA, PB, PInteraction float64
+
+	DFA, DFB, DFInteraction, DFError float64
+	SSA, SSB, SSInteraction, SSError float64
+}
+
+// TwoWayANOVA runs a balanced two-way fixed-effects ANOVA.
+//
+// data[a][b] holds the replicated observations of factor level a (e.g. a
+// benchmark) under factor level b (e.g. an optimization level); every cell
+// must have the same number ≥2 of replicates.
+func TwoWayANOVA(data [][][]float64) TwoWayANOVAResult {
+	bad := TwoWayANOVAResult{
+		FA: math.NaN(), FB: math.NaN(), FInteraction: math.NaN(),
+		PA: math.NaN(), PB: math.NaN(), PInteraction: math.NaN(),
+	}
+	a := len(data)
+	if a < 2 {
+		return bad
+	}
+	b := len(data[0])
+	if b < 2 {
+		return bad
+	}
+	n := len(data[0][0])
+	if n < 2 {
+		return bad
+	}
+	for _, row := range data {
+		if len(row) != b {
+			return bad
+		}
+		for _, cell := range row {
+			if len(cell) != n {
+				return bad
+			}
+		}
+	}
+	fa, fb, fn := float64(a), float64(b), float64(n)
+
+	grand := 0.0
+	for _, row := range data {
+		for _, cell := range row {
+			for _, v := range cell {
+				grand += v
+			}
+		}
+	}
+	grand /= fa * fb * fn
+
+	meanA := make([]float64, a)
+	meanB := make([]float64, b)
+	cellMean := make([][]float64, a)
+	for i, row := range data {
+		cellMean[i] = make([]float64, b)
+		for j, cell := range row {
+			s := 0.0
+			for _, v := range cell {
+				s += v
+			}
+			cellMean[i][j] = s / fn
+			meanA[i] += s
+			meanB[j] += s
+		}
+		meanA[i] /= fb * fn
+	}
+	for j := range meanB {
+		meanB[j] /= fa * fn
+	}
+
+	var ssA, ssB, ssAB, ssE float64
+	for i := range meanA {
+		d := meanA[i] - grand
+		ssA += fb * fn * d * d
+	}
+	for j := range meanB {
+		d := meanB[j] - grand
+		ssB += fa * fn * d * d
+	}
+	for i, row := range data {
+		for j, cell := range row {
+			di := cellMean[i][j] - meanA[i] - meanB[j] + grand
+			ssAB += fn * di * di
+			for _, v := range cell {
+				dv := v - cellMean[i][j]
+				ssE += dv * dv
+			}
+		}
+	}
+
+	dfA := fa - 1
+	dfB := fb - 1
+	dfAB := dfA * dfB
+	dfE := fa * fb * (fn - 1)
+	msE := ssE / dfE
+
+	res := TwoWayANOVAResult{
+		DFA: dfA, DFB: dfB, DFInteraction: dfAB, DFError: dfE,
+		SSA: ssA, SSB: ssB, SSInteraction: ssAB, SSError: ssE,
+	}
+	if msE == 0 {
+		res.FA, res.FB, res.FInteraction = math.Inf(1), math.Inf(1), math.Inf(1)
+		res.PA, res.PB, res.PInteraction = 0, 0, 0
+		return res
+	}
+	res.FA = (ssA / dfA) / msE
+	res.FB = (ssB / dfB) / msE
+	res.FInteraction = (ssAB / dfAB) / msE
+	res.PA = 1 - FCDF(res.FA, dfA, dfE)
+	res.PB = 1 - FCDF(res.FB, dfB, dfE)
+	res.PInteraction = 1 - FCDF(res.FInteraction, dfAB, dfE)
+	return res
+}
+
+// MeanCI returns the two-sided (1-alpha) t-based confidence interval for the
+// mean of xs.
+func MeanCI(xs []float64, alpha float64) (lo, hi float64) {
+	n := float64(len(xs))
+	if n < 2 {
+		return math.NaN(), math.NaN()
+	}
+	m := Mean(xs)
+	se := StdDev(xs) / math.Sqrt(n)
+	t := tQuantile(1-alpha/2, n-1)
+	return m - t*se, m + t*se
+}
+
+// DiffCI returns the Welch two-sided (1-alpha) confidence interval for
+// mean(xs) - mean(ys).
+func DiffCI(xs, ys []float64, alpha float64) (lo, hi float64) {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return math.NaN(), math.NaN()
+	}
+	d := Mean(xs) - Mean(ys)
+	vx, vy := Variance(xs), Variance(ys)
+	se2 := vx/nx + vy/ny
+	if se2 == 0 {
+		return d, d
+	}
+	df := se2 * se2 / ((vx*vx)/(nx*nx*(nx-1)) + (vy*vy)/(ny*ny*(ny-1)))
+	t := tQuantile(1-alpha/2, df)
+	se := math.Sqrt(se2)
+	return d - t*se, d + t*se
+}
+
+// tQuantile inverts StudentTCDF by bisection (monotone, well-conditioned).
+func tQuantile(p, df float64) float64 {
+	if p <= 0 || p >= 1 || df <= 0 {
+		return math.NaN()
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

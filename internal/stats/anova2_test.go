@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTwoWayANOVADetectsMainEffects(t *testing.T) {
+	r := rng.NewMarsaglia(1)
+	// 4 benchmarks × 2 treatments × 10 replicates: benchmark effect huge,
+	// treatment effect present, no interaction.
+	data := make([][][]float64, 4)
+	for i := range data {
+		base := float64(i) * 10
+		data[i] = make([][]float64, 2)
+		for j := range data[i] {
+			treat := float64(j) * 0.8
+			cell := make([]float64, 10)
+			for k := range cell {
+				cell[k] = base + treat + 0.3*r.NormFloat64()
+			}
+			data[i][j] = cell
+		}
+	}
+	res := TwoWayANOVA(data)
+	if res.PA >= 0.001 {
+		t.Fatalf("benchmark main effect missed: p=%v", res.PA)
+	}
+	if res.PB >= 0.01 {
+		t.Fatalf("treatment main effect missed: p=%v", res.PB)
+	}
+	if res.PInteraction < 0.05 {
+		t.Fatalf("phantom interaction: p=%v", res.PInteraction)
+	}
+	if res.DFA != 3 || res.DFB != 1 || res.DFInteraction != 3 || res.DFError != 72 {
+		t.Fatalf("df wrong: %+v", res)
+	}
+}
+
+func TestTwoWayANOVADetectsInteraction(t *testing.T) {
+	r := rng.NewMarsaglia(2)
+	// The treatment helps benchmark 0 and hurts benchmark 1: pure
+	// interaction, no average treatment effect.
+	data := make([][][]float64, 2)
+	for i := range data {
+		data[i] = make([][]float64, 2)
+		for j := range data[i] {
+			sign := 1.0
+			if i == 1 {
+				sign = -1
+			}
+			cell := make([]float64, 12)
+			for k := range cell {
+				cell[k] = 5 + sign*float64(j) + 0.2*r.NormFloat64()
+			}
+			data[i][j] = cell
+		}
+	}
+	res := TwoWayANOVA(data)
+	if res.PInteraction >= 0.001 {
+		t.Fatalf("interaction missed: p=%v", res.PInteraction)
+	}
+	if res.PB < 0.05 {
+		t.Fatalf("phantom average treatment effect: p=%v", res.PB)
+	}
+}
+
+func TestTwoWayANOVARejectsBadShapes(t *testing.T) {
+	if !math.IsNaN(TwoWayANOVA(nil).FA) {
+		t.Fatal("nil accepted")
+	}
+	ragged := [][][]float64{
+		{{1, 2}, {3, 4}},
+		{{1, 2}}, // missing a cell
+	}
+	if !math.IsNaN(TwoWayANOVA(ragged).FA) {
+		t.Fatal("ragged design accepted")
+	}
+	single := [][][]float64{
+		{{1}, {2}},
+		{{3}, {4}},
+	}
+	if !math.IsNaN(TwoWayANOVA(single).FA) {
+		t.Fatal("single replicate accepted (no error term)")
+	}
+}
+
+func TestTwoWayANOVANullCalibration(t *testing.T) {
+	r := rng.NewMarsaglia(3)
+	rejections := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		data := make([][][]float64, 3)
+		for i := range data {
+			data[i] = make([][]float64, 2)
+			for j := range data[i] {
+				cell := make([]float64, 6)
+				for k := range cell {
+					cell[k] = r.NormFloat64()
+				}
+				data[i][j] = cell
+			}
+		}
+		if TwoWayANOVA(data).PB < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.02 || rate > 0.09 {
+		t.Fatalf("two-way ANOVA type-I rate %.3f far from 0.05", rate)
+	}
+}
+
+func TestTQuantileInvertsCDF(t *testing.T) {
+	for _, df := range []float64{3, 10, 29} {
+		for _, p := range []float64{0.05, 0.5, 0.9, 0.975} {
+			q := tQuantile(p, df)
+			if math.Abs(StudentTCDF(q, df)-p) > 1e-9 {
+				t.Fatalf("tQuantile(%v, %v) = %v does not invert", p, df, q)
+			}
+		}
+	}
+	// Known value: t(0.975, 29) ≈ 2.045.
+	if q := tQuantile(0.975, 29); math.Abs(q-2.045) > 5e-3 {
+		t.Fatalf("t(0.975,29) = %v", q)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	r := rng.NewMarsaglia(4)
+	covered := 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 12)
+		for i := range xs {
+			xs[i] = 3 + 2*r.NormFloat64()
+		}
+		lo, hi := MeanCI(xs, 0.05)
+		if lo <= 3 && 3 <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Fatalf("95%% CI covered the true mean %.1f%% of the time", rate*100)
+	}
+}
+
+func TestDiffCICoversTrueDifference(t *testing.T) {
+	r := rng.NewMarsaglia(5)
+	covered := 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 15)
+		ys := make([]float64, 15)
+		for i := range xs {
+			xs[i] = 10 + r.NormFloat64()
+			ys[i] = 9 + r.NormFloat64() // true difference 1
+		}
+		lo, hi := DiffCI(xs, ys, 0.05)
+		if lo <= 1 && 1 <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Fatalf("95%% diff CI covered truth %.1f%% of the time", rate*100)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance; NaN for fewer than
+// two values.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median; NaN for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quantile returns the p-quantile (type-7 interpolation, the R default).
+func Quantile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n == 1 {
+		return s[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return s[n-1]
+	}
+	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+}
+
+// QQPoint is one point of a quantile-quantile plot.
+type QQPoint struct {
+	Theoretical float64 // normal quantile
+	Observed    float64 // sample quantile
+}
+
+// QQNormal returns the points of a normal QQ plot for xs: the i'th order
+// statistic against Phi^-1((i - 0.5)/n). Samples are shifted to zero mean
+// and scaled by the given reference standard deviation, matching Figure 5's
+// presentation (normalize to the re-randomized samples' deviation so slopes
+// compare variance).
+func QQNormal(xs []float64, refStd float64) []QQPoint {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := Mean(s)
+	if refStd == 0 || math.IsNaN(refStd) {
+		refStd = StdDev(s)
+	}
+	pts := make([]QQPoint, n)
+	for i := range s {
+		p := (float64(i) + 0.5) / float64(n)
+		pts[i] = QQPoint{
+			Theoretical: NormalQuantile(p),
+			Observed:    (s[i] - m) / refStd,
+		}
+	}
+	return pts
+}
+
+// ranks assigns average ranks (1-based) to the values, handling ties by
+// averaging; used by the Wilcoxon tests.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	rk := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			rk[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return rk
+}

@@ -1,0 +1,247 @@
+// Package stats implements the statistical machinery the paper's evaluation
+// rests on: the Shapiro-Wilk normality test (Table 1), the Brown-Forsythe
+// variance test (Table 1), Student's and Welch's t-tests (§2.4, Figure 7),
+// the Wilcoxon signed-rank test for non-normal benchmarks (§6), one-way
+// repeated-measures ANOVA (§6.1), and the distribution functions they need.
+//
+// Everything is implemented from standard published algorithms (AS R94 for
+// Shapiro-Wilk, Acklam's rational approximation plus a Halley refinement for
+// the normal quantile, continued-fraction incomplete beta and gamma) using
+// only the standard library.
+package stats
+
+import "math"
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z with NormalCDF(z) = p, for p in (0, 1).
+// It uses Acklam's rational approximation refined by one Halley step, giving
+// near machine precision.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	a := [...]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [...]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01,
+	}
+	c := [...]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [...]float64{
+		7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00,
+	}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley step against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// lnBeta returns ln(Beta(a, b)).
+func lnBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// evaluated with the Lentz continued fraction.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	bt := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lnBeta(a, b))
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// betacf is the continued-fraction kernel for RegIncBeta.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T <= t) for Student's t with df degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t >= 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// FCDF returns P(F <= f) for the F distribution with (df1, df2) degrees of
+// freedom.
+func FCDF(f, df1, df2 float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	x := df1 * f / (df1*f + df2)
+	return RegIncBeta(df1/2, df2/2, x)
+}
+
+// GammaP returns the regularized lower incomplete gamma P(a, x); GammaQ is
+// its complement. These power the chi-square CDF and the NIST tests.
+func GammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+// GammaQ returns the regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+func GammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaCF(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*3e-16 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaCF(a, x float64) float64 {
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 3e-16 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square with df degrees of freedom.
+func ChiSquareCDF(x, df float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(df/2, x/2)
+}

@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// exactSignedRankCDF returns P(W+ <= w) for the Wilcoxon signed-rank
+// statistic under the null with n untied nonzero differences, computed by
+// dynamic programming over the 2^n equally likely sign assignments.
+func exactSignedRankCDF(w float64, n int) float64 {
+	maxSum := n * (n + 1) / 2
+	// counts[s] = number of sign assignments with rank-sum s.
+	counts := make([]float64, maxSum+1)
+	counts[0] = 1
+	for r := 1; r <= n; r++ {
+		for s := maxSum; s >= r; s-- {
+			counts[s] += counts[s-r]
+		}
+	}
+	total := math.Ldexp(1, n) // 2^n
+	cum := 0.0
+	limit := int(math.Floor(w + 1e-9))
+	if limit > maxSum {
+		limit = maxSum
+	}
+	for s := 0; s <= limit; s++ {
+		cum += counts[s]
+	}
+	return cum / total
+}
+
+// exactWilcoxonThreshold is the largest sample size that uses the exact
+// distribution; beyond it the normal approximation is accurate.
+const exactWilcoxonThreshold = 25
+
+// WilcoxonSignedRankExact is WilcoxonSignedRank with the exact null
+// distribution for small samples (n ≤ 25 nonzero, untied differences) and
+// the normal approximation otherwise. Ties force the approximation, whose
+// variance correction the exact distribution has no analogue for.
+func WilcoxonSignedRankExact(xs, ys []float64) TestResult {
+	if len(xs) != len(ys) {
+		return TestResult{P: math.NaN()}
+	}
+	var diffs []float64
+	for i := range xs {
+		if d := xs[i] - ys[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	rk := ranks(abs)
+	// Detect ties: any non-integral rank means ties.
+	tied := false
+	for _, r := range rk {
+		if r != math.Trunc(r) {
+			tied = true
+			break
+		}
+	}
+	if tied || n > exactWilcoxonThreshold {
+		return WilcoxonSignedRank(xs, ys)
+	}
+	wPlus := 0.0
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += rk[i]
+		}
+	}
+	// Two-sided: double the smaller tail.
+	maxSum := float64(n * (n + 1) / 2)
+	lower := exactSignedRankCDF(wPlus, n)
+	upper := exactSignedRankCDF(maxSum-wPlus, n)
+	p := 2 * math.Min(lower, upper)
+	if p > 1 {
+		p = 1
+	}
+	return TestResult{Statistic: wPlus, P: p, DF: float64(n)}
+}
+
+// OneSampleT tests whether the mean of xs differs from mu.
+func OneSampleT(xs []float64, mu float64) TestResult {
+	n := float64(len(xs))
+	if n < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	m := Mean(xs)
+	se := StdDev(xs) / math.Sqrt(n)
+	if se == 0 {
+		if m == mu {
+			return TestResult{Statistic: 0, P: 1, DF: n - 1}
+		}
+		return TestResult{Statistic: math.Inf(1), P: 0, DF: n - 1}
+	}
+	t := (m - mu) / se
+	return TestResult{Statistic: t, P: 2 * (1 - StudentTCDF(math.Abs(t), n-1)), DF: n - 1}
+}

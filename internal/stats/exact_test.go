@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestExactSignedRankCDFSmallCases(t *testing.T) {
+	// n=3: sums 0..6 with counts 1,1,1,2,1,1,1 over 8 assignments.
+	cases := []struct {
+		w    float64
+		want float64
+	}{
+		{0, 1.0 / 8}, {1, 2.0 / 8}, {2, 3.0 / 8}, {3, 5.0 / 8},
+		{4, 6.0 / 8}, {5, 7.0 / 8}, {6, 1.0},
+	}
+	for _, c := range cases {
+		if got := exactSignedRankCDF(c.w, 3); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P(W<=%v | n=3) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestExactSignedRankCriticalValue(t *testing.T) {
+	// Published table: for n=10 at two-sided alpha=0.05 the critical value
+	// is W=8: P(W+ <= 8)*2 must be just under 0.05, and W=9 just over.
+	p8 := 2 * exactSignedRankCDF(8, 10)
+	p9 := 2 * exactSignedRankCDF(9, 10)
+	if p8 > 0.05 {
+		t.Fatalf("P(W<=8)*2 = %v, should be <= 0.05", p8)
+	}
+	if p9 <= 0.05 {
+		t.Fatalf("P(W<=9)*2 = %v, should exceed 0.05", p9)
+	}
+}
+
+func TestWilcoxonExactMatchesApproxForLargeN(t *testing.T) {
+	r := rng.NewMarsaglia(81)
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = 0.4 + r.NormFloat64()
+	}
+	exact := WilcoxonSignedRankExact(xs, ys) // falls back (n > threshold)
+	approx := WilcoxonSignedRank(xs, ys)
+	if exact.P != approx.P {
+		t.Fatalf("large-n exact path should delegate: %v vs %v", exact.P, approx.P)
+	}
+}
+
+func TestWilcoxonExactSmallSample(t *testing.T) {
+	// Clear one-directional differences, no ties: n=8, all positive
+	// differences -> W+ = 36, the maximum; two-sided exact p = 2/2^8.
+	xs := []float64{5, 6, 7, 8, 9, 10, 11, 12}
+	ys := []float64{4, 4.9, 5.7, 6.4, 7, 7.5, 7.9, 8.2}
+	res := WilcoxonSignedRankExact(xs, ys)
+	want := 2.0 / 256
+	if math.Abs(res.P-want) > 1e-12 {
+		t.Fatalf("all-positive n=8 exact p = %v, want %v", res.P, want)
+	}
+	if !res.Significant(0.05) {
+		t.Fatal("clear difference not significant")
+	}
+}
+
+func TestWilcoxonExactNullCalibration(t *testing.T) {
+	r := rng.NewMarsaglia(83)
+	rejections := 0
+	const trials = 2000
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 12)
+		ys := make([]float64, 12)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		if WilcoxonSignedRankExact(xs, ys).Significant(0.05) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	// The exact test is conservative by discreteness; the rate must not
+	// exceed nominal.
+	if rate > 0.055 {
+		t.Fatalf("exact Wilcoxon type-I rate %.3f exceeds 0.05", rate)
+	}
+	if rate < 0.01 {
+		t.Fatalf("exact Wilcoxon type-I rate %.3f implausibly low", rate)
+	}
+}
+
+func TestOneSampleT(t *testing.T) {
+	xs := []float64{5.1, 4.9, 5.2, 5.0, 4.8, 5.1, 5.0, 4.9}
+	if res := OneSampleT(xs, 5.0); res.Significant(0.05) {
+		t.Fatalf("mean ~5 vs mu=5 rejected: p=%v", res.P)
+	}
+	if res := OneSampleT(xs, 6.0); !res.Significant(0.001) {
+		t.Fatalf("mean ~5 vs mu=6 not rejected: p=%v", res.P)
+	}
+	if !math.IsNaN(OneSampleT([]float64{1}, 0).P) {
+		t.Fatal("single sample accepted")
+	}
+	res := OneSampleT([]float64{2, 2, 2}, 2)
+	if res.P != 1 {
+		t.Fatalf("constant-at-mu p = %v, want 1", res.P)
+	}
+}

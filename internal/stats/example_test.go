@@ -1,0 +1,54 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleWelchT shows the paper's §2.4 workflow: decide whether a change
+// shifted performance, given samples from both versions.
+func ExampleWelchT() {
+	before := []float64{10.1, 10.3, 9.9, 10.2, 10.0, 10.1, 10.2, 9.8, 10.0, 10.1}
+	after := []float64{9.6, 9.8, 9.5, 9.7, 9.6, 9.5, 9.8, 9.6, 9.7, 9.5}
+	res := stats.WelchT(before, after)
+	fmt.Printf("significant at 95%%: %v\n", res.Significant(0.05))
+	// Output:
+	// significant at 95%: true
+}
+
+// ExampleShapiroWilk screens samples for normality before choosing a
+// parametric test, as §6 prescribes.
+func ExampleShapiroWilk() {
+	// A clearly skewed sample: mostly small values with a heavy tail.
+	skewed := []float64{1, 1.1, 0.9, 1.2, 1, 1.1, 0.95, 1.05, 1, 9, 8.5, 1.1,
+		0.9, 1, 1.15, 0.85, 1.02, 0.97, 1.03, 7.9}
+	res := stats.ShapiroWilk(skewed)
+	fmt.Printf("normal: %v\n", !res.Significant(0.05))
+	// Output:
+	// normal: false
+}
+
+// ExampleRepeatedMeasuresANOVA evaluates a treatment across benchmarks, each
+// serving as its own control (§6.1).
+func ExampleRepeatedMeasuresANOVA() {
+	// Three benchmarks, two treatments; the treatment consistently helps.
+	data := [][]float64{
+		{12.0, 11.5}, // benchmark A: before, after
+		{55.0, 54.4},
+		{8.0, 7.55},
+	}
+	res := stats.RepeatedMeasuresANOVA(data)
+	fmt.Printf("df = (%g, %g), significant: %v\n",
+		res.DFTreatment, res.DFError, res.Significant(0.05))
+	// Output:
+	// df = (1, 2), significant: true
+}
+
+// ExampleNormalQuantile computes the critical values used throughout the
+// paper's hypothesis tests.
+func ExampleNormalQuantile() {
+	fmt.Printf("z(0.975) = %.2f\n", stats.NormalQuantile(0.975))
+	// Output:
+	// z(0.975) = 1.96
+}

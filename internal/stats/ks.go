@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution complement
+// Q(λ) = 2 Σ (-1)^{k-1} e^{-2k²λ²}, the p-value for the scaled KS statistic.
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// KolmogorovSmirnovNormal tests xs against a normal distribution with the
+// sample's own mean and standard deviation (a Lilliefors-style composite
+// test; the asymptotic p-value is conservative for estimated parameters, so
+// a rejection is trustworthy while a borderline acceptance is optimistic —
+// Shapiro-Wilk remains the primary normality screen, as in the paper).
+func KolmogorovSmirnovNormal(xs []float64) TestResult {
+	n := len(xs)
+	if n < 4 {
+		return TestResult{P: math.NaN()}
+	}
+	m, sd := Mean(xs), StdDev(xs)
+	if sd == 0 {
+		return TestResult{P: math.NaN()}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	d := 0.0
+	for i, x := range s {
+		f := NormalCDF((x - m) / sd)
+		upper := float64(i+1)/float64(n) - f
+		lower := f - float64(i)/float64(n)
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	fn := float64(n)
+	lambda := (math.Sqrt(fn) + 0.12 + 0.11/math.Sqrt(fn)) * d
+	return TestResult{Statistic: d, P: ksPValue(lambda), DF: fn}
+}
+
+// KolmogorovSmirnov2 is the two-sample KS test: the null hypothesis is that
+// xs and ys come from the same continuous distribution.
+func KolmogorovSmirnov2(xs, ys []float64) TestResult {
+	nx, ny := len(xs), len(ys)
+	if nx < 4 || ny < 4 {
+		return TestResult{P: math.NaN()}
+	}
+	sx := append([]float64(nil), xs...)
+	sy := append([]float64(nil), ys...)
+	sort.Float64s(sx)
+	sort.Float64s(sy)
+	d := 0.0
+	i, j := 0, 0
+	for i < nx && j < ny {
+		if sx[i] <= sy[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(nx) - float64(j)/float64(ny))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(nx) * float64(ny) / float64(nx+ny)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return TestResult{Statistic: d, P: ksPValue(lambda), DF: float64(nx + ny)}
+}

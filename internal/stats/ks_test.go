@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestKSNormalAcceptsNormal(t *testing.T) {
+	r := rng.NewMarsaglia(61)
+	accept := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 40)
+		for i := range xs {
+			xs[i] = 7 + 3*r.NormFloat64()
+		}
+		if !KolmogorovSmirnovNormal(xs).Significant(0.05) {
+			accept++
+		}
+	}
+	// Lilliefors-style with asymptotic p is conservative: acceptance should
+	// be at least nominal.
+	if accept < trials*90/100 {
+		t.Fatalf("KS rejected normal data too often: %d/%d accepted", accept, trials)
+	}
+}
+
+func TestKSNormalRejectsUniformTails(t *testing.T) {
+	r := rng.NewMarsaglia(67)
+	reject := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			// Strongly bimodal: far from normal.
+			if r.Intn(2) == 0 {
+				xs[i] = -2 + 0.1*r.NormFloat64()
+			} else {
+				xs[i] = 2 + 0.1*r.NormFloat64()
+			}
+		}
+		if KolmogorovSmirnovNormal(xs).Significant(0.05) {
+			reject++
+		}
+	}
+	if reject < trials*80/100 {
+		t.Fatalf("KS missed bimodality: only %d/%d rejected", reject, trials)
+	}
+}
+
+func TestKS2SameDistribution(t *testing.T) {
+	r := rng.NewMarsaglia(71)
+	rejections := 0
+	const trials = 500
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 30)
+		ys := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		if KolmogorovSmirnov2(xs, ys).Significant(0.05) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.08 {
+		t.Fatalf("two-sample KS type-I rate %.3f too high", rate)
+	}
+}
+
+func TestKS2DetectsShift(t *testing.T) {
+	r := rng.NewMarsaglia(73)
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = 1.5 + r.NormFloat64()
+	}
+	if res := KolmogorovSmirnov2(xs, ys); !res.Significant(0.01) {
+		t.Fatalf("1.5-sigma shift not detected: p=%v", res.P)
+	}
+}
+
+func TestKSDegenerateInputs(t *testing.T) {
+	if !math.IsNaN(KolmogorovSmirnovNormal([]float64{1, 2}).P) {
+		t.Fatal("tiny sample accepted")
+	}
+	if !math.IsNaN(KolmogorovSmirnovNormal([]float64{3, 3, 3, 3, 3}).P) {
+		t.Fatal("zero-variance sample accepted")
+	}
+	if !math.IsNaN(KolmogorovSmirnov2([]float64{1}, []float64{2}).P) {
+		t.Fatal("tiny two-sample accepted")
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	if p := ksPValue(0); p != 1 {
+		t.Fatalf("Q(0) = %v", p)
+	}
+	if p := ksPValue(5); p > 1e-6 {
+		t.Fatalf("Q(5) = %v, should be ~0", p)
+	}
+	// Known value: Q(1.36) ≈ 0.049 (the classic 5% critical point).
+	if p := ksPValue(1.36); math.Abs(p-0.049) > 0.003 {
+		t.Fatalf("Q(1.36) = %v, want ~0.049", p)
+	}
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ShapiroWilk tests the null hypothesis that xs was drawn from a normal
+// distribution, using Royston's 1995 algorithm (AS R94) — the test behind
+// Table 1 and the normality screening of §6. Valid for 3 <= n <= 5000.
+//
+// The returned TestResult carries the W statistic and the p-value; a p-value
+// below alpha rejects normality.
+func ShapiroWilk(xs []float64) TestResult {
+	n := len(xs)
+	if n < 3 {
+		return TestResult{P: math.NaN()}
+	}
+	x := append([]float64(nil), xs...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		return TestResult{P: math.NaN()} // zero range
+	}
+	fn := float64(n)
+
+	// Expected normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	ssumm2 := 0.0
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (fn + 0.25))
+		ssumm2 += m[i] * m[i]
+	}
+
+	// Weights: polynomial-corrected end weights (Royston), interior scaled.
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(fn)
+	c := make([]float64, n)
+	norm := math.Sqrt(ssumm2)
+	for i := range m {
+		c[i] = m[i] / norm
+	}
+	if n > 5 {
+		an := -2.706056*pow5(rsn) + 4.434685*pow4(rsn) - 2.071190*pow3(rsn) -
+			0.147981*rsn*rsn + 0.221157*rsn + c[n-1]
+		an1 := -3.582633*pow5(rsn) + 5.682633*pow4(rsn) - 1.752461*pow3(rsn) -
+			0.293762*rsn*rsn + 0.042981*rsn + c[n-2]
+		phi := (ssumm2 - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+			(1 - 2*an*an - 2*an1*an1)
+		a[n-1], a[n-2] = an, an1
+		a[0], a[1] = -an, -an1
+		sp := math.Sqrt(phi)
+		for i := 2; i < n-2; i++ {
+			a[i] = m[i] / sp
+		}
+	} else {
+		an := -2.706056*pow5(rsn) + 4.434685*pow4(rsn) - 2.071190*pow3(rsn) -
+			0.147981*rsn*rsn + 0.221157*rsn + c[n-1]
+		phi := (ssumm2 - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+		a[n-1] = an
+		a[0] = -an
+		sp := math.Sqrt(phi)
+		for i := 1; i < n-1; i++ {
+			a[i] = m[i] / sp
+		}
+	}
+
+	// W statistic.
+	mean := Mean(x)
+	num, den := 0.0, 0.0
+	for i := range x {
+		num += a[i] * x[i]
+		den += (x[i] - mean) * (x[i] - mean)
+	}
+	w := num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value via Royston's normalizing transformations.
+	var z float64
+	switch {
+	case n == 3:
+		// Exact: p = (6/pi) * (asin(sqrt(W)) - asin(sqrt(0.75))).
+		p := 6 / math.Pi * (math.Asin(math.Sqrt(w)) - math.Asin(math.Sqrt(0.75)))
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		return TestResult{Statistic: w, P: p, DF: fn}
+	case n <= 11:
+		gamma := -2.273 + 0.459*fn
+		wt := -math.Log(gamma - math.Log(1-w))
+		mu := 0.5440 - 0.39978*fn + 0.025054*fn*fn - 0.0006714*fn*fn*fn
+		sigma := math.Exp(1.3822 - 0.77857*fn + 0.062767*fn*fn - 0.0020322*fn*fn*fn)
+		z = (wt - mu) / sigma
+	default:
+		u := math.Log(fn)
+		wt := math.Log(1 - w)
+		mu := -1.5861 - 0.31082*u - 0.083751*u*u + 0.0038915*u*u*u
+		sigma := math.Exp(-0.4803 - 0.082676*u + 0.0030302*u*u)
+		z = (wt - mu) / sigma
+	}
+	p := 1 - NormalCDF(z)
+	return TestResult{Statistic: w, P: p, DF: fn}
+}
+
+func pow3(x float64) float64 { return x * x * x }
+func pow4(x float64) float64 { return x * x * x * x }
+func pow5(x float64) float64 { return x * x * x * x * x }

@@ -1,0 +1,450 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Phi(0)")
+	approx(t, NormalCDF(1.959963985), 0.975, 1e-6, "Phi(1.96)")
+	approx(t, NormalCDF(-1.644853627), 0.05, 1e-6, "Phi(-1.645)")
+	approx(t, NormalCDF(3), 0.9986501, 1e-6, "Phi(3)")
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(u uint16) bool {
+		p := (float64(u) + 0.5) / 65536
+		z := NormalQuantile(p)
+		return math.Abs(NormalCDF(z)-p) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	approx(t, NormalQuantile(0.975), 1.959963985, 1e-8, "z(0.975)")
+	approx(t, NormalQuantile(0.5), 0, 1e-12, "z(0.5)")
+	approx(t, NormalQuantile(0.05), -1.644853627, 1e-8, "z(0.05)")
+	approx(t, NormalQuantile(0.999), 3.090232306, 1e-8, "z(0.999)")
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	// Critical values from standard t tables.
+	approx(t, StudentTCDF(2.045, 29), 0.975, 5e-4, "T29(2.045)")
+	approx(t, StudentTCDF(1.697, 30), 0.95, 5e-4, "T30(1.697)")
+	approx(t, StudentTCDF(0, 10), 0.5, 1e-12, "T10(0)")
+	approx(t, StudentTCDF(-2.045, 29), 0.025, 5e-4, "T29(-2.045)")
+}
+
+func TestFCDFKnownValues(t *testing.T) {
+	// F table: F(0.95; 1, 17) = 4.451, F(0.95; 2, 10) = 4.103.
+	approx(t, FCDF(4.451, 1, 17), 0.95, 1e-3, "F(4.451;1,17)")
+	approx(t, FCDF(4.103, 2, 10), 0.95, 1e-3, "F(4.103;2,10)")
+	approx(t, FCDF(6.411, 1, 17), 0.9786, 2e-3, "F(6.411;1,17)") // the paper's -O2 F-value
+	approx(t, FCDF(1.335, 1, 17), 0.736, 5e-3, "F(1.335;1,17)")  // the paper's -O3 F-value
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	approx(t, ChiSquareCDF(3.841, 1), 0.95, 1e-3, "chi2(3.841;1)")
+	approx(t, ChiSquareCDF(18.307, 10), 0.95, 1e-3, "chi2(18.307;10)")
+}
+
+func TestDescriptives(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "mean")
+	approx(t, Variance(xs), 32.0/7, 1e-12, "variance")
+	approx(t, Median(xs), 4.5, 1e-12, "median")
+	approx(t, Quantile(xs, 0), 2, 1e-12, "q0")
+	approx(t, Quantile(xs, 1), 9, 1e-12, "q1")
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should give NaN")
+	}
+}
+
+func TestWelchTDetectsDifference(t *testing.T) {
+	r := rng.NewMarsaglia(1)
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+		ys[i] = 11 + r.NormFloat64() // one sigma apart
+	}
+	res := WelchT(xs, ys)
+	if !res.Significant(0.05) {
+		t.Fatalf("1-sigma mean shift not detected: p=%v", res.P)
+	}
+}
+
+func TestWelchTNullCalibration(t *testing.T) {
+	// Under the null, about 5% of tests should reject at alpha=0.05.
+	r := rng.NewMarsaglia(7)
+	rejections := 0
+	const trials = 2000
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 15)
+		ys := make([]float64, 15)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		if WelchT(xs, ys).Significant(0.05) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.03 || rate > 0.07 {
+		t.Fatalf("type-I error rate %.3f far from 0.05", rate)
+	}
+}
+
+func TestTTestSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.NewMarsaglia(seed)
+		xs := make([]float64, 12)
+		ys := make([]float64, 12)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = 0.5 + r.NormFloat64()
+		}
+		a := WelchT(xs, ys)
+		b := WelchT(ys, xs)
+		return math.Abs(a.P-b.P) < 1e-12 && math.Abs(a.Statistic+b.Statistic) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTestScaleInvariance(t *testing.T) {
+	// p-values must be invariant to affine unit changes (cycles vs seconds).
+	r := rng.NewMarsaglia(3)
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 5 + r.NormFloat64()
+		ys[i] = 5.4 + r.NormFloat64()
+	}
+	scale := func(v []float64, a, b float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = a*v[i] + b
+		}
+		return out
+	}
+	p1 := WelchT(xs, ys).P
+	p2 := WelchT(scale(xs, 3.2e9, 17), scale(ys, 3.2e9, 17)).P
+	approx(t, p2, p1, 1e-9, "scale-invariant p")
+}
+
+func TestPairedTMatchesHandComputation(t *testing.T) {
+	// Differences: mean 2.4, sample sd sqrt(1280.4/9); t = 2.4/(sd/sqrt(10)).
+	x := []float64{125, 115, 130, 140, 140, 115, 140, 125, 140, 135}
+	y := []float64{110, 122, 125, 120, 140, 124, 123, 137, 135, 145}
+	res := PairedT(x, y)
+	sd := math.Sqrt(1280.4 / 9)
+	wantT := 2.4 / (sd / math.Sqrt(10))
+	approx(t, res.Statistic, wantT, 1e-9, "paired t statistic")
+	wantP := 2 * (1 - StudentTCDF(wantT, 9))
+	approx(t, res.P, wantP, 1e-9, "paired t p-value")
+	if res.P < 0.4 || res.P > 0.7 {
+		t.Fatalf("p=%v outside the plausible range for this data", res.P)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	r := rng.NewMarsaglia(11)
+	xs := make([]float64, 30)
+	ys := make([]float64, 30)
+	for i := range xs {
+		v := r.NormFloat64()
+		xs[i] = v
+		ys[i] = v + 1.2 + 0.2*r.NormFloat64()
+	}
+	if res := WilcoxonSignedRank(xs, ys); !res.Significant(0.01) {
+		t.Fatalf("clear shift not detected: p=%v", res.P)
+	}
+}
+
+func TestWilcoxonNullBehavior(t *testing.T) {
+	r := rng.NewMarsaglia(13)
+	rejections := 0
+	const trials = 1000
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		if WilcoxonSignedRank(xs, ys).Significant(0.05) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.02 || rate > 0.08 {
+		t.Fatalf("Wilcoxon type-I rate %.3f far from 0.05", rate)
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	r := rng.NewMarsaglia(17)
+	xs := make([]float64, 25)
+	ys := make([]float64, 25)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = 1.0 + r.NormFloat64()
+	}
+	if res := MannWhitneyU(xs, ys); !res.Significant(0.05) {
+		t.Fatalf("shift not detected: p=%v", res.P)
+	}
+}
+
+func TestShapiroWilkAcceptsNormal(t *testing.T) {
+	r := rng.NewMarsaglia(19)
+	accept := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = 5 + 2*r.NormFloat64()
+		}
+		if !ShapiroWilk(xs).Significant(0.05) {
+			accept++
+		}
+	}
+	// Should accept ~95%.
+	if accept < trials*88/100 {
+		t.Fatalf("Shapiro-Wilk rejected normal data too often: %d/%d accepted", accept, trials)
+	}
+}
+
+func TestShapiroWilkRejectsSkewed(t *testing.T) {
+	r := rng.NewMarsaglia(23)
+	reject := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			v := r.NormFloat64()
+			xs[i] = math.Exp(v) // lognormal: strongly skewed
+		}
+		if ShapiroWilk(xs).Significant(0.05) {
+			reject++
+		}
+	}
+	if reject < trials*80/100 {
+		t.Fatalf("Shapiro-Wilk missed lognormal skew: only %d/%d rejected", reject, trials)
+	}
+}
+
+func TestShapiroWilkRejectsBimodal(t *testing.T) {
+	r := rng.NewMarsaglia(29)
+	reject := 0
+	const trials = 200
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			if r.Intn(2) == 0 {
+				xs[i] = -3 + 0.3*r.NormFloat64()
+			} else {
+				xs[i] = 3 + 0.3*r.NormFloat64()
+			}
+		}
+		if ShapiroWilk(xs).Significant(0.05) {
+			reject++
+		}
+	}
+	if reject < trials*90/100 {
+		t.Fatalf("Shapiro-Wilk missed bimodality: only %d/%d rejected", reject, trials)
+	}
+}
+
+func TestShapiroWilkOutlierSample(t *testing.T) {
+	// A sample with one large outlier (236 among 148..195) must yield a
+	// clearly sub-unity W and a small p-value.
+	x := []float64{148, 154, 158, 160, 161, 162, 166, 170, 182, 195, 236}
+	res := ShapiroWilk(x)
+	if res.Statistic > 0.9 || res.Statistic < 0.5 {
+		t.Fatalf("W = %v implausible for this outlier sample", res.Statistic)
+	}
+	if res.P > 0.05 {
+		t.Fatalf("outlier-laden sample got p=%v; expected rejection", res.P)
+	}
+}
+
+func TestShapiroWilkPValueCalibration(t *testing.T) {
+	// Under the null, p-values must be approximately Uniform(0,1): check
+	// the empirical CDF at several thresholds. This pins both the W
+	// computation and Royston's p transformation.
+	r := rng.NewMarsaglia(53)
+	const trials = 2000
+	ps := make([]float64, 0, trials)
+	for k := 0; k < trials; k++ {
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		ps = append(ps, ShapiroWilk(xs).P)
+	}
+	for _, threshold := range []float64{0.05, 0.1, 0.25, 0.5, 0.75} {
+		below := 0
+		for _, p := range ps {
+			if p < threshold {
+				below++
+			}
+		}
+		rate := float64(below) / trials
+		if math.Abs(rate-threshold) > 0.05 {
+			t.Errorf("P(p < %.2f) = %.3f; p-values not uniform under the null", threshold, rate)
+		}
+	}
+}
+
+func TestShapiroWilkNearPerfectNormal(t *testing.T) {
+	// Exact normal quantiles should give W very close to 1.
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = NormalQuantile((float64(i) + 0.5) / 50)
+	}
+	res := ShapiroWilk(xs)
+	if res.Statistic < 0.98 {
+		t.Fatalf("W = %v for exact normal quantiles", res.Statistic)
+	}
+	if res.Significant(0.05) {
+		t.Fatalf("perfect normal sample rejected: p=%v", res.P)
+	}
+}
+
+func TestBrownForsytheEqualVariances(t *testing.T) {
+	r := rng.NewMarsaglia(31)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = 5 + r.NormFloat64() // same variance, different mean
+	}
+	if res := BrownForsythe(a, b); res.Significant(0.05) {
+		t.Fatalf("equal variances rejected: p=%v", res.P)
+	}
+}
+
+func TestBrownForsytheUnequalVariances(t *testing.T) {
+	r := rng.NewMarsaglia(37)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = 4 * r.NormFloat64()
+	}
+	if res := BrownForsythe(a, b); !res.Significant(0.05) {
+		t.Fatalf("4x variance difference not detected: p=%v", res.P)
+	}
+}
+
+func TestRMANOVADetectsTreatment(t *testing.T) {
+	// 18 subjects × 2 treatments with a consistent +0.5 effect over
+	// subject-specific baselines.
+	r := rng.NewMarsaglia(41)
+	data := make([][]float64, 18)
+	for s := range data {
+		base := 10 + 5*r.NormFloat64() // huge between-subject spread
+		data[s] = []float64{base + 0.1*r.NormFloat64(), base + 0.5 + 0.1*r.NormFloat64()}
+	}
+	res := RepeatedMeasuresANOVA(data)
+	if !res.Significant(0.05) {
+		t.Fatalf("consistent within-subject effect not detected: F=%v p=%v", res.FValue, res.P)
+	}
+	if res.DFTreatment != 1 || res.DFError != 17 {
+		t.Fatalf("df = (%v, %v), want (1, 17)", res.DFTreatment, res.DFError)
+	}
+	// Between-subject variance must dominate SSSubjects, not the error term.
+	if res.SSSubjects < res.SSError {
+		t.Fatal("subject variance leaked into the error term")
+	}
+}
+
+func TestRMANOVANullBehavior(t *testing.T) {
+	r := rng.NewMarsaglia(43)
+	rejections := 0
+	const trials = 1000
+	for k := 0; k < trials; k++ {
+		data := make([][]float64, 18)
+		for s := range data {
+			base := 10 + 5*r.NormFloat64()
+			data[s] = []float64{base + 0.3*r.NormFloat64(), base + 0.3*r.NormFloat64()}
+		}
+		if RepeatedMeasuresANOVA(data).Significant(0.05) {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate < 0.03 || rate > 0.08 {
+		t.Fatalf("RM-ANOVA type-I rate %.3f far from 0.05", rate)
+	}
+}
+
+func TestQQNormalShape(t *testing.T) {
+	r := rng.NewMarsaglia(47)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 3 + 2*r.NormFloat64()
+	}
+	pts := QQNormal(xs, 2)
+	if len(pts) != 100 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Points of a normal sample normalized by the true sigma lie near the
+	// diagonal; check the middle quartiles.
+	for _, p := range pts[25:75] {
+		if math.Abs(p.Observed-p.Theoretical) > 0.5 {
+			t.Fatalf("mid-distribution QQ point far from diagonal: %+v", p)
+		}
+	}
+	// Monotone in both coordinates.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Theoretical < pts[i-1].Theoretical || pts[i].Observed < pts[i-1].Observed {
+			t.Fatal("QQ points not monotone")
+		}
+	}
+}
+
+func TestRanksHandleTies(t *testing.T) {
+	rk := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if rk[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", rk, want)
+		}
+	}
+}
+
+func TestGammaFunctionsComplement(t *testing.T) {
+	f := func(a8, x8 uint8) bool {
+		a := float64(a8%50)/5 + 0.1
+		x := float64(x8) / 10
+		p, q := GammaP(a, x), GammaQ(a, x)
+		return math.Abs(p+q-1) < 1e-10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("incomplete beta endpoints wrong")
+	}
+	approx(t, RegIncBeta(0.5, 0.5, 0.5), 0.5, 1e-10, "I_0.5(0.5,0.5)")
+}

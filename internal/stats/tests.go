@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TestResult reports a hypothesis test: the statistic, its p-value (two
+// sided unless stated otherwise), and the degrees of freedom used.
+type TestResult struct {
+	Statistic float64
+	P         float64
+	DF        float64
+}
+
+// Significant reports whether the test rejects at level alpha.
+func (r TestResult) Significant(alpha float64) bool {
+	return !math.IsNaN(r.P) && r.P < alpha
+}
+
+// WelchT runs the two-sample Welch t-test (unequal variances) for the null
+// hypothesis that the two population means are equal (§2.4).
+func WelchT(xs, ys []float64) TestResult {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	vx, vy := Variance(xs), Variance(ys)
+	se2 := vx/nx + vy/ny
+	if se2 == 0 {
+		// Identical constants: no evidence of a difference if means equal,
+		// certain difference otherwise.
+		if mx == my {
+			return TestResult{Statistic: 0, P: 1, DF: nx + ny - 2}
+		}
+		return TestResult{Statistic: math.Inf(1), P: 0, DF: nx + ny - 2}
+	}
+	t := (mx - my) / math.Sqrt(se2)
+	df := se2 * se2 / ((vx*vx)/(nx*nx*(nx-1)) + (vy*vy)/(ny*ny*(ny-1)))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	return TestResult{Statistic: t, P: p, DF: df}
+}
+
+// StudentT runs the classic pooled-variance two-sample t-test.
+func StudentT(xs, ys []float64) TestResult {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	vx, vy := Variance(xs), Variance(ys)
+	df := nx + ny - 2
+	sp2 := ((nx-1)*vx + (ny-1)*vy) / df
+	se := math.Sqrt(sp2 * (1/nx + 1/ny))
+	if se == 0 {
+		if mx == my {
+			return TestResult{Statistic: 0, P: 1, DF: df}
+		}
+		return TestResult{Statistic: math.Inf(1), P: 0, DF: df}
+	}
+	t := (mx - my) / se
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	return TestResult{Statistic: t, P: p, DF: df}
+}
+
+// PairedT runs the paired t-test on equal-length samples.
+func PairedT(xs, ys []float64) TestResult {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	d := make([]float64, len(xs))
+	for i := range xs {
+		d[i] = xs[i] - ys[i]
+	}
+	n := float64(len(d))
+	md := Mean(d)
+	sd := StdDev(d)
+	if sd == 0 {
+		if md == 0 {
+			return TestResult{Statistic: 0, P: 1, DF: n - 1}
+		}
+		return TestResult{Statistic: math.Inf(1), P: 0, DF: n - 1}
+	}
+	t := md / (sd / math.Sqrt(n))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), n-1))
+	return TestResult{Statistic: t, P: p, DF: n - 1}
+}
+
+// WilcoxonSignedRank runs the paired Wilcoxon signed-rank test with the
+// normal approximation (plus tie and continuity corrections) — the
+// non-parametric fallback §6 uses for benchmarks whose execution times are
+// not normal.
+func WilcoxonSignedRank(xs, ys []float64) TestResult {
+	if len(xs) != len(ys) {
+		return TestResult{P: math.NaN()}
+	}
+	var diffs []float64
+	for i := range xs {
+		if d := xs[i] - ys[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := float64(len(diffs))
+	if n < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	abs := make([]float64, len(diffs))
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	rk := ranks(abs)
+	wPlus := 0.0
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += rk[i]
+		}
+	}
+	mu := n * (n + 1) / 4
+	sigma2 := n * (n + 1) * (2*n + 1) / 24
+	// Tie correction.
+	sort.Float64s(abs)
+	for i := 0; i < len(abs); {
+		j := i
+		for j+1 < len(abs) && abs[j+1] == abs[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			sigma2 -= t * (t*t - 1) / 48
+		}
+		i = j + 1
+	}
+	if sigma2 <= 0 {
+		return TestResult{P: math.NaN()}
+	}
+	z := (wPlus - mu - math.Copysign(0.5, wPlus-mu)) / math.Sqrt(sigma2)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{Statistic: z, P: p, DF: n}
+}
+
+// MannWhitneyU runs the two-sample rank-sum test (normal approximation with
+// tie correction), the unpaired non-parametric alternative.
+func MannWhitneyU(xs, ys []float64) TestResult {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	all := append(append([]float64(nil), xs...), ys...)
+	rk := ranks(all)
+	rx := 0.0
+	for i := range xs {
+		rx += rk[i]
+	}
+	u := rx - nx*(nx+1)/2
+	mu := nx * ny / 2
+	n := nx + ny
+	// Tie correction on the pooled sample.
+	sort.Float64s(all)
+	tieSum := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j+1 < len(all) && all[j+1] == all[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		if t > 1 {
+			tieSum += t * (t*t - 1)
+		}
+		i = j + 1
+	}
+	sigma2 := nx * ny / 12 * ((n + 1) - tieSum/(n*(n-1)))
+	if sigma2 <= 0 {
+		return TestResult{P: math.NaN()}
+	}
+	z := (u - mu - math.Copysign(0.5, u-mu)) / math.Sqrt(sigma2)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{Statistic: z, P: p, DF: n - 2}
+}
+
+// BrownForsythe tests homogeneity of variance across groups using the
+// median-centered Levene statistic (Table 1). It returns the F statistic and
+// p-value for the null hypothesis that all groups share one variance.
+func BrownForsythe(groups ...[]float64) TestResult {
+	k := len(groups)
+	if k < 2 {
+		return TestResult{P: math.NaN()}
+	}
+	var z [][]float64
+	total := 0
+	for _, g := range groups {
+		if len(g) < 2 {
+			return TestResult{P: math.NaN()}
+		}
+		med := Median(g)
+		zi := make([]float64, len(g))
+		for i, x := range g {
+			zi[i] = math.Abs(x - med)
+		}
+		z = append(z, zi)
+		total += len(g)
+	}
+	grand := 0.0
+	for _, zi := range z {
+		for _, v := range zi {
+			grand += v
+		}
+	}
+	grand /= float64(total)
+
+	num, den := 0.0, 0.0
+	for _, zi := range z {
+		mi := Mean(zi)
+		num += float64(len(zi)) * (mi - grand) * (mi - grand)
+		for _, v := range zi {
+			den += (v - mi) * (v - mi)
+		}
+	}
+	df1 := float64(k - 1)
+	df2 := float64(total - k)
+	if den == 0 {
+		return TestResult{P: math.NaN()}
+	}
+	f := (num / df1) / (den / df2)
+	return TestResult{Statistic: f, P: 1 - FCDF(f, df1, df2), DF: df1}
+}

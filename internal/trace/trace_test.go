@@ -1,0 +1,153 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// buildTwoPhase builds a program with a cheap phase then a memory-bound one.
+func buildTwoPhase() *ir.Module {
+	mb := ir.NewModuleBuilder("twophase")
+	g := mb.Global("arr", 512<<10)
+	f := mb.Func("main", 0)
+	x := f.ConstI(1)
+	f.LoopN(40_000, func(i ir.Reg) {
+		f.MovTo(x, f.Add(f.Mul(x, f.ConstI(33)), i))
+	})
+	f.LoopN(20_000, func(i ir.Reg) {
+		idx := f.Rem(f.Mul(i, f.ConstI(97)), f.ConstI((512<<10)/8))
+		v := f.LoadG(g, 0, idx)
+		f.StoreG(g, 0, idx, f.Add(v, i))
+		f.MovTo(x, f.Xor(x, v))
+	})
+	f.Sink(x)
+	f.Ret(ir.NoReg)
+	m := mb.Module()
+	m.Finalize()
+	ir.ComputeSizes(m)
+	return m
+}
+
+func runTraced(t *testing.T, window uint64) (*trace.Series, interp.Result) {
+	t.Helper()
+	m := buildTwoPhase()
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	inner := &interp.NativeRuntime{
+		FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+		Stack: as.StackBase(), Heap: heap.NewSegregated(as), Mach: mach,
+	}
+	sampler := trace.New(inner, mach, window)
+	res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: sampler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sampler.Series(), res
+}
+
+func TestSamplerCapturesWindows(t *testing.T) {
+	series, res := runTraced(t, 20_000)
+	if len(series.Windows) < 5 {
+		t.Fatalf("only %d windows for a %d-cycle run", len(series.Windows), res.Cycles)
+	}
+	// Window deltas must sum to the run's totals (within the final flush).
+	var cyc, instr uint64
+	for _, w := range series.Windows {
+		cyc += w.Cycles
+		instr += w.Instructions
+	}
+	if cyc != res.Cycles || instr != res.Instructions {
+		t.Fatalf("window sums (%d cycles, %d instrs) != run totals (%d, %d)",
+			cyc, instr, res.Cycles, res.Instructions)
+	}
+}
+
+func TestSamplerDoesNotPerturbExecution(t *testing.T) {
+	// The sampler is pure observation: output must match an untraced run.
+	m := buildTwoPhase()
+	run := func(traced bool) interp.Result {
+		as := mem.NewAddressSpace()
+		img, _ := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+		mach := machine.New(machine.DefaultConfig())
+		var rt interp.Runtime = &interp.NativeRuntime{
+			FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+			Stack: as.StackBase(), Heap: heap.NewSegregated(as), Mach: mach,
+		}
+		if traced {
+			rt = trace.New(rt, mach, 10_000)
+		}
+		res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: rt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	traced := run(true)
+	if plain.Output != traced.Output || plain.Cycles != traced.Cycles {
+		t.Fatalf("sampler perturbed the run: %+v vs %+v", plain, traced)
+	}
+}
+
+func TestPhaseDetection(t *testing.T) {
+	series, _ := runTraced(t, 20_000)
+	// Two starkly different phases: IPC must vary and the detector must see
+	// at least two phases.
+	if n := series.PhaseCount(0.10); n < 2 {
+		t.Fatalf("phase detector found %d phases in a two-phase program", n)
+	}
+	ipc := series.IPCSeries()
+	min, max := ipc[0], ipc[0]
+	for _, v := range ipc {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 1.2*min {
+		t.Fatalf("IPC spread too small for a two-phase program: [%v, %v]", min, max)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if trace.Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	s := trace.Sparkline([]float64{0, 0.5, 1})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d, want 3", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] >= runes[2] {
+		t.Fatal("sparkline not monotone for ascending input")
+	}
+	flat := trace.Sparkline([]float64{2, 2, 2})
+	fr := []rune(flat)
+	if fr[0] != fr[1] || fr[1] != fr[2] {
+		t.Fatal("flat series should render identical runes")
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	series, _ := runTraced(t, 20_000)
+	s := series.String()
+	for _, want := range []string{"windows", "IPC", "miss rate", "phases"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("series string missing %q", want)
+		}
+	}
+}
