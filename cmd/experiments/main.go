@@ -16,7 +16,11 @@
 // Usage:
 //
 //	experiments [-only name[,name...]] [-quick] [-scale f] [-runs n]
-//	            [-seed n] [-qq benchmark]
+//	            [-seed n] [-qq benchmark] [-j n] [-progress=false]
+//
+// Runs execute in parallel (-j workers, or SZ_PARALLEL, or GOMAXPROCS);
+// results are bit-identical at every worker count because each run is fully
+// determined by its seed.
 package main
 
 import (
@@ -42,7 +46,14 @@ func main() {
 	charts := flag.Bool("charts", false, "also render bar-chart views of the figures")
 	cxx := flag.Bool("cxx", false, "include the five C++ benchmarks the paper omitted (exception support implemented here)")
 	list := flag.Bool("list", false, "list the available experiments")
+	jobs := flag.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS, 1 = sequential); identical results at any value")
+	progress := flag.Bool("progress", true, "write per-cell progress/throughput lines to stderr")
 	flag.Parse()
+
+	experiment.SetParallelism(*jobs)
+	if *progress {
+		experiment.SetProgress(os.Stderr)
+	}
 
 	if *list {
 		fmt.Println(`linkorder     E1: link-order bias (§1)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	nisttest [-values 12000] [-seed 2013] [-lo 6] [-hi 13] [-n 1,16,64,256]
+//	         [-j n]
 package main
 
 import (
@@ -22,7 +23,10 @@ func main() {
 	lo := flag.Int("lo", 6, "lowest extracted address bit")
 	hi := flag.Int("hi", 13, "highest extracted address bit")
 	ns := flag.String("n", "1,16,256", "shuffling-layer depths to test")
+	jobs := flag.Int("j", 0, "parallel workers for the table rows (0 = $SZ_PARALLEL or GOMAXPROCS, 1 = sequential); identical results at any value")
 	flag.Parse()
+
+	experiment.SetParallelism(*jobs)
 
 	var depths []int
 	for _, s := range strings.Split(*ns, ",") {

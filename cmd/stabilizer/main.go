@@ -5,12 +5,13 @@
 //
 //	stabilizer -bench astar [-code] [-stack] [-heap] [-rerand]
 //	           [-interval 25000] [-runs 5] [-seed 1] [-O 2] [-scale 1]
-//	           [-compare]
+//	           [-noise 0] [-j n] [-compare]
 //
 // With -compare, it also runs natively and prints the overhead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,10 +36,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed")
 	level := flag.Int("O", 2, "optimization level")
 	scale := flag.Float64("scale", 1.0, "workload scale")
+	noise := flag.Float64("noise", 0, "relative stddev of simulated system noise: 0 = default (0.25%), negative = disabled, max 1 (values above 1 are rejected)")
+	jobs := flag.Int("j", 0, "parallel workers for the runs (0 = $SZ_PARALLEL or GOMAXPROCS, 1 = sequential); identical results at any value")
 	compare := flag.Bool("compare", false, "also run natively and report overhead")
 	counters := flag.Bool("counters", false, "print perf-stat-style machine counters for the last run")
 	profile := flag.Bool("profile", false, "print per-function cycle attribution for the last run")
 	flag.Parse()
+
+	experiment.SetParallelism(*jobs)
 
 	b, ok := spec.ByName(*bench)
 	if !ok {
@@ -53,7 +58,7 @@ func main() {
 		Code: *code, Stack: *stack, Heap: *heapR,
 		Rerandomize: *rerand, Interval: *interval,
 	}
-	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Profile: *profile}
+	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Noise: *noise, Profile: *profile}
 	if *code || *stack || *heapR {
 		cfg.Stabilizer = opts
 	}
@@ -65,18 +70,21 @@ func main() {
 
 	fmt.Printf("%s %s (-O%d), randomizations: %s, rerand: %v\n",
 		b.Name, b.Lang, *level, opts.EnabledString(), *rerand)
-	samples := make([]float64, 0, *runs)
-	var last experiment.RunResult
-	for i := 0; i < *runs; i++ {
-		r, err := cc.Run(*seed + uint64(i))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "stabilizer: run %d: %v\n", i, err)
-			os.Exit(1)
-		}
+	// Collect shards the seed range across -j workers; per-run results come
+	// back in seed order, identical to a sequential loop.
+	set, err := cc.Collect(context.Background(), *runs, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
+		os.Exit(1)
+	}
+	for i, r := range set.Results {
 		fmt.Printf("  run %2d: %.6fs  (%d instructions, %d cycles, output %#x)\n",
 			i, r.Seconds, r.Instructions, r.Cycles, r.Output)
-		samples = append(samples, r.Seconds)
-		last = r
+	}
+	samples := set.Seconds
+	var last experiment.RunResult
+	if len(set.Results) > 0 {
+		last = set.Results[len(set.Results)-1]
 	}
 	if cfg.Stabilizer != nil {
 		fmt.Printf("runtime: %d relocations, %d re-randomizations, %d adaptive triggers (last run)\n",

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,8 +67,13 @@ func RerandInterval(opts IntervalAblationOptions) (*IntervalAblation, error) {
 		return nil, fmt.Errorf("experiment: unknown benchmark %q", opts.Benchmark)
 	}
 	res := &IntervalAblation{Benchmark: opts.Benchmark, Runs: opts.Runs}
-	var baseMean float64
-	for ii, interval := range opts.Intervals {
+	// Sweep points run in parallel; MeanOverhead is relative to the first
+	// point's mean, so it is filled in afterwards in sweep order.
+	rows := make([]IntervalRow, len(opts.Intervals))
+	means := make([]float64, len(opts.Intervals))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(opts.Intervals), func(ctx context.Context, ii int) error {
+		interval := opts.Intervals[ii]
 		st := core.Options{Code: true, Stack: true, Heap: true}
 		if interval > 0 {
 			st.Rerandomize = true
@@ -75,35 +81,39 @@ func RerandInterval(opts IntervalAblationOptions) (*IntervalAblation, error) {
 		}
 		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		samples := make([]float64, 0, opts.Runs)
+		ss, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(ii)*1000)
+		if err != nil {
+			return err
+		}
 		var cycles float64
-		for i := 0; i < opts.Runs; i++ {
-			r, err := cc.Run(opts.Seed + uint64(ii)*1000 + uint64(i))
-			if err != nil {
-				return nil, err
-			}
-			samples = append(samples, r.Seconds)
+		for _, r := range ss.Results {
 			cycles += float64(r.Cycles)
 		}
 		cycles /= float64(opts.Runs)
-		mean := stats.Mean(samples)
-		if ii == 0 {
-			baseMean = mean
-		}
+		mean := stats.Mean(ss.Seconds)
 		periods := 1.0
 		if interval > 0 {
 			periods = cycles / float64(interval)
 		}
-		res.Rows = append(res.Rows, IntervalRow{
+		means[ii] = mean
+		rows[ii] = IntervalRow{
 			Interval:      interval,
 			PeriodsPerRun: periods,
-			SWp:           stats.ShapiroWilk(samples).P,
-			CV:            stats.StdDev(samples) / mean,
-			MeanOverhead:  mean/baseMean - 1,
-		})
+			SWp:           stats.ShapiroWilk(ss.Seconds).P,
+			CV:            stats.StdDev(ss.Seconds) / mean,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	baseMean := means[0]
+	for ii := range rows {
+		rows[ii].MeanOverhead = means[ii]/baseMean - 1
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -188,35 +198,47 @@ func ShuffleDepth(opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
 	}
 	base := stats.Mean(ns)
 
-	measure := func(label string, st core.Options, di int) error {
+	// Every heap configuration is an independent cell; sweep them in
+	// parallel with slot-indexed rows. The substrate comparisons of
+	// §3.2/§7 ride along: TLSF under the shuffle, and the original DieHard
+	// configuration. Seed offsets are preserved from the sequential sweep.
+	type cell struct {
+		label string
+		st    core.Options
+		di    int
+	}
+	cells := make([]cell, 0, len(opts.Depths)+2)
+	for di, depth := range opts.Depths {
+		cells = append(cells, cell{fmt.Sprintf("shuffle(N=%d)", depth), core.Options{Heap: true, ShuffleN: depth}, di})
+	}
+	cells = append(cells,
+		cell{"shuffle(tlsf)", core.Options{Heap: true, UseTLSF: true}, len(opts.Depths) + 1},
+		cell{"diehard", core.Options{Heap: true, UseDieHard: true}, len(opts.Depths) + 2})
+
+	rows := make([]ShuffleDepthRow, len(cells))
+	pool := NewPool(0)
+	err = pool.ForEach(context.Background(), len(cells), func(ctx context.Context, i int) error {
+		c := cells[i]
+		st := c.st
 		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
 		if err != nil {
 			return err
 		}
-		s, err := cc.Samples(opts.Runs, opts.Seed+uint64(di+1)*500)
+		ss, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(c.di+1)*500)
 		if err != nil {
 			return err
 		}
-		res.Rows = append(res.Rows, ShuffleDepthRow{
-			Label:    label,
-			Overhead: stats.Mean(s)/base - 1,
-			CV:       stats.StdDev(s) / stats.Mean(s),
-		})
-		return nil
-	}
-	for di, depth := range opts.Depths {
-		if err := measure(fmt.Sprintf("shuffle(N=%d)", depth), core.Options{Heap: true, ShuffleN: depth}, di); err != nil {
-			return nil, err
+		rows[i] = ShuffleDepthRow{
+			Label:    c.label,
+			Overhead: stats.Mean(ss.Seconds)/base - 1,
+			CV:       stats.StdDev(ss.Seconds) / stats.Mean(ss.Seconds),
 		}
-	}
-	// The substrate comparisons of §3.2/§7: TLSF under the shuffle, and the
-	// original DieHard configuration.
-	if err := measure("shuffle(tlsf)", core.Options{Heap: true, UseTLSF: true}, len(opts.Depths)+1); err != nil {
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := measure("diehard", core.Options{Heap: true, UseDieHard: true}, len(opts.Depths)+2); err != nil {
-		return nil, err
-	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -293,30 +315,36 @@ func Adaptive(opts AdaptiveOptions) (*AdaptiveAblation, error) {
 		{"adaptive", core.Options{Code: true, Stack: true, Heap: true,
 			Rerandomize: true, Interval: opts.Interval, Adaptive: true}},
 	}
-	for pi, p := range policies {
+	rows := make([]AdaptiveRow, len(policies))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(policies), func(ctx context.Context, pi int) error {
+		p := policies[pi]
 		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &p.opts})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		samples := make([]float64, 0, opts.Runs)
+		ss, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(pi)*1000)
+		if err != nil {
+			return err
+		}
 		var rerands, triggers float64
-		for i := 0; i < opts.Runs; i++ {
-			r, err := cc.Run(opts.Seed + uint64(pi)*1000 + uint64(i))
-			if err != nil {
-				return nil, err
-			}
-			samples = append(samples, r.Seconds)
+		for _, r := range ss.Results {
 			rerands += float64(r.Rerands)
 			triggers += float64(r.AdaptiveTriggers)
 		}
-		res.Rows = append(res.Rows, AdaptiveRow{
+		rows[pi] = AdaptiveRow{
 			Policy:   p.name,
-			Mean:     stats.Mean(samples),
-			CV:       stats.StdDev(samples) / stats.Mean(samples),
+			Mean:     stats.Mean(ss.Seconds),
+			CV:       stats.StdDev(ss.Seconds) / stats.Mean(ss.Seconds),
 			Rerands:  rerands / float64(opts.Runs),
 			Triggers: triggers / float64(opts.Runs),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -74,25 +75,37 @@ func LinkOrder(opts LinkOrderOptions) (*LinkOrderResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		best, worst := def, def
-		for o := 0; o < opts.Orders; o++ {
-			// Same seed within an order across repeats keeps the order
-			// fixed while the noise draw varies: seed selects the order
-			// deterministically inside Run.
-			var sum float64
-			for rep := 0; rep < opts.Runs; rep++ {
-				// Noise and physical layout must vary per repeat while the
-				// link order stays fixed: Run's RNG derives both from the
-				// seed, so re-derive the same order by reusing the seed and
-				// accept shared noise; averaging is done across orders
-				// instead. One run per order is the paper's protocol too.
-				r, err := cl.Run(opts.Seed + uint64(bi)*50_000 + uint64(o) + 1)
-				if err != nil {
-					return nil, err
+		// Each link order is an independent cell; sweep them in parallel
+		// and reduce best/worst afterwards in order.
+		means := make([]float64, opts.Orders)
+		pool := NewPool(0)
+		err = pool.ForEachLabeled(context.Background(), b.Name+" link orders", opts.Orders,
+			func(_ context.Context, o int) error {
+				// Same seed within an order across repeats keeps the order
+				// fixed while the noise draw varies: seed selects the order
+				// deterministically inside Run.
+				var sum float64
+				for rep := 0; rep < opts.Runs; rep++ {
+					// Noise and physical layout must vary per repeat while
+					// the link order stays fixed: Run's RNG derives both from
+					// the seed, so re-derive the same order by reusing the
+					// seed and accept shared noise; averaging is done across
+					// orders instead. One run per order is the paper's
+					// protocol too.
+					r, err := cl.Run(opts.Seed + uint64(bi)*50_000 + uint64(o) + 1)
+					if err != nil {
+						return err
+					}
+					sum += r.Seconds
 				}
-				sum += r.Seconds
-			}
-			mean := sum / float64(opts.Runs)
+				means[o] = sum / float64(opts.Runs)
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		best, worst := def, def
+		for _, mean := range means {
 			if mean < best {
 				best = mean
 			}
@@ -177,21 +190,32 @@ func (o *EnvSizeOptions) defaults() {
 func EnvSize(opts EnvSizeOptions) (*EnvSizeResult, error) {
 	opts.defaults()
 	res := &EnvSizeResult{EnvSizes: opts.EnvSizes, Runs: opts.Runs}
+	// The benchmark × size grid is one flat set of independent cells; all
+	// of them share a single compiled module per benchmark via the compile
+	// cache (EnvSize varies only the runtime environment block).
+	nb, np := len(opts.Suite), len(opts.EnvSizes)
+	rows := make([]EnvSizeRow, nb)
 	for bi, b := range opts.Suite {
-		row := EnvSizeRow{Benchmark: b.Name}
-		for si, size := range opts.EnvSizes {
-			cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, EnvSize: size})
-			if err != nil {
-				return nil, err
-			}
-			s, err := cc.Samples(opts.Runs, opts.Seed+uint64(bi)*10_000+uint64(si)*100)
-			if err != nil {
-				return nil, err
-			}
-			row.Seconds = append(row.Seconds, stats.Mean(s))
-		}
-		res.Rows = append(res.Rows, row)
+		rows[bi] = EnvSizeRow{Benchmark: b.Name, Seconds: make([]float64, np)}
 	}
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), nb*np, func(ctx context.Context, k int) error {
+		bi, si := k/np, k%np
+		cc, err := CompileBench(opts.Suite[bi], Config{Scale: opts.Scale, Level: compiler.O2, EnvSize: opts.EnvSizes[si]})
+		if err != nil {
+			return err
+		}
+		ss, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*10_000+uint64(si)*100)
+		if err != nil {
+			return err
+		}
+		rows[bi].Seconds[si] = stats.Mean(ss.Seconds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+	"repro/internal/spec"
+)
+
+// Modules are read-only once compiler.Compile returns (it clones its input
+// and nothing downstream writes), so cells that share a benchmark, scale,
+// optimization level, and stabilize flag can link and run from one compiled
+// module instead of recompiling. The cache is keyed on exactly those four
+// inputs; benchmark names must map to a stable Build function, which holds
+// for the spec suite and the synthetic test benchmarks.
+
+type compileKey struct {
+	bench     string
+	scale     float64
+	level     compiler.OptLevel
+	stabilize bool
+}
+
+// cacheEntry compiles once per key; concurrent requesters wait on the Once.
+type cacheEntry struct {
+	once sync.Once
+	mod  *ir.Module
+	err  error
+}
+
+var compileCache = struct {
+	mu           sync.Mutex
+	entries      map[compileKey]*cacheEntry
+	hits, misses uint64
+}{entries: map[compileKey]*cacheEntry{}}
+
+// compileCached returns the compiled module for the key, compiling at most
+// once per key even under concurrent callers.
+func compileCached(b spec.Benchmark, scale float64, copts compiler.Options) (*ir.Module, error) {
+	key := compileKey{bench: b.Name, scale: scale, level: copts.Level, stabilize: copts.Stabilize}
+	compileCache.mu.Lock()
+	e, ok := compileCache.entries[key]
+	if ok {
+		compileCache.hits++
+	} else {
+		compileCache.misses++
+		e = &cacheEntry{}
+		compileCache.entries[key] = e
+	}
+	compileCache.mu.Unlock()
+	e.once.Do(func() {
+		e.mod, e.err = compiler.Compile(b.Build(scale), copts)
+	})
+	return e.mod, e.err
+}
+
+// CompileCacheStats reports cumulative cache hits and misses.
+func CompileCacheStats() (hits, misses uint64) {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	return compileCache.hits, compileCache.misses
+}
+
+// ResetCompileCache drops every cached module and zeroes the stats.
+func ResetCompileCache() {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	compileCache.entries = map[compileKey]*cacheEntry{}
+	compileCache.hits, compileCache.misses = 0, 0
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,37 +68,45 @@ func (o *DeploymentOptions) defaults() {
 func Deployment(opts DeploymentOptions) (*DeploymentResult, error) {
 	opts.defaults()
 	res := &DeploymentResult{Samples: opts.Samples}
-	for bi, b := range opts.Suite {
+	rows := make([]DeploymentRow, len(opts.Suite))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+		b := opts.Suite[bi]
 		once := core.Options{Code: true, Stack: true, Heap: true}
 		nat, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &once})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		natSamples, err := nat.Samples(opts.Samples, opts.Seed+uint64(bi)*10_000)
+		natSamples, err := nat.Collect(ctx, opts.Samples, opts.Seed+uint64(bi)*10_000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
 		stab, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		stabSamples, err := stab.Samples(opts.Samples, opts.Seed+uint64(bi)*10_000+5_000)
+		stabSamples, err := stab.Collect(ctx, opts.Samples, opts.Seed+uint64(bi)*10_000+5_000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		res.Rows = append(res.Rows, DeploymentRow{
+		rows[bi] = DeploymentRow{
 			Benchmark:    b.Name,
-			NativeMedian: stats.Median(natSamples),
-			NativeP95:    stats.Quantile(natSamples, 0.95),
-			NativeWorst:  maxOf(natSamples),
-			StabMedian:   stats.Median(stabSamples),
-			StabP95:      stats.Quantile(stabSamples, 0.95),
-			StabWorst:    maxOf(stabSamples),
-		})
+			NativeMedian: stats.Median(natSamples.Seconds),
+			NativeP95:    stats.Quantile(natSamples.Seconds, 0.95),
+			NativeWorst:  maxOf(natSamples.Seconds),
+			StabMedian:   stats.Median(stabSamples.Seconds),
+			StabP95:      stats.Quantile(stabSamples.Seconds, 0.95),
+			StabWorst:    maxOf(stabSamples.Seconds),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,44 +78,59 @@ func allocStream(a heap.Allocator, n int) []uint64 {
 	return out
 }
 
-// NIST runs the table.
+// NIST runs the table. Every row is an independent stream (its own RNG and
+// allocator) plus its own NIST suite evaluation, so rows populate in
+// parallel on the default pool, landing in table order by index.
 func NIST(opts NISTOptions) (*NISTResult, error) {
 	opts.defaults()
 	res := &NISTResult{Values: opts.Values, LoBit: opts.LoBit, HiBit: opts.HiBit}
 
-	// libc lrand48.
-	l := rng.NewLrand48(uint32(opts.Seed) | 1)
-	vals := make([]uint64, opts.Values)
-	for i := range vals {
-		vals[i] = uint64(l.Next())
+	type rowSpec struct {
+		source string
+		stream func() []uint64
 	}
-	res.Rows = append(res.Rows, NISTRow{
-		Source:  "lrand48",
-		Results: nist.Suite(nist.BitsFromValues(vals, opts.LoBit, opts.HiBit)),
-	})
-
-	// DieHard allocation addresses.
-	dh := heap.NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(opts.Seed+1))
-	res.Rows = append(res.Rows, NISTRow{
-		Source:  "DieHard",
-		Results: nist.Suite(nist.BitsFromValues(allocStream(dh, opts.Values), opts.LoBit, opts.HiBit)),
-	})
-
+	specs := []rowSpec{
+		// libc lrand48.
+		{"lrand48", func() []uint64 {
+			l := rng.NewLrand48(uint32(opts.Seed) | 1)
+			vals := make([]uint64, opts.Values)
+			for i := range vals {
+				vals[i] = uint64(l.Next())
+			}
+			return vals
+		}},
+		// DieHard allocation addresses.
+		{"DieHard", func() []uint64 {
+			dh := heap.NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(opts.Seed+1))
+			return allocStream(dh, opts.Values)
+		}},
+		// Unshuffled base allocator: the control showing the randomness
+		// comes from the shuffling layer, not the workload.
+		{"segregated", func() []uint64 {
+			return allocStream(heap.NewSegregated(mem.NewAddressSpace()), opts.Values)
+		}},
+	}
 	// Shuffled segregated heap at each depth.
-	// Unshuffled base allocator: the control showing the randomness comes
-	// from the shuffling layer, not the workload.
-	seg := heap.NewSegregated(mem.NewAddressSpace())
-	res.Rows = append(res.Rows, NISTRow{
-		Source:  "segregated",
-		Results: nist.Suite(nist.BitsFromValues(allocStream(seg, opts.Values), opts.LoBit, opts.HiBit)),
-	})
 	for _, n := range opts.ShuffleN {
-		sh := heap.NewShuffle(heap.NewSegregated(mem.NewAddressSpace()), rng.NewMarsaglia(opts.Seed+uint64(n)+3), n)
-		res.Rows = append(res.Rows, NISTRow{
-			Source:  fmt.Sprintf("shuffle(N=%d)", n),
-			Results: nist.Suite(nist.BitsFromValues(allocStream(sh, opts.Values), opts.LoBit, opts.HiBit)),
-		})
+		specs = append(specs, rowSpec{fmt.Sprintf("shuffle(N=%d)", n), func() []uint64 {
+			sh := heap.NewShuffle(heap.NewSegregated(mem.NewAddressSpace()), rng.NewMarsaglia(opts.Seed+uint64(n)+3), n)
+			return allocStream(sh, opts.Values)
+		}})
 	}
+
+	rows := make([]NISTRow, len(specs))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(specs), func(_ context.Context, i int) error {
+		rows[i] = NISTRow{
+			Source:  specs[i].source,
+			Results: nist.Suite(nist.BitsFromValues(specs[i].stream(), opts.LoBit, opts.HiBit)),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,45 +66,54 @@ func (o *NormalityOptions) defaults() {
 }
 
 // Normality runs every benchmark 'Runs' times with one-time randomization
-// and with re-randomization, reproducing Table 1 and Figure 5.
+// and with re-randomization, reproducing Table 1 and Figure 5. Benchmarks
+// (and their runs) execute in parallel on the default pool; both stabilized
+// configurations share one compiled module via the compile cache.
 func Normality(opts NormalityOptions) (*NormalityResult, error) {
 	opts.defaults()
 	res := &NormalityResult{Runs: opts.Runs}
-	for bi, b := range opts.Suite {
+	rows := make([]NormalityRow, len(opts.Suite))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+		b := opts.Suite[bi]
 		onceOpts := core.Options{Code: true, Stack: true, Heap: true}
 		co, err := CompileBench(b, Config{Scale: opts.Scale, Level: opts.Level, Stabilizer: &onceOpts})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		once, err := co.Samples(opts.Runs, opts.Seed+uint64(bi)*1000)
+		once, err := co.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*1000)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		rrOpts := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
 		cr, err := CompileBench(b, Config{Scale: opts.Scale, Level: opts.Level, Stabilizer: &rrOpts})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rerand, err := cr.Samples(opts.Runs, opts.Seed+uint64(bi)*1000+500)
+		rerand, err := cr.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*1000+500)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		refStd := stats.StdDev(rerand)
-		row := NormalityRow{
+		refStd := stats.StdDev(rerand.Seconds)
+		rows[bi] = NormalityRow{
 			Benchmark:      b.Name,
-			SWOnce:         stats.ShapiroWilk(once).P,
-			SWRerand:       stats.ShapiroWilk(rerand).P,
-			BrownForsythe:  stats.BrownForsythe(once, rerand).P,
-			VarianceChange: stats.Variance(rerand) - stats.Variance(once),
-			QQOnce:         stats.QQNormal(once, refStd),
-			QQRerand:       stats.QQNormal(rerand, refStd),
-			SamplesOnce:    once,
-			SamplesRerand:  rerand,
+			SWOnce:         stats.ShapiroWilk(once.Seconds).P,
+			SWRerand:       stats.ShapiroWilk(rerand.Seconds).P,
+			BrownForsythe:  stats.BrownForsythe(once.Seconds, rerand.Seconds).P,
+			VarianceChange: stats.Variance(rerand.Seconds) - stats.Variance(once.Seconds),
+			QQOnce:         stats.QQNormal(once.Seconds, refStd),
+			QQRerand:       stats.QQNormal(rerand.Seconds, refStd),
+			SamplesOnce:    once.Seconds,
+			SamplesRerand:  rerand.Seconds,
 		}
-		res.Rows = append(res.Rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

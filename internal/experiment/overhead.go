@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,32 +71,40 @@ func Overhead(opts OverheadOptions) (*OverheadResult, error) {
 	for _, c := range configs {
 		res.Configs = append(res.Configs, c.EnabledString())
 	}
-	for bi, b := range opts.Suite {
+	rows := make([]OverheadRow, len(opts.Suite))
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+		b := opts.Suite[bi]
 		base, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, RandomLinkOrder: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		baseSamples, err := base.Samples(opts.Runs, opts.Seed+uint64(bi)*10_000)
+		baseSamples, err := base.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*10_000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		baseMean := stats.Mean(baseSamples)
+		baseMean := stats.Mean(baseSamples.Seconds)
 
 		row := OverheadRow{Benchmark: b.Name}
 		for ci, cfg := range configs {
 			cfg.Interval = opts.Interval
 			cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &cfg})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			samples, err := cc.Samples(opts.Runs, opts.Seed+uint64(bi)*10_000+uint64(ci+1)*1000)
+			samples, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*10_000+uint64(ci+1)*1000)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			row.Overhead = append(row.Overhead, stats.Mean(samples)/baseMean-1)
+			row.Overhead = append(row.Overhead, stats.Mean(samples.Seconds)/baseMean-1)
 		}
-		res.Rows = append(res.Rows, row)
+		rows[bi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,0 +1,318 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+)
+
+// withParallelism runs f under a fixed default worker count.
+func withParallelism(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	f()
+}
+
+func TestPoolForEachCoversEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 7, 16, n + 5} {
+		pool := NewPool(workers)
+		counts := make([]int32, n)
+		err := pool.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolFirstErrorCancels(t *testing.T) {
+	const n = 10_000
+	boom := errors.New("seed 0 exploded")
+	pool := NewPool(4)
+	var executed atomic.Int64
+	err := pool.ForEach(context.Background(), n, func(_ context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		executed.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got error %v, want %v", err, boom)
+	}
+	if got := executed.Load(); got >= n/2 {
+		t.Fatalf("%d of %d items still ran after the failure — cancellation inert?", got, n)
+	}
+}
+
+func TestPoolRespectsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := NewPool(4)
+	var executed atomic.Int64
+	err := pool.ForEach(ctx, 100, func(_ context.Context, i int) error {
+		executed.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolZeroItems(t *testing.T) {
+	if err := NewPool(4).ForEach(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplesParallelMatchesSequential(t *testing.T) {
+	b := subset(t, "astar")[0]
+	st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 20_000}
+	for _, cfg := range []Config{
+		{Scale: testScale, Level: compiler.O2},
+		{Scale: testScale, Level: compiler.O2, Stabilizer: &st},
+	} {
+		cc, err := CompileBench(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq, par []float64
+		withParallelism(t, 1, func() {
+			seq, err = cc.Samples(16, 42)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withParallelism(t, 8, func() {
+			par, err = cc.Samples(16, 42)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallel samples differ from sequential:\nseq %v\npar %v", seq, par)
+		}
+	}
+}
+
+func TestCollectAggregatesCounters(t *testing.T) {
+	b := subset(t, "lbm")[0]
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := cc.Collect(context.Background(), 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Seconds) != 5 || len(ss.Results) != 5 {
+		t.Fatalf("lengths: %d seconds, %d results", len(ss.Seconds), len(ss.Results))
+	}
+	var cycles, instrs uint64
+	for _, r := range ss.Results {
+		cycles += r.Counters.Cycles
+		instrs += r.Counters.Instructions
+	}
+	if ss.Counters.Cycles != cycles || ss.Counters.Instructions != instrs {
+		t.Fatalf("aggregate counters %+v do not sum the per-run snapshots", ss.Counters)
+	}
+	if ss.Counters.Cycles == 0 {
+		t.Fatal("aggregate counters empty")
+	}
+}
+
+func TestSamplesErrorPropagation(t *testing.T) {
+	b := subset(t, "astar")[0]
+	// A step budget far below the benchmark's instruction count makes every
+	// run fail; the pool must surface the error, not hang or panic.
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2, MaxSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withParallelism(t, 8, func() {
+		_, err = cc.Samples(64, 1)
+	})
+	if err == nil {
+		t.Fatal("expected an error from the exhausted step budget")
+	}
+	if !strings.Contains(err.Error(), "astar") {
+		t.Fatalf("error %q does not identify the benchmark", err)
+	}
+}
+
+// TestSweepDeterminismAcrossParallelism asserts the tentpole guarantee:
+// every sweep entry point returns byte-identical results at any worker
+// count. Each pair below runs once sequentially and once on 8 workers and
+// the full result structs must be deeply equal.
+func TestSweepDeterminismAcrossParallelism(t *testing.T) {
+	sweeps := []struct {
+		name string
+		run  func() (any, error)
+	}{
+		{"normality", func() (any, error) {
+			return Normality(NormalityOptions{Scale: testScale, Runs: 6, Seed: 1, Suite: subset(t, "astar", "lbm")})
+		}},
+		{"overhead", func() (any, error) {
+			return Overhead(OverheadOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "lbm")})
+		}},
+		{"speedup", func() (any, error) {
+			return Speedup(SpeedupOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "libquantum", "sjeng")})
+		}},
+		{"interval", func() (any, error) {
+			return RerandInterval(IntervalAblationOptions{Scale: testScale, Runs: 4, Seed: 5, Intervals: []uint64{0, 25_000}})
+		}},
+		{"shuffledepth", func() (any, error) {
+			return ShuffleDepth(ShuffleDepthOptions{Scale: testScale, Runs: 3, Seed: 5, Depths: []int{1, 256}})
+		}},
+		{"adaptive", func() (any, error) {
+			return Adaptive(AdaptiveOptions{Scale: testScale, Runs: 3, Seed: 5, Interval: 20_000})
+		}},
+		{"nist", func() (any, error) {
+			// Values must give the Rank test enough 32x32 matrices
+			// (>=38) or its p-value is NaN, which DeepEqual rejects.
+			return NIST(NISTOptions{Values: 8000, Seed: 3, ShuffleN: []int{1, 16}})
+		}},
+		{"linkorder", func() (any, error) {
+			return LinkOrder(LinkOrderOptions{Scale: testScale, Orders: 5, Runs: 1, Seed: 1, Suite: subset(t, "gobmk")})
+		}},
+		{"envsize", func() (any, error) {
+			return EnvSize(EnvSizeOptions{Scale: testScale, Runs: 2, Seed: 1, EnvSizes: []uint64{0, 1024}, Suite: subset(t, "sjeng")})
+		}},
+		{"deployment", func() (any, error) {
+			return Deployment(DeploymentOptions{Scale: testScale, Samples: 6, Seed: 3, Suite: subset(t, "gobmk")})
+		}},
+	}
+	for _, sw := range sweeps {
+		t.Run(sw.name, func(t *testing.T) {
+			var seq, par any
+			var err1, err2 error
+			withParallelism(t, 1, func() { seq, err1 = sw.run() })
+			if err1 != nil {
+				t.Fatal(err1)
+			}
+			withParallelism(t, 8, func() { par, err2 = sw.run() })
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("parallel result differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+func TestCompileCacheHit(t *testing.T) {
+	ResetCompileCache()
+	b := subset(t, "mcf")[0]
+	c1, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Module != c2.Module {
+		t.Fatal("identical configurations did not share a compiled module")
+	}
+	hits, misses := CompileCacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats after repeat compile: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A different optimization level is a different cell.
+	c3, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Module == c1.Module {
+		t.Fatal("different levels shared a module")
+	}
+	// Stabilized compiles differ from native ones even at the same level.
+	st := core.Options{Code: true}
+	c4, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2, Stabilizer: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Module == c1.Module {
+		t.Fatal("stabilized compile shared the native module")
+	}
+	// But two stabilized configs with different runtime options share one:
+	// the module depends only on the stabilize flag, not the option set.
+	rr := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true}
+	c5, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2, Stabilizer: &rr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c5.Module != c4.Module {
+		t.Fatal("stabilized configs with the same compile inputs did not share a module")
+	}
+	hits, misses = CompileCacheStats()
+	if misses != 3 {
+		t.Fatalf("misses=%d, want 3 (O2 native, O3 native, O2 stabilized)", misses)
+	}
+	if hits != 2 {
+		t.Fatalf("hits=%d, want 2", hits)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := subset(t, "astar")[0]
+	for _, bad := range []Config{
+		{Scale: testScale, Noise: 1.5},
+		{Scale: testScale, Noise: math.NaN()},
+		{Scale: testScale, Noise: math.Inf(1)},
+		{Scale: -1},
+	} {
+		if _, err := CompileBench(b, bad); err == nil {
+			t.Errorf("config %+v accepted, want an error", bad)
+		}
+	}
+	// The documented sentinels still work.
+	for _, good := range []float64{0, -1, 0.01, 1} {
+		if _, err := CompileBench(b, Config{Scale: testScale, Noise: good}); err != nil {
+			t.Errorf("Noise=%v rejected: %v", good, err)
+		}
+	}
+}
+
+func TestParallelismDefaultsAndOverride(t *testing.T) {
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism %d", Parallelism())
+	}
+	prev := Parallelism()
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("override ignored: %d", Parallelism())
+	}
+	SetParallelism(0) // restore the environment default
+	if Parallelism() < 1 {
+		t.Fatalf("reset parallelism %d", Parallelism())
+	}
+	SetParallelism(prev)
+	if NewPool(0).Workers() != prev {
+		t.Fatalf("NewPool(0) workers %d, want %d", NewPool(0).Workers(), prev)
+	}
+	if NewPool(5).Workers() != 5 {
+		t.Fatal("explicit worker count ignored")
+	}
+}

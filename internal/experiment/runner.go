@@ -5,7 +5,9 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -35,7 +37,8 @@ type Config struct {
 	// Noise is the relative standard deviation of the multiplicative
 	// system-noise term applied to cycle counts (OS jitter on a real
 	// machine; the simulator is otherwise deterministic). Negative
-	// disables it; zero selects DefaultNoise.
+	// disables it; zero selects DefaultNoise; values above 1 (a sigma
+	// exceeding the measurement itself) are rejected by CompileBench.
 	Noise float64
 	// MaxSteps caps retired instructions per run (safety net).
 	MaxSteps uint64
@@ -46,21 +49,42 @@ type Config struct {
 // DefaultNoise is the default relative sigma of run-to-run system noise.
 const DefaultNoise = 0.0025
 
+// validate rejects configurations that would silently produce garbage
+// samples instead of failing loudly.
+func (cfg Config) validate() error {
+	if math.IsNaN(cfg.Noise) || math.IsInf(cfg.Noise, 0) || cfg.Noise > 1 {
+		return fmt.Errorf("experiment: Noise=%v is not a usable relative stddev: "+
+			"use a negative value to disable noise, 0 for the default (%g), or a value in (0, 1]",
+			cfg.Noise, DefaultNoise)
+	}
+	if cfg.Scale < 0 || math.IsNaN(cfg.Scale) || math.IsInf(cfg.Scale, 0) {
+		return fmt.Errorf("experiment: Scale=%v must be a nonnegative finite workload scale", cfg.Scale)
+	}
+	return nil
+}
+
 // Compiled is a benchmark compiled under one configuration, ready to run
-// many times with different seeds.
+// many times with different seeds. The Module may be shared with other
+// Compiled values (see CompileBench) and is never written after compile, so
+// concurrent Runs are safe.
 type Compiled struct {
 	Bench  spec.Benchmark
 	Module *ir.Module
 	Cfg    Config
 }
 
-// CompileBench builds and compiles the benchmark once for the configuration.
+// CompileBench builds and compiles the benchmark for the configuration.
+// Compiled modules are cached per benchmark×scale×level×stabilize, so
+// repeated cells (the same benchmark at the same level across sweep points)
+// link from one module instead of recompiling.
 func CompileBench(b spec.Benchmark, cfg Config) (*Compiled, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
-	src := b.Build(cfg.Scale)
-	m, err := compiler.Compile(src, compiler.Options{
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m, err := compileCached(b, cfg.Scale, compiler.Options{
 		Level:     cfg.Level,
 		Stabilize: cfg.Stabilizer != nil,
 	})
@@ -167,16 +191,64 @@ func (c *Compiled) Run(seed uint64) (RunResult, error) {
 	return out, nil
 }
 
-// Samples runs the benchmark `runs` times with seeds seedBase, seedBase+1, …
-// and returns the measured times in seconds.
-func (c *Compiled) Samples(runs int, seedBase uint64) ([]float64, error) {
-	out := make([]float64, runs)
-	for i := 0; i < runs; i++ {
+// SampleSet is the outcome of a batch of runs of one cell.
+type SampleSet struct {
+	// Seconds[i] is the measured time of seed seedBase+i.
+	Seconds []float64
+	// Results[i] is the full measurement of seed seedBase+i.
+	Results []RunResult
+	// Counters is the perf-stat aggregate: every run's snapshot summed.
+	Counters machine.Counters
+}
+
+// cellLabel names the cell for progress lines.
+func (c *Compiled) cellLabel() string {
+	rt := "native"
+	if c.Cfg.Stabilizer != nil {
+		rt = "stab:" + c.Cfg.Stabilizer.EnabledString()
+	}
+	return fmt.Sprintf("%s %s %s", c.Bench.Name, c.Cfg.Level, rt)
+}
+
+// Collect runs the benchmark `runs` times with seeds seedBase, seedBase+1, …
+// sharded across the default pool. Each seed's result lands in its own
+// slot, so the output is bit-identical to a sequential loop regardless of
+// worker count. The first failing seed cancels the remaining work and its
+// error is returned.
+func (c *Compiled) Collect(ctx context.Context, runs int, seedBase uint64) (*SampleSet, error) {
+	return c.collect(ctx, NewPool(0), runs, seedBase)
+}
+
+func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase uint64) (*SampleSet, error) {
+	ss := &SampleSet{
+		Seconds: make([]float64, runs),
+		Results: make([]RunResult, runs),
+	}
+	err := pool.ForEachLabeled(ctx, c.cellLabel(), runs, func(_ context.Context, i int) error {
 		r, err := c.Run(seedBase + uint64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[i] = r.Seconds
+		ss.Results[i] = r
+		ss.Seconds[i] = r.Seconds
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	for _, r := range ss.Results {
+		ss.Counters = ss.Counters.Add(r.Counters)
+	}
+	return ss, nil
+}
+
+// Samples runs the benchmark `runs` times with seeds seedBase, seedBase+1, …
+// and returns the measured times in seconds. Runs execute in parallel on
+// the default pool; see Collect for the determinism guarantee.
+func (c *Compiled) Samples(runs int, seedBase uint64) ([]float64, error) {
+	ss, err := c.Collect(context.Background(), runs, seedBase)
+	if err != nil {
+		return nil, err
+	}
+	return ss.Seconds, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,6 +70,9 @@ func (o *SpeedupOptions) defaults() {
 
 // Speedup runs every benchmark at -O1, -O2, and -O3 under full STABILIZER
 // randomization and evaluates the optimization levels (Figure 7 and §6.1).
+// The benchmark × level matrix executes as one flat grid of cells on the
+// default pool; the statistics are assembled afterwards in suite order, so
+// the result is identical to the sequential evaluation.
 func Speedup(opts SpeedupOptions) (*SpeedupResult, error) {
 	opts.defaults()
 	levels := []compiler.OptLevel{compiler.O1, compiler.O2, compiler.O3}
@@ -79,20 +83,33 @@ func Speedup(opts SpeedupOptions) (*SpeedupResult, error) {
 	twoWayO2 := make([][][]float64, 0, len(opts.Suite))
 	twoWayO3 := make([][][]float64, 0, len(opts.Suite))
 
-	for bi, b := range opts.Suite {
-		samples := make([][]float64, len(levels))
-		for li, level := range levels {
-			st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
-			cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: level, Stabilizer: &st})
-			if err != nil {
-				return nil, err
-			}
-			s, err := cc.Samples(opts.Runs, opts.Seed+uint64(bi)*100_000+uint64(li)*1000)
-			if err != nil {
-				return nil, err
-			}
-			samples[li] = s
+	// Phase 1: collect every cell of the matrix in parallel.
+	grid := make([][][]float64, len(opts.Suite))
+	for bi := range grid {
+		grid[bi] = make([][]float64, len(levels))
+	}
+	pool := NewPool(0)
+	err := pool.ForEach(context.Background(), len(opts.Suite)*len(levels), func(ctx context.Context, k int) error {
+		bi, li := k/len(levels), k%len(levels)
+		st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
+		cc, err := CompileBench(opts.Suite[bi], Config{Scale: opts.Scale, Level: levels[li], Stabilizer: &st})
+		if err != nil {
+			return err
 		}
+		ss, err := cc.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*100_000+uint64(li)*1000)
+		if err != nil {
+			return err
+		}
+		grid[bi][li] = ss.Seconds
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the statistics, in suite order.
+	for bi, b := range opts.Suite {
+		samples := grid[bi]
 
 		normal := [3]bool{}
 		for li := range samples {

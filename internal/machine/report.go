@@ -60,6 +60,28 @@ func (c Counters) Sub(prev Counters) Counters {
 	}
 }
 
+// Add returns the element-wise sum c + o; used to aggregate the snapshots
+// of many independent runs (e.g. the experiment pool's workers).
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		Cycles:               c.Cycles + o.Cycles,
+		Instructions:         c.Instructions + o.Instructions,
+		L1IHits:              c.L1IHits + o.L1IHits,
+		L1IMisses:            c.L1IMisses + o.L1IMisses,
+		L1DHits:              c.L1DHits + o.L1DHits,
+		L1DMisses:            c.L1DMisses + o.L1DMisses,
+		L2Hits:               c.L2Hits + o.L2Hits,
+		L2Misses:             c.L2Misses + o.L2Misses,
+		L3Hits:               c.L3Hits + o.L3Hits,
+		L3Misses:             c.L3Misses + o.L3Misses,
+		TLBHits:              c.TLBHits + o.TLBHits,
+		TLBMisses:            c.TLBMisses + o.TLBMisses,
+		BranchLookups:        c.BranchLookups + o.BranchLookups,
+		DirectionMispredicts: c.DirectionMispredicts + o.DirectionMispredicts,
+		BTBMispredicts:       c.BTBMispredicts + o.BTBMispredicts,
+	}
+}
+
 // IPC returns instructions per cycle.
 func (c Counters) IPC() float64 {
 	if c.Cycles == 0 {

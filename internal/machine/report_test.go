@@ -40,6 +40,19 @@ func TestCountersSub(t *testing.T) {
 	}
 }
 
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Cycles: 10, Instructions: 5, L1DMisses: 2, TLBHits: 1, BTBMispredicts: 3}
+	b := Counters{Cycles: 7, Instructions: 4, L1DMisses: 1, L2Hits: 6, BTBMispredicts: 2}
+	sum := a.Add(b)
+	if sum.Cycles != 17 || sum.Instructions != 9 || sum.L1DMisses != 3 ||
+		sum.TLBHits != 1 || sum.L2Hits != 6 || sum.BTBMispredicts != 5 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if sum.Sub(b) != a {
+		t.Fatal("Add and Sub disagree")
+	}
+}
+
 func TestCountersIPC(t *testing.T) {
 	c := Counters{Cycles: 200, Instructions: 100}
 	if c.IPC() != 0.5 {
