@@ -6,22 +6,33 @@
 //	go test -bench=. -benchmem
 //
 // The per-iteration cost measured by testing.B is the cost of regenerating
-// the artifact; the printed tables are the reproduction itself.
+// the artifact; the printed tables are the reproduction itself. After each
+// table benchmark the harness also writes the per-iteration regeneration
+// wall times as a BENCH_<name>.json artifact (internal/bench schema), so
+// the repo's own performance trajectory accumulates as durable files —
+// compare two checkouts' artifacts with `szgate compare`. Disable with
+// -artifactdir "".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/bench"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/spec"
 )
 
-var benchFull = flag.Bool("benchfull", false, "run benchmark harness at full paper scale")
+var (
+	benchFull   = flag.Bool("benchfull", false, "run benchmark harness at full paper scale")
+	artifactDir = flag.String("artifactdir", ".", "directory for BENCH_<name>.json harness artifacts (empty disables)")
+)
 
 func benchParams() (scale float64, runs int) {
 	if *benchFull {
@@ -40,87 +51,133 @@ func printArtifact(b *testing.B, key, text string) {
 	}
 }
 
+// regenerate times each b.N iteration of a table regeneration, prints the
+// table once, and writes the wall-time samples as BENCH_<key>.json.
+func regenerate(b *testing.B, key string, f func() (string, error)) {
+	b.Helper()
+	secs := make([]float64, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		table, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs = append(secs, time.Since(start).Seconds())
+		printArtifact(b, key, table)
+	}
+	writeBenchArtifact(b, key, secs)
+}
+
+// writeBenchArtifact persists one table benchmark's regeneration times. The
+// artifact uses the wall-seconds unit: unlike the simulated-seconds
+// artifacts szgate collects, these measure the host machine, so they are
+// noisy — but two checkouts benchmarked on the same machine gate cleanly.
+func writeBenchArtifact(b *testing.B, key string, secs []float64) {
+	b.Helper()
+	if *artifactDir == "" || len(secs) == 0 {
+		return
+	}
+	scale, _ := benchParams()
+	art := &bench.Artifact{
+		Meta: bench.Meta{
+			Schema:     bench.SchemaVersion,
+			Unit:       bench.UnitWallSeconds,
+			Seed:       2013,
+			Scale:      scale,
+			Level:      "mixed",
+			Stabilizer: "harness",
+		},
+		Benchmarks: []bench.Benchmark{
+			{Name: key, Runs: len(secs), Seconds: secs},
+		},
+	}
+	path := filepath.Join(*artifactDir, "BENCH_"+key+".json")
+	if err := art.WriteFile(path); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+}
+
 // BenchmarkE1FigLinkOrder regenerates the §1 link-order bias measurement.
 func BenchmarkE1FigLinkOrder(b *testing.B) {
 	scale, _ := benchParams()
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "linkorder", func() (string, error) {
 		res, err := experiment.LinkOrder(experiment.LinkOrderOptions{
 			Scale: scale, Orders: 12, Runs: 2, Seed: 2013,
 		})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "linkorder", res.Table())
-	}
+		return res.Table(), nil
+	})
 }
 
 // BenchmarkE2FigEnvSize regenerates the §1 environment-size bias sweep.
 func BenchmarkE2FigEnvSize(b *testing.B) {
 	scale, _ := benchParams()
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "envsize", func() (string, error) {
 		res, err := experiment.EnvSize(experiment.EnvSizeOptions{
 			Scale: scale, Runs: 3, Seed: 2013,
 			EnvSizes: []uint64{0, 1024, 2048, 3072, 4096},
 		})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "envsize", res.Table())
-	}
+		return res.Table(), nil
+	})
 }
 
 // BenchmarkE3TableNIST regenerates the §3.2 randomness table.
 func BenchmarkE3TableNIST(b *testing.B) {
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "nist", func() (string, error) {
 		res, err := experiment.NIST(experiment.NISTOptions{Seed: 2013})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "nist", res.Table())
-	}
+		return res.Table(), nil
+	})
 }
 
 // BenchmarkE4E5TableNormality regenerates Table 1 (and the Figure 5 QQ data
 // behind it).
 func BenchmarkE4E5TableNormality(b *testing.B) {
 	scale, runs := benchParams()
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "normality", func() (string, error) {
 		res, err := experiment.Normality(experiment.NormalityOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "normality", res.Table()+res.Summary())
-	}
+		return res.Table() + res.Summary(), nil
+	})
 }
 
 // BenchmarkE6FigOverhead regenerates Figure 6.
 func BenchmarkE6FigOverhead(b *testing.B) {
 	scale, runs := benchParams()
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "overhead", func() (string, error) {
 		res, err := experiment.Overhead(experiment.OverheadOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "overhead", res.Figure())
-	}
+		return res.Figure(), nil
+	})
 }
 
 // BenchmarkE7E8FigSpeedupANOVA regenerates Figure 7 and the §6.1 ANOVA.
 func BenchmarkE7E8FigSpeedupANOVA(b *testing.B) {
 	scale, runs := benchParams()
-	for i := 0; i < b.N; i++ {
+	regenerate(b, "speedup", func() (string, error) {
 		res, err := experiment.Speedup(experiment.SpeedupOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {
-			b.Fatal(err)
+			return "", err
 		}
-		printArtifact(b, "speedup", res.Figure()+res.ANOVATable())
-	}
+		return res.Figure() + res.ANOVATable(), nil
+	})
 }
 
 // BenchmarkRunNative measures the simulator's own throughput: one native run

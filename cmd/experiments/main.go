@@ -26,13 +26,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/spec"
 )
+
+// experimentNames is the valid -only vocabulary; unknown names are rejected
+// up front instead of silently running nothing.
+var experimentNames = []string{
+	"linkorder", "envsize", "nist", "normality", "overhead", "speedup",
+	"interval", "shuffledepth", "adaptive", "deployment", "phases",
+}
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
@@ -49,6 +58,17 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS, 1 = sequential); identical results at any value")
 	progress := flag.Bool("progress", true, "write per-cell progress/throughput lines to stderr")
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *runs < 1 {
+		fail("-runs %d: need at least 1 run per configuration", *runs)
+	}
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		fail("-scale %v: must be a positive finite workload scale", *scale)
+	}
 
 	experiment.SetParallelism(*jobs)
 	if *progress {
@@ -82,10 +102,20 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 		}
 	}
 
+	valid := map[string]bool{}
+	for _, n := range experimentNames {
+		valid[n] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, n := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(n)] = true
+			n = strings.TrimSpace(n)
+			if !valid[n] {
+				sorted := append([]string(nil), experimentNames...)
+				sort.Strings(sorted)
+				fail("-only %q: unknown experiment; valid names: %s", n, strings.Join(sorted, ", "))
+			}
+			want[n] = true
 		}
 	}
 	enabled := func(name string) bool { return len(want) == 0 || want[name] }

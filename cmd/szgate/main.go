@@ -1,0 +1,284 @@
+// Command szgate is the statistically sound benchmark regression gate:
+// it collects benchmark runs into durable JSON artifacts and compares two
+// artifacts with the statistics the paper argues for (test selection by
+// normality screening, bootstrap effect-size confidence intervals,
+// Benjamini-Hochberg correction across the suite).
+//
+// Usage:
+//
+//	szgate run [-o bench.json] [-runs n | -adaptive [-target f] [-max n]]
+//	           [-scale f] [-seed n] [-level 0..3] [-stabilize] [-noise f]
+//	           [-bench name[,name...]] [-cxx] [-quick] [-j n] [-commit sha]
+//	szgate compare old.json new.json [-alpha f] [-threshold f] [-boot n]
+//	szgate show artifact.json
+//	szgate merge -o out.json a.json b.json [c.json ...]
+//
+// `run` writes an artifact; identical seeds give byte-identical artifacts at
+// any -j. `compare` prints the gate table and exits 1 when the gate fails
+// (a BH-corrected regression whose slowdown exceeds -threshold), so it can
+// guard CI directly. `show` summarizes one artifact; `merge` combines
+// artifacts collected under the same configuration (extra samples must
+// continue the seed range; disjoint benchmark subsets just union).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/gate"
+	"repro/internal/spec"
+	"repro/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "show":
+		err = cmdShow(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "szgate: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "szgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `szgate — benchmark artifact collection and regression gating
+
+  szgate run      collect an artifact (deterministic given -seed, any -j)
+  szgate compare  gate new.json against old.json; exit 1 on regression
+  szgate show     summarize one artifact
+  szgate merge    combine artifacts collected under the same configuration
+
+Run 'szgate <subcommand> -h' for flags.
+`)
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("szgate run", flag.ExitOnError)
+	out := fs.String("o", "bench.json", "output artifact path (- for stdout)")
+	runs := fs.Int("runs", 20, "runs per benchmark (fixed mode; adaptive start)")
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	seed := fs.Uint64("seed", 2013, "master seed")
+	level := fs.Int("level", 2, "optimization level (0-3)")
+	stabilize := fs.Bool("stabilize", false, "run under full STABILIZER randomization")
+	noise := fs.Float64("noise", 0, "relative system-noise sigma (0 = default, negative disables)")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	cxx := fs.Bool("cxx", false, "include the five C++ benchmarks")
+	quick := fs.Bool("quick", false, "CI mode: scale 0.2, 8 runs")
+	adaptive := fs.Bool("adaptive", false, "adaptive stopping: sample until the CI half-width target")
+	target := fs.Float64("target", 0.005, "adaptive: target relative CI half-width on the mean")
+	maxRuns := fs.Int("max", 200, "adaptive: run budget per benchmark")
+	batch := fs.Int("batch", 10, "adaptive: runs added per round")
+	jobs := fs.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS); identical artifacts at any value")
+	progress := fs.Bool("progress", true, "write per-cell progress lines to stderr")
+	commit := fs.String("commit", "", "commit label (default: git rev-parse --short HEAD, if available)")
+	fs.Parse(args)
+
+	if *level < 0 || *level > 3 {
+		return fmt.Errorf("-level %d: want 0..3", *level)
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d: need at least 1", *runs)
+	}
+	if *scale <= 0 {
+		return fmt.Errorf("-scale %v: must be positive", *scale)
+	}
+	if *quick {
+		*scale = 0.2
+		*runs = 8
+	}
+	experiment.SetParallelism(*jobs)
+	if *progress {
+		experiment.SetProgress(os.Stderr)
+	}
+
+	suite, err := pickSuite(*benches, *cxx)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Noise: *noise}
+	var st core.Options
+	if *stabilize {
+		st = core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
+		cfg.Stabilizer = &st
+	}
+	if *commit == "" {
+		*commit = gitCommit()
+	}
+	art, err := bench.Collect(context.Background(), bench.CollectOptions{
+		Suite:  suite,
+		Config: cfg,
+		Runs:   *runs,
+		Seed:   *seed,
+		Commit: *commit,
+
+		Adaptive:  *adaptive,
+		TargetRel: *target,
+		MaxRuns:   *maxRuns,
+		BatchRuns: *batch,
+	})
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		return art.Write(os.Stdout)
+	}
+	if err := art.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "szgate: wrote %s (%d benchmarks)\n", *out, len(art.Benchmarks))
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("szgate compare", flag.ExitOnError)
+	alpha := fs.Float64("alpha", 0.05, "significance level for BH-corrected p-values")
+	threshold := fs.Float64("threshold", 0.01, "minimum slowdown a significant regression needs to fail the gate")
+	boot := fs.Int("boot", 2000, "bootstrap replicates")
+	confidence := fs.Float64("confidence", 0.95, "bootstrap CI level")
+	seed := fs.Uint64("seed", 1, "bootstrap seed")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: szgate compare [flags] old.json new.json")
+	}
+	old, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	new, err := bench.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep, err := gate.Compare(old, new, gate.Options{
+		Alpha: *alpha, Threshold: *threshold,
+		Bootstrap: *boot, Confidence: *confidence, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if rep.Fail {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("szgate show", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: szgate show artifact.json")
+	}
+	art, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m := art.Meta
+	fmt.Printf("artifact: %s  schema %d\n", fs.Arg(0), m.Schema)
+	fmt.Printf("config:   scale %g  %s  %s  noise %g  seed %d", m.Scale, m.Level, m.Stabilizer, m.Noise, m.Seed)
+	if m.Commit != "" {
+		fmt.Printf("  commit %s", m.Commit)
+	}
+	fmt.Printf("  (%s)\n", m.Unit)
+	fmt.Printf("%-12s %5s %12s %12s %8s %10s\n", "Benchmark", "runs", "mean (s)", "median (s)", "cv", "stopped")
+	for _, b := range art.Benchmarks {
+		mean := stats.Mean(b.Seconds)
+		cv := stats.StdDev(b.Seconds) / mean
+		stopped := b.Stopped
+		if stopped == "" {
+			stopped = bench.StoppedFixed
+		}
+		fmt.Printf("%-12s %5d %12.6f %12.6f %7.3f%% %10s\n",
+			b.Name, b.Runs, mean, stats.Median(b.Seconds), cv*100, stopped)
+	}
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("szgate merge", flag.ExitOnError)
+	out := fs.String("o", "-", "output artifact path (- for stdout)")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: szgate merge -o out.json a.json b.json [c.json ...]")
+	}
+	acc, err := bench.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, path := range fs.Args()[1:] {
+		next, err := bench.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if acc, err = bench.Merge(acc, next); err != nil {
+			return err
+		}
+	}
+	if *out == "-" {
+		return acc.Write(os.Stdout)
+	}
+	return acc.WriteFile(*out)
+}
+
+// pickSuite resolves -bench/-cxx into a benchmark list, rejecting unknown
+// names with the valid set.
+func pickSuite(names string, cxx bool) ([]spec.Benchmark, error) {
+	suite := spec.Suite()
+	if cxx {
+		suite = spec.FullSuite()
+	}
+	if names == "" {
+		return suite, nil
+	}
+	byName := map[string]spec.Benchmark{}
+	var valid []string
+	for _, b := range suite {
+		byName[b.Name] = b
+		valid = append(valid, b.Name)
+	}
+	var out []spec.Benchmark
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		b, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q; valid: %s", n, strings.Join(valid, ", "))
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// gitCommit best-effort labels artifacts with the working tree's revision.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

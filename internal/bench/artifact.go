@@ -1,0 +1,245 @@
+// Package bench persists benchmark runs as versioned JSON artifacts and
+// collects new ones through the parallel experiment engine. An artifact is
+// the durable unit of the repo's performance evaluation: the raw
+// per-benchmark samples plus everything needed to reproduce or merge them
+// (seed, scale, optimization level, stabilizer configuration, commit).
+// internal/gate compares two artifacts; cmd/szgate is the CLI.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is bumped whenever the artifact layout changes
+// incompatibly; Read rejects artifacts from a different major schema.
+const SchemaVersion = 1
+
+// Unit values for Meta.Unit.
+const (
+	// UnitSimulatedSeconds marks samples measured by the simulator's cycle
+	// clock (deterministic given the seed).
+	UnitSimulatedSeconds = "simulated-seconds"
+	// UnitWallSeconds marks samples measured with a host wall clock (the
+	// testing.B harness's regeneration times).
+	UnitWallSeconds = "wall-seconds"
+)
+
+// Meta describes how an artifact's samples were produced. Two artifacts are
+// comparable when everything except Commit matches.
+type Meta struct {
+	Schema     int     `json:"schema"`
+	Unit       string  `json:"unit"`
+	Seed       uint64  `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Level      string  `json:"level"`
+	Stabilizer string  `json:"stabilizer"` // "native" or core.Options.EnabledString()
+	Noise      float64 `json:"noise"`
+	Commit     string  `json:"commit,omitempty"`
+}
+
+// Stopped values for adaptive collection.
+const (
+	StoppedFixed  = "fixed"  // fixed run count, no adaptive stopping
+	StoppedTarget = "target" // CI half-width target reached
+	StoppedBudget = "budget" // run budget exhausted first
+)
+
+// Benchmark is one benchmark's sample set inside an artifact.
+type Benchmark struct {
+	Name     string    `json:"name"`
+	SeedBase uint64    `json:"seed_base"`
+	Runs     int       `json:"runs"`
+	Seconds  []float64 `json:"seconds"`
+	Cycles   []uint64  `json:"cycles,omitempty"`
+	// Adaptive-stopping outcome (empty for fixed-count collection).
+	Stopped string `json:"stopped,omitempty"`
+	// RelHalfWidth is the achieved bootstrap CI half-width on the mean,
+	// relative to the mean, at the stopping point (adaptive mode only).
+	RelHalfWidth float64 `json:"rel_half_width,omitempty"`
+}
+
+// Artifact is one collection run: metadata plus per-benchmark samples.
+type Artifact struct {
+	Meta       Meta        `json:"meta"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the named benchmark entry, or nil.
+func (a *Artifact) Find(name string) *Benchmark {
+	for i := range a.Benchmarks {
+		if a.Benchmarks[i].Name == name {
+			return &a.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// normalize puts the artifact in canonical form: benchmarks sorted by name.
+// Serialization is deterministic after normalization (struct fields encode
+// in declaration order, floats in Go's shortest round-trip form), which is
+// what makes Write→Read→Write byte-identical.
+func (a *Artifact) normalize() {
+	sort.Slice(a.Benchmarks, func(i, j int) bool {
+		return a.Benchmarks[i].Name < a.Benchmarks[j].Name
+	})
+}
+
+// Validate checks the artifact's invariants: a known schema, finite samples
+// (JSON cannot carry NaN/Inf), consistent run counts, and unique names.
+func (a *Artifact) Validate() error {
+	if a.Meta.Schema != SchemaVersion {
+		return fmt.Errorf("bench: artifact schema %d, this build reads %d", a.Meta.Schema, SchemaVersion)
+	}
+	if a.Meta.Unit == "" {
+		return fmt.Errorf("bench: artifact has no unit")
+	}
+	seen := map[string]bool{}
+	for _, b := range a.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("bench: unnamed benchmark entry")
+		}
+		if seen[b.Name] {
+			return fmt.Errorf("bench: duplicate benchmark %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Runs != len(b.Seconds) {
+			return fmt.Errorf("bench: %s: runs=%d but %d samples", b.Name, b.Runs, len(b.Seconds))
+		}
+		if len(b.Cycles) != 0 && len(b.Cycles) != len(b.Seconds) {
+			return fmt.Errorf("bench: %s: %d cycle counts for %d samples", b.Name, len(b.Cycles), len(b.Seconds))
+		}
+		for i, s := range b.Seconds {
+			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
+				return fmt.Errorf("bench: %s: sample %d is %v", b.Name, i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Encode returns the canonical serialized form: normalized, two-space
+// indented JSON with a trailing newline. Equal artifacts encode to equal
+// bytes regardless of the order benchmarks were added in.
+func (a *Artifact) Encode() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	a.normalize()
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Write writes the canonical form to w.
+func (a *Artifact) Write(w io.Writer) error {
+	buf, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// WriteFile writes the canonical form to path.
+func (a *Artifact) WriteFile(path string) error {
+	buf, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Read parses and validates an artifact.
+func Read(r io.Reader) (*Artifact, error) {
+	dec := json.NewDecoder(r)
+	var a Artifact
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("bench: decode artifact: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	a.normalize()
+	return &a, nil
+}
+
+// ReadFile reads and validates the artifact at path.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// ReadBytes parses and validates an artifact from memory.
+func ReadBytes(buf []byte) (*Artifact, error) {
+	return Read(bytes.NewReader(buf))
+}
+
+// Merge combines two artifacts collected under the same configuration into
+// one. Benchmarks present in only one input are carried over; a benchmark
+// present in both must be a continuation (b's seed base starting where a's
+// samples end), and its samples are concatenated — the shape produced by
+// extending a run with more samples or sharding a seed range. Commits may
+// differ only if one is empty (a partial rerun on the same tree). Master
+// seeds may differ — collecting a continuation requires a shifted master
+// seed, and the per-benchmark seed-base check is the real guard; the merged
+// artifact keeps a's seed.
+func Merge(a, b *Artifact) (*Artifact, error) {
+	ma, mb := a.Meta, b.Meta
+	ca, cb := ma.Commit, mb.Commit
+	ma.Commit, mb.Commit = "", ""
+	ma.Seed, mb.Seed = 0, 0
+	if ma != mb {
+		return nil, fmt.Errorf("bench: merge: artifacts were collected under different configurations:\n  %+v\n  %+v", ma, mb)
+	}
+	commit := ca
+	switch {
+	case ca == cb, cb == "":
+	case ca == "":
+		commit = cb
+	default:
+		return nil, fmt.Errorf("bench: merge: artifacts from different commits %q and %q", ca, cb)
+	}
+
+	out := &Artifact{Meta: a.Meta}
+	out.Meta.Commit = commit
+	for _, ba := range a.Benchmarks {
+		merged := ba
+		if bb := b.Find(ba.Name); bb != nil {
+			if bb.SeedBase != ba.SeedBase+uint64(ba.Runs) {
+				return nil, fmt.Errorf("bench: merge: %s: second artifact's seed base %d is not a continuation of %d+%d runs",
+					ba.Name, bb.SeedBase, ba.SeedBase, ba.Runs)
+			}
+			if (len(ba.Cycles) == 0) != (len(bb.Cycles) == 0) {
+				return nil, fmt.Errorf("bench: merge: %s: one artifact has cycle counts, the other does not", ba.Name)
+			}
+			merged.Seconds = append(append([]float64(nil), ba.Seconds...), bb.Seconds...)
+			merged.Cycles = append(append([]uint64(nil), ba.Cycles...), bb.Cycles...)
+			merged.Runs = len(merged.Seconds)
+			merged.Stopped, merged.RelHalfWidth = "", 0
+		}
+		out.Benchmarks = append(out.Benchmarks, merged)
+	}
+	for _, bb := range b.Benchmarks {
+		if a.Find(bb.Name) == nil {
+			out.Benchmarks = append(out.Benchmarks, bb)
+		}
+	}
+	out.normalize()
+	return out, nil
+}

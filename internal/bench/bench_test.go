@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/experiment"
+	"repro/internal/spec"
+)
+
+const testScale = 0.05
+
+func testSuite(t *testing.T, names ...string) []spec.Benchmark {
+	t.Helper()
+	var out []spec.Benchmark
+	for _, n := range names {
+		b, ok := spec.ByName(n)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		Meta: Meta{Schema: SchemaVersion, Unit: UnitSimulatedSeconds, Seed: 7,
+			Scale: 0.5, Level: "-O2", Stabilizer: "native", Noise: 0.0025, Commit: "abc123"},
+		Benchmarks: []Benchmark{
+			{Name: "mcf", SeedBase: 100, Runs: 3, Seconds: []float64{1.25, 1.251, 1.249}, Cycles: []uint64{10, 11, 12}},
+			{Name: "astar", SeedBase: 50, Runs: 2, Seconds: []float64{0.5, 0.501}, Cycles: []uint64{5, 6}},
+		},
+	}
+}
+
+func TestArtifactRoundTripByteIdentical(t *testing.T) {
+	a := sampleArtifact()
+	buf1, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBytes(buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1, buf2) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", buf1, buf2)
+	}
+	// Canonical form sorts benchmarks, so add order does not matter.
+	if back.Benchmarks[0].Name != "astar" {
+		t.Errorf("canonical order: first benchmark = %q, want astar", back.Benchmarks[0].Name)
+	}
+}
+
+func TestArtifactWriteReadFile(t *testing.T) {
+	a := sampleArtifact()
+	path := t.TempDir() + "/a.json"
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.normalize()
+	if !reflect.DeepEqual(a, back) {
+		t.Errorf("file round trip differs:\n%+v\nvs\n%+v", a, back)
+	}
+}
+
+func TestArtifactValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Artifact)
+		want string
+	}{
+		{"schema", func(a *Artifact) { a.Meta.Schema = 99 }, "schema"},
+		{"unit", func(a *Artifact) { a.Meta.Unit = "" }, "unit"},
+		{"dup", func(a *Artifact) { a.Benchmarks[1].Name = "mcf" }, "duplicate"},
+		{"runs", func(a *Artifact) { a.Benchmarks[0].Runs = 7 }, "samples"},
+		{"cycles", func(a *Artifact) { a.Benchmarks[0].Cycles = a.Benchmarks[0].Cycles[:1] }, "cycle"},
+		{"nan", func(a *Artifact) { a.Benchmarks[0].Seconds[0] = math.NaN() }, "sample"},
+		{"negative", func(a *Artifact) { a.Benchmarks[0].Seconds[0] = -1 }, "sample"},
+	}
+	for _, c := range cases {
+		a := sampleArtifact()
+		c.mut(a)
+		err := a.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := sampleArtifact()
+	// A continuation of mcf plus a new benchmark.
+	b := &Artifact{
+		Meta: a.Meta,
+		Benchmarks: []Benchmark{
+			{Name: "mcf", SeedBase: 103, Runs: 2, Seconds: []float64{1.252, 1.248}, Cycles: []uint64{13, 14}},
+			{Name: "lbm", SeedBase: 900, Runs: 1, Seconds: []float64{2}, Cycles: []uint64{20}},
+		},
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Find("mcf"); got == nil || got.Runs != 5 || got.Seconds[3] != 1.252 || got.Cycles[4] != 14 {
+		t.Errorf("merged mcf = %+v", got)
+	}
+	if m.Find("lbm") == nil || m.Find("astar") == nil {
+		t.Errorf("merge dropped a benchmark: %+v", m.Benchmarks)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("merged artifact invalid: %v", err)
+	}
+
+	// Mismatched configuration refuses.
+	c := sampleArtifact()
+	c.Meta.Scale = 1.0
+	if _, err := Merge(a, c); err == nil {
+		t.Error("merge across scales should fail")
+	}
+	// A shifted master seed is fine when the seed bases continue — that is
+	// exactly what `szgate run -seed base+runs` produces for a continuation.
+	s := &Artifact{
+		Meta: a.Meta,
+		Benchmarks: []Benchmark{
+			{Name: "mcf", SeedBase: 103, Runs: 1, Seconds: []float64{1.25}, Cycles: []uint64{15}},
+		},
+	}
+	s.Meta.Seed = a.Meta.Seed + 3
+	ms, err := Merge(a, s)
+	if err != nil {
+		t.Fatalf("merge across shifted master seeds: %v", err)
+	}
+	if ms.Meta.Seed != a.Meta.Seed || ms.Find("mcf").Runs != 4 {
+		t.Errorf("shifted-seed merge: seed %d, mcf %+v", ms.Meta.Seed, ms.Find("mcf"))
+	}
+	// Non-contiguous seed range refuses.
+	d := sampleArtifact()
+	d.Benchmarks = []Benchmark{{Name: "mcf", SeedBase: 999, Runs: 1, Seconds: []float64{1}, Cycles: []uint64{1}}}
+	if _, err := Merge(a, d); err == nil {
+		t.Error("merge of a non-continuation seed range should fail")
+	}
+	// Differing commits refuse unless one is empty.
+	e := sampleArtifact()
+	e.Benchmarks = nil
+	e.Meta.Commit = "zzz"
+	if _, err := Merge(a, e); err == nil {
+		t.Error("merge across commits should fail")
+	}
+	e.Meta.Commit = ""
+	m2, err := Merge(a, e)
+	if err != nil || m2.Meta.Commit != "abc123" {
+		t.Errorf("merge with empty commit: %v, commit %q", err, m2.Meta.Commit)
+	}
+}
+
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	suite := testSuite(t, "astar", "libquantum")
+	opts := CollectOptions{
+		Suite:  suite,
+		Config: experiment.Config{Scale: testScale, Level: compiler.O2},
+		Runs:   6,
+		Seed:   2013,
+	}
+	experiment.SetParallelism(1)
+	seq, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiment.SetParallelism(4)
+	par, err := Collect(context.Background(), opts)
+	experiment.SetParallelism(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := seq.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := par.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("artifact differs between -j 1 and -j 4:\n%s\nvs\n%s", b1, b2)
+	}
+	if got := seq.Find("astar"); got == nil || got.Runs != 6 || len(got.Cycles) != 6 {
+		t.Errorf("astar entry = %+v", got)
+	}
+	if seq.Meta.Level != "-O2" || seq.Meta.Stabilizer != "native" {
+		t.Errorf("meta = %+v", seq.Meta)
+	}
+}
+
+func TestCollectSeedBaseStableAcrossSubsets(t *testing.T) {
+	full := testSuite(t, "astar", "libquantum")
+	sub := testSuite(t, "libquantum")
+	opts := CollectOptions{
+		Suite:  full,
+		Config: experiment.Config{Scale: testScale, Level: compiler.O2},
+		Runs:   3, Seed: 2013,
+	}
+	a, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Suite = sub
+	b, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Find("libquantum"), b.Find("libquantum")) {
+		t.Errorf("libquantum samples depend on which suite subset was collected")
+	}
+}
+
+func TestCollectAdaptive(t *testing.T) {
+	suite := testSuite(t, "astar")
+	opts := CollectOptions{
+		Suite:    suite,
+		Config:   experiment.Config{Scale: testScale, Level: compiler.O2},
+		Seed:     2013,
+		Adaptive: true, TargetRel: 0.002, Confidence: 0.95,
+		BatchRuns: 4, MaxRuns: 40,
+	}
+	a, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := a.Find("astar")
+	if e == nil {
+		t.Fatal("no astar entry")
+	}
+	if e.Stopped != StoppedTarget && e.Stopped != StoppedBudget {
+		t.Errorf("Stopped = %q", e.Stopped)
+	}
+	if e.Stopped == StoppedTarget && e.RelHalfWidth > opts.TargetRel {
+		t.Errorf("stopped at target but half-width %v > %v", e.RelHalfWidth, opts.TargetRel)
+	}
+	if e.Runs < MinAdaptiveRuns || e.Runs > opts.MaxRuns {
+		t.Errorf("adaptive runs = %d outside [%d, %d]", e.Runs, MinAdaptiveRuns, opts.MaxRuns)
+	}
+
+	// A looser target must not need more runs than a tighter one, and the
+	// whole adaptive trajectory is deterministic.
+	opts.TargetRel = 0.05
+	loose, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Find("astar").Runs > e.Runs {
+		t.Errorf("looser target took more runs: %d > %d", loose.Find("astar").Runs, e.Runs)
+	}
+	again, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loose, again) {
+		t.Errorf("adaptive collection not deterministic")
+	}
+}
+
+func TestCollectValidatesOptions(t *testing.T) {
+	bad := CollectOptions{Runs: -1}
+	if _, err := Collect(context.Background(), bad); err == nil {
+		t.Error("negative Runs accepted")
+	}
+	bad = CollectOptions{Adaptive: true, TargetRel: 2}
+	if _, err := Collect(context.Background(), bad); err == nil {
+		t.Error("TargetRel=2 accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// BenjaminiHochberg returns the Benjamini–Hochberg adjusted p-values for a
+// family of tests (step-up false-discovery-rate control, matching R's
+// p.adjust(..., "BH")): the i'th sorted p-value is scaled by m/i and the
+// results are made monotone from the largest down, capped at 1. Rejecting
+// every adjusted p below alpha controls the FDR at alpha across the family —
+// the gate compares every benchmark at once, so without the correction a
+// 20-benchmark suite would false-alarm on one benchmark per run at α = 0.05.
+//
+// NaN p-values (tests that could not run) are passed through untouched and
+// do not count toward the family size.
+func BenjaminiHochberg(ps []float64) []float64 {
+	idx := make([]int, 0, len(ps))
+	for i, p := range ps {
+		if !math.IsNaN(p) {
+			idx = append(idx, i)
+		}
+	}
+	m := len(idx)
+	adj := make([]float64, len(ps))
+	for i, p := range ps {
+		adj[i] = p
+	}
+	if m == 0 {
+		return adj
+	}
+	sort.Slice(idx, func(a, b int) bool { return ps[idx[a]] < ps[idx[b]] })
+	running := math.Inf(1)
+	for k := m - 1; k >= 0; k-- {
+		v := ps[idx[k]] * float64(m) / float64(k+1)
+		if v < running {
+			running = v
+		}
+		if running > 1 {
+			adj[idx[k]] = 1
+		} else {
+			adj[idx[k]] = running
+		}
+	}
+	return adj
+}

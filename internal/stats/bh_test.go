@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBenjaminiHochbergGolden(t *testing.T) {
+	// R: p.adjust(c(0.01, 0.04, 0.03, 0.005), "BH") = 0.02 0.04 0.04 0.02
+	got := BenjaminiHochberg([]float64{0.01, 0.04, 0.03, 0.005})
+	want := []float64{0.02, 0.04, 0.04, 0.02}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("adj[%d] = %.6f, want %.6f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBenjaminiHochberg1995Example(t *testing.T) {
+	// The 15 p-values of Benjamini & Hochberg (1995), Table 1; golden
+	// values from R's p.adjust(p, "BH").
+	p := []float64{0.0001, 0.0004, 0.0019, 0.0095, 0.0201, 0.0278, 0.0298,
+		0.0344, 0.0459, 0.3240, 0.4262, 0.5719, 0.6528, 0.7590, 1.0000}
+	want := []float64{0.0015, 0.0030, 0.0095, 0.035625, 0.0603, 0.06385714,
+		0.06385714, 0.0645, 0.0765, 0.486, 0.58118182, 0.714875,
+		0.75323077, 0.81321429, 1.0}
+	got := BenjaminiHochberg(p)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-7 {
+			t.Errorf("adj[%d] = %.8f, want %.8f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBenjaminiHochbergProperties(t *testing.T) {
+	// NaNs pass through and do not inflate the family size.
+	got := BenjaminiHochberg([]float64{0.01, math.NaN(), 0.04})
+	if !math.IsNaN(got[1]) {
+		t.Errorf("NaN p-value not preserved: %v", got[1])
+	}
+	// Family of two: 0.01*2/1 = 0.02, 0.04*2/2 = 0.04.
+	if math.Abs(got[0]-0.02) > 1e-12 || math.Abs(got[2]-0.04) > 1e-12 {
+		t.Errorf("NaN inflated family size: %v", got)
+	}
+
+	// Adjusted values never fall below the raw ones and never exceed 1.
+	ps := []float64{0.9, 0.99, 0.5, 0.02, 0.0001, 1.0}
+	for i, a := range BenjaminiHochberg(ps) {
+		if a < ps[i] || a > 1 {
+			t.Errorf("adj[%d] = %v out of range for p = %v", i, a, ps[i])
+		}
+	}
+
+	// A single test is untouched.
+	if got := BenjaminiHochberg([]float64{0.03}); got[0] != 0.03 {
+		t.Errorf("single p adjusted: %v", got[0])
+	}
+	if got := BenjaminiHochberg(nil); len(got) != 0 {
+		t.Errorf("nil input: %v", got)
+	}
+}

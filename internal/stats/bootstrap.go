@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Bootstrap confidence intervals for the regression gate (Kalibera & Jones:
+// report effect sizes with confidence intervals, not bare p-values). All
+// resampling is driven by the repo's seeded Marsaglia generator, so every CI
+// is reproducible and identical across worker counts.
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies inside the closed interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// HalfWidth returns half the interval's width.
+func (iv Interval) HalfWidth() float64 { return (iv.Hi - iv.Lo) / 2 }
+
+// resample fills out with a bootstrap resample of xs (sampling with
+// replacement) using r.
+func resample(r *rng.Marsaglia, xs, out []float64) {
+	for i := range out {
+		out[i] = xs[r.Intn(len(xs))]
+	}
+}
+
+// BootstrapCI returns the percentile bootstrap confidence interval for
+// stat(xs) at the given confidence level (e.g. 0.95), using b replicates
+// seeded from seed. It returns a degenerate interval for samples the
+// statistic cannot vary on (n < 2 or zero range).
+func BootstrapCI(xs []float64, stat func([]float64) float64, b int, confidence float64, seed uint64) Interval {
+	if len(xs) == 0 || b < 2 || confidence <= 0 || confidence >= 1 {
+		return Interval{Lo: math.NaN(), Hi: math.NaN()}
+	}
+	if len(xs) < 2 || sampleRange(xs) == 0 {
+		v := stat(xs)
+		return Interval{Lo: v, Hi: v}
+	}
+	thetas := bootstrapThetas(xs, stat, b, seed)
+	alpha := (1 - confidence) / 2
+	return Interval{Lo: Quantile(thetas, alpha), Hi: Quantile(thetas, 1-alpha)}
+}
+
+// BootstrapBCaCI returns the bias-corrected and accelerated (BCa) bootstrap
+// confidence interval for stat(xs) (Efron 1987): the percentile interval's
+// endpoints are shifted by the bias correction z0 (how asymmetrically the
+// bootstrap distribution sits around the point estimate) and the
+// acceleration a (the statistic's skewness under jackknife deletion).
+func BootstrapBCaCI(xs []float64, stat func([]float64) float64, b int, confidence float64, seed uint64) Interval {
+	if len(xs) == 0 || b < 2 || confidence <= 0 || confidence >= 1 {
+		return Interval{Lo: math.NaN(), Hi: math.NaN()}
+	}
+	if len(xs) < 2 || sampleRange(xs) == 0 {
+		v := stat(xs)
+		return Interval{Lo: v, Hi: v}
+	}
+	theta := stat(xs)
+	thetas := bootstrapThetas(xs, stat, b, seed)
+
+	// Jackknife replicates for the acceleration.
+	jack := make([]float64, len(xs))
+	del := make([]float64, 0, len(xs)-1)
+	for i := range xs {
+		del = del[:0]
+		del = append(del, xs[:i]...)
+		del = append(del, xs[i+1:]...)
+		jack[i] = stat(del)
+	}
+	return bcaInterval(theta, thetas, jack, confidence)
+}
+
+// RatioStat is the two-sample statistic the gate bootstraps: the ratio of
+// means old/new — the speedup of new over old when times shrink.
+func RatioStat(old, new []float64) float64 { return Mean(old) / Mean(new) }
+
+// BootstrapRatioCI returns percentile and BCa confidence intervals for the
+// ratio of means old/new, resampling the two samples independently (they
+// come from independent sets of runs). The BCa acceleration uses the
+// delete-one jackknife over both samples.
+func BootstrapRatioCI(old, new []float64, b int, confidence float64, seed uint64) (percentile, bca Interval) {
+	nan := Interval{Lo: math.NaN(), Hi: math.NaN()}
+	if len(old) == 0 || len(new) == 0 || b < 2 || confidence <= 0 || confidence >= 1 {
+		return nan, nan
+	}
+	theta := RatioStat(old, new)
+	if (len(old) < 2 && len(new) < 2) || (sampleRange(old) == 0 && sampleRange(new) == 0) {
+		iv := Interval{Lo: theta, Hi: theta}
+		return iv, iv
+	}
+	r := rng.NewMarsaglia(seed ^ 0xb007_57a9)
+	thetas := make([]float64, b)
+	ro := make([]float64, len(old))
+	rn := make([]float64, len(new))
+	for i := range thetas {
+		resample(r, old, ro)
+		resample(r, new, rn)
+		thetas[i] = RatioStat(ro, rn)
+	}
+	sort.Float64s(thetas)
+	alpha := (1 - confidence) / 2
+	percentile = Interval{Lo: Quantile(thetas, alpha), Hi: Quantile(thetas, 1-alpha)}
+
+	// Delete-one jackknife across both samples.
+	jack := make([]float64, 0, len(old)+len(new))
+	del := make([]float64, 0, len(old)+len(new))
+	for i := range old {
+		del = del[:0]
+		del = append(del, old[:i]...)
+		del = append(del, old[i+1:]...)
+		jack = append(jack, RatioStat(del, new))
+	}
+	for i := range new {
+		del = del[:0]
+		del = append(del, new[:i]...)
+		del = append(del, new[i+1:]...)
+		jack = append(jack, RatioStat(old, del))
+	}
+	bca = bcaInterval(theta, thetas, jack, confidence)
+	return percentile, bca
+}
+
+// bootstrapThetas returns b sorted bootstrap replicates of stat on xs.
+func bootstrapThetas(xs []float64, stat func([]float64) float64, b int, seed uint64) []float64 {
+	r := rng.NewMarsaglia(seed ^ 0xb007_57a9)
+	thetas := make([]float64, b)
+	buf := make([]float64, len(xs))
+	for i := range thetas {
+		resample(r, xs, buf)
+		thetas[i] = stat(buf)
+	}
+	sort.Float64s(thetas)
+	return thetas
+}
+
+// bcaInterval assembles a BCa interval from the point estimate, the sorted
+// bootstrap replicates, and the jackknife replicates.
+func bcaInterval(theta float64, sortedThetas, jack []float64, confidence float64) Interval {
+	b := len(sortedThetas)
+	// Bias correction: the normal quantile of the fraction of replicates
+	// below the point estimate (clamped away from 0 and 1).
+	below := 0
+	for _, t := range sortedThetas {
+		if t < theta {
+			below++
+		}
+	}
+	frac := float64(below) / float64(b)
+	if frac <= 0 {
+		frac = 1 / float64(2*b)
+	}
+	if frac >= 1 {
+		frac = 1 - 1/float64(2*b)
+	}
+	z0 := NormalQuantile(frac)
+
+	// Acceleration from the jackknife skewness.
+	jm := Mean(jack)
+	num, den := 0.0, 0.0
+	for _, j := range jack {
+		d := jm - j
+		num += d * d * d
+		den += d * d
+	}
+	a := 0.0
+	if den > 0 {
+		a = num / (6 * math.Pow(den, 1.5))
+	}
+
+	alpha := (1 - confidence) / 2
+	adj := func(z float64) float64 {
+		zt := z0 + z
+		return NormalCDF(z0 + zt/(1-a*zt))
+	}
+	lo := adj(NormalQuantile(alpha))
+	hi := adj(NormalQuantile(1 - alpha))
+	return Interval{Lo: Quantile(sortedThetas, lo), Hi: Quantile(sortedThetas, hi)}
+}
+
+// sampleRange returns max - min.
+func sampleRange(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return max - min
+}

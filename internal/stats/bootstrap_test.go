@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// symmetricSample returns n deterministic values following a normal shape:
+// the quantiles of N(mu, sigma) at evenly spaced probabilities.
+func symmetricSample(n int, mu, sigma float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		p := (float64(i) + 0.5) / float64(n)
+		xs[i] = mu + sigma*NormalQuantile(p)
+	}
+	return xs
+}
+
+// skewedSample returns n deterministic lognormal-shaped values.
+func skewedSample(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		p := (float64(i) + 0.5) / float64(n)
+		xs[i] = math.Exp(NormalQuantile(p))
+	}
+	return xs
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := symmetricSample(40, 10, 2)
+	a := BootstrapCI(xs, Mean, 500, 0.95, 7)
+	b := BootstrapCI(xs, Mean, 500, 0.95, 7)
+	if a != b {
+		t.Errorf("same seed gave different intervals: %+v vs %+v", a, b)
+	}
+	c := BootstrapCI(xs, Mean, 500, 0.95, 8)
+	if a == c {
+		t.Errorf("different seeds gave identical intervals: %+v", a)
+	}
+}
+
+func TestBootstrapCIHalfWidthMatchesNormalTheory(t *testing.T) {
+	// For the mean of a well-behaved sample the 95% percentile bootstrap CI
+	// should approximate mean ± 1.96·s/√n.
+	xs := symmetricSample(100, 50, 5)
+	iv := BootstrapCI(xs, Mean, 4000, 0.95, 1)
+	m := Mean(xs)
+	if !iv.Contains(m) {
+		t.Fatalf("CI %+v does not contain the sample mean %v", iv, m)
+	}
+	want := 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	if hw := iv.HalfWidth(); math.Abs(hw-want) > 0.25*want {
+		t.Errorf("half-width %.4f, normal theory %.4f", hw, want)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	iv := BootstrapCI([]float64{3, 3, 3, 3}, Mean, 100, 0.95, 1)
+	if iv.Lo != 3 || iv.Hi != 3 {
+		t.Errorf("constant sample: got %+v, want [3, 3]", iv)
+	}
+	iv = BootstrapCI(nil, Mean, 100, 0.95, 1)
+	if !math.IsNaN(iv.Lo) || !math.IsNaN(iv.Hi) {
+		t.Errorf("empty sample: got %+v, want NaNs", iv)
+	}
+}
+
+func TestBootstrapBCaCI(t *testing.T) {
+	// Symmetric data: BCa stays close to the percentile interval.
+	sym := symmetricSample(60, 20, 3)
+	perc := BootstrapCI(sym, Mean, 3000, 0.95, 3)
+	bca := BootstrapBCaCI(sym, Mean, 3000, 0.95, 3)
+	if !bca.Contains(Mean(sym)) {
+		t.Fatalf("BCa %+v does not contain the mean", bca)
+	}
+	if d := math.Abs(bca.Lo-perc.Lo) + math.Abs(bca.Hi-perc.Hi); d > perc.HalfWidth() {
+		t.Errorf("BCa %+v far from percentile %+v on symmetric data", bca, perc)
+	}
+
+	// Right-skewed data: the bias correction and acceleration shift both
+	// endpoints toward the long (right) tail.
+	skew := skewedSample(60)
+	perc = BootstrapCI(skew, Mean, 3000, 0.95, 3)
+	bca = BootstrapBCaCI(skew, Mean, 3000, 0.95, 3)
+	if bca.Hi < perc.Hi {
+		t.Errorf("BCa upper %.4f below percentile upper %.4f on right-skewed data", bca.Hi, perc.Hi)
+	}
+	if bca.Lo < perc.Lo {
+		t.Errorf("BCa lower %.4f below percentile lower %.4f on right-skewed data", bca.Lo, perc.Lo)
+	}
+}
+
+func TestBootstrapRatioCI(t *testing.T) {
+	// Identical samples: both intervals must contain 1.
+	xs := symmetricSample(30, 1, 0.01)
+	perc, bca := BootstrapRatioCI(xs, xs, 2000, 0.95, 5)
+	if !perc.Contains(1) || !bca.Contains(1) {
+		t.Errorf("identical samples: percentile %+v, BCa %+v should contain 1", perc, bca)
+	}
+
+	// A 5% slowdown with small noise: both intervals exclude 1 and sit
+	// near 1/1.05.
+	slow := make([]float64, len(xs))
+	for i, x := range xs {
+		slow[i] = 1.05 * x
+	}
+	perc, bca = BootstrapRatioCI(xs, slow, 2000, 0.95, 5)
+	want := 1 / 1.05
+	for _, iv := range []Interval{perc, bca} {
+		if iv.Contains(1) {
+			t.Errorf("5%% slowdown: interval %+v should exclude 1", iv)
+		}
+		if !iv.Contains(want) || iv.HalfWidth() > 0.02 {
+			t.Errorf("interval %+v should tightly cover %.4f", iv, want)
+		}
+	}
+
+	// Determinism.
+	p2, b2 := BootstrapRatioCI(xs, slow, 2000, 0.95, 5)
+	if p2 != perc || b2 != bca {
+		t.Errorf("ratio CI not deterministic")
+	}
+}

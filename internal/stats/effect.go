@@ -1,0 +1,47 @@
+package stats
+
+import "math"
+
+// Effect sizes for the regression gate. A p-value alone answers "is there
+// any difference?"; the gate also wants "how big is it?" — Cohen's d for the
+// parametric path and Cliff's delta for the rank-based one (Kalibera &
+// Jones's argument for effect-size reporting).
+
+// CohensD returns Cohen's d for two independent samples: the difference of
+// means (ys - xs) divided by the pooled standard deviation. Positive values
+// mean ys is larger. NaN when either sample has fewer than two values or
+// both variances are zero.
+func CohensD(xs, ys []float64) float64 {
+	nx, ny := float64(len(xs)), float64(len(ys))
+	if nx < 2 || ny < 2 {
+		return math.NaN()
+	}
+	vx, vy := Variance(xs), Variance(ys)
+	sp2 := ((nx-1)*vx + (ny-1)*vy) / (nx + ny - 2)
+	if sp2 == 0 {
+		return math.NaN()
+	}
+	return (Mean(ys) - Mean(xs)) / math.Sqrt(sp2)
+}
+
+// CliffsDelta returns Cliff's delta for two independent samples: the
+// probability that a value drawn from ys exceeds one drawn from xs, minus
+// the reverse. It ranges over [-1, 1]; 0 means stochastic equality, +1 means
+// every y exceeds every x. NaN when either sample is empty.
+func CliffsDelta(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	more, less := 0, 0
+	for _, y := range ys {
+		for _, x := range xs {
+			switch {
+			case y > x:
+				more++
+			case y < x:
+				less++
+			}
+		}
+	}
+	return float64(more-less) / float64(len(xs)*len(ys))
+}
