@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"path/filepath"
@@ -101,7 +102,7 @@ func writeBenchArtifact(b *testing.B, key string, secs []float64) {
 func BenchmarkE1FigLinkOrder(b *testing.B) {
 	scale, _ := benchParams()
 	regenerate(b, "linkorder", func() (string, error) {
-		res, err := experiment.LinkOrder(experiment.LinkOrderOptions{
+		res, err := experiment.LinkOrder(context.Background(), experiment.LinkOrderOptions{
 			Scale: scale, Orders: 12, Runs: 2, Seed: 2013,
 		})
 		if err != nil {
@@ -115,7 +116,7 @@ func BenchmarkE1FigLinkOrder(b *testing.B) {
 func BenchmarkE2FigEnvSize(b *testing.B) {
 	scale, _ := benchParams()
 	regenerate(b, "envsize", func() (string, error) {
-		res, err := experiment.EnvSize(experiment.EnvSizeOptions{
+		res, err := experiment.EnvSize(context.Background(), experiment.EnvSizeOptions{
 			Scale: scale, Runs: 3, Seed: 2013,
 			EnvSizes: []uint64{0, 1024, 2048, 3072, 4096},
 		})
@@ -129,7 +130,7 @@ func BenchmarkE2FigEnvSize(b *testing.B) {
 // BenchmarkE3TableNIST regenerates the §3.2 randomness table.
 func BenchmarkE3TableNIST(b *testing.B) {
 	regenerate(b, "nist", func() (string, error) {
-		res, err := experiment.NIST(experiment.NISTOptions{Seed: 2013})
+		res, err := experiment.NIST(context.Background(), experiment.NISTOptions{Seed: 2013})
 		if err != nil {
 			return "", err
 		}
@@ -142,7 +143,7 @@ func BenchmarkE3TableNIST(b *testing.B) {
 func BenchmarkE4E5TableNormality(b *testing.B) {
 	scale, runs := benchParams()
 	regenerate(b, "normality", func() (string, error) {
-		res, err := experiment.Normality(experiment.NormalityOptions{
+		res, err := experiment.Normality(context.Background(), experiment.NormalityOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {
@@ -156,7 +157,7 @@ func BenchmarkE4E5TableNormality(b *testing.B) {
 func BenchmarkE6FigOverhead(b *testing.B) {
 	scale, runs := benchParams()
 	regenerate(b, "overhead", func() (string, error) {
-		res, err := experiment.Overhead(experiment.OverheadOptions{
+		res, err := experiment.Overhead(context.Background(), experiment.OverheadOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {
@@ -170,7 +171,7 @@ func BenchmarkE6FigOverhead(b *testing.B) {
 func BenchmarkE7E8FigSpeedupANOVA(b *testing.B) {
 	scale, runs := benchParams()
 	regenerate(b, "speedup", func() (string, error) {
-		res, err := experiment.Speedup(experiment.SpeedupOptions{
+		res, err := experiment.Speedup(context.Background(), experiment.SpeedupOptions{
 			Scale: scale, Runs: runs, Seed: 2013,
 		})
 		if err != nil {

@@ -17,13 +17,22 @@
 //
 //	experiments [-only name[,name...]] [-quick] [-scale f] [-runs n]
 //	            [-seed n] [-qq benchmark] [-j n] [-progress=false]
+//	            [-checkpoint dir] [-resume dir] [-cell-timeout d] [-retries n]
 //
 // Runs execute in parallel (-j workers, or SZ_PARALLEL, or GOMAXPROCS);
 // results are bit-identical at every worker count because each run is fully
 // determined by its seed.
+//
+// Long campaigns are crash-safe: with -checkpoint (or -resume) every
+// completed cell is flushed to disk, the first SIGINT/SIGTERM drains
+// in-flight cells and checkpoints them before exiting with status 130, and
+// -resume <dir> replays completed cells — same-seed determinism makes the
+// resumed output byte-identical to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -57,6 +66,10 @@ func main() {
 	list := flag.Bool("list", false, "list the available experiments")
 	jobs := flag.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS, 1 = sequential); identical results at any value")
 	progress := flag.Bool("progress", true, "write per-cell progress/throughput lines to stderr")
+	checkpoint := flag.String("checkpoint", "", "flush completed cells to this directory (crash-safe; enables -resume later)")
+	resume := flag.String("resume", "", "resume from this checkpoint directory, skipping completed cells (implies -checkpoint)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell watchdog deadline (0 = derive from -scale, negative = off)")
+	retries := flag.Int("retries", -1, "retries per cell after a transient failure or timeout (negative = default)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -102,6 +115,38 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 		}
 	}
 
+	// Fault-tolerance policy: watchdog deadline (after -quick has settled
+	// the scale), retry budget, shutdown signals, and the checkpoint.
+	switch {
+	case *cellTimeout > 0:
+		experiment.SetCellTimeout(*cellTimeout)
+	case *cellTimeout == 0:
+		experiment.SetCellTimeout(experiment.DefaultCellTimeout(*scale))
+	default:
+		experiment.SetCellTimeout(0)
+	}
+	experiment.SetCellRetries(*retries)
+
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+
+	ckptDir := *checkpoint
+	if *resume != "" {
+		if ckptDir != "" && ckptDir != *resume {
+			fail("-resume %s and -checkpoint %s name different directories", *resume, ckptDir)
+		}
+		ckptDir = *resume
+	}
+	var ckpt *experiment.Checkpoint
+	if ckptDir != "" {
+		var err error
+		ckpt, err = experiment.OpenCheckpoint(ckptDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		ctx = experiment.WithCheckpoint(ctx, ckpt)
+	}
+
 	valid := map[string]bool{}
 	for _, n := range experimentNames {
 		valid[n] = true
@@ -120,6 +165,18 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	}
 	enabled := func(name string) bool { return len(want) == 0 || want[name] }
 
+	// report prints the end-of-campaign telemetry: cells that needed
+	// retries, and checkpoint reuse.
+	report := func() {
+		if r := experiment.RetryReport(); r != "" {
+			fmt.Fprint(os.Stderr, r)
+		}
+		if ckpt != nil {
+			stored, reused := ckpt.Stats()
+			fmt.Fprintf(os.Stderr, "checkpoint %s: %d cells stored, %d reused\n", ckpt.Dir(), stored, reused)
+		}
+	}
+
 	run := func(name string, f func() error) {
 		if !enabled(name) {
 			return
@@ -127,14 +184,23 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 		start := time.Now()
 		fmt.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
+			if errors.Is(err, experiment.ErrStopped) || errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted: %v\n", name, err)
+				if ckpt != nil {
+					fmt.Fprintf(os.Stderr, "experiments: completed cells are saved; rerun with -resume %s to continue\n", ckpt.Dir())
+				}
+				report()
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	defer report()
 
 	run("linkorder", func() error {
-		r, err := experiment.LinkOrder(experiment.LinkOrderOptions{
+		r, err := experiment.LinkOrder(ctx, experiment.LinkOrderOptions{
 			Scale: *scale, Seed: *seed, Orders: 32, Runs: 3,
 		})
 		if err != nil {
@@ -148,7 +214,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("envsize", func() error {
-		r, err := experiment.EnvSize(experiment.EnvSizeOptions{
+		r, err := experiment.EnvSize(ctx, experiment.EnvSizeOptions{
 			Scale: *scale, Seed: *seed,
 		})
 		if err != nil {
@@ -159,7 +225,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("nist", func() error {
-		r, err := experiment.NIST(experiment.NISTOptions{Seed: *seed})
+		r, err := experiment.NIST(ctx, experiment.NISTOptions{Seed: *seed})
 		if err != nil {
 			return err
 		}
@@ -168,7 +234,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("normality", func() error {
-		r, err := experiment.Normality(experiment.NormalityOptions{
+		r, err := experiment.Normality(ctx, experiment.NormalityOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
 		})
 		if err != nil {
@@ -186,7 +252,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("overhead", func() error {
-		r, err := experiment.Overhead(experiment.OverheadOptions{
+		r, err := experiment.Overhead(ctx, experiment.OverheadOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
 		})
 		if err != nil {
@@ -203,7 +269,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("interval", func() error {
-		r, err := experiment.RerandInterval(experiment.IntervalAblationOptions{
+		r, err := experiment.RerandInterval(ctx, experiment.IntervalAblationOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed,
 		})
 		if err != nil {
@@ -217,7 +283,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("shuffledepth", func() error {
-		r, err := experiment.ShuffleDepth(experiment.ShuffleDepthOptions{
+		r, err := experiment.ShuffleDepth(ctx, experiment.ShuffleDepthOptions{
 			Scale: *scale, Seed: *seed,
 		})
 		if err != nil {
@@ -228,7 +294,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("deployment", func() error {
-		r, err := experiment.Deployment(experiment.DeploymentOptions{
+		r, err := experiment.Deployment(ctx, experiment.DeploymentOptions{
 			Scale: *scale, Seed: *seed,
 		})
 		if err != nil {
@@ -239,7 +305,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("phases", func() error {
-		r, err := experiment.Phases(experiment.PhasesOptions{
+		r, err := experiment.Phases(ctx, experiment.PhasesOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed,
 		})
 		if err != nil {
@@ -250,7 +316,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("adaptive", func() error {
-		r, err := experiment.Adaptive(experiment.AdaptiveOptions{
+		r, err := experiment.Adaptive(ctx, experiment.AdaptiveOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed,
 		})
 		if err != nil {
@@ -261,7 +327,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	})
 
 	run("speedup", func() error {
-		r, err := experiment.Speedup(experiment.SpeedupOptions{
+		r, err := experiment.Speedup(ctx, experiment.SpeedupOptions{
 			Scale: *scale, Runs: *runs, Seed: *seed, Suite: suite,
 		})
 		if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +39,9 @@ func main() {
 		depths = append(depths, v)
 	}
 
-	r, err := experiment.NIST(experiment.NISTOptions{
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+	r, err := experiment.NIST(ctx, experiment.NISTOptions{
 		Values: *values, Seed: *seed, LoBit: *lo, HiBit: *hi, ShuffleN: depths,
 	})
 	if err != nil {

@@ -70,9 +70,11 @@ func main() {
 
 	fmt.Printf("%s %s (-O%d), randomizations: %s, rerand: %v\n",
 		b.Name, b.Lang, *level, opts.EnabledString(), *rerand)
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
 	// Collect shards the seed range across -j workers; per-run results come
 	// back in seed order, identical to a sequential loop.
-	set, err := cc.Collect(context.Background(), *runs, *seed)
+	set, err := cc.Collect(ctx, *runs, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
 		os.Exit(1)
@@ -129,12 +131,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
 			os.Exit(1)
 		}
-		ns, err := nat.Samples(*runs, *seed+1000)
+		nss, err := nat.Collect(ctx, *runs, *seed+1000)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("native mean %.6fs -> overhead %+.1f%%\n",
-			stats.Mean(ns), (stats.Mean(samples)/stats.Mean(ns)-1)*100)
+			stats.Mean(nss.Seconds), (stats.Mean(samples)/stats.Mean(nss.Seconds)-1)*100)
 	}
 }

@@ -14,17 +14,22 @@
 //	szgate merge -o out.json a.json b.json [c.json ...]
 //
 // `run` writes an artifact; identical seeds give byte-identical artifacts at
-// any -j. `compare` prints the gate table and exits 1 when the gate fails
-// (a BH-corrected regression whose slowdown exceeds -threshold), so it can
-// guard CI directly. `show` summarizes one artifact; `merge` combines
-// artifacts collected under the same configuration (extra samples must
-// continue the seed range; disjoint benchmark subsets just union).
+// any -j. `compare` prints the gate table and distinguishes its exit codes
+// so CI can tell a regression from a broken run: 0 means the gate passed,
+// 1 means it failed (a BH-corrected regression whose slowdown exceeds
+// -threshold), and 2 means an infrastructure error (unreadable artifact,
+// schema mismatch, incomparable configurations). `show` summarizes one
+// artifact; `merge` combines artifacts collected under the same
+// configuration (extra samples must continue the seed range; disjoint
+// benchmark subsets just union).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -38,17 +43,30 @@ import (
 	"repro/internal/stats"
 )
 
+// Exit codes. Gate failure and infrastructure breakage are distinct so a
+// CI pipeline can fail a merge on the former and retry/alert on the latter.
+const (
+	exitOK       = 0
+	exitGateFail = 1
+	exitInfra    = 2
+	exitStopped  = 130 // interrupted by SIGINT/SIGTERM after draining
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitInfra)
 	}
 	var err error
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "compare":
-		err = cmdCompare(os.Args[2:])
+		code, err := cmdCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "szgate: %v\n", err)
+		}
+		os.Exit(code)
 	case "show":
 		err = cmdShow(os.Args[2:])
 	case "merge":
@@ -59,10 +77,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "szgate: unknown subcommand %q\n\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitInfra)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "szgate: %v\n", err)
+		if errors.Is(err, experiment.ErrStopped) {
+			os.Exit(exitStopped)
+		}
 		os.Exit(1)
 	}
 }
@@ -98,6 +119,7 @@ func cmdRun(args []string) error {
 	jobs := fs.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS); identical artifacts at any value")
 	progress := fs.Bool("progress", true, "write per-cell progress lines to stderr")
 	commit := fs.String("commit", "", "commit label (default: git rev-parse --short HEAD, if available)")
+	checkpoint := fs.String("checkpoint", "", "flush completed cells to this directory and reuse them on rerun (crash-safe)")
 	fs.Parse(args)
 
 	if *level < 0 || *level > 3 {
@@ -131,7 +153,16 @@ func cmdRun(args []string) error {
 	if *commit == "" {
 		*commit = gitCommit()
 	}
-	art, err := bench.Collect(context.Background(), bench.CollectOptions{
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+	if *checkpoint != "" {
+		cp, err := experiment.OpenCheckpoint(*checkpoint)
+		if err != nil {
+			return err
+		}
+		ctx = experiment.WithCheckpoint(ctx, cp)
+	}
+	art, err := bench.Collect(ctx, bench.CollectOptions{
 		Suite:  suite,
 		Config: cfg,
 		Runs:   *runs,
@@ -156,37 +187,47 @@ func cmdRun(args []string) error {
 	return nil
 }
 
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("szgate compare", flag.ExitOnError)
+// cmdCompare gates new.json against old.json and returns the process exit
+// code: exitOK (pass), exitGateFail (statistically confirmed regression),
+// or exitInfra (unreadable artifact, schema mismatch, incomparable
+// configurations — a broken run, not a regression). Separated from main
+// and parameterized on the output writer so tests can drive it.
+func cmdCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("szgate compare", flag.ContinueOnError)
 	alpha := fs.Float64("alpha", 0.05, "significance level for BH-corrected p-values")
 	threshold := fs.Float64("threshold", 0.01, "minimum slowdown a significant regression needs to fail the gate")
 	boot := fs.Int("boot", 2000, "bootstrap replicates")
 	confidence := fs.Float64("confidence", 0.95, "bootstrap CI level")
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return exitInfra, nil // flag package already printed the problem
+	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: szgate compare [flags] old.json new.json")
+		return exitInfra, fmt.Errorf("usage: szgate compare [flags] old.json new.json")
 	}
 	old, err := bench.ReadFile(fs.Arg(0))
 	if err != nil {
-		return err
+		return exitInfra, err
 	}
 	new, err := bench.ReadFile(fs.Arg(1))
 	if err != nil {
-		return err
+		return exitInfra, err
 	}
 	rep, err := gate.Compare(old, new, gate.Options{
 		Alpha: *alpha, Threshold: *threshold,
 		Bootstrap: *boot, Confidence: *confidence, Seed: *seed,
 	})
 	if err != nil {
-		return err
+		// Compare only rejects inputs it cannot soundly gate (different
+		// configurations, disjoint benchmarks): infrastructure, not a
+		// performance verdict.
+		return exitInfra, err
 	}
-	fmt.Print(rep.Table())
+	fmt.Fprint(w, rep.Table())
 	if rep.Fail {
-		os.Exit(1)
+		return exitGateFail, nil
 	}
-	return nil
+	return exitOK, nil
 }
 
 func cmdShow(args []string) error {

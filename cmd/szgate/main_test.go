@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+)
+
+// writeSynthetic writes an artifact with n deterministic normal-shaped
+// samples per benchmark to dir/name and returns the path.
+func writeSynthetic(t *testing.T, dir, name string, n int, means map[string]float64, mutate func(*bench.Artifact)) string {
+	t.Helper()
+	a := &bench.Artifact{
+		Meta: bench.Meta{Schema: bench.SchemaVersion, Unit: bench.UnitSimulatedSeconds,
+			Seed: 1, Scale: 1, Level: "-O2", Stabilizer: "native", Noise: 0.0025},
+	}
+	for bname, mu := range means {
+		xs := make([]float64, n)
+		for i := range xs {
+			p := (float64(i) + 0.5) / float64(n)
+			xs[i] = mu * (1 + 0.0025*stats.NormalQuantile(p))
+		}
+		a.Benchmarks = append(a.Benchmarks, bench.Benchmark{Name: bname, Runs: n, Seconds: xs})
+	}
+	if mutate != nil {
+		mutate(a)
+	}
+	path := filepath.Join(dir, name)
+	buf, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	means := map[string]float64{"astar": 0.5, "mcf": 1.2}
+	base := writeSynthetic(t, dir, "base.json", 20, means, nil)
+	same := writeSynthetic(t, dir, "same.json", 20, means, nil)
+	slow := writeSynthetic(t, dir, "slow.json", 20, means, func(a *bench.Artifact) {
+		for i := range a.Benchmarks {
+			for j := range a.Benchmarks[i].Seconds {
+				a.Benchmarks[i].Seconds[j] *= 1.25
+			}
+		}
+	})
+
+	t.Run("pass", func(t *testing.T) {
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{"-boot", "300", base, same}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != exitOK {
+			t.Fatalf("exit code %d on identical artifacts, want %d\n%s", code, exitOK, out.String())
+		}
+		if !strings.Contains(out.String(), "astar") {
+			t.Errorf("gate table missing benchmark rows:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{"-boot", "300", base, slow}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != exitGateFail {
+			t.Fatalf("exit code %d on 25%% regression, want %d\n%s", code, exitGateFail, out.String())
+		}
+	})
+}
+
+func TestCompareInfraErrors(t *testing.T) {
+	dir := t.TempDir()
+	means := map[string]float64{"astar": 0.5}
+	base := writeSynthetic(t, dir, "base.json", 20, means, nil)
+
+	t.Run("missing file", func(t *testing.T) {
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{base, filepath.Join(dir, "nope.json")}, &out)
+		if code != exitInfra || err == nil {
+			t.Fatalf("code=%d err=%v, want exit %d with error", code, err, exitInfra)
+		}
+	})
+
+	t.Run("schema mismatch", func(t *testing.T) {
+		// Encode refuses to produce an unknown schema, so rewrite the
+		// serialized field the way a future build's artifact would carry it.
+		raw, err := os.ReadFile(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = bytes.Replace(raw, []byte(`"schema": 1`), []byte(`"schema": 100`), 1)
+		future := filepath.Join(dir, "future.json")
+		if err := os.WriteFile(future, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{base, future}, &out)
+		if code != exitInfra || err == nil {
+			t.Fatalf("code=%d err=%v, want exit %d with error", code, err, exitInfra)
+		}
+	})
+
+	t.Run("incomparable configs", func(t *testing.T) {
+		other := writeSynthetic(t, dir, "otherscale.json", 20, means, func(a *bench.Artifact) {
+			a.Meta.Scale = 2
+		})
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{base, other}, &out)
+		if code != exitInfra || err == nil {
+			t.Fatalf("code=%d err=%v, want exit %d with error", code, err, exitInfra)
+		}
+	})
+
+	t.Run("wrong arg count", func(t *testing.T) {
+		var out bytes.Buffer
+		code, err := cmdCompare([]string{base}, &out)
+		if code != exitInfra || err == nil {
+			t.Fatalf("code=%d err=%v, want exit %d with usage error", code, err, exitInfra)
+		}
+	})
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 
 func main() {
 	fmt.Println("== address randomness by shuffling depth (NIST pass count of 7) ==")
-	res, err := experiment.NIST(experiment.NISTOptions{
+	res, err := experiment.NIST(context.Background(), experiment.NISTOptions{
 		Values:   12000,
 		Seed:     7,
 		ShuffleN: []int{1, 4, 16, 64, 256, 1024},

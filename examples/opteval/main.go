@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		subset = append(subset, b)
 	}
 
-	res, err := experiment.Speedup(experiment.SpeedupOptions{
+	res, err := experiment.Speedup(context.Background(), experiment.SpeedupOptions{
 		Scale: 0.5,
 		Runs:  20,
 		Seed:  99,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiment"
@@ -29,7 +30,7 @@ func TestHeadlineClaims(t *testing.T) {
 		}
 		return out
 	}
-	norm, err := experiment.Normality(experiment.NormalityOptions{
+	norm, err := experiment.Normality(context.Background(), experiment.NormalityOptions{
 		Scale: 1.0, Runs: 30, Seed: 2013,
 		Suite: sub("astar", "cactusADM"),
 	})
@@ -70,7 +71,7 @@ func TestHeadlineClaims(t *testing.T) {
 
 	// Claim 2 (Figure 6): overhead ordering — perlbench (many functions)
 	// costs far more than lbm (one regular kernel), and both are positive.
-	ovh, err := experiment.Overhead(experiment.OverheadOptions{
+	ovh, err := experiment.Overhead(context.Background(), experiment.OverheadOptions{
 		Scale: 0.5, Runs: 10, Seed: 2013,
 		Suite: sub("perlbench", "lbm"),
 	})
@@ -96,7 +97,7 @@ func TestHeadlineClaims(t *testing.T) {
 	// treatment effect while -O3 vs -O2 does not (the headline ANOVA
 	// asymmetry). Ten benchmarks keep the runtime modest; the asymmetry is
 	// robust to the subset.
-	sp, err := experiment.Speedup(experiment.SpeedupOptions{
+	sp, err := experiment.Speedup(context.Background(), experiment.SpeedupOptions{
 		Scale: 0.5, Runs: 12, Seed: 2013,
 		Suite: sub("astar", "bzip2", "gcc", "hmmer", "lbm",
 			"libquantum", "milc", "namd", "sphinx3", "zeusmp"),

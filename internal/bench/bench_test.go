@@ -8,8 +8,11 @@ import (
 	"strings"
 	"testing"
 
+	"errors"
+
 	"repro/internal/compiler"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/spec"
 )
 
@@ -282,5 +285,68 @@ func TestCollectValidatesOptions(t *testing.T) {
 	bad = CollectOptions{Adaptive: true, TargetRel: 2}
 	if _, err := Collect(context.Background(), bad); err == nil {
 		t.Error("TargetRel=2 accepted")
+	}
+}
+
+// TestResumeArtifactByteIdentical is the end-to-end crash-safety
+// acceptance check at the artifact level: a collection drained mid-suite
+// (the first-SIGINT path, triggered deterministically via a fault hook),
+// then resumed against the same checkpoint directory at a different
+// worker count, must encode to exactly the bytes of an uninterrupted
+// collection.
+func TestResumeArtifactByteIdentical(t *testing.T) {
+	opts := CollectOptions{
+		Suite:  testSuite(t, "astar", "libquantum"),
+		Config: experiment.Config{Scale: testScale, Level: compiler.O2},
+		Runs:   5,
+		Seed:   81,
+	}
+	experiment.SetParallelism(1)
+	defer experiment.SetParallelism(0)
+	fresh, err := Collect(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cp, err := experiment.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, drain := experiment.WithDrain(experiment.WithCheckpoint(context.Background(), cp))
+	deactivate := faultinject.Activate(1, faultinject.Fault{
+		Site: faultinject.SiteCellStart, Nth: 1, Kind: faultinject.KindHook, Hook: drain,
+	})
+	_, err = Collect(ctx, opts)
+	deactivate()
+	if !errors.Is(err, experiment.ErrStopped) {
+		t.Fatalf("drained collection returned %v, want ErrStopped", err)
+	}
+	if stored, _ := cp.Stats(); stored != 1 {
+		t.Fatalf("drained collection stored %d cells, want 1 (the in-flight benchmark)", stored)
+	}
+
+	cp2, err := experiment.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiment.SetParallelism(4)
+	resumed, err := Collect(experiment.WithCheckpoint(context.Background(), cp2), opts)
+	if err != nil {
+		t.Fatalf("resumed collection failed: %v", err)
+	}
+	got, err := resumed.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed artifact is not byte-identical to the uninterrupted one:\n%s\nvs\n%s", got, want)
+	}
+	if stored, reused := cp2.Stats(); stored != 1 || reused != 1 {
+		t.Errorf("resume stats stored=%d reused=%d, want 1/1", stored, reused)
 	}
 }

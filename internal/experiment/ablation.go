@@ -60,7 +60,7 @@ func (o *IntervalAblationOptions) defaults() {
 }
 
 // RerandInterval runs the sweep.
-func RerandInterval(opts IntervalAblationOptions) (*IntervalAblation, error) {
+func RerandInterval(ctx context.Context, opts IntervalAblationOptions) (*IntervalAblation, error) {
 	opts.defaults()
 	b, ok := spec.ByName(opts.Benchmark)
 	if !ok {
@@ -72,7 +72,7 @@ func RerandInterval(opts IntervalAblationOptions) (*IntervalAblation, error) {
 	rows := make([]IntervalRow, len(opts.Intervals))
 	means := make([]float64, len(opts.Intervals))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(opts.Intervals), func(ctx context.Context, ii int) error {
+	err := pool.ForEach(ctx, len(opts.Intervals), func(ctx context.Context, ii int) error {
 		interval := opts.Intervals[ii]
 		st := core.Options{Code: true, Stack: true, Heap: true}
 		if interval > 0 {
@@ -180,7 +180,7 @@ func (o *ShuffleDepthOptions) defaults() {
 }
 
 // ShuffleDepth runs the sweep.
-func ShuffleDepth(opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
+func ShuffleDepth(ctx context.Context, opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
 	opts.defaults()
 	b, ok := spec.ByName(opts.Benchmark)
 	if !ok {
@@ -192,11 +192,11 @@ func ShuffleDepth(opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
 	if err != nil {
 		return nil, err
 	}
-	ns, err := nat.Samples(opts.Runs, opts.Seed)
+	nss, err := nat.Collect(ctx, opts.Runs, opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	base := stats.Mean(ns)
+	base := stats.Mean(nss.Seconds)
 
 	// Every heap configuration is an independent cell; sweep them in
 	// parallel with slot-indexed rows. The substrate comparisons of
@@ -217,7 +217,7 @@ func ShuffleDepth(opts ShuffleDepthOptions) (*ShuffleDepthAblation, error) {
 
 	rows := make([]ShuffleDepthRow, len(cells))
 	pool := NewPool(0)
-	err = pool.ForEach(context.Background(), len(cells), func(ctx context.Context, i int) error {
+	err = pool.ForEach(ctx, len(cells), func(ctx context.Context, i int) error {
 		c := cells[i]
 		st := c.st
 		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &st})
@@ -297,7 +297,7 @@ func (o *AdaptiveOptions) defaults() {
 
 // Adaptive runs the comparison. The fixed and adaptive policies share the
 // same base interval, so any difference comes from the early triggers.
-func Adaptive(opts AdaptiveOptions) (*AdaptiveAblation, error) {
+func Adaptive(ctx context.Context, opts AdaptiveOptions) (*AdaptiveAblation, error) {
 	opts.defaults()
 	b, ok := spec.ByName(opts.Benchmark)
 	if !ok {
@@ -317,7 +317,7 @@ func Adaptive(opts AdaptiveOptions) (*AdaptiveAblation, error) {
 	}
 	rows := make([]AdaptiveRow, len(policies))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(policies), func(ctx context.Context, pi int) error {
+	err := pool.ForEach(ctx, len(policies), func(ctx context.Context, pi int) error {
 		p := policies[pi]
 		cc, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &p.opts})
 		if err != nil {

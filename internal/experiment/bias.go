@@ -56,7 +56,7 @@ func (o *LinkOrderOptions) defaults() {
 }
 
 // LinkOrder measures execution time across random link orders.
-func LinkOrder(opts LinkOrderOptions) (*LinkOrderResult, error) {
+func LinkOrder(ctx context.Context, opts LinkOrderOptions) (*LinkOrderResult, error) {
 	opts.defaults()
 	res := &LinkOrderResult{Orders: opts.Orders, Runs: opts.Runs}
 	for bi, b := range opts.Suite {
@@ -65,11 +65,11 @@ func LinkOrder(opts LinkOrderOptions) (*LinkOrderResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		ds, err := cd.Samples(opts.Runs, opts.Seed+uint64(bi)*50_000)
+		dss, err := cd.Collect(ctx, opts.Runs, opts.Seed+uint64(bi)*50_000)
 		if err != nil {
 			return nil, err
 		}
-		def := stats.Mean(ds)
+		def := stats.Mean(dss.Seconds)
 
 		cl, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, RandomLinkOrder: true})
 		if err != nil {
@@ -79,8 +79,8 @@ func LinkOrder(opts LinkOrderOptions) (*LinkOrderResult, error) {
 		// and reduce best/worst afterwards in order.
 		means := make([]float64, opts.Orders)
 		pool := NewPool(0)
-		err = pool.ForEachLabeled(context.Background(), b.Name+" link orders", opts.Orders,
-			func(_ context.Context, o int) error {
+		err = pool.ForEachLabeled(ctx, b.Name+" link orders", opts.Orders,
+			func(ctx context.Context, o int) error {
 				// Same seed within an order across repeats keeps the order
 				// fixed while the noise draw varies: seed selects the order
 				// deterministically inside Run.
@@ -92,7 +92,7 @@ func LinkOrder(opts LinkOrderOptions) (*LinkOrderResult, error) {
 					// seed and accept shared noise; averaging is done across
 					// orders instead. One run per order is the paper's
 					// protocol too.
-					r, err := cl.Run(opts.Seed + uint64(bi)*50_000 + uint64(o) + 1)
+					r, err := cl.RunCtx(ctx, opts.Seed+uint64(bi)*50_000+uint64(o)+1)
 					if err != nil {
 						return err
 					}
@@ -187,7 +187,7 @@ func (o *EnvSizeOptions) defaults() {
 }
 
 // EnvSize sweeps the environment block size.
-func EnvSize(opts EnvSizeOptions) (*EnvSizeResult, error) {
+func EnvSize(ctx context.Context, opts EnvSizeOptions) (*EnvSizeResult, error) {
 	opts.defaults()
 	res := &EnvSizeResult{EnvSizes: opts.EnvSizes, Runs: opts.Runs}
 	// The benchmark × size grid is one flat set of independent cells; all
@@ -199,7 +199,7 @@ func EnvSize(opts EnvSizeOptions) (*EnvSizeResult, error) {
 		rows[bi] = EnvSizeRow{Benchmark: b.Name, Seconds: make([]float64, np)}
 	}
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), nb*np, func(ctx context.Context, k int) error {
+	err := pool.ForEach(ctx, nb*np, func(ctx context.Context, k int) error {
 		bi, si := k/np, k%np
 		cc, err := CompileBench(opts.Suite[bi], Config{Scale: opts.Scale, Level: compiler.O2, EnvSize: opts.EnvSizes[si]})
 		if err != nil {

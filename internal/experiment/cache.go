@@ -1,9 +1,12 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/compiler"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/spec"
 )
@@ -50,8 +53,33 @@ func compileCached(b spec.Benchmark, scale float64, copts compiler.Options) (*ir
 	}
 	compileCache.mu.Unlock()
 	e.once.Do(func() {
+		// A panic while building or compiling must not take down the
+		// sweep — and must not leave the entry looking "compiled to nil":
+		// convert it to an error like any other compile failure.
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("experiment: compile %s: panic: %v", b.Name, r)
+			}
+		}()
+		// The fault site has no per-run context; an armed KindHang here
+		// would block forever, so plans use KindError/KindPanic.
+		if err := faultinject.Hit(context.Background(), faultinject.SiteCompileCache); err != nil {
+			e.err = err
+			return
+		}
 		e.mod, e.err = compiler.Compile(b.Build(scale), copts)
 	})
+	if e.err != nil {
+		// Never cache a failure: a transient fault (injected or
+		// otherwise) must not poison the key forever. Only evict the
+		// entry if it is still ours — a concurrent caller may already
+		// have replaced it with a fresh attempt.
+		compileCache.mu.Lock()
+		if compileCache.entries[key] == e {
+			delete(compileCache.entries, key)
+		}
+		compileCache.mu.Unlock()
+	}
 	return e.mod, e.err
 }
 

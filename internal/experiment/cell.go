@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Per-cell fault-tolerance policy: a watchdog deadline so one pathological
+// seed cannot hang a sweep, and bounded retries with capped backoff for
+// failures that are transient by construction (injected faults, watchdog
+// timeouts). Real run errors are deterministic — the same seed would fail
+// the same way — so they are never retried.
+
+// cellTimeoutNs is the per-cell watchdog deadline in nanoseconds; 0
+// disables it. Set from the cmds' -cell-timeout flag.
+var cellTimeoutNs atomic.Int64
+
+// SetCellTimeout sets the per-cell watchdog deadline. Each cell
+// (one benchmark × config × seed range) must finish a collection attempt
+// within d or it is aborted with context.DeadlineExceeded (and retried,
+// timeouts being presumed transient). d <= 0 disables the watchdog.
+func SetCellTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	cellTimeoutNs.Store(int64(d))
+}
+
+// CellTimeout returns the current per-cell watchdog deadline (0 = off).
+func CellTimeout() time.Duration { return time.Duration(cellTimeoutNs.Load()) }
+
+// DefaultCellTimeout derives a generous watchdog deadline from the
+// workload scale: proportional to the work in a cell, with a floor so
+// tiny scales aren't flaky on loaded machines.
+func DefaultCellTimeout(scale float64) time.Duration {
+	if scale <= 0 {
+		scale = 1
+	}
+	d := time.Duration(scale * float64(5*time.Minute))
+	if d < 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// defaultCellRetries is the default number of extra attempts after a
+// transient cell failure.
+const defaultCellRetries = 2
+
+var cellRetries atomic.Int64
+
+func init() { cellRetries.Store(defaultCellRetries) }
+
+// SetCellRetries sets how many times a cell is retried after a transient
+// failure (injected fault or watchdog timeout). n < 0 restores the
+// default; 0 disables retries.
+func SetCellRetries(n int) {
+	if n < 0 {
+		n = defaultCellRetries
+	}
+	cellRetries.Store(int64(n))
+}
+
+// CellRetries returns the current retry budget per cell.
+func CellRetries() int { return int(cellRetries.Load()) }
+
+// Retry backoff: attempt k waits min(base << (k-1), cap) before rerunning.
+const (
+	cellRetryBase = 50 * time.Millisecond
+	cellRetryCap  = 2 * time.Second
+)
+
+func backoffDelay(attempt int) time.Duration {
+	d := cellRetryBase << (attempt - 1)
+	if d > cellRetryCap || d <= 0 {
+		d = cellRetryCap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryable classifies a cell failure: injected-transient errors and
+// watchdog timeouts are worth retrying; cancellation, panics, and real
+// run errors are not (deterministic runs would fail identically).
+func retryable(err error) bool {
+	return faultinject.Transient(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// CellError is a cell failure annotated with the cell's label and how
+// many attempts were made; the underlying cause (e.g. a *PanicError or
+// *interp.StepBudgetError) unwraps.
+type CellError struct {
+	Label    string
+	Attempts int
+	Err      error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("experiment: cell %s failed after %d attempt(s): %v", e.Label, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Retry telemetry for final reports: label → attempts used by the most
+// recent collection of that cell.
+var retryLog = struct {
+	mu       sync.Mutex
+	attempts map[string]int
+}{attempts: map[string]int{}}
+
+func recordAttempts(label string, attempts int) {
+	if attempts <= 1 {
+		return
+	}
+	retryLog.mu.Lock()
+	retryLog.attempts[label] = attempts
+	retryLog.mu.Unlock()
+}
+
+// RetryReport summarizes cells that needed more than one attempt, one
+// line per cell, sorted by label. Empty string when every cell succeeded
+// first try.
+func RetryReport() string {
+	retryLog.mu.Lock()
+	defer retryLog.mu.Unlock()
+	if len(retryLog.attempts) == 0 {
+		return ""
+	}
+	labels := make([]string, 0, len(retryLog.attempts))
+	for l := range retryLog.attempts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cells retried (%d):\n", len(labels))
+	for _, l := range labels {
+		fmt.Fprintf(&b, "  [%s] %d attempts\n", l, retryLog.attempts[l])
+	}
+	return b.String()
+}
+
+// ResetRetryReport clears the retry telemetry (tests).
+func ResetRetryReport() {
+	retryLog.mu.Lock()
+	retryLog.attempts = map[string]int{}
+	retryLog.mu.Unlock()
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// A Checkpoint persists completed cells of a sweep as schema-versioned
+// JSON files so an interrupted campaign can resume without re-running
+// finished work. Determinism is what makes this sound: a cell is keyed by
+// its full configuration fingerprint (benchmark, scale, level, stabilizer
+// options, link order, env, noise, budget, runs, seed base), and the same
+// key always re-collects to the same samples — so replaying stored
+// results is indistinguishable from re-running them, and the final
+// artifacts of a resumed sweep are byte-identical to an uninterrupted
+// one. Carried through sweeps via context (WithCheckpoint), so every
+// Collect-based cell checkpoints without touching sweep signatures.
+
+// CheckpointSchema versions the cell-file layout; files with another
+// schema are ignored (treated as a miss) rather than trusted.
+const CheckpointSchema = 1
+
+// cellFile is the on-disk form of one completed cell.
+type cellFile struct {
+	Schema   int         `json:"schema"`
+	Key      string      `json:"key"`
+	Runs     int         `json:"runs"`
+	SeedBase uint64      `json:"seed_base"`
+	Results  []RunResult `json:"results"`
+}
+
+// Checkpoint is a directory of completed-cell files. Methods are safe for
+// concurrent use by pool workers.
+type Checkpoint struct {
+	dir    string
+	mu     sync.Mutex
+	stored int
+	reused int
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (cp *Checkpoint) Dir() string { return cp.dir }
+
+// cellPath maps a cell key to its file. The name hashes the key; the key
+// itself is stored inside the file and verified on lookup, so a hash
+// collision degrades to a miss, never to wrong data.
+func (cp *Checkpoint) cellPath(key string) string {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	return filepath.Join(cp.dir, fmt.Sprintf("cell-%016x.json", h.Sum64()))
+}
+
+// Lookup returns the stored results for a cell, or nil when absent.
+// Unreadable, corrupt, or mismatched files are a miss with a warning, not
+// an error: re-collection is deterministic, so dropping a bad file is
+// always safe.
+func (cp *Checkpoint) Lookup(key string, runs int, seedBase uint64) []RunResult {
+	path := cp.cellPath(key)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			warnf("experiment: checkpoint: %v (cell will re-run)", err)
+		}
+		return nil
+	}
+	var f cellFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		warnf("experiment: checkpoint: %s: corrupt cell file: %v (cell will re-run)", path, err)
+		return nil
+	}
+	switch {
+	case f.Schema != CheckpointSchema:
+		warnf("experiment: checkpoint: %s: schema %d, this build reads %d (cell will re-run)", path, f.Schema, CheckpointSchema)
+		return nil
+	case f.Key != key:
+		// Hash collision or stale directory from another configuration.
+		return nil
+	case f.Runs != runs || f.SeedBase != seedBase || len(f.Results) != runs:
+		warnf("experiment: checkpoint: %s: run range mismatch (cell will re-run)", path)
+		return nil
+	}
+	cp.mu.Lock()
+	cp.reused++
+	cp.mu.Unlock()
+	return f.Results
+}
+
+// Store writes a completed cell atomically (temp file + rename), so a
+// crash or injected fault mid-write can never leave a truncated cell
+// behind — the file either has the old complete contents or the new.
+func (cp *Checkpoint) Store(ctx context.Context, key string, runs int, seedBase uint64, results []RunResult) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment: checkpoint store panicked: %v", r)
+		}
+	}()
+	if err := faultinject.Hit(ctx, faultinject.SiteCheckpointStore); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(&cellFile{
+		Schema:   CheckpointSchema,
+		Key:      key,
+		Runs:     runs,
+		SeedBase: seedBase,
+		Results:  results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp, err := os.CreateTemp(cp.dir, "cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), cp.cellPath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	cp.mu.Lock()
+	cp.stored++
+	cp.mu.Unlock()
+	return nil
+}
+
+// Stats reports how many cells this checkpoint stored and reused.
+func (cp *Checkpoint) Stats() (stored, reused int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.stored, cp.reused
+}
+
+type checkpointKeyType struct{}
+
+var checkpointKey checkpointKeyType
+
+// WithCheckpoint returns a context carrying cp; every Collect under that
+// context reuses completed cells and flushes new ones as they finish.
+func WithCheckpoint(ctx context.Context, cp *Checkpoint) context.Context {
+	return context.WithValue(ctx, checkpointKey, cp)
+}
+
+// CheckpointFrom returns the checkpoint carried by ctx, or nil.
+func CheckpointFrom(ctx context.Context) *Checkpoint {
+	cp, _ := ctx.Value(checkpointKey).(*Checkpoint)
+	return cp
+}
+
+// warnf reports a non-fatal infrastructure problem to the progress writer
+// (stderr when none is set). Warnings never fail a sweep.
+func warnf(format string, args ...any) {
+	w := progressWriter()
+	if w == nil {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}

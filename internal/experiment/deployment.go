@@ -65,12 +65,12 @@ func (o *DeploymentOptions) defaults() {
 }
 
 // Deployment runs the comparison.
-func Deployment(opts DeploymentOptions) (*DeploymentResult, error) {
+func Deployment(ctx context.Context, opts DeploymentOptions) (*DeploymentResult, error) {
 	opts.defaults()
 	res := &DeploymentResult{Samples: opts.Samples}
 	rows := make([]DeploymentRow, len(opts.Suite))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+	err := pool.ForEach(ctx, len(opts.Suite), func(ctx context.Context, bi int) error {
 		b := opts.Suite[bi]
 		once := core.Options{Code: true, Stack: true, Heap: true}
 		nat, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &once})

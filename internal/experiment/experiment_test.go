@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"encoding/xml"
 	"math"
 	"os"
@@ -103,7 +104,7 @@ func TestStabilizedRunsUseRuntime(t *testing.T) {
 }
 
 func TestNormalityExperiment(t *testing.T) {
-	res, err := Normality(NormalityOptions{
+	res, err := Normality(context.Background(), NormalityOptions{
 		Scale: testScale, Runs: 8, Seed: 1,
 		Suite: subset(t, "astar", "lbm"),
 	})
@@ -142,7 +143,7 @@ func TestNormalityExperiment(t *testing.T) {
 }
 
 func TestOverheadExperiment(t *testing.T) {
-	res, err := Overhead(OverheadOptions{
+	res, err := Overhead(context.Background(), OverheadOptions{
 		Scale: testScale, Runs: 6, Seed: 1,
 		Suite: subset(t, "perlbench", "lbm"),
 	})
@@ -176,7 +177,7 @@ func TestOverheadExperiment(t *testing.T) {
 }
 
 func TestSpeedupExperiment(t *testing.T) {
-	res, err := Speedup(SpeedupOptions{
+	res, err := Speedup(context.Background(), SpeedupOptions{
 		Scale: testScale, Runs: 6, Seed: 1,
 		Suite: subset(t, "gromacs", "libquantum", "sjeng"),
 	})
@@ -200,7 +201,7 @@ func TestSpeedupExperiment(t *testing.T) {
 }
 
 func TestLinkOrderExperiment(t *testing.T) {
-	res, err := LinkOrder(LinkOrderOptions{
+	res, err := LinkOrder(context.Background(), LinkOrderOptions{
 		Scale: testScale, Orders: 6, Runs: 2, Seed: 1,
 		Suite: subset(t, "gobmk"),
 	})
@@ -220,7 +221,7 @@ func TestLinkOrderExperiment(t *testing.T) {
 }
 
 func TestEnvSizeExperiment(t *testing.T) {
-	res, err := EnvSize(EnvSizeOptions{
+	res, err := EnvSize(context.Background(), EnvSizeOptions{
 		Scale: testScale, Runs: 2, Seed: 1,
 		EnvSizes: []uint64{0, 2048},
 		Suite:    subset(t, "sjeng"),
@@ -237,7 +238,7 @@ func TestEnvSizeExperiment(t *testing.T) {
 }
 
 func TestNISTExperiment(t *testing.T) {
-	res, err := NIST(NISTOptions{Values: 6000, Seed: 3, ShuffleN: []int{1, 256}})
+	res, err := NIST(context.Background(), NISTOptions{Values: 6000, Seed: 3, ShuffleN: []int{1, 256}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestSamplesLengthAndVariation(t *testing.T) {
 }
 
 func TestPhasesExperiment(t *testing.T) {
-	r, err := Phases(PhasesOptions{Scale: 0.15, Runs: 8, Seed: 5})
+	r, err := Phases(context.Background(), PhasesOptions{Scale: 0.15, Runs: 8, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +301,7 @@ func TestPhasesExperiment(t *testing.T) {
 }
 
 func TestAdaptiveExperiment(t *testing.T) {
-	r, err := Adaptive(AdaptiveOptions{Scale: 0.15, Runs: 5, Seed: 5, Interval: 20_000})
+	r, err := Adaptive(context.Background(), AdaptiveOptions{Scale: 0.15, Runs: 5, Seed: 5, Interval: 20_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestAdaptiveExperiment(t *testing.T) {
 }
 
 func TestIntervalAblationSmoke(t *testing.T) {
-	r, err := RerandInterval(IntervalAblationOptions{
+	r, err := RerandInterval(context.Background(), IntervalAblationOptions{
 		Scale: 0.15, Runs: 6, Seed: 5,
 		Intervals: []uint64{0, 50_000, 10_000},
 	})
@@ -344,7 +345,7 @@ func TestIntervalAblationSmoke(t *testing.T) {
 }
 
 func TestShuffleDepthSmoke(t *testing.T) {
-	r, err := ShuffleDepth(ShuffleDepthOptions{
+	r, err := ShuffleDepth(context.Background(), ShuffleDepthOptions{
 		Scale: 0.15, Runs: 4, Seed: 5, Depths: []int{1, 256},
 	})
 	if err != nil {
@@ -369,7 +370,7 @@ func TestShuffleDepthSmoke(t *testing.T) {
 
 func TestCSVAndSVGWriters(t *testing.T) {
 	dir := t.TempDir()
-	r, err := Normality(NormalityOptions{
+	r, err := Normality(context.Background(), NormalityOptions{
 		Scale: 0.1, Runs: 6, Seed: 1, Suite: subset(t, "astar"),
 	})
 	if err != nil {
@@ -399,7 +400,7 @@ func TestCSVAndSVGWriters(t *testing.T) {
 }
 
 func TestChartRendering(t *testing.T) {
-	r, err := Overhead(OverheadOptions{
+	r, err := Overhead(context.Background(), OverheadOptions{
 		Scale: 0.1, Runs: 3, Seed: 1, Suite: subset(t, "astar", "lbm"),
 	})
 	if err != nil {
@@ -412,7 +413,7 @@ func TestChartRendering(t *testing.T) {
 }
 
 func TestDeploymentExperiment(t *testing.T) {
-	r, err := Deployment(DeploymentOptions{
+	r, err := Deployment(context.Background(), DeploymentOptions{
 		Scale: 0.2, Samples: 12, Seed: 3, Suite: subset(t, "gobmk"),
 	})
 	if err != nil {

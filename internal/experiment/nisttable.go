@@ -81,7 +81,7 @@ func allocStream(a heap.Allocator, n int) []uint64 {
 // NIST runs the table. Every row is an independent stream (its own RNG and
 // allocator) plus its own NIST suite evaluation, so rows populate in
 // parallel on the default pool, landing in table order by index.
-func NIST(opts NISTOptions) (*NISTResult, error) {
+func NIST(ctx context.Context, opts NISTOptions) (*NISTResult, error) {
 	opts.defaults()
 	res := &NISTResult{Values: opts.Values, LoBit: opts.LoBit, HiBit: opts.HiBit}
 
@@ -120,7 +120,7 @@ func NIST(opts NISTOptions) (*NISTResult, error) {
 
 	rows := make([]NISTRow, len(specs))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(specs), func(_ context.Context, i int) error {
+	err := pool.ForEach(ctx, len(specs), func(_ context.Context, i int) error {
 		rows[i] = NISTRow{
 			Source:  specs[i].source,
 			Results: nist.Suite(nist.BitsFromValues(specs[i].stream(), opts.LoBit, opts.HiBit)),

@@ -69,12 +69,12 @@ func (o *NormalityOptions) defaults() {
 // and with re-randomization, reproducing Table 1 and Figure 5. Benchmarks
 // (and their runs) execute in parallel on the default pool; both stabilized
 // configurations share one compiled module via the compile cache.
-func Normality(opts NormalityOptions) (*NormalityResult, error) {
+func Normality(ctx context.Context, opts NormalityOptions) (*NormalityResult, error) {
 	opts.defaults()
 	res := &NormalityResult{Runs: opts.Runs}
 	rows := make([]NormalityRow, len(opts.Suite))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+	err := pool.ForEach(ctx, len(opts.Suite), func(ctx context.Context, bi int) error {
 		b := opts.Suite[bi]
 		onceOpts := core.Options{Code: true, Stack: true, Heap: true}
 		co, err := CompileBench(b, Config{Scale: opts.Scale, Level: opts.Level, Stabilizer: &onceOpts})

@@ -64,7 +64,7 @@ func (o *OverheadOptions) defaults() {
 
 // Overhead measures STABILIZER's cost per randomization combination against
 // the randomized-link-order baseline (Figure 6).
-func Overhead(opts OverheadOptions) (*OverheadResult, error) {
+func Overhead(ctx context.Context, opts OverheadOptions) (*OverheadResult, error) {
 	opts.defaults()
 	configs := OverheadConfigs()
 	res := &OverheadResult{Runs: opts.Runs}
@@ -73,7 +73,7 @@ func Overhead(opts OverheadOptions) (*OverheadResult, error) {
 	}
 	rows := make([]OverheadRow, len(opts.Suite))
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(opts.Suite), func(ctx context.Context, bi int) error {
+	err := pool.ForEach(ctx, len(opts.Suite), func(ctx context.Context, bi int) error {
 		b := opts.Suite[bi]
 		base, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, RandomLinkOrder: true})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -143,7 +144,7 @@ func scaleN(scale float64, base int64) int64 {
 }
 
 // Phases runs the experiment.
-func Phases(opts PhasesOptions) (*PhasesResult, error) {
+func Phases(ctx context.Context, opts PhasesOptions) (*PhasesResult, error) {
 	opts.defaults()
 	b := phasedBenchmark()
 
@@ -174,19 +175,21 @@ func Phases(opts PhasesOptions) (*PhasesResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	so, err := co.Samples(opts.Runs, opts.Seed+100)
+	sso, err := co.Collect(ctx, opts.Runs, opts.Seed+100)
 	if err != nil {
 		return nil, err
 	}
+	so := sso.Seconds
 	rr := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
 	cr, err := CompileBench(b, Config{Scale: opts.Scale, Level: compiler.O2, Stabilizer: &rr})
 	if err != nil {
 		return nil, err
 	}
-	sr, err := cr.Samples(opts.Runs, opts.Seed+200)
+	ssr, err := cr.Collect(ctx, opts.Runs, opts.Seed+200)
 	if err != nil {
 		return nil, err
 	}
+	sr := ssr.Seconds
 
 	return &PhasesResult{
 		TraceText:  series.String(),

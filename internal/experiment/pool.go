@@ -2,14 +2,18 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // The evaluation needs hundreds of independent runs per benchmark×config
@@ -86,12 +90,57 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// PanicError is a panic recovered in a pool worker, converted to an error
+// so one bad cell fails the sweep instead of killing the process. It
+// carries the cell label and item index that panicked plus the stack
+// captured at the recovery point.
+type PanicError struct {
+	Label string // cell label ("" for unlabeled pools)
+	Index int    // work-item index that panicked
+	Value any    // recovered panic value
+	Stack []byte // goroutine stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	// Index < 0 means the panic was recovered at the cell boundary rather
+	// than inside a work item.
+	where := fmt.Sprintf("item %d", e.Index)
+	if e.Index < 0 {
+		where = "setup"
+	}
+	if e.Label != "" {
+		where = fmt.Sprintf("cell %q, %s", e.Label, where)
+	}
+	return fmt.Sprintf("experiment: panic in pool worker (%s): %v\n%s", where, e.Value, e.Stack)
+}
+
+// safeCall runs one work item with panic isolation: a panic in fn (or in
+// an injected fault) becomes a *PanicError return instead of unwinding
+// past the worker goroutine.
+func safeCall(ctx context.Context, label string, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Label: label, Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Hit(ctx, faultinject.SitePoolWorker); err != nil {
+		return err
+	}
+	return fn(ctx, i)
+}
+
 // ForEach runs fn(ctx, i) for every i in [0, n), sharding the index range
 // into contiguous blocks, one per worker — with seed-indexed work this is
 // seed-range sharding. The first fn error cancels ctx for all workers and
 // is returned; slots already written stay written. Because every item
 // writes only state owned by its own index, results are identical to a
 // sequential loop regardless of worker count.
+//
+// Two error classes get special handling: a panic in fn is recovered into
+// a *PanicError (cancelling the rest of the pool, not the process), and
+// an error matching ErrStopped stops dispatch of further items WITHOUT
+// cancelling ctx, so sibling items already in flight drain to completion
+// before ErrStopped is returned.
 func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
 	return p.forEach(ctx, "", n, fn)
 }
@@ -117,7 +166,7 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 			if err := parent.Err(); err != nil {
 				return err
 			}
-			if err := fn(parent, i); err != nil {
+			if err := safeCall(parent, label, i, fn); err != nil {
 				return err
 			}
 			prog.step()
@@ -132,6 +181,9 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		stopping atomic.Bool // drain: stop dispatching, let in-flight finish
+		stopOnce sync.Once
+		stopErr  error
 	)
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
@@ -139,10 +191,18 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 		go func() {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if ctx.Err() != nil {
+				if ctx.Err() != nil || stopping.Load() {
 					return
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := safeCall(ctx, label, i, fn); err != nil {
+					if errors.Is(err, ErrStopped) {
+						// A drained item is not a failure: record it and
+						// stop dispatching, but leave ctx alive so sibling
+						// workers finish their current items.
+						stopOnce.Do(func() { stopErr = err })
+						stopping.Store(true)
+						return
+					}
 					errOnce.Do(func() {
 						firstErr = err
 						cancel()
@@ -157,6 +217,9 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 	prog.done()
 	if firstErr != nil {
 		return firstErr
+	}
+	if stopErr != nil {
+		return stopErr
 	}
 	return parent.Err()
 }

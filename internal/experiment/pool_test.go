@@ -169,36 +169,36 @@ func TestSweepDeterminismAcrossParallelism(t *testing.T) {
 		run  func() (any, error)
 	}{
 		{"normality", func() (any, error) {
-			return Normality(NormalityOptions{Scale: testScale, Runs: 6, Seed: 1, Suite: subset(t, "astar", "lbm")})
+			return Normality(context.Background(), NormalityOptions{Scale: testScale, Runs: 6, Seed: 1, Suite: subset(t, "astar", "lbm")})
 		}},
 		{"overhead", func() (any, error) {
-			return Overhead(OverheadOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "lbm")})
+			return Overhead(context.Background(), OverheadOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "lbm")})
 		}},
 		{"speedup", func() (any, error) {
-			return Speedup(SpeedupOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "libquantum", "sjeng")})
+			return Speedup(context.Background(), SpeedupOptions{Scale: testScale, Runs: 4, Seed: 1, Suite: subset(t, "libquantum", "sjeng")})
 		}},
 		{"interval", func() (any, error) {
-			return RerandInterval(IntervalAblationOptions{Scale: testScale, Runs: 4, Seed: 5, Intervals: []uint64{0, 25_000}})
+			return RerandInterval(context.Background(), IntervalAblationOptions{Scale: testScale, Runs: 4, Seed: 5, Intervals: []uint64{0, 25_000}})
 		}},
 		{"shuffledepth", func() (any, error) {
-			return ShuffleDepth(ShuffleDepthOptions{Scale: testScale, Runs: 3, Seed: 5, Depths: []int{1, 256}})
+			return ShuffleDepth(context.Background(), ShuffleDepthOptions{Scale: testScale, Runs: 3, Seed: 5, Depths: []int{1, 256}})
 		}},
 		{"adaptive", func() (any, error) {
-			return Adaptive(AdaptiveOptions{Scale: testScale, Runs: 3, Seed: 5, Interval: 20_000})
+			return Adaptive(context.Background(), AdaptiveOptions{Scale: testScale, Runs: 3, Seed: 5, Interval: 20_000})
 		}},
 		{"nist", func() (any, error) {
 			// Values must give the Rank test enough 32x32 matrices
 			// (>=38) or its p-value is NaN, which DeepEqual rejects.
-			return NIST(NISTOptions{Values: 8000, Seed: 3, ShuffleN: []int{1, 16}})
+			return NIST(context.Background(), NISTOptions{Values: 8000, Seed: 3, ShuffleN: []int{1, 16}})
 		}},
 		{"linkorder", func() (any, error) {
-			return LinkOrder(LinkOrderOptions{Scale: testScale, Orders: 5, Runs: 1, Seed: 1, Suite: subset(t, "gobmk")})
+			return LinkOrder(context.Background(), LinkOrderOptions{Scale: testScale, Orders: 5, Runs: 1, Seed: 1, Suite: subset(t, "gobmk")})
 		}},
 		{"envsize", func() (any, error) {
-			return EnvSize(EnvSizeOptions{Scale: testScale, Runs: 2, Seed: 1, EnvSizes: []uint64{0, 1024}, Suite: subset(t, "sjeng")})
+			return EnvSize(context.Background(), EnvSizeOptions{Scale: testScale, Runs: 2, Seed: 1, EnvSizes: []uint64{0, 1024}, Suite: subset(t, "sjeng")})
 		}},
 		{"deployment", func() (any, error) {
-			return Deployment(DeploymentOptions{Scale: testScale, Samples: 6, Seed: 3, Suite: subset(t, "gobmk")})
+			return Deployment(context.Background(), DeploymentOptions{Scale: testScale, Samples: 6, Seed: 3, Suite: subset(t, "gobmk")})
 		}},
 	}
 	for _, sw := range sweeps {

@@ -1,0 +1,284 @@
+package experiment
+
+// Checkpoint/resume tests: an interrupted sweep, resumed against the same
+// checkpoint directory, must reproduce the uninterrupted sweep exactly —
+// at any worker count — and no fault or corruption in the checkpoint
+// layer may fail a sweep or feed it wrong data.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/faultinject"
+)
+
+// TestResumeCheckpointRoundTrip stores one cell and replays it: the
+// replayed SampleSet must be deeply equal to the fresh one (the JSON
+// round trip loses nothing), and Stats must account for both directions.
+func TestResumeCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := subset(t, "astar")[0]
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithCheckpoint(context.Background(), cp)
+	fresh, err := cc.Collect(ctx, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored, reused := cp.Stats(); stored != 1 || reused != 0 {
+		t.Fatalf("stats after first collect: stored=%d reused=%d, want 1/0", stored, reused)
+	}
+	replayed, err := cc.Collect(ctx, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, fresh) {
+		t.Error("replayed cell differs from the fresh collection")
+	}
+	if stored, reused := cp.Stats(); stored != 1 || reused != 1 {
+		t.Fatalf("stats after replay: stored=%d reused=%d, want 1/1", stored, reused)
+	}
+	// A different seed base is a different cell — never served from the
+	// stored one.
+	other, err := cc.Collect(ctx, 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(other.Seconds, fresh.Seconds) {
+		t.Error("different seed base replayed the stored cell")
+	}
+}
+
+// TestResumeToleratesCorruptCheckpoint truncates and garbage-fills cell
+// files: lookups must degrade to a miss (cell re-runs, same results),
+// never to an error or wrong data, and the re-run must heal the file.
+func TestResumeToleratesCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := subset(t, "astar")[0]
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithCheckpoint(context.Background(), cp)
+	fresh, err := cc.Collect(ctx, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := filepath.Glob(filepath.Join(dir, "cell-*.json"))
+	if err != nil || len(cells) != 1 {
+		t.Fatalf("cell files %v (err %v), want exactly one", cells, err)
+	}
+	for _, garbage := range []string{"", "{not json", `{"schema": 99, "key": "x"}`} {
+		if err := os.WriteFile(cells[0], []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cp2, err := OpenCheckpoint(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cc.Collect(WithCheckpoint(context.Background(), cp2), 3, 41)
+		if err != nil {
+			t.Fatalf("corrupt cell file %q failed the sweep: %v", garbage, err)
+		}
+		if !reflect.DeepEqual(got, fresh) {
+			t.Fatalf("re-run after corruption %q produced different samples", garbage)
+		}
+		if stored, reused := cp2.Stats(); stored != 1 || reused != 0 {
+			t.Fatalf("corruption %q: stored=%d reused=%d, want re-store 1/0", garbage, stored, reused)
+		}
+	}
+}
+
+// TestResumeCheckpointStoreFaultIsHarmless injects a failure into the
+// checkpoint store: the sweep still succeeds (a checkpoint is an
+// optimization, not a dependency), nothing half-written is left behind,
+// and the next run simply stores the cell again.
+func TestResumeCheckpointStoreFaultIsHarmless(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := subset(t, "astar")[0]
+	cc, err := CompileBench(b, Config{Scale: testScale, Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []faultinject.Kind{faultinject.KindError, faultinject.KindPanic} {
+		deactivate := faultinject.Activate(1, faultinject.Fault{
+			Site: faultinject.SiteCheckpointStore, Nth: 1, Kind: kind,
+		})
+		_, err = cc.Collect(WithCheckpoint(context.Background(), cp), 3, 51)
+		deactivate()
+		if err != nil {
+			t.Fatalf("store fault %v failed the sweep: %v", kind, err)
+		}
+		files, _ := filepath.Glob(filepath.Join(dir, "*"))
+		if len(files) != 0 {
+			t.Fatalf("store fault %v left files behind: %v", kind, files)
+		}
+	}
+	// With no plan active the cell stores normally.
+	if _, err := cc.Collect(WithCheckpoint(context.Background(), cp), 3, 51); err != nil {
+		t.Fatal(err)
+	}
+	if stored, _ := cp.Stats(); stored != 1 {
+		t.Fatalf("stored %d cells after recovery, want 1", stored)
+	}
+}
+
+// TestResumeAfterDrainMatchesUninterrupted is the acceptance test for the
+// whole crash-safety story: a sweep is drained mid-flight at a
+// deterministic point (a KindHook fault raising the drain flag, standing
+// in for the first SIGINT), completed cells land in the checkpoint, and a
+// resumed run — at a different worker count — produces a result deeply
+// equal to an uninterrupted sweep.
+func TestResumeAfterDrainMatchesUninterrupted(t *testing.T) {
+	opts := NormalityOptions{
+		Scale: testScale,
+		Runs:  4,
+		Seed:  61,
+		Suite: subset(t, "astar", "libquantum"),
+	}
+
+	var uninterrupted *NormalityResult
+	var err error
+	withParallelism(t, 1, func() {
+		uninterrupted, err = Normality(context.Background(), opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: drain raised at the start of the 2nd cell (of 4:
+	// two configurations per benchmark). The in-flight cell finishes and
+	// checkpoints; the remaining benchmark is never started.
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, drain := WithDrain(WithCheckpoint(context.Background(), cp))
+	deactivate := faultinject.Activate(1, faultinject.Fault{
+		Site: faultinject.SiteCellStart, Nth: 2, Kind: faultinject.KindHook, Hook: drain,
+	})
+	withParallelism(t, 1, func() {
+		_, err = Normality(ctx, opts)
+	})
+	deactivate()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("drained sweep returned %v, want ErrStopped", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Errorf("drain error %q does not point at -resume", err)
+	}
+	stored, _ := cp.Stats()
+	if stored == 0 || stored >= 4 {
+		t.Fatalf("drained sweep stored %d of 4 cells, want a strict subset", stored)
+	}
+
+	// Resume at a different worker count: stored cells replay, the rest
+	// collect fresh, and the result matches the uninterrupted sweep.
+	cp2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed *NormalityResult
+	withParallelism(t, 4, func() {
+		resumed, err = Normality(WithCheckpoint(context.Background(), cp2), opts)
+	})
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if !reflect.DeepEqual(resumed, uninterrupted) {
+		t.Error("resumed sweep differs from the uninterrupted sweep")
+	}
+	stored2, reused2 := cp2.Stats()
+	if reused2 != stored || stored2 != 4-stored {
+		t.Errorf("resume stats stored=%d reused=%d, want %d/%d", stored2, reused2, 4-stored, stored)
+	}
+
+	// A third pass replays everything.
+	cp3, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed *NormalityResult
+	withParallelism(t, 2, func() {
+		replayed, err = Normality(WithCheckpoint(context.Background(), cp3), opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, uninterrupted) {
+		t.Error("fully-replayed sweep differs from the uninterrupted sweep")
+	}
+	if stored3, reused3 := cp3.Stats(); stored3 != 0 || reused3 != 4 {
+		t.Errorf("replay stats stored=%d reused=%d, want 0/4", stored3, reused3)
+	}
+}
+
+// TestResumeDrainStopsParallelSweepCleanly drains a parallel sweep: the
+// pool must report ErrStopped without cancelling in-flight cells, and the
+// checkpointed subset must be valid cells an undisturbed resume can use.
+func TestResumeDrainStopsParallelSweepCleanly(t *testing.T) {
+	opts := NormalityOptions{
+		Scale: testScale,
+		Runs:  3,
+		Seed:  71,
+		Suite: subset(t, "astar", "libquantum", "mcf"),
+	}
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, drain := WithDrain(WithCheckpoint(context.Background(), cp))
+	deactivate := faultinject.Activate(1, faultinject.Fault{
+		Site: faultinject.SiteCellStart, Nth: 1, Kind: faultinject.KindHook, Hook: drain,
+	})
+	withParallelism(t, 3, func() {
+		_, err = Normality(ctx, opts)
+	})
+	deactivate()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("drained parallel sweep returned %v, want ErrStopped", err)
+	}
+	// Whatever was checkpointed must replay cleanly on resume.
+	cp2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumed, fresh *NormalityResult
+	withParallelism(t, 1, func() {
+		resumed, err = Normality(WithCheckpoint(context.Background(), cp2), opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withParallelism(t, 1, func() {
+		fresh, err = Normality(context.Background(), opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, fresh) {
+		t.Error("resume after parallel drain differs from a fresh sweep")
+	}
+}

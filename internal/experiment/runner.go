@@ -8,9 +8,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -114,6 +116,15 @@ type RunResult struct {
 // determines every random choice of the run: link order (if randomized),
 // layout randomization, and the noise draw.
 func (c *Compiled) Run(seed uint64) (RunResult, error) {
+	return c.RunCtx(context.Background(), seed)
+}
+
+// RunCtx is Run with cancellation: the interpreter polls ctx between
+// instruction strides, so a cell watchdog or shutdown signal aborts a
+// runaway run mid-execution instead of waiting for it to finish. The
+// result for a given seed is identical to Run's whenever the run is
+// allowed to complete.
+func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
 	r := rng.NewMarsaglia(seed ^ 0x5ab1112e)
 	as := mem.NewAddressSpaceEnv(c.Cfg.EnvSize)
 	// mmap ASLR is on for every run, native or stabilized, as on a stock
@@ -157,11 +168,16 @@ func (c *Compiled) Run(seed uint64) (RunResult, error) {
 		}
 	}
 
+	var interrupt func() error
+	if ctx.Done() != nil {
+		interrupt = ctx.Err
+	}
 	res, err := interp.Run(c.Module, interp.Options{
-		Machine:  mach,
-		Runtime:  rt,
-		MaxSteps: c.Cfg.MaxSteps,
-		Profile:  c.Cfg.Profile,
+		Machine:   mach,
+		Runtime:   rt,
+		MaxSteps:  c.Cfg.MaxSteps,
+		Profile:   c.Cfg.Profile,
+		Interrupt: interrupt,
 	})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: run %s: %w", c.Bench.Name, err)
@@ -210,36 +226,132 @@ func (c *Compiled) cellLabel() string {
 	return fmt.Sprintf("%s %s %s", c.Bench.Name, c.Cfg.Level, rt)
 }
 
+// cellKey fingerprints the cell for checkpointing: every configuration
+// field that influences the samples, plus the run range. Two cells with
+// equal keys collect identical results (same-seed determinism), which is
+// what lets a checkpoint substitute stored results for a re-run.
+func (c *Compiled) cellKey(runs int, seedBase uint64) string {
+	stab := "native"
+	if c.Cfg.Stabilizer != nil {
+		stab = fmt.Sprintf("stab{%+v}", *c.Cfg.Stabilizer)
+	}
+	return fmt.Sprintf("%s|scale=%g|level=%s|%s|link=%v|env=%d|noise=%g|maxsteps=%d|profile=%v|runs=%d|seedbase=%d",
+		c.Bench.Name, c.Cfg.Scale, c.Cfg.Level, stab,
+		c.Cfg.RandomLinkOrder, c.Cfg.EnvSize, c.Cfg.Noise,
+		c.Cfg.MaxSteps, c.Cfg.Profile, runs, seedBase)
+}
+
+// sampleSetFrom rebuilds a SampleSet from per-run results (fresh or
+// replayed from a checkpoint — the two are indistinguishable).
+func sampleSetFrom(results []RunResult) *SampleSet {
+	ss := &SampleSet{Seconds: make([]float64, len(results)), Results: results}
+	for i := range results {
+		ss.Seconds[i] = results[i].Seconds
+		ss.Counters = ss.Counters.Add(results[i].Counters)
+	}
+	return ss
+}
+
 // Collect runs the benchmark `runs` times with seeds seedBase, seedBase+1, …
 // sharded across the default pool. Each seed's result lands in its own
 // slot, so the output is bit-identical to a sequential loop regardless of
 // worker count. The first failing seed cancels the remaining work and its
 // error is returned.
+//
+// Collect is the fault-tolerance boundary of the engine. If ctx carries a
+// checkpoint (WithCheckpoint), a completed cell is replayed from disk and
+// a fresh one is flushed on success. If ctx carries a raised drain flag
+// (NotifyShutdown's first signal), the cell is not started and ErrStopped
+// is returned. A cell that fails with a transient error or a watchdog
+// timeout (SetCellTimeout) is retried with capped backoff up to
+// SetCellRetries times; the final failure is a *CellError naming the cell
+// and the attempt count.
 func (c *Compiled) Collect(ctx context.Context, runs int, seedBase uint64) (*SampleSet, error) {
 	return c.collect(ctx, NewPool(0), runs, seedBase)
 }
 
 func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase uint64) (*SampleSet, error) {
-	ss := &SampleSet{
-		Seconds: make([]float64, runs),
-		Results: make([]RunResult, runs),
+	label := c.cellLabel()
+	cp := CheckpointFrom(ctx)
+	key := c.cellKey(runs, seedBase)
+	if cp != nil {
+		if results := cp.Lookup(key, runs, seedBase); results != nil {
+			return sampleSetFrom(results), nil
+		}
 	}
-	err := pool.ForEachLabeled(ctx, c.cellLabel(), runs, func(_ context.Context, i int) error {
-		r, err := c.Run(seedBase + uint64(i))
+	if Draining(ctx) {
+		return nil, fmt.Errorf("experiment: cell %s not started: %w", label, ErrStopped)
+	}
+
+	var lastErr error
+	attempts := 0
+	for attempt := 1; attempt <= 1+CellRetries(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		attempts = attempt
+		ss, err := c.collectOnce(ctx, pool, label, attempt, runs, seedBase)
+		if err == nil {
+			recordAttempts(label, attempts)
+			if cp != nil {
+				if serr := cp.Store(ctx, key, runs, seedBase, ss.Results); serr != nil {
+					warnf("experiment: checkpoint cell %s: %v (cell will re-run on resume)", label, serr)
+				}
+			}
+			return ss, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+		if attempt <= CellRetries() {
+			if serr := sleepCtx(ctx, backoffDelay(attempt)); serr != nil {
+				break
+			}
+		}
+	}
+	recordAttempts(label, attempts)
+	return nil, &CellError{Label: label, Attempts: attempts, Err: lastErr}
+}
+
+// collectOnce is one collection attempt of the cell under the watchdog
+// deadline. The attempt number annotates progress lines on retries. A
+// panic anywhere in the attempt — including in cell setup, which runs on
+// the caller's goroutine rather than inside a pool worker — is recovered
+// into a *PanicError so no fault can kill the process.
+func (c *Compiled) collectOnce(ctx context.Context, pool *Pool, label string, attempt, runs int, seedBase uint64) (ss *SampleSet, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ss, err = nil, &PanicError{Label: label, Index: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := faultinject.Hit(ctx, faultinject.SiteCellStart); err != nil {
+		return nil, err
+	}
+	if d := CellTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if attempt > 1 {
+		label = fmt.Sprintf("%s (attempt %d)", label, attempt)
+	}
+	results := make([]RunResult, runs)
+	err = pool.ForEachLabeled(ctx, label, runs, func(rctx context.Context, i int) error {
+		r, err := c.RunCtx(rctx, seedBase+uint64(i))
 		if err != nil {
 			return err
 		}
-		ss.Results[i] = r
-		ss.Seconds[i] = r.Seconds
+		results[i] = r
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, r := range ss.Results {
-		ss.Counters = ss.Counters.Add(r.Counters)
-	}
-	return ss, nil
+	return sampleSetFrom(results), nil
 }
 
 // Samples runs the benchmark `runs` times with seeds seedBase, seedBase+1, …

@@ -73,7 +73,7 @@ func (o *SpeedupOptions) defaults() {
 // The benchmark × level matrix executes as one flat grid of cells on the
 // default pool; the statistics are assembled afterwards in suite order, so
 // the result is identical to the sequential evaluation.
-func Speedup(opts SpeedupOptions) (*SpeedupResult, error) {
+func Speedup(ctx context.Context, opts SpeedupOptions) (*SpeedupResult, error) {
 	opts.defaults()
 	levels := []compiler.OptLevel{compiler.O1, compiler.O2, compiler.O3}
 	res := &SpeedupResult{Runs: opts.Runs}
@@ -89,7 +89,7 @@ func Speedup(opts SpeedupOptions) (*SpeedupResult, error) {
 		grid[bi] = make([][]float64, len(levels))
 	}
 	pool := NewPool(0)
-	err := pool.ForEach(context.Background(), len(opts.Suite)*len(levels), func(ctx context.Context, k int) error {
+	err := pool.ForEach(ctx, len(opts.Suite)*len(levels), func(ctx context.Context, k int) error {
 		bi, li := k/len(levels), k%len(levels)
 		st := core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: opts.Interval}
 		cc, err := CompileBench(opts.Suite[bi], Config{Scale: opts.Scale, Level: levels[li], Stabilizer: &st})

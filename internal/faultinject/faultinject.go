@@ -1,0 +1,218 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// experiment engine. Tests (and CI) activate a plan of faults — panic,
+// transient error, delay, or hang — that fire at the Nth hit of a named
+// call site, then drive a sweep and assert that every recovery path
+// (panic isolation, watchdog timeout, transient retry) actually runs.
+//
+// The hook is a plain runtime check, not a build tag: instrumented sites
+// call Hit, which is a single atomic load when no plan is active, so the
+// production binary pays nothing measurable and CI needs no special build.
+// Given the same plan and a sequential pool, the fired faults are fully
+// deterministic; under a parallel pool the Nth hit is whichever worker
+// gets there first, which is still bounded and race-free.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Instrumented call sites in the experiment engine.
+const (
+	// SitePoolWorker is hit once per pool work item, before the item runs.
+	SitePoolWorker = "pool.worker"
+	// SiteCellStart is hit once per compile/run cell, before collection.
+	SiteCellStart = "cell.start"
+	// SiteCompileCache is hit inside the compile cache, before compiling.
+	SiteCompileCache = "compile.cache"
+	// SiteCheckpointStore is hit before a checkpoint cell file is written.
+	SiteCheckpointStore = "checkpoint.store"
+)
+
+// Kind selects what a fault does when it fires.
+type Kind int
+
+const (
+	// KindError returns an *Error (Transient() == true) from Hit.
+	KindError Kind = iota + 1
+	// KindPanic panics with a recognizable message.
+	KindPanic
+	// KindDelay sleeps for Fault.Delay (respecting ctx), then proceeds.
+	KindDelay
+	// KindHang blocks until the site's context is cancelled and returns
+	// the context error — a runaway cell that only a watchdog can stop.
+	KindHang
+	// KindHook calls Fault.Hook and proceeds; used by tests to trigger
+	// external events (e.g. a drain) at a deterministic point.
+	KindHook
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindHang:
+		return "hang"
+	case KindHook:
+		return "hook"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault is one rule in a plan.
+type Fault struct {
+	// Site names the instrumented call site the fault arms.
+	Site string
+	// Nth is the 1-based hit ordinal the fault fires on. 0 derives a
+	// small deterministic ordinal from the plan seed and the site name.
+	Nth uint64
+	// Kind selects the failure mode.
+	Kind Kind
+	// Delay is the sleep for KindDelay.
+	Delay time.Duration
+	// Hook is called for KindHook.
+	Hook func()
+	// Repeat fires the fault on every hit >= Nth instead of exactly once.
+	Repeat bool
+}
+
+// Error is the injected transient failure returned by KindError faults.
+// It satisfies the Transient predicate, so the engine's retry policy
+// treats it as worth retrying.
+type Error struct {
+	Site string
+	Hit  uint64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected transient error at %s (hit %d)", e.Site, e.Hit)
+}
+
+// Transient marks the error as retryable.
+func (e *Error) Transient() bool { return true }
+
+// Transient reports whether any error in err's chain declares itself
+// transient (worth retrying) via a `Transient() bool` method.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// plan is one activated fault set with its per-site hit counters.
+type plan struct {
+	faults []Fault
+	mu     sync.Mutex
+	hits   map[string]uint64
+	fired  []bool
+}
+
+var active atomic.Pointer[plan]
+
+// Activate installs a fault plan and returns its deactivation function.
+// Faults with Nth == 0 get a deterministic ordinal in [1, 8] derived from
+// seed and the site name, so seeded campaigns vary where they strike
+// without losing reproducibility. Plans do not stack: activating a new
+// plan replaces the previous one; the returned func removes only the plan
+// it belongs to (deferred deactivation cannot clobber a newer plan).
+func Activate(seed uint64, faults ...Fault) (deactivate func()) {
+	p := &plan{
+		faults: append([]Fault(nil), faults...),
+		hits:   make(map[string]uint64),
+		fired:  make([]bool, len(faults)),
+	}
+	for i := range p.faults {
+		if p.faults[i].Nth == 0 {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%d|%s|%d", seed, p.faults[i].Site, i)
+			p.faults[i].Nth = 1 + h.Sum64()%8
+		}
+	}
+	active.Store(p)
+	return func() { active.CompareAndSwap(p, nil) }
+}
+
+// Enabled reports whether a plan is active. Sites with setup cost can use
+// it to skip work; Hit already checks it.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit is the runtime hook instrumented sites call. With no active plan it
+// is a single atomic load. With a plan, it advances the site's hit
+// counter and fires the matching fault, if any: returning an injected
+// error, panicking, sleeping, hanging until ctx is done, or invoking a
+// hook. ctx bounds KindDelay and KindHang; sites without a meaningful
+// context should pass context.Background() (an armed KindHang would then
+// block forever, which such sites document).
+func Hit(ctx context.Context, site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.hit(ctx, site)
+}
+
+func (p *plan) hit(ctx context.Context, site string) error {
+	p.mu.Lock()
+	p.hits[site]++
+	h := p.hits[site]
+	var f *Fault
+	for i := range p.faults {
+		r := &p.faults[i]
+		if r.Site != site {
+			continue
+		}
+		if (r.Repeat && h >= r.Nth) || (!r.Repeat && h == r.Nth && !p.fired[i]) {
+			p.fired[i] = true
+			f = r
+			break
+		}
+	}
+	p.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case KindError:
+		return &Error{Site: site, Hit: h}
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, h))
+	case KindDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	case KindHang:
+		<-ctx.Done()
+		return ctx.Err()
+	case KindHook:
+		if f.Hook != nil {
+			f.Hook()
+		}
+		return nil
+	}
+	return fmt.Errorf("faultinject: unknown fault kind %v at %s", f.Kind, site)
+}
+
+// Hits returns the active plan's hit count for a site (0 when no plan is
+// active) — test telemetry, not control flow.
+func Hits(site string) uint64 {
+	p := active.Load()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[site]
+}

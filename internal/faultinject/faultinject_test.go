@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFaultErrorFiresAtNthHitOnce(t *testing.T) {
+	defer Activate(1, Fault{Site: SitePoolWorker, Nth: 3, Kind: KindError})()
+	ctx := context.Background()
+	for i := 1; i <= 6; i++ {
+		err := Hit(ctx, SitePoolWorker)
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("hit %d: fault did not fire", i)
+			}
+			var ie *Error
+			if !errors.As(err, &ie) || ie.Site != SitePoolWorker || ie.Hit != 3 {
+				t.Fatalf("hit %d: wrong injected error %v", i, err)
+			}
+			if !Transient(err) {
+				t.Fatalf("injected error not transient: %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("hit %d: unexpected fault %v", i, err)
+		}
+	}
+	if Hits(SitePoolWorker) != 6 {
+		t.Fatalf("hit counter %d, want 6", Hits(SitePoolWorker))
+	}
+}
+
+func TestFaultRepeatFiresFromNthOn(t *testing.T) {
+	defer Activate(1, Fault{Site: SiteCellStart, Nth: 2, Kind: KindError, Repeat: true})()
+	ctx := context.Background()
+	if err := Hit(ctx, SiteCellStart); err != nil {
+		t.Fatalf("hit 1 fired: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if err := Hit(ctx, SiteCellStart); err == nil {
+			t.Fatalf("hit %d: repeat fault silent", i)
+		}
+	}
+}
+
+func TestFaultPanicAndSiteIsolation(t *testing.T) {
+	defer Activate(1, Fault{Site: SiteCompileCache, Nth: 1, Kind: KindPanic})()
+	// Other sites are unaffected.
+	if err := Hit(context.Background(), SitePoolWorker); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("armed panic fault did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), SiteCompileCache) {
+			t.Fatalf("panic value %v does not name the site", r)
+		}
+	}()
+	Hit(context.Background(), SiteCompileCache)
+}
+
+func TestFaultHangRespectsContext(t *testing.T) {
+	defer Activate(1, Fault{Site: SitePoolWorker, Nth: 1, Kind: KindHang})()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Hit(ctx, SitePoolWorker)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived its context")
+	}
+}
+
+func TestFaultDelayAndHook(t *testing.T) {
+	fired := false
+	defer Activate(1,
+		Fault{Site: SiteCellStart, Nth: 1, Kind: KindDelay, Delay: time.Millisecond},
+		Fault{Site: SiteCellStart, Nth: 2, Kind: KindHook, Hook: func() { fired = true }},
+	)()
+	if err := Hit(context.Background(), SiteCellStart); err != nil {
+		t.Fatalf("delay returned %v", err)
+	}
+	if err := Hit(context.Background(), SiteCellStart); err != nil {
+		t.Fatalf("hook returned %v", err)
+	}
+	if !fired {
+		t.Fatal("hook did not run")
+	}
+}
+
+func TestSeededNthIsDeterministicAndSmall(t *testing.T) {
+	off := Activate(42, Fault{Site: SitePoolWorker, Kind: KindError})
+	n1 := active.Load().faults[0].Nth
+	off()
+	off = Activate(42, Fault{Site: SitePoolWorker, Kind: KindError})
+	n2 := active.Load().faults[0].Nth
+	off()
+	if n1 != n2 {
+		t.Fatalf("same seed derived different ordinals: %d vs %d", n1, n2)
+	}
+	if n1 < 1 || n1 > 8 {
+		t.Fatalf("derived ordinal %d outside [1, 8]", n1)
+	}
+}
+
+func TestDeactivateRestoresNoOp(t *testing.T) {
+	off := Activate(1, Fault{Site: SitePoolWorker, Nth: 1, Kind: KindError})
+	off()
+	if Enabled() {
+		t.Fatal("plan still active after deactivation")
+	}
+	if err := Hit(context.Background(), SitePoolWorker); err != nil {
+		t.Fatalf("deactivated plan fired: %v", err)
+	}
+	// A stale deactivation must not clobber a newer plan.
+	off1 := Activate(1, Fault{Site: SitePoolWorker, Nth: 1, Kind: KindError})
+	off2 := Activate(2, Fault{Site: SitePoolWorker, Nth: 1, Kind: KindError})
+	off1()
+	if !Enabled() {
+		t.Fatal("stale deactivation removed the newer plan")
+	}
+	off2()
+}
+
+func TestHitConcurrencySafe(t *testing.T) {
+	defer Activate(1, Fault{Site: SitePoolWorker, Nth: 50, Kind: KindError})()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	injected := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := Hit(context.Background(), SitePoolWorker); err != nil {
+					mu.Lock()
+					injected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if injected != 1 {
+		t.Fatalf("fault fired %d times, want exactly once", injected)
+	}
+	if Hits(SitePoolWorker) != 200 {
+		t.Fatalf("hit counter %d, want 200", Hits(SitePoolWorker))
+	}
+}
+
+func TestTransientPredicateRejectsPlainErrors(t *testing.T) {
+	if Transient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	if Transient(fmt.Errorf("wrap: %w", context.DeadlineExceeded)) {
+		t.Fatal("deadline error classified transient by the interface predicate")
+	}
+	if !Transient(fmt.Errorf("wrap: %w", &Error{Site: "x", Hit: 1})) {
+		t.Fatal("wrapped injected error not classified transient")
+	}
+}

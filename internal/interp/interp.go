@@ -82,13 +82,24 @@ type Options struct {
 	Machine *machine.Machine
 	Runtime Runtime
 	// MaxSteps bounds retired instructions (0 means the default of 1e9);
-	// exceeding it aborts with an error, catching runaway programs.
+	// exceeding it aborts with a *StepBudgetError, catching runaway
+	// programs.
 	MaxSteps uint64
 	// StackLimit bounds stack depth in bytes (default 8 MiB).
 	StackLimit uint64
 	// Profile enables per-function cycle attribution (Result.Profile).
 	Profile bool
+	// Interrupt, if non-nil, is polled every interruptStride retired
+	// steps; a non-nil return aborts the run with that error. This is the
+	// step-budget hook watchdogs use to stop a run whose context expired
+	// without waiting for the (much larger) MaxSteps budget.
+	Interrupt func() error
 }
+
+// interruptStride is how many retired steps pass between Interrupt polls:
+// frequent enough that a watchdog kills a pathological run promptly,
+// sparse enough that the poll is invisible in the interpreter's profile.
+const interruptStride = 16384
 
 // Result reports one execution.
 type Result struct {
@@ -116,6 +127,7 @@ type interp struct {
 	stackLow  mem.Addr
 	output    uint64
 	steps     uint64
+	nextPoll  uint64 // step count at which Interrupt is polled next
 	callStack []callRecord
 	liveBase  map[uint64]bool // exact encodings of live base pointers
 	ras       []mem.Addr      // modeled return-address stack (16 entries)
@@ -131,11 +143,32 @@ type callRecord struct {
 }
 
 var (
-	// ErrMaxSteps reports that the instruction budget was exhausted.
+	// ErrMaxSteps reports that the instruction budget was exhausted. Runs
+	// actually fail with a *StepBudgetError, which matches this sentinel
+	// through errors.Is while carrying the retired step count.
 	ErrMaxSteps = errors.New("interp: instruction budget exhausted")
 	// ErrStackOverflow reports simulated stack exhaustion.
 	ErrStackOverflow = errors.New("interp: stack overflow")
 )
+
+// StepBudgetError is the structured form of ErrMaxSteps: it reports how
+// many steps had retired and what the budget was when the run was cut
+// off, so a pool worker's failure identifies the runaway cell precisely
+// instead of surfacing a bare sentinel.
+type StepBudgetError struct {
+	// Steps is the retired instruction count when the budget fired.
+	Steps uint64
+	// Budget is the configured MaxSteps limit.
+	Budget uint64
+}
+
+func (e *StepBudgetError) Error() string {
+	return fmt.Sprintf("interp: instruction budget exhausted: %d steps retired (budget %d)", e.Steps, e.Budget)
+}
+
+// Is lets errors.Is(err, ErrMaxSteps) keep working for callers that only
+// care that the budget fired.
+func (e *StepBudgetError) Is(target error) bool { return target == ErrMaxSteps }
 
 // Run executes module m under the given options and returns the result.
 // The module must have been finalized and sized (ir.ComputeSizes).
@@ -326,7 +359,13 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 		n := b.Live
 		it.steps += n + 1 // +1 for the terminator, so empty loops still hit the budget
 		if it.steps > it.opts.MaxSteps {
-			it.fail(ErrMaxSteps)
+			it.fail(&StepBudgetError{Steps: it.steps, Budget: it.opts.MaxSteps})
+		}
+		if it.opts.Interrupt != nil && it.steps >= it.nextPoll {
+			it.nextPoll = it.steps + interruptStride
+			if err := it.opts.Interrupt(); err != nil {
+				it.fail(err)
+			}
 		}
 		it.mach.Retire(n)
 

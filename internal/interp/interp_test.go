@@ -217,6 +217,59 @@ func TestMaxStepsEnforced(t *testing.T) {
 	}
 }
 
+func TestStepBudgetErrorIsStructured(t *testing.T) {
+	mb := ir.NewModuleBuilder("inf")
+	f := mb.Func("main", 0)
+	loop := f.NewBlock()
+	f.Jmp(loop)
+	f.SetBlock(loop)
+	f.Jmp(loop)
+	_, err := tryExec(mb.Module(), func(o *interp.Options) { o.MaxSteps = 1000 })
+	var be *interp.StepBudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *StepBudgetError, got %T: %v", err, err)
+	}
+	if be.Budget != 1000 {
+		t.Fatalf("budget %d, want 1000", be.Budget)
+	}
+	if be.Steps <= be.Budget {
+		t.Fatalf("steps retired %d not past budget %d", be.Steps, be.Budget)
+	}
+	// The structured error still matches the sentinel for existing callers.
+	if !errors.Is(err, interp.ErrMaxSteps) {
+		t.Fatalf("StepBudgetError does not match ErrMaxSteps: %v", err)
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error message %q does not mention the budget", err)
+	}
+}
+
+func TestInterruptHookAbortsRun(t *testing.T) {
+	mb := ir.NewModuleBuilder("inf")
+	f := mb.Func("main", 0)
+	loop := f.NewBlock()
+	f.Jmp(loop)
+	f.SetBlock(loop)
+	f.Jmp(loop)
+	abort := errors.New("watchdog fired")
+	polls := 0
+	_, err := tryExec(mb.Module(), func(o *interp.Options) {
+		o.Interrupt = func() error {
+			polls++
+			if polls >= 3 {
+				return abort
+			}
+			return nil
+		}
+	})
+	if !errors.Is(err, abort) {
+		t.Fatalf("expected interrupt error, got %v", err)
+	}
+	if polls != 3 {
+		t.Fatalf("interrupt polled %d times, want 3", polls)
+	}
+}
+
 func TestGlobalBoundsChecked(t *testing.T) {
 	mb := ir.NewModuleBuilder("gb")
 	g := mb.Global("g", 16)
