@@ -18,6 +18,12 @@
 //	experiments [-only name[,name...]] [-quick] [-scale f] [-runs n]
 //	            [-seed n] [-qq benchmark] [-j n] [-progress=false]
 //	            [-checkpoint dir] [-resume dir] [-cell-timeout d] [-retries n]
+//	            [-verify-semantics [-verify-O 0,1,2,3]]
+//
+// With -verify-semantics, the semantic-invariance oracle sweeps every
+// benchmark across seeds, optimization levels, and heap allocators before
+// any experiment runs, aborting with a divergence report if randomization
+// is observable to any program.
 //
 // Runs execute in parallel (-j workers, or SZ_PARALLEL, or GOMAXPROCS);
 // results are bit-identical at every worker count because each run is fully
@@ -38,10 +44,13 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/compiler"
 	"repro/internal/experiment"
+	"repro/internal/oracle"
 	"repro/internal/spec"
 )
 
@@ -70,6 +79,8 @@ func main() {
 	resume := flag.String("resume", "", "resume from this checkpoint directory, skipping completed cells (implies -checkpoint)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell watchdog deadline (0 = derive from -scale, negative = off)")
 	retries := flag.Int("retries", -1, "retries per cell after a transient failure or timeout (negative = default)")
+	verify := flag.Bool("verify-semantics", false, "pre-flight: run the semantic-invariance oracle over the suite before any experiment; abort on divergence")
+	verifyO := flag.String("verify-O", "0,1,2,3", "comma-separated optimization levels the pre-flight sweeps")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -81,6 +92,20 @@ func main() {
 	}
 	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
 		fail("-scale %v: must be a positive finite workload scale", *scale)
+	}
+	// Validate the pre-flight's -O list up front even when -verify-semantics
+	// is off, so a typo fails fast instead of after a long campaign.
+	var verifyLevels []compiler.OptLevel
+	for _, part := range strings.Split(*verifyO, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fail("-verify-O %q: %v", *verifyO, err)
+		}
+		lv, err := compiler.ParseLevel(n)
+		if err != nil {
+			fail("-verify-O: %v", err)
+		}
+		verifyLevels = append(verifyLevels, lv)
 	}
 
 	experiment.SetParallelism(*jobs)
@@ -145,6 +170,29 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 			fail("%v", err)
 		}
 		ctx = experiment.WithCheckpoint(ctx, ckpt)
+	}
+
+	// Semantic-invariance pre-flight: the experiments measure *performance*
+	// across random layouts, and every statistic downstream assumes layout
+	// never leaks into behaviour. -verify-semantics proves that assumption
+	// on this build before spending hours measuring it.
+	if *verify {
+		fmt.Println("==== verify-semantics (pre-flight) ====")
+		start := time.Now()
+		rep, err := experiment.VerifySemantics(ctx, suite, experiment.VerifyOptions{
+			Scale:   *scale,
+			Workers: *jobs,
+			Oracle:  oracle.Options{Levels: verifyLevels},
+		})
+		if err != nil {
+			fail("verify-semantics: %v", err)
+		}
+		fmt.Print(rep)
+		if rep.Failed() {
+			fmt.Fprintln(os.Stderr, "experiments: semantic-invariance verification failed; not running experiments on a build whose behaviour depends on layout")
+			os.Exit(1)
+		}
+		fmt.Printf("all %d cells agree (verify-semantics in %s)\n\n", rep.Cells, time.Since(start).Round(time.Millisecond))
 	}
 
 	valid := map[string]bool{}

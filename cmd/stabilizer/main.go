@@ -6,8 +6,13 @@
 //	stabilizer -bench astar [-code] [-stack] [-heap] [-rerand]
 //	           [-interval 25000] [-runs 5] [-seed 1] [-O 2] [-scale 1]
 //	           [-noise 0] [-j n] [-compare]
+//	stabilizer verify [-bench name] [-seeds 3] [-O 0,1,2,3]
+//	           [-allocs segregated,tlsf,diehard,shuffle] [-scale 0.1] [-j n]
 //
-// With -compare, it also runs natively and prints the overhead.
+// With -compare, it also runs natively and prints the overhead. The verify
+// subcommand runs the semantic-invariance oracle over the suite and the
+// example programs, exiting 1 with a divergence report if any randomization
+// or optimization cell changes observable behaviour.
 package main
 
 import (
@@ -25,6 +30,12 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `stabilizer verify` runs the semantic-invariance
+	// oracle (see verify.go); everything else is the original flag CLI.
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		os.Exit(runVerify(os.Args[2:]))
+	}
+
 	bench := flag.String("bench", "", "benchmark name")
 	code := flag.Bool("code", false, "randomize code")
 	stack := flag.Bool("stack", false, "randomize stack")
@@ -50,6 +61,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stabilizer: unknown benchmark %q\n", *bench)
 		os.Exit(2)
 	}
+	optLevel, err := compiler.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
+		os.Exit(2)
+	}
 	if *all {
 		*code, *stack, *heapR, *rerand = true, true, true, true
 	}
@@ -58,7 +74,7 @@ func main() {
 		Code: *code, Stack: *stack, Heap: *heapR,
 		Rerandomize: *rerand, Interval: *interval,
 	}
-	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Noise: *noise, Profile: *profile}
+	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise, Profile: *profile}
 	if *code || *stack || *heapR {
 		cfg.Stabilizer = opts
 	}
@@ -126,7 +142,7 @@ func main() {
 	}
 
 	if *compare {
-		nat, err := experiment.CompileBench(b, experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level)})
+		nat, err := experiment.CompileBench(b, experiment.Config{Scale: *scale, Level: optLevel})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stabilizer: %v\n", err)
 			os.Exit(1)

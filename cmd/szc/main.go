@@ -42,8 +42,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "szc: unknown benchmark %q (use -list)\n", *bench)
 		os.Exit(2)
 	}
-	if *level < 0 || *level > 3 {
-		fmt.Fprintln(os.Stderr, "szc: -O must be 0..3")
+	optLevel, err := compiler.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "szc: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -54,7 +55,7 @@ func main() {
 
 	src := b.Build(*scale)
 	m, err := compiler.Compile(src, compiler.Options{
-		Level:     compiler.OptLevel(*level),
+		Level:     optLevel,
 		Stabilize: *stabilize,
 	})
 	if err != nil {
@@ -99,10 +100,10 @@ func main() {
 // compareLevels prints the static footprint of every optimization level.
 func compareLevels(b spec.Benchmark, scale float64, stabilize bool) {
 	fmt.Printf("%-6s %10s %12s %10s %10s\n", "level", "functions", "instructions", "code (B)", "globals")
-	for lvl := 0; lvl <= 3; lvl++ {
+	for _, lvl := range compiler.Levels() {
 		src := b.Build(scale)
 		m, err := compiler.Compile(src, compiler.Options{
-			Level:     compiler.OptLevel(lvl),
+			Level:     lvl,
 			Stabilize: stabilize,
 		})
 		if err != nil {

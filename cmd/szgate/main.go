@@ -122,8 +122,9 @@ func cmdRun(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "flush completed cells to this directory and reuse them on rerun (crash-safe)")
 	fs.Parse(args)
 
-	if *level < 0 || *level > 3 {
-		return fmt.Errorf("-level %d: want 0..3", *level)
+	optLevel, err := compiler.ParseLevel(*level)
+	if err != nil {
+		return err
 	}
 	if *runs < 1 {
 		return fmt.Errorf("-runs %d: need at least 1", *runs)
@@ -144,7 +145,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiment.Config{Scale: *scale, Level: compiler.OptLevel(*level), Noise: *noise}
+	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise}
 	var st core.Options
 	if *stabilize {
 		st = core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}

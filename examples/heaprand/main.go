@@ -42,7 +42,13 @@ func main() {
 	bench := func(name string, a heap.Allocator) {
 		start := time.Now()
 		for i := 0; i < 1_000_000; i++ {
-			a.Free(a.Alloc(64))
+			p, err := a.Alloc(64)
+			if err == nil {
+				err = a.Free(p)
+			}
+			if err != nil {
+				panic(err)
+			}
 		}
 		fmt.Printf("%-24s %v\n", name, time.Since(start).Round(time.Millisecond))
 	}

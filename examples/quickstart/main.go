@@ -22,41 +22,17 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/rng"
+	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
-// buildProgram returns a small program: a hot hash loop over a few helper
-// functions. extraPad adds a do-nothing stack slot to one helper — the kind
-// of incidental edit (§1: "adding or removing a stack variable") that moves
+// buildProgram returns the quickstart demo program (see
+// spec.QuickstartProgram): a hot hash loop over a few helper functions,
+// with extraPad adding a do-nothing stack slot to one helper — the kind of
+// incidental edit (§1: "adding or removing a stack variable") that moves
 // every address after it.
 func buildProgram(extraPad bool) *ir.Module {
-	mb := ir.NewModuleBuilder("quickstart")
-
-	helpers := make([]int32, 6)
-	for i := range helpers {
-		f := mb.Func(fmt.Sprintf("mix%d", i), 1)
-		if extraPad && i == 0 {
-			f.Slot("padding", 64) // the "change" under test
-		}
-		v := f.Mov(f.Param(0))
-		for r := 0; r < 6; r++ {
-			m := f.Mul(v, f.ConstI(int64(2654435761+i*37+r)))
-			v = f.Xor(m, f.Shr(m, f.ConstI(int64(11+r))))
-		}
-		f.Ret(v)
-		helpers[i] = f.Index()
-	}
-
-	main := mb.Func("main", 0)
-	acc := main.ConstI(12345)
-	main.LoopN(4000, func(i ir.Reg) {
-		for _, h := range helpers {
-			main.MovTo(acc, main.Call(h, main.Add(acc, i)))
-		}
-	})
-	main.Sink(acc)
-	main.Ret(ir.NoReg)
-	return mb.Module()
+	return spec.QuickstartProgram(extraPad, 1.0)
 }
 
 // run executes m once and returns simulated seconds. Under STABILIZER when

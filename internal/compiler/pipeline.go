@@ -19,8 +19,24 @@ const (
 
 // String returns the conventional flag spelling.
 func (o OptLevel) String() string {
+	if o < O0 || o > O3 {
+		return fmt.Sprintf("-O?(%d)", int(o))
+	}
 	return [...]string{"-O0", "-O1", "-O2", "-O3"}[o]
 }
+
+// ParseLevel validates a numeric -O flag value at the CLI boundary,
+// returning an error that lists the valid levels.
+func ParseLevel(n int) (OptLevel, error) {
+	if n < int(O0) || n > int(O3) {
+		return 0, fmt.Errorf("invalid optimization level %d: valid levels are 0 (-O0), 1 (-O1), 2 (-O2), 3 (-O3)", n)
+	}
+	return OptLevel(n), nil
+}
+
+// Levels returns all optimization levels in ascending order, for code that
+// sweeps the optimization axis.
+func Levels() []OptLevel { return []OptLevel{O0, O1, O2, O3} }
 
 // Pipeline returns the pass sequence for a level.
 //
@@ -30,19 +46,23 @@ func (o OptLevel) String() string {
 //	-O3: adds argument promotion (interprocedural constant propagation),
 //	     global CSE, scalar replacement of aggregates, dead global
 //	     elimination, and more aggressive inlining.
-func Pipeline(level OptLevel) []Pass {
+//
+// An unknown level is a configuration error reported to the caller, not a
+// panic: levels arrive from CLI flags and config files, so the failure
+// belongs to the request, not the process.
+func Pipeline(level OptLevel) ([]Pass, error) {
 	switch level {
 	case O0:
-		return nil
+		return nil, nil
 	case O1:
-		return []Pass{ConstFold{}, LocalCSE{}, DCE{}}
+		return []Pass{ConstFold{}, LocalCSE{}, DCE{}}, nil
 	case O2:
 		return []Pass{
 			ConstFold{}, LocalCSE{}, DCE{},
 			LICM{},
 			Inline{Threshold: 176, MaxGrowth: 8192},
 			ConstFold{}, LocalCSE{}, DCE{},
-		}
+		}, nil
 	case O3:
 		return []Pass{
 			ConstFold{}, LocalCSE{}, DCE{},
@@ -56,9 +76,10 @@ func Pipeline(level OptLevel) []Pass {
 			SRA{},
 			DeadGlobals{},
 			DCE{},
-		}
+		}, nil
 	default:
-		panic(fmt.Sprintf("compiler: unknown optimization level %d", level))
+		_, err := ParseLevel(int(level))
+		return nil, fmt.Errorf("compiler: %w", err)
 	}
 }
 
@@ -76,7 +97,11 @@ type Options struct {
 // module is never mutated.
 func Compile(src *ir.Module, opts Options) (*ir.Module, error) {
 	m := src.Clone()
-	for _, p := range Pipeline(opts.Level) {
+	passes, err := Pipeline(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range passes {
 		p.Run(m)
 		if err := m.Validate(); err != nil {
 			return nil, fmt.Errorf("compiler: after pass %s: %w", p.Name(), err)

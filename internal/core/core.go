@@ -317,7 +317,10 @@ func New(m *ir.Module, mach *machine.Machine, as *mem.AddressSpace,
 		s.padTables = make([][]uint8, n)
 		s.padIndex = make([]uint8, n)
 		s.padTblAddr = make([]mem.Addr, n)
-		region := as.Map(uint64(n)*(padTableSize+padIndexSize), mem.MapAnywhere)
+		region, err := as.Map(uint64(n)*(padTableSize+padIndexSize), mem.MapAnywhere)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping pad tables: %w", err)
+		}
 		for fi := 0; fi < n; fi++ {
 			s.padTables[fi] = make([]uint8, padTableSize)
 			s.padTblAddr[fi] = region.Base + mem.Addr(fi*(padTableSize+padIndexSize))
@@ -418,7 +421,13 @@ func (s *Stabilizer) handleTrap(fn int) {
 		bodySize += uint64(len(f.Blocks)) * blockStitchSize
 	}
 	size := bodySize + uint64(s.slotCnt[fn])*relocSlotSize
-	base := s.codeHeap.Alloc(size)
+	base, err := s.codeHeap.Alloc(size)
+	if err != nil {
+		// The code heap is runtime-internal: its demand is bounded by the
+		// module's code size, so failure here is a driver bug (e.g. an
+		// artificially tiny map budget), never program behavior.
+		panic(fmt.Sprintf("core: code heap allocation failed: %v", err))
+	}
 	// Copy the body and build the relocation table at its end.
 	s.mach.Stall(s.cost.RelocPer16B * (size + 15) / 16)
 
@@ -480,7 +489,9 @@ func (s *Stabilizer) collectPile() {
 			kept = append(kept, e)
 			s.Stats.GCKept++
 		} else {
-			s.codeHeap.Free(e.base)
+			if err := s.codeHeap.Free(e.base); err != nil {
+				panic(fmt.Sprintf("core: code heap free failed: %v", err))
+			}
 			s.Stats.GCFreed++
 		}
 	}
@@ -617,8 +628,9 @@ func (s *Stabilizer) RelocGlobal(curFn, g int) (mem.Addr, bool) {
 	return st.relocTable + mem.Addr(slot)*relocSlotSize, true
 }
 
-// Alloc implements interp.Runtime.
-func (s *Stabilizer) Alloc(size uint64) mem.Addr {
+// Alloc implements interp.Runtime. Allocator faults (exhaustion) propagate
+// as typed traps for the interpreter to surface.
+func (s *Stabilizer) Alloc(size uint64) (mem.Addr, error) {
 	s.mach.Stall(interp.MallocCost)
 	if s.opts.Heap {
 		s.mach.Stall(s.cost.ShuffleMall)
@@ -627,10 +639,16 @@ func (s *Stabilizer) Alloc(size uint64) mem.Addr {
 }
 
 // Free implements interp.Runtime.
-func (s *Stabilizer) Free(addr mem.Addr) {
+func (s *Stabilizer) Free(addr mem.Addr) error {
 	s.mach.Stall(interp.FreeCost)
 	if s.opts.Heap {
 		s.mach.Stall(s.cost.ShuffleFree)
 	}
-	s.heapAlloc.Free(addr)
+	return s.heapAlloc.Free(addr)
 }
+
+// SetHeapAllocator replaces the program heap. The semantic-invariance
+// oracle uses this to sweep the allocator axis of its matrix (and its tests
+// to inject deliberately layout-dependent allocators) without duplicating
+// the Options plumbing.
+func (s *Stabilizer) SetHeapAllocator(a heap.Allocator) { s.heapAlloc = a }

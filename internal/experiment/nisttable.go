@@ -62,15 +62,26 @@ func (o *NISTOptions) defaults() {
 func allocStream(a heap.Allocator, n int) []uint64 {
 	const population = 8192
 	const size = 64
+	// The workload is balanced by construction, so allocator faults here
+	// are harness bugs, not data.
+	alloc := func() mem.Addr {
+		addr, err := a.Alloc(size)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: NIST alloc stream: %v", err))
+		}
+		return addr
+	}
 	live := make([]mem.Addr, 0, population)
 	for i := 0; i < population; i++ {
-		live = append(live, a.Alloc(size))
+		live = append(live, alloc())
 	}
 	out := make([]uint64, 0, n)
 	head := 0
 	for len(out) < n {
-		a.Free(live[head])
-		addr := a.Alloc(size)
+		if err := a.Free(live[head]); err != nil {
+			panic(fmt.Sprintf("experiment: NIST alloc stream: %v", err))
+		}
+		addr := alloc()
 		live[head] = addr
 		head = (head + 1) % population
 		out = append(out, uint64(addr))

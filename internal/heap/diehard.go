@@ -1,101 +1,154 @@
 package heap
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
 	"repro/internal/rng"
 )
 
 // DieHard is a miniature DieHard-style randomized allocator: per size class
-// it holds a bitmap-managed region sized heapMultiplier times larger than
-// needed, and satisfies each request by probing random slots until a free
-// one is found. Unlike conventional allocators it never prefers
-// recently-freed memory, and its sparse, random placement inflates TLB
-// pressure — the overhead the paper cites as the reason STABILIZER moved to
-// a shuffled segregated heap.
+// it holds bitmap-managed regions sized far larger than needed, and
+// satisfies each request by probing random slots until a free one is found.
+// Unlike conventional allocators it never prefers recently-freed memory, and
+// its sparse, random placement inflates TLB pressure — the overhead the
+// paper cites as the reason STABILIZER moved to a shuffled segregated heap.
+//
+// As in DieHard proper, a size class that reaches half occupancy grows by
+// doubling (a fresh region with as many slots as the class already has),
+// keeping random probing O(1) in expectation. Exhaustion is therefore only
+// reachable through the address space's Map budget, and surfaces as the same
+// out-of-memory trap every other allocator reports.
 type DieHard struct {
 	as    *mem.AddressSpace
 	r     *rng.Marsaglia
 	cls   [numClasses]*dieHardClass
 	sizes map[mem.Addr]int
 	large map[mem.Addr]bool
+	freed map[mem.Addr]bool
 }
 
 type dieHardClass struct {
+	subs  []dieHardSub
+	slots uint64 // total slots across subs
+	used  uint64
+}
+
+type dieHardSub struct {
 	region mem.Region
 	bitmap []uint64
 	slots  uint64
-	used   uint64
 }
 
-// dieHardSlots is the number of slots per size-class region. With a
-// occupancy cap of 1/2 the allocator stays O(1) in expectation.
+// dieHardSlots is the number of slots in a size class's first region. With
+// an occupancy cap of 1/2 (enforced by doubling) the allocator stays O(1)
+// in expectation.
 const dieHardSlots = 1 << 14
 
 // NewDieHard returns a DieHard-style allocator drawing from as and taking
 // randomness from r.
 func NewDieHard(as *mem.AddressSpace, r *rng.Marsaglia) *DieHard {
-	return &DieHard{as: as, r: r, sizes: make(map[mem.Addr]int), large: make(map[mem.Addr]bool)}
+	return &DieHard{
+		as:    as,
+		r:     r,
+		sizes: make(map[mem.Addr]int),
+		large: make(map[mem.Addr]bool),
+		freed: make(map[mem.Addr]bool),
+	}
 }
 
 // Name implements Allocator.
 func (d *DieHard) Name() string { return "diehard" }
 
-func (d *DieHard) class(c int) *dieHardClass {
-	if d.cls[c] == nil {
-		size := classSize(c) * dieHardSlots
-		d.cls[c] = &dieHardClass{
-			region: d.as.Map(size, mem.MapAnywhere),
-			bitmap: make([]uint64, dieHardSlots/64),
-			slots:  dieHardSlots,
-		}
+// grow adds a region to class c, doubling its slot count (or creating the
+// first region).
+func (d *DieHard) grow(c int) error {
+	dc := d.cls[c]
+	n := dc.slots
+	if n == 0 {
+		n = dieHardSlots
 	}
-	return d.cls[c]
+	r, err := d.as.Map(classSize(c)*n, mem.MapAnywhere)
+	if err != nil {
+		return err
+	}
+	dc.subs = append(dc.subs, dieHardSub{
+		region: r,
+		bitmap: make([]uint64, n/64),
+		slots:  n,
+	})
+	dc.slots += n
+	return nil
 }
 
 // Alloc implements Allocator by random probing.
-func (d *DieHard) Alloc(size uint64) mem.Addr {
+func (d *DieHard) Alloc(size uint64) (mem.Addr, error) {
 	c := sizeClass(size)
 	if c >= numClasses {
-		r := d.as.Map(size, mem.MapAnywhere)
+		r, err := d.as.Map(size, mem.MapAnywhere)
+		if err != nil {
+			return 0, err
+		}
 		d.large[r.Base] = true
-		return r.Base
+		delete(d.freed, r.Base)
+		return r.Base, nil
 	}
-	dc := d.class(c)
+	if d.cls[c] == nil {
+		d.cls[c] = &dieHardClass{}
+	}
+	dc := d.cls[c]
 	if dc.used*2 >= dc.slots {
-		panic(fmt.Sprintf("heap: diehard class %d over half full (miniature heap; raise dieHardSlots)", c))
+		if err := d.grow(c); err != nil {
+			return 0, err
+		}
 	}
 	for {
 		slot := d.r.Uint64n(dc.slots)
+		sub := &dc.subs[0]
+		for i := range dc.subs {
+			if slot < dc.subs[i].slots {
+				sub = &dc.subs[i]
+				break
+			}
+			slot -= dc.subs[i].slots
+		}
 		w, b := slot/64, slot%64
-		if dc.bitmap[w]&(1<<b) == 0 {
-			dc.bitmap[w] |= 1 << b
+		if sub.bitmap[w]&(1<<b) == 0 {
+			sub.bitmap[w] |= 1 << b
 			dc.used++
-			a := dc.region.Base + mem.Addr(slot*classSize(c))
+			a := sub.region.Base + mem.Addr(slot*classSize(c))
 			d.sizes[a] = c
-			return a
+			delete(d.freed, a)
+			return a, nil
 		}
 	}
 }
 
 // Free implements Allocator.
-func (d *DieHard) Free(addr mem.Addr) {
+func (d *DieHard) Free(addr mem.Addr) error {
 	if d.large[addr] {
 		delete(d.large, addr)
-		return
+		d.freed[addr] = true
+		return nil
 	}
 	c, ok := d.sizes[addr]
 	if !ok {
-		panic(fmt.Sprintf("heap: diehard free of unknown address %#x", uint64(addr)))
+		return freeTrap(d.freed, addr, "diehard")
 	}
 	delete(d.sizes, addr)
+	d.freed[addr] = true
 	dc := d.cls[c]
-	slot := uint64(addr-dc.region.Base) / classSize(c)
-	w, b := slot/64, slot%64
-	if dc.bitmap[w]&(1<<b) == 0 {
-		panic(fmt.Sprintf("heap: diehard double free at %#x", uint64(addr)))
+	for i := range dc.subs {
+		sub := &dc.subs[i]
+		span := mem.Addr(sub.slots * classSize(c))
+		if addr < sub.region.Base || addr >= sub.region.Base+span {
+			continue
+		}
+		slot := uint64(addr-sub.region.Base) / classSize(c)
+		w, b := slot/64, slot%64
+		sub.bitmap[w] &^= 1 << b
+		dc.used--
+		return nil
 	}
-	dc.bitmap[w] &^= 1 << b
-	dc.used--
+	// sizes said the class exists but no region contains the address: the
+	// allocator's own books are corrupt.
+	panic("heap: diehard size table inconsistent with regions")
 }

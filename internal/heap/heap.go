@@ -8,23 +8,29 @@
 // object contents live in interpreter structures, so allocators only manage
 // address arithmetic and free lists — exactly the part whose policy decides
 // memory layout.
+//
+// Misuse by the program under measurement (double free, free of an address
+// the allocator never issued) and resource exhaustion are reported as typed
+// *trap.TrapError values, never panics, so the interpreter can surface them
+// as structured program faults and the semantic-invariance oracle can assert
+// that a trapping program traps identically under every layout.
 package heap
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
+	"repro/internal/trap"
 )
 
 // Allocator is a simulated malloc/free pair.
 type Allocator interface {
 	// Alloc returns the simulated address of a new object of the given
-	// size in bytes. Addresses are at least 16-byte aligned.
-	Alloc(size uint64) mem.Addr
+	// size in bytes. Addresses are at least 16-byte aligned. Exhaustion is
+	// reported as an out-of-memory *trap.TrapError.
+	Alloc(size uint64) (mem.Addr, error)
 	// Free releases an address previously returned by Alloc. Freeing an
-	// unknown address panics: in this simulation that is always a bug in
-	// the caller, never user error.
-	Free(addr mem.Addr)
+	// already-freed or never-issued address returns a double-free or
+	// unknown-free *trap.TrapError respectively.
+	Free(addr mem.Addr) error
 	// Name identifies the allocator in experiment output.
 	Name() string
 }
@@ -55,6 +61,18 @@ const (
 	chunkSize  = 1 << 16
 )
 
+// freeTrap classifies a free of an address not currently live: one the
+// allocator issued and already released is a double free; anything else was
+// never handed out at all. Every allocator records released addresses in a
+// freed set (cleared when an address is re-issued) so the classification is
+// uniform across policies, including TLSF coalescing and shuffle swapping.
+func freeTrap(freed map[mem.Addr]bool, addr mem.Addr, name string) error {
+	if freed[addr] {
+		return trap.New(trap.DoubleFree, "heap: %s double free of %#x", name, uint64(addr))
+	}
+	return trap.New(trap.UnknownFree, "heap: %s free of unknown address %#x", name, uint64(addr))
+}
+
 // Segregated is the power-of-two, size-segregated base allocator the paper
 // uses by default. Freed objects go to a per-class LIFO free list and are
 // preferentially reused — the conventional locality-friendly policy that
@@ -67,6 +85,7 @@ type Segregated struct {
 	lim   [numClasses]mem.Addr
 	sizes map[mem.Addr]int // live object -> class
 	large map[mem.Addr]bool
+	freed map[mem.Addr]bool // released and not re-issued
 }
 
 // NewSegregated returns a segregated allocator drawing from as.
@@ -78,7 +97,13 @@ func NewSegregated(as *mem.AddressSpace) *Segregated {
 // with the given placement flag. The STABILIZER code heap uses MapLow32 so
 // relocated functions stay reachable by 32-bit jumps (§3.5).
 func NewSegregatedAt(as *mem.AddressSpace, flag mem.MapFlag) *Segregated {
-	return &Segregated{as: as, flag: flag, sizes: make(map[mem.Addr]int), large: make(map[mem.Addr]bool)}
+	return &Segregated{
+		as:    as,
+		flag:  flag,
+		sizes: make(map[mem.Addr]int),
+		large: make(map[mem.Addr]bool),
+		freed: make(map[mem.Addr]bool),
+	}
 }
 
 // Name implements Allocator.
@@ -86,41 +111,52 @@ func (s *Segregated) Name() string { return "segregated" }
 
 // Alloc implements Allocator. Requests beyond the largest class are mapped
 // directly (rounded to pages), like real malloc's mmap path.
-func (s *Segregated) Alloc(size uint64) mem.Addr {
+func (s *Segregated) Alloc(size uint64) (mem.Addr, error) {
 	c := sizeClass(size)
 	if c >= numClasses {
-		r := s.as.Map(size, s.flag)
+		r, err := s.as.Map(size, s.flag)
+		if err != nil {
+			return 0, err
+		}
 		s.large[r.Base] = true
-		return r.Base
+		delete(s.freed, r.Base)
+		return r.Base, nil
 	}
 	if n := len(s.free[c]); n > 0 {
 		a := s.free[c][n-1]
 		s.free[c] = s.free[c][:n-1]
 		s.sizes[a] = c
-		return a
+		delete(s.freed, a)
+		return a, nil
 	}
 	if s.curs[c] == s.lim[c] {
-		r := s.as.Map(chunkSize, s.flag)
+		r, err := s.as.Map(chunkSize, s.flag)
+		if err != nil {
+			return 0, err
+		}
 		s.curs[c], s.lim[c] = r.Base, r.End()
 	}
 	a := s.curs[c]
 	s.curs[c] += mem.Addr(classSize(c))
 	s.sizes[a] = c
-	return a
+	return a, nil
 }
 
 // Free implements Allocator.
-func (s *Segregated) Free(addr mem.Addr) {
+func (s *Segregated) Free(addr mem.Addr) error {
 	if s.large[addr] {
 		delete(s.large, addr)
-		return // large mappings are not recycled
+		s.freed[addr] = true
+		return nil // large mappings are not recycled
 	}
 	c, ok := s.sizes[addr]
 	if !ok {
-		panic(fmt.Sprintf("heap: segregated free of unknown address %#x", uint64(addr)))
+		return freeTrap(s.freed, addr, "segregated")
 	}
 	delete(s.sizes, addr)
 	s.free[c] = append(s.free[c], addr)
+	s.freed[addr] = true
+	return nil
 }
 
 // SizeOf returns the usable size of a live object (its class size), used by

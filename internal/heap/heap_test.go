@@ -6,7 +6,26 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/rng"
+	"repro/internal/trap"
 )
+
+// mustAlloc and mustFree are helpers for workloads that cannot
+// legitimately fault.
+func mustAlloc(t *testing.T, a Allocator, size uint64) mem.Addr {
+	t.Helper()
+	addr, err := a.Alloc(size)
+	if err != nil {
+		t.Fatalf("%s: Alloc(%d): %v", a.Name(), size, err)
+	}
+	return addr
+}
+
+func mustFree(t *testing.T, a Allocator, addr mem.Addr) {
+	t.Helper()
+	if err := a.Free(addr); err != nil {
+		t.Fatalf("%s: Free(%#x): %v", a.Name(), uint64(addr), err)
+	}
+}
 
 func TestSizeClass(t *testing.T) {
 	cases := []struct {
@@ -48,13 +67,13 @@ func exerciseAllocator(t *testing.T, a Allocator) {
 	for step := 0; step < 4000; step++ {
 		if len(live) > 0 && (r.Intn(2) == 0 || len(live) > 500) {
 			i := r.Intn(len(live))
-			a.Free(live[i].addr)
+			mustFree(t, a, live[i].addr)
 			live[i] = live[len(live)-1]
 			live = live[:len(live)-1]
 			continue
 		}
 		size := uint64(r.Intn(2000) + 1)
-		addr := a.Alloc(size)
+		addr := mustAlloc(t, a, size)
 		if uint64(addr)%MinAlign != 0 {
 			t.Fatalf("%s: address %#x not %d-aligned", a.Name(), uint64(addr), MinAlign)
 		}
@@ -96,37 +115,28 @@ func TestShuffleOverTLSFInvariants(t *testing.T) {
 
 func TestSegregatedReusesFreedMemory(t *testing.T) {
 	s := NewSegregated(mem.NewAddressSpace())
-	a := s.Alloc(64)
-	s.Free(a)
-	b := s.Alloc(64)
+	a := mustAlloc(t, s, 64)
+	mustFree(t, s, a)
+	b := mustAlloc(t, s, 64)
 	if a != b {
 		t.Fatalf("segregated LIFO reuse broken: freed %#x, got %#x", uint64(a), uint64(b))
 	}
 }
 
-func TestSegregatedFreeUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("free of unknown address did not panic")
-		}
-	}()
-	NewSegregated(mem.NewAddressSpace()).Free(0xdead0)
-}
-
 func TestSegregatedLargeObject(t *testing.T) {
 	s := NewSegregated(mem.NewAddressSpace())
-	a := s.Alloc(64 << 20)
-	s.Free(a) // must not panic
+	a := mustAlloc(t, s, 64<<20)
+	mustFree(t, s, a) // must not fault
 }
 
 func TestTLSFCoalescing(t *testing.T) {
 	tl := NewTLSF(mem.NewAddressSpace(), 1<<20)
-	a := tl.Alloc(128)
-	b := tl.Alloc(128)
-	c := tl.Alloc(128)
-	tl.Free(a)
-	tl.Free(c)
-	tl.Free(b) // should merge all three with the wilderness
+	a := mustAlloc(t, tl, 128)
+	b := mustAlloc(t, tl, 128)
+	c := mustAlloc(t, tl, 128)
+	mustFree(t, tl, a)
+	mustFree(t, tl, c)
+	mustFree(t, tl, b) // should merge all three with the wilderness
 	if err := tl.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +144,10 @@ func TestTLSFCoalescing(t *testing.T) {
 	// growing: count mapped regions before and after.
 	as2 := mem.NewAddressSpace()
 	tl2 := NewTLSF(as2, 1<<20)
-	x := tl2.Alloc(1 << 12)
-	tl2.Free(x)
+	x := mustAlloc(t, tl2, 1<<12)
+	mustFree(t, tl2, x)
 	before := len(as2.Mapped())
-	tl2.Alloc(1<<20 - 64)
+	mustAlloc(t, tl2, 1<<20-64)
 	if len(as2.Mapped()) != before {
 		t.Fatal("TLSF grew despite a fully coalesced pool")
 	}
@@ -147,26 +157,27 @@ func TestTLSFGrowth(t *testing.T) {
 	tl := NewTLSF(mem.NewAddressSpace(), 1<<16)
 	var addrs []mem.Addr
 	for i := 0; i < 100; i++ {
-		addrs = append(addrs, tl.Alloc(4096))
+		addrs = append(addrs, mustAlloc(t, tl, 4096))
 	}
 	for _, a := range addrs {
-		tl.Free(a)
+		mustFree(t, tl, a)
 	}
 	if err := tl.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestTLSFDoubleFreePanics(t *testing.T) {
-	tl := NewTLSF(mem.NewAddressSpace(), 1<<20)
-	a := tl.Alloc(64)
-	tl.Free(a)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	tl.Free(a)
+func TestTLSFLazyPool(t *testing.T) {
+	// The pool is mapped on first use, not at construction.
+	as := mem.NewAddressSpace()
+	tl := NewTLSF(as, 1<<20)
+	if len(as.Mapped()) != 0 {
+		t.Fatal("NewTLSF mapped its pool eagerly")
+	}
+	mustAlloc(t, tl, 64)
+	if len(as.Mapped()) != 1 {
+		t.Fatal("first allocation did not map the pool")
+	}
 }
 
 func TestTLSFRandomWorkloadProperty(t *testing.T) {
@@ -177,11 +188,17 @@ func TestTLSFRandomWorkloadProperty(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			if len(live) > 0 && r.Intn(2) == 0 {
 				j := r.Intn(len(live))
-				tl.Free(live[j])
+				if err := tl.Free(live[j]); err != nil {
+					return false
+				}
 				live[j] = live[len(live)-1]
 				live = live[:len(live)-1]
 			} else {
-				live = append(live, tl.Alloc(uint64(r.Intn(8192)+1)))
+				a, err := tl.Alloc(uint64(r.Intn(8192) + 1))
+				if err != nil {
+					return false
+				}
+				live = append(live, a)
 			}
 		}
 		return tl.CheckInvariants() == nil
@@ -197,9 +214,9 @@ func TestDieHardNoImmediateReuse(t *testing.T) {
 	d := NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(3))
 	reused := 0
 	for i := 0; i < 200; i++ {
-		a := d.Alloc(64)
-		d.Free(a)
-		if d.Alloc(64) == a {
+		a := mustAlloc(t, d, 64)
+		mustFree(t, d, a)
+		if mustAlloc(t, d, 64) == a {
 			reused++
 		}
 	}
@@ -213,10 +230,10 @@ func TestShuffleDisplacesBaseOrder(t *testing.T) {
 	// bump order: consecutive allocations should rarely be adjacent.
 	as := mem.NewAddressSpace()
 	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(5), DefaultShuffleN)
-	prev := sh.Alloc(64)
+	prev := mustAlloc(t, sh, 64)
 	adjacent := 0
 	for i := 0; i < 500; i++ {
-		cur := sh.Alloc(64)
+		cur := mustAlloc(t, sh, 64)
 		if cur == prev+64 {
 			adjacent++
 		}
@@ -239,13 +256,13 @@ func TestShufflePermutationProperty(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		if len(live) > 0 && r.Intn(3) == 0 {
 			j := r.Intn(len(live))
-			sh.Free(live[j])
+			mustFree(t, sh, live[j])
 			delete(seen, live[j])
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
 			continue
 		}
-		a := sh.Alloc(48)
+		a := mustAlloc(t, sh, 48)
 		if seen[a] {
 			t.Fatalf("address %#x handed out while live", uint64(a))
 		}
@@ -257,38 +274,88 @@ func TestShufflePermutationProperty(t *testing.T) {
 func TestShuffleLargeObjectBypass(t *testing.T) {
 	as := mem.NewAddressSpace()
 	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(1), DefaultShuffleN)
-	a := sh.Alloc(32 << 20)
-	sh.Free(a) // must not panic
+	a := mustAlloc(t, sh, 32<<20)
+	mustFree(t, sh, a) // must not fault
 }
 
-func TestShuffleFreeUnknownPanics(t *testing.T) {
-	as := mem.NewAddressSpace()
-	sh := NewShuffle(NewSegregated(as), rng.NewMarsaglia(1), DefaultShuffleN)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("free of unknown address did not panic")
+func TestAllocatorExhaustionReported(t *testing.T) {
+	// Under a tight map budget every allocator reports exhaustion as an
+	// out-of-memory trap instead of aborting the process (satellite for
+	// the old tlsf growth panic).
+	builders := []struct {
+		name  string
+		build func(as *mem.AddressSpace) Allocator
+	}{
+		{"segregated", func(as *mem.AddressSpace) Allocator { return NewSegregated(as) }},
+		{"tlsf", func(as *mem.AddressSpace) Allocator { return NewTLSF(as, 1<<16) }},
+		{"diehard", func(as *mem.AddressSpace) Allocator { return NewDieHard(as, rng.NewMarsaglia(9)) }},
+		{"shuffle", func(as *mem.AddressSpace) Allocator {
+			return NewShuffle(NewSegregated(as), rng.NewMarsaglia(9), 16)
+		}},
+	}
+	for _, b := range builders {
+		t.Run(b.name, func(t *testing.T) {
+			as := mem.NewAddressSpace()
+			as.SetMapLimit(1 << 16)
+			a := b.build(as)
+			var err error
+			for i := 0; i < 1_000_000; i++ {
+				if _, err = a.Alloc(4096); err != nil {
+					break
+				}
+			}
+			tr := trap.AsTrap(err)
+			if tr == nil || tr.Kind != trap.OutOfMemory {
+				t.Fatalf("%s exhaustion reported %v, want out-of-memory trap", b.name, err)
+			}
+		})
+	}
+}
+
+func TestDieHardGrowsPastHalfFull(t *testing.T) {
+	// DieHard doubles a size class that reaches half occupancy instead of
+	// failing: allocator capacity policy must not be observable to the
+	// program (the oracle compares allocators cell against cell).
+	d := NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(21))
+	seen := make(map[mem.Addr]bool)
+	for i := 0; i < 3*dieHardSlots; i++ {
+		a, err := d.Alloc(16)
+		if err != nil {
+			t.Fatalf("alloc %d failed despite unlimited address space: %v", i, err)
 		}
-	}()
-	sh.Free(0x12340)
+		if seen[a] {
+			t.Fatalf("alloc %d returned live address %#x twice", i, uint64(a))
+		}
+		seen[a] = true
+	}
+	// Growth keeps occupancy at or below half in every class.
+	for c, dc := range d.cls {
+		if dc != nil && dc.used*2 > dc.slots {
+			t.Fatalf("class %d at %d/%d used: over half full", c, dc.used, dc.slots)
+		}
+	}
 }
 
 func BenchmarkSegregatedAllocFree(b *testing.B) {
 	s := NewSegregated(mem.NewAddressSpace())
 	for i := 0; i < b.N; i++ {
-		s.Free(s.Alloc(64))
+		a, _ := s.Alloc(64)
+		s.Free(a)
 	}
 }
 
 func BenchmarkTLSFAllocFree(b *testing.B) {
 	tl := NewTLSF(mem.NewAddressSpace(), 1<<24)
 	for i := 0; i < b.N; i++ {
-		tl.Free(tl.Alloc(64))
+		a, _ := tl.Alloc(64)
+		tl.Free(a)
 	}
 }
 
 func BenchmarkShuffleAllocFree(b *testing.B) {
 	sh := NewShuffle(NewSegregated(mem.NewAddressSpace()), rng.NewMarsaglia(1), DefaultShuffleN)
 	for i := 0; i < b.N; i++ {
-		sh.Free(sh.Alloc(64))
+		a, _ := sh.Alloc(64)
+		sh.Free(a)
 	}
 }

@@ -1,8 +1,6 @@
 package heap
 
 import (
-	"fmt"
-
 	"repro/internal/mem"
 	"repro/internal/rng"
 )
@@ -26,6 +24,7 @@ type Shuffle struct {
 	n     int
 	slots [numClasses][]mem.Addr
 	sizes map[mem.Addr]uint64 // live (handed-out) object -> request size
+	freed map[mem.Addr]bool   // released by the program, not re-issued
 }
 
 // NewShuffle wraps base in a shuffling layer of depth n (use
@@ -34,7 +33,13 @@ func NewShuffle(base Allocator, r *rng.Marsaglia, n int) *Shuffle {
 	if n <= 0 {
 		panic("heap: shuffle layer depth must be positive")
 	}
-	return &Shuffle{base: base, r: r, n: n, sizes: make(map[mem.Addr]uint64)}
+	return &Shuffle{
+		base:  base,
+		r:     r,
+		n:     n,
+		sizes: make(map[mem.Addr]uint64),
+		freed: make(map[mem.Addr]bool),
+	}
 }
 
 // Name implements Allocator.
@@ -42,55 +47,73 @@ func (s *Shuffle) Name() string { return "shuffle(" + s.base.Name() + ")" }
 
 // fill performs the startup fill for one size class: N base allocations
 // followed by a Fisher-Yates shuffle.
-func (s *Shuffle) fill(c int) []mem.Addr {
+func (s *Shuffle) fill(c int) ([]mem.Addr, error) {
 	arr := make([]mem.Addr, s.n)
 	sz := classSize(c)
 	for i := range arr {
-		arr[i] = s.base.Alloc(sz)
+		a, err := s.base.Alloc(sz)
+		if err != nil {
+			return nil, err
+		}
+		arr[i] = a
 	}
 	s.r.Shuffle(len(arr), func(i, j int) { arr[i], arr[j] = arr[j], arr[i] })
 	s.slots[c] = arr
-	return arr
+	return arr, nil
 }
 
 // Alloc implements Allocator.
-func (s *Shuffle) Alloc(size uint64) mem.Addr {
+func (s *Shuffle) Alloc(size uint64) (mem.Addr, error) {
 	c := sizeClass(size)
 	if c >= numClasses {
 		// Large objects bypass the layer, as in the paper (STABILIZER
 		// "cannot break apart large heap allocations").
-		a := s.base.Alloc(size)
+		a, err := s.base.Alloc(size)
+		if err != nil {
+			return 0, err
+		}
 		s.sizes[a] = size
-		return a
+		delete(s.freed, a)
+		return a, nil
 	}
 	arr := s.slots[c]
 	if arr == nil {
-		arr = s.fill(c)
+		var err error
+		if arr, err = s.fill(c); err != nil {
+			return 0, err
+		}
 	}
-	p := s.base.Alloc(classSize(c))
+	p, err := s.base.Alloc(classSize(c))
+	if err != nil {
+		return 0, err
+	}
 	i := s.r.Intn(s.n)
 	p, arr[i] = arr[i], p
 	s.sizes[p] = size
-	return p
+	delete(s.freed, p)
+	return p, nil
 }
 
 // Free implements Allocator.
-func (s *Shuffle) Free(addr mem.Addr) {
+func (s *Shuffle) Free(addr mem.Addr) error {
 	size, ok := s.sizes[addr]
 	if !ok {
-		panic(fmt.Sprintf("heap: shuffle free of unknown address %#x", uint64(addr)))
+		return freeTrap(s.freed, addr, "shuffle")
 	}
 	delete(s.sizes, addr)
+	s.freed[addr] = true
 	c := sizeClass(size)
 	if c >= numClasses {
-		s.base.Free(addr)
-		return
+		return s.base.Free(addr)
 	}
 	arr := s.slots[c]
 	if arr == nil {
-		arr = s.fill(c)
+		var err error
+		if arr, err = s.fill(c); err != nil {
+			return err
+		}
 	}
 	i := s.r.Intn(s.n)
 	addr, arr[i] = arr[i], addr
-	s.base.Free(addr)
+	return s.base.Free(addr)
 }

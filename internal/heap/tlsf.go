@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"repro/internal/mem"
+	"repro/internal/trap"
 )
 
 // TLSF is a two-level segregated fits allocator (Masmano et al.), the
@@ -14,8 +15,10 @@ import (
 // neighbours — constant-time malloc and free with low fragmentation.
 type TLSF struct {
 	as       *mem.AddressSpace
+	poolSize uint64
 	pool     mem.Region
 	blocks   map[mem.Addr]*tlsfBlock // all blocks by base address
+	freed    map[mem.Addr]bool       // released object bases not re-issued
 	freeList [tlsfFL][tlsfSL]*tlsfBlock
 	flBitmap uint32
 	slBitmap [tlsfFL]uint32
@@ -40,14 +43,15 @@ type tlsfBlock struct {
 }
 
 // NewTLSF returns a TLSF allocator with a pool of poolSize bytes drawn
-// from as.
+// from as. The pool is mapped lazily on the first allocation, so creating
+// the allocator never faults even under a tight map budget.
 func NewTLSF(as *mem.AddressSpace, poolSize uint64) *TLSF {
-	t := &TLSF{as: as, blocks: make(map[mem.Addr]*tlsfBlock)}
-	t.pool = as.Map(poolSize, mem.MapAnywhere)
-	b := &tlsfBlock{addr: t.pool.Base, size: t.pool.Size, free: true}
-	t.blocks[b.addr] = b
-	t.insertFree(b)
-	return t
+	return &TLSF{
+		as:       as,
+		poolSize: poolSize,
+		blocks:   make(map[mem.Addr]*tlsfBlock),
+		freed:    make(map[mem.Addr]bool),
+	}
 }
 
 // Name implements Allocator.
@@ -100,6 +104,26 @@ func (t *TLSF) removeFree(b *tlsfBlock) {
 	b.freePrev, b.freeNext = nil, nil
 }
 
+// grow maps another region (the pool size or the request, whichever is
+// larger) and adds it to the free structures.
+func (t *TLSF) grow(size uint64) error {
+	g := t.poolSize
+	if size > g {
+		g = size
+	}
+	r, err := t.as.Map(g, mem.MapAnywhere)
+	if err != nil {
+		return err
+	}
+	if t.pool.Size == 0 {
+		t.pool = r
+	}
+	nb := &tlsfBlock{addr: r.Base, size: r.Size, free: true}
+	t.blocks[nb.addr] = nb
+	t.insertFree(nb)
+	return nil
+}
+
 // findSuitable locates a free block of at least size bytes, searching the
 // same second-level list and then larger buckets via the bitmaps.
 func (t *TLSF) findSuitable(size uint64) *tlsfBlock {
@@ -135,26 +159,25 @@ func (t *TLSF) findSuitable(size uint64) *tlsfBlock {
 }
 
 // Alloc implements Allocator.
-func (t *TLSF) Alloc(size uint64) mem.Addr {
+func (t *TLSF) Alloc(size uint64) (mem.Addr, error) {
 	size = (size + MinAlign - 1) &^ (MinAlign - 1)
 	if size < tlsfMinSize {
 		size = tlsfMinSize
 	}
+	if t.pool.Size == 0 {
+		if err := t.grow(size); err != nil {
+			return 0, err
+		}
+	}
 	b := t.findSuitable(size)
 	if b == nil {
-		// Grow: map another pool region the size of the original (or the
-		// request, whichever is larger) and retry.
-		grow := t.pool.Size
-		if size > grow {
-			grow = size
+		if err := t.grow(size); err != nil {
+			return 0, err
 		}
-		r := t.as.Map(grow, mem.MapAnywhere)
-		nb := &tlsfBlock{addr: r.Base, size: r.Size, free: true}
-		t.blocks[nb.addr] = nb
-		t.insertFree(nb)
 		b = t.findSuitable(size)
 		if b == nil {
-			panic("heap: tlsf could not satisfy allocation after growth")
+			return 0, trap.New(trap.OutOfMemory,
+				"heap: tlsf could not satisfy a %d-byte allocation after growth", size)
 		}
 	}
 	t.removeFree(b)
@@ -174,15 +197,19 @@ func (t *TLSF) Alloc(size uint64) mem.Addr {
 		t.blocks[rest.addr] = rest
 		t.insertFree(rest)
 	}
-	return b.addr
+	delete(t.freed, b.addr)
+	return b.addr, nil
 }
 
 // Free implements Allocator, coalescing with free physical neighbours.
-func (t *TLSF) Free(addr mem.Addr) {
+func (t *TLSF) Free(addr mem.Addr) error {
 	b, ok := t.blocks[addr]
 	if !ok || b.free {
-		panic(fmt.Sprintf("heap: tlsf free of unknown or free address %#x", uint64(addr)))
+		// A coalesced block loses its map entry, so classification relies
+		// on the freed set rather than the block state alone.
+		return freeTrap(t.freed, addr, "tlsf")
 	}
+	t.freed[addr] = true
 	if next := b.physNext; next != nil && next.free {
 		t.removeFree(next)
 		delete(t.blocks, next.addr)
@@ -203,6 +230,7 @@ func (t *TLSF) Free(addr mem.Addr) {
 		b = prev
 	}
 	t.insertFree(b)
+	return nil
 }
 
 // CheckInvariants validates the physical chain and free lists; tests call it

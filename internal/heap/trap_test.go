@@ -1,0 +1,135 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+	"repro/internal/trap"
+)
+
+// allAllocators builds one instance of every allocator policy against a
+// fresh address space, so trap tests can assert that misuse is classified
+// identically regardless of layout policy.
+func allAllocators() []Allocator {
+	return []Allocator{
+		NewSegregated(mem.NewAddressSpace()),
+		NewTLSF(mem.NewAddressSpace(), 1<<20),
+		NewDieHard(mem.NewAddressSpace(), rng.NewMarsaglia(17)),
+		NewShuffle(NewSegregated(mem.NewAddressSpace()), rng.NewMarsaglia(17), 16),
+	}
+}
+
+func wantTrap(t *testing.T, name string, err error, kind trap.Kind) {
+	t.Helper()
+	tr := trap.AsTrap(err)
+	if tr == nil {
+		t.Fatalf("%s: got %v, want a %v trap", name, err, kind)
+	}
+	if tr.Kind != kind {
+		t.Fatalf("%s: trap kind %v, want %v", name, tr.Kind, kind)
+	}
+}
+
+// TestTrapKindsUniformAcrossAllocators drives each misuse scenario through
+// all four allocator policies and asserts the identical TrapError kind —
+// the precondition for the oracle's fault-equivalence checking, which
+// compares trap kinds across the allocator axis of the matrix.
+func TestTrapKindsUniformAcrossAllocators(t *testing.T) {
+	scenarios := []struct {
+		name string
+		kind trap.Kind
+		run  func(a Allocator) error
+	}{
+		{
+			name: "double free",
+			kind: trap.DoubleFree,
+			run: func(a Allocator) error {
+				addr, err := a.Alloc(64)
+				if err != nil {
+					return err
+				}
+				if err := a.Free(addr); err != nil {
+					return err
+				}
+				return a.Free(addr)
+			},
+		},
+		{
+			name: "free of unknown address",
+			kind: trap.UnknownFree,
+			run: func(a Allocator) error {
+				// Allocate a little first so the allocator has live state;
+				// the freed address was still never issued.
+				if _, err := a.Alloc(64); err != nil {
+					return err
+				}
+				return a.Free(0xdead0)
+			},
+		},
+		{
+			name: "free after recycle then double free",
+			kind: trap.DoubleFree,
+			run: func(a Allocator) error {
+				// Free an address, churn the allocator so the address may
+				// be recycled and released again internally (TLSF coalesces,
+				// shuffle swaps), then free the original pointer again.
+				addr, err := a.Alloc(64)
+				if err != nil {
+					return err
+				}
+				if err := a.Free(addr); err != nil {
+					return err
+				}
+				for i := 0; i < 8; i++ {
+					b, err := a.Alloc(64)
+					if err != nil {
+						return err
+					}
+					if b == addr {
+						// The recycled address is live again; release it so
+						// the final free is a true double free.
+						if err := a.Free(b); err != nil {
+							return err
+						}
+						break
+					}
+				}
+				return a.Free(addr)
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, a := range allAllocators() {
+				wantTrap(t, a.Name(), sc.run(a), sc.kind)
+			}
+		})
+	}
+}
+
+func TestTrapErrorsMatchByKind(t *testing.T) {
+	a := NewSegregated(mem.NewAddressSpace())
+	addr := mustAlloc(t, a, 32)
+	mustFree(t, a, addr)
+	err := a.Free(addr)
+	if !errors.Is(err, &trap.TrapError{Kind: trap.DoubleFree}) {
+		t.Fatalf("errors.Is did not match a double-free trap: %v", err)
+	}
+	if errors.Is(err, &trap.TrapError{Kind: trap.UnknownFree}) {
+		t.Fatal("errors.Is matched the wrong trap kind")
+	}
+}
+
+func TestTrapCarriesDetail(t *testing.T) {
+	a := NewTLSF(mem.NewAddressSpace(), 1<<20)
+	err := a.Free(0xabc0)
+	tr := trap.AsTrap(err)
+	if tr == nil || tr.Detail == "" {
+		t.Fatalf("trap missing detail: %v", err)
+	}
+	if tr.Step != 0 || tr.Fn != "" {
+		t.Fatalf("allocator-level trap should not carry interpreter coordinates: %+v", tr)
+	}
+}

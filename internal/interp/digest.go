@@ -1,0 +1,191 @@
+package interp
+
+import "fmt"
+
+// Architectural digests for the semantic-invariance oracle.
+//
+// A Recorder attached to a run (Options.Record) folds the program's
+// observable behaviour into two streaming FNV-1a hashes:
+//
+//   - Arch covers only what a user could observe from outside: Sink values
+//     in order, the exit status and value, and the trap kind if the run
+//     faulted. It is invariant across *every* axis the oracle varies —
+//     randomization seed, heap allocator, and optimization level — because
+//     optimizing passes may legally add or remove stores but never change
+//     what the program outputs.
+//
+//   - Exec additionally covers the retired execution itself: every store
+//     (global, stack slot, heap object), allocation, free, call, and throw,
+//     each tagged with the retired-instruction counter at which it retired.
+//     It is invariant across layout axes (seed, allocator) at a *fixed*
+//     optimization level, and is what lets a divergence be pinned to the
+//     first diverging retired instruction.
+//
+// Nothing layout-dependent enters either hash: heap objects are identified
+// by allocation-order handles, globals by index, stack slots by
+// (function, slot) symbol — never by simulated address — and cycle counts
+// and machine state are excluded entirely.
+
+// EventKind tags one recorded event.
+type EventKind uint8
+
+const (
+	// EvStoreGlobal is a store to a global; Loc is the global index.
+	EvStoreGlobal EventKind = iota + 1
+	// EvStoreStack is a store to a stack slot; Loc is fn<<32 | slot symbol.
+	EvStoreStack
+	// EvStoreHeap is a store through a heap pointer; Loc is the object
+	// handle (allocation-order, layout-invariant).
+	EvStoreHeap
+	// EvSink is an architecturally observable output value.
+	EvSink
+	// EvAlloc is a heap allocation; Loc is the new handle, Val the size.
+	EvAlloc
+	// EvFree is a heap release; Loc is the handle.
+	EvFree
+	// EvCall is a control transfer; Loc is the callee function index.
+	EvCall
+	// EvThrow is an exception throw; Val is the thrown value.
+	EvThrow
+	// EvExit is the end of the run; Loc is 0 (normal return, Val the return
+	// value) or 1 (uncaught exception, Val the exception value).
+	EvExit
+	// EvTrap is a program fault; Loc is the trap.Kind.
+	EvTrap
+)
+
+var eventNames = map[EventKind]string{
+	EvStoreGlobal: "store-global",
+	EvStoreStack:  "store-stack",
+	EvStoreHeap:   "store-heap",
+	EvSink:        "sink",
+	EvAlloc:       "alloc",
+	EvFree:        "free",
+	EvCall:        "call",
+	EvThrow:       "throw",
+	EvExit:        "exit",
+	EvTrap:        "trap",
+}
+
+// String returns the event kind's report spelling.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return "event?"
+}
+
+// Event is one recorded execution event, in layout-invariant coordinates.
+type Event struct {
+	// Step is the retired-instruction counter when the event retired.
+	Step uint64
+	// Kind tags the event.
+	Kind EventKind
+	// Loc identifies the target in layout-invariant terms (see the kind
+	// constants); zero when unused.
+	Loc uint64
+	// Off is the byte offset within the target for stores; zero otherwise.
+	Off uint64
+	// Val is the stored, sunk, thrown, returned, or sized value.
+	Val uint64
+}
+
+// String renders the event for divergence reports.
+func (e Event) String() string {
+	return fmt.Sprintf("step %d %s loc=%#x off=%d val=%#x", e.Step, e.Kind, e.Loc, e.Off, e.Val)
+}
+
+// Digest summarizes one recorded run.
+type Digest struct {
+	// Arch is the architectural hash: sinks, exit, trap kind only.
+	Arch uint64
+	// Exec is the execution hash: every event with its retired step.
+	Exec uint64
+	// Steps is the retired-instruction count at the end of the run.
+	Steps uint64
+	// Events holds the full event trace when the Recorder was built with
+	// NewTracer; nil for hash-only recorders.
+	Events []Event
+	// Truncated reports that the trace hit the tracer's capacity and
+	// later events were folded into the hashes but not retained.
+	Truncated bool
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fold streams vals byte-by-byte into an FNV-1a hash.
+func fold(h uint64, vals ...uint64) uint64 {
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Recorder accumulates a run's digest. Attach one per run via
+// Options.Record; a Recorder must not be reused across runs.
+type Recorder struct {
+	arch      uint64
+	exec      uint64
+	steps     uint64
+	events    []Event
+	capacity  int
+	truncated bool
+}
+
+// NewRecorder returns a hash-only recorder (no trace retention); this is
+// the cheap mode the oracle uses for every cell of the matrix.
+func NewRecorder() *Recorder {
+	return &Recorder{arch: fnvOffset, exec: fnvOffset}
+}
+
+// NewTracer returns a recorder that also retains up to capacity events, for
+// the divergence re-run that localizes the first mismatching instruction.
+func NewTracer(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Recorder{arch: fnvOffset, exec: fnvOffset, capacity: capacity}
+}
+
+// record folds an execution-only event.
+func (r *Recorder) record(step uint64, kind EventKind, loc, off, val uint64) {
+	r.exec = fold(r.exec, uint64(kind), step, loc, off, val)
+	r.steps = step
+	r.retain(Event{Step: step, Kind: kind, Loc: loc, Off: off, Val: val})
+}
+
+// observe folds an architecturally visible event into both hashes.
+func (r *Recorder) observe(step uint64, kind EventKind, loc, val uint64) {
+	r.arch = fold(r.arch, uint64(kind), loc, val)
+	r.record(step, kind, loc, 0, val)
+}
+
+func (r *Recorder) retain(e Event) {
+	if r.capacity == 0 {
+		return
+	}
+	if len(r.events) >= r.capacity {
+		r.truncated = true
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Digest returns the accumulated digest. The trace (if any) is shared, not
+// copied; callers must not mutate it.
+func (r *Recorder) Digest() Digest {
+	return Digest{
+		Arch:      r.arch,
+		Exec:      r.exec,
+		Steps:     r.steps,
+		Events:    r.events,
+		Truncated: r.truncated,
+	}
+}

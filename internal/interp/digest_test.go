@@ -1,0 +1,143 @@
+package interp_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/trap"
+)
+
+// Two fixture programs whose digests are pinned below. The Arch and Exec
+// constants are golden values: they may only change when the digest
+// definition itself changes (a new event kind, a different fold), never as a
+// side effect of refactoring the interpreter or runtime — that would mean
+// the oracle's baseline silently moved.
+
+func digestFixtureA() *ir.Module {
+	mb := ir.NewModuleBuilder("digestA")
+	mb.GlobalInit("g0", []int64{2, 4})
+	f := mb.Func("main", 0)
+	s := f.Slot("s0", 8)
+	f.StoreS(s, 0, ir.NoReg, f.ConstI(21))
+	p := f.Alloc(16)
+	f.StoreH(p, 8, ir.NoReg, f.LoadG(0, 0, ir.NoReg))
+	f.Sink(f.Add(f.LoadH(p, 8, ir.NoReg), f.LoadS(s, 0, ir.NoReg)))
+	f.Free(p)
+	f.StoreG(0, 8, ir.NoReg, f.ConstI(9))
+	f.Sink(f.LoadG(0, 8, ir.NoReg))
+	f.Ret(f.ConstI(5))
+	return mb.Module()
+}
+
+// digestFixtureB ends in a double free, pinning the EvTrap path.
+func digestFixtureB() *ir.Module {
+	mb := ir.NewModuleBuilder("digestB")
+	f := mb.Func("main", 0)
+	p := f.Alloc(32)
+	f.StoreH(p, 0, ir.NoReg, f.ConstI(1))
+	f.Sink(f.LoadH(p, 0, ir.NoReg))
+	f.Free(p)
+	f.Free(p)
+	f.Ret(ir.NoReg)
+	return mb.Module()
+}
+
+func TestGoldenDigests(t *testing.T) {
+	run := func(m *ir.Module, wantTrap trap.Kind) interp.Digest {
+		t.Helper()
+		rec := interp.NewRecorder()
+		_, err := tryExec(m, func(o *interp.Options) { o.Record = rec })
+		if wantTrap == 0 {
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		} else {
+			tr := trap.AsTrap(err)
+			if tr == nil || tr.Kind != wantTrap {
+				t.Fatalf("want %v trap, got: %v", wantTrap, err)
+			}
+		}
+		return rec.Digest()
+	}
+
+	a := run(digestFixtureA(), 0)
+	b := run(digestFixtureB(), trap.DoubleFree)
+
+	const (
+		wantArchA = uint64(0x2acb64f98d411d77)
+		wantExecA = uint64(0x1827530a2e992ffa)
+		wantArchB = uint64(0x48e8e923a27cf36b)
+		wantExecB = uint64(0xdd452755725001c2)
+	)
+	if a.Arch != wantArchA || a.Exec != wantExecA {
+		t.Errorf("fixture A digest (arch=%#x exec=%#x), want (arch=%#x exec=%#x)",
+			a.Arch, a.Exec, wantArchA, wantExecA)
+	}
+	if b.Arch != wantArchB || b.Exec != wantExecB {
+		t.Errorf("fixture B digest (arch=%#x exec=%#x), want (arch=%#x exec=%#x)",
+			b.Arch, b.Exec, wantArchB, wantExecB)
+	}
+}
+
+// TestDigestTraceRetention: a tracer retains events in order and reports
+// truncation honestly.
+func TestDigestTraceRetention(t *testing.T) {
+	full := interp.NewTracer(0) // default capacity
+	_, err := tryExec(digestFixtureA(), func(o *interp.Options) { o.Record = full })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := full.Digest()
+	if len(d.Events) == 0 || d.Truncated {
+		t.Fatalf("trace not retained: %d events, truncated=%v", len(d.Events), d.Truncated)
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Step < d.Events[i-1].Step {
+			t.Fatalf("trace out of order at %d: %v after %v", i, d.Events[i], d.Events[i-1])
+		}
+	}
+	last := d.Events[len(d.Events)-1]
+	if last.Kind != interp.EvExit || last.Val != 5 {
+		t.Fatalf("last event %v, want exit with value 5", last)
+	}
+
+	tiny := interp.NewTracer(2)
+	_, err = tryExec(digestFixtureA(), func(o *interp.Options) { o.Record = tiny })
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := tiny.Digest()
+	if len(td.Events) != 2 || !td.Truncated {
+		t.Fatalf("tiny tracer retained %d events, truncated=%v", len(td.Events), td.Truncated)
+	}
+	// Hashes must not depend on retention.
+	if td.Arch != d.Arch || td.Exec != d.Exec {
+		t.Fatal("digest hashes depend on trace capacity")
+	}
+}
+
+// TestDigestLayoutInvariance: the same module run under different allocators
+// yields identical digests — nothing address-shaped leaks into the hash.
+func TestDigestUncaughtException(t *testing.T) {
+	mb := ir.NewModuleBuilder("boom")
+	f := mb.Func("main", 0)
+	f.Sink(f.ConstI(3))
+	f.Throw(f.ConstI(0xbad))
+	m := mb.Module()
+
+	rec := interp.NewRecorder()
+	_, err := tryExec(m, func(o *interp.Options) { o.Record = rec })
+	var ue *interp.UncaughtError
+	if !errors.As(err, &ue) || ue.Value != 0xbad {
+		t.Fatalf("want UncaughtError{0xbad}, got %v", err)
+	}
+	d := rec.Digest()
+	if len(d.Events) != 0 {
+		t.Fatalf("hash-only recorder retained %d events", len(d.Events))
+	}
+	if d.Arch == 0 {
+		t.Fatal("zero arch digest")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/trap"
 )
 
 // Runtime supplies layout and runtime services to an executing program. The
@@ -49,9 +50,11 @@ type Runtime interface {
 	// to global g reads, or ok=false if the access is absolute.
 	RelocGlobal(curFn, g int) (slot mem.Addr, ok bool)
 	// Alloc and Free implement the program's heap, charging their own
-	// costs on the machine.
-	Alloc(size uint64) mem.Addr
-	Free(addr mem.Addr)
+	// costs on the machine. Allocator misuse and exhaustion are reported
+	// as *trap.TrapError values, which the interpreter stamps with the
+	// retired-instruction index and surfaces as program faults.
+	Alloc(size uint64) (mem.Addr, error)
+	Free(addr mem.Addr) error
 	// Tick runs at every block boundary so the runtime can react to the
 	// passage of simulated time (re-randomization timers). stack yields
 	// the return addresses currently on the simulated call stack, for the
@@ -94,6 +97,9 @@ type Options struct {
 	// step-budget hook watchdogs use to stop a run whose context expired
 	// without waiting for the (much larger) MaxSteps budget.
 	Interrupt func() error
+	// Record, if non-nil, accumulates the run's architectural digest (see
+	// digest.go). A Recorder must not be reused across runs.
+	Record *Recorder
 }
 
 // interruptStride is how many retired steps pass between Interrupt polls:
@@ -127,6 +133,7 @@ type interp struct {
 	stackLow  mem.Addr
 	output    uint64
 	steps     uint64
+	rec       *Recorder
 	nextPoll  uint64 // step count at which Interrupt is polled next
 	callStack []callRecord
 	liveBase  map[uint64]bool // exact encodings of live base pointers
@@ -150,6 +157,19 @@ var (
 	// ErrStackOverflow reports simulated stack exhaustion.
 	ErrStackOverflow = errors.New("interp: stack overflow")
 )
+
+// UncaughtError reports that an exception escaped main. It is a program
+// outcome, not an infrastructure failure: the oracle treats it like a trap
+// (the exit event is already folded into the digest) rather than aborting
+// the differential matrix.
+type UncaughtError struct {
+	// Value is the exception value that escaped.
+	Value uint64
+}
+
+func (e *UncaughtError) Error() string {
+	return fmt.Sprintf("interp: uncaught exception with value %#x", e.Value)
+}
 
 // StepBudgetError is the structured form of ErrMaxSteps: it reports how
 // many steps had retired and what the budget was when the run was cut
@@ -188,7 +208,7 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 		}
 	}
 	it := &interp{m: m, mach: opts.Machine, rt: opts.Runtime, opts: opts,
-		liveBase: make(map[uint64]bool)}
+		rec: opts.Record, liveBase: make(map[uint64]bool)}
 	if opts.Profile {
 		it.profile = make([]uint64, len(m.Funcs))
 	}
@@ -209,6 +229,14 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 		if r := recover(); r != nil {
 			if e, ok := r.(runError); ok {
 				err = e.err
+				// A program fault is architecturally observable: fold the
+				// trap kind into the digest so fault-equivalence can be
+				// asserted across the matrix.
+				if it.rec != nil {
+					if tr := trap.AsTrap(err); tr != nil {
+						it.rec.observe(it.steps, EvTrap, uint64(tr.Kind), 0)
+					}
+				}
 				return
 			}
 			panic(r)
@@ -216,8 +244,15 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 	}()
 
 	entry := m.Entry()
-	if _, exc := it.call(entry, nil, 0); exc != nil {
-		return Result{}, fmt.Errorf("interp: uncaught exception with value %#x", *exc)
+	ret, exc := it.call(entry, nil, 0)
+	if exc != nil {
+		if it.rec != nil {
+			it.rec.observe(it.steps, EvExit, 1, *exc)
+		}
+		return Result{}, &UncaughtError{Value: *exc}
+	}
+	if it.rec != nil {
+		it.rec.observe(it.steps, EvExit, 0, ret)
 	}
 
 	return Result{
@@ -239,6 +274,35 @@ func (it *interp) fail(err error) {
 
 func (it *interp) failf(format string, args ...any) {
 	it.fail(fmt.Errorf("interp: "+format, args...))
+}
+
+// curFnName names the currently executing function, for trap reports.
+func (it *interp) curFnName() string {
+	if n := len(it.callStack); n > 0 {
+		return it.m.Funcs[it.callStack[n-1].fn].Name
+	}
+	return ""
+}
+
+// trap aborts the run with a typed program fault stamped with the current
+// retired-instruction index — the layout-invariant coordinate the oracle's
+// fault-equivalence check compares across the matrix.
+func (it *interp) trap(kind trap.Kind, format string, args ...any) {
+	tr := trap.New(kind, format, args...)
+	tr.Step = it.steps
+	tr.Fn = it.curFnName()
+	it.fail(tr)
+}
+
+// runtimeErr surfaces an error returned by the Runtime's allocator: typed
+// traps are stamped with the interpreter's coordinates and become program
+// faults; anything else propagates as an infrastructure error.
+func (it *interp) runtimeErr(err error) {
+	if tr := trap.AsTrap(err); tr != nil {
+		tr.Step = it.steps
+		tr.Fn = it.curFnName()
+	}
+	it.fail(err)
 }
 
 // returnAddrs snapshots the return addresses on the simulated stack, for the
@@ -439,9 +503,9 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 				it.globalAccess(fn, in, regs, true)
 
 			case ir.OpLoadS, ir.OpLoadSF:
-				regs[in.Dst] = it.stackAccess(f, frameBase, in, regs, stack, false)
+				regs[in.Dst] = it.stackAccess(fn, f, frameBase, in, regs, stack, false)
 			case ir.OpStoreS, ir.OpStoreSF:
-				it.stackAccess(f, frameBase, in, regs, stack, true)
+				it.stackAccess(fn, f, frameBase, in, regs, stack, true)
 
 			case ir.OpLoadH, ir.OpLoadHF:
 				regs[in.Dst] = it.heapAccess(fn, in, regs, false)
@@ -455,6 +519,9 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 
 			case ir.OpCall:
 				callee := int(in.Sym)
+				if it.rec != nil {
+					it.rec.record(it.steps, EvCall, uint64(callee), 0, 0)
+				}
 				// Distinguish call sites within a block: the BTB and the
 				// return-address records key on the site address.
 				callPC := blockPC + mem.Addr(idx)*5
@@ -499,15 +566,25 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 
 			case ir.OpThrow:
 				v := regs[in.A]
+				if it.rec != nil {
+					it.rec.record(it.steps, EvThrow, 0, 0, v)
+				}
 				return 0, &v
 
 			case ir.OpSink:
 				v := regs[in.A]
 				if it.liveBase[v] {
-					it.failf("%s sinks a heap pointer; output would be layout-dependent", f.Name)
+					it.trap(trap.InvalidPointer,
+						"%s sinks a heap pointer; output would be layout-dependent", f.Name)
+				}
+				if it.rec != nil {
+					it.rec.observe(it.steps, EvSink, 0, v)
 				}
 				it.output = it.output*1099511628211 + v
 			case ir.OpSinkF:
+				if it.rec != nil {
+					it.rec.observe(it.steps, EvSink, 0, regs[in.A])
+				}
 				it.output = it.output*1099511628211 + regs[in.A]
 
 			default:
@@ -563,7 +640,7 @@ func (it *interp) globalAccess(fn int, in *ir.Instr, regs []uint64, store bool) 
 	words := it.globals[g]
 	w := byteOff / 8
 	if byteOff < 0 || w >= int64(len(words)) || byteOff%8 != 0 {
-		it.failf("global %s access at byte %d outside %d bytes",
+		it.trap(trap.OutOfBounds, "global %s access at byte %d outside %d bytes",
 			it.m.Globals[g].Name, byteOff, len(words)*8)
 	}
 	if slot, ok := it.rt.RelocGlobal(fn, g); ok {
@@ -577,6 +654,9 @@ func (it *interp) globalAccess(fn int, in *ir.Instr, regs []uint64, store bool) 
 		it.mach.Stall(it.mach.Costs.UnalignedFP)
 	}
 	if store {
+		if it.rec != nil {
+			it.rec.record(it.steps, EvStoreGlobal, uint64(g), uint64(byteOff), regs[in.B])
+		}
 		words[w] = regs[in.B]
 		return 0
 	}
@@ -584,7 +664,7 @@ func (it *interp) globalAccess(fn int, in *ir.Instr, regs []uint64, store bool) 
 }
 
 // stackAccess performs a load or store on the current frame.
-func (it *interp) stackAccess(f *ir.Function, frameBase mem.Addr, in *ir.Instr, regs, stack []uint64, store bool) uint64 {
+func (it *interp) stackAccess(fn int, f *ir.Function, frameBase mem.Addr, in *ir.Instr, regs, stack []uint64, store bool) uint64 {
 	slot := f.Slots[in.Sym]
 	idx := int64(0)
 	if in.A != ir.NoReg {
@@ -592,7 +672,7 @@ func (it *interp) stackAccess(f *ir.Function, frameBase mem.Addr, in *ir.Instr, 
 	}
 	byteOff := in.Imm + idx*8
 	if byteOff < 0 || uint64(byteOff) >= slot.Size || byteOff%8 != 0 {
-		it.failf("%s: stack slot %s access at byte %d outside %d bytes",
+		it.trap(trap.OutOfBounds, "%s: stack slot %s access at byte %d outside %d bytes",
 			f.Name, slot.Name, byteOff, slot.Size)
 	}
 	addr := frameBase + mem.Addr(slot.Off) + mem.Addr(byteOff)
@@ -602,6 +682,12 @@ func (it *interp) stackAccess(f *ir.Function, frameBase mem.Addr, in *ir.Instr, 
 	}
 	w := (slot.Off + uint64(byteOff)) / 8
 	if store {
+		if it.rec != nil {
+			// The slot symbol plus function index is a layout-invariant
+			// coordinate; the frame address never enters the digest.
+			it.rec.record(it.steps, EvStoreStack,
+				uint64(fn)<<32|uint64(in.Sym), uint64(byteOff), regs[in.B])
+		}
 		stack[w] = regs[in.B]
 		return 0
 	}
@@ -612,7 +698,7 @@ func (it *interp) stackAccess(f *ir.Function, frameBase mem.Addr, in *ir.Instr, 
 func (it *interp) heapAccess(fn int, in *ir.Instr, regs []uint64, store bool) uint64 {
 	ptr := regs[in.A]
 	if !IsPointer(ptr) {
-		it.failf("heap access through non-pointer value %#x", ptr)
+		it.trap(trap.InvalidPointer, "heap access through non-pointer value %#x", ptr)
 	}
 	idx := int64(0)
 	if in.B != ir.NoReg {
@@ -622,15 +708,15 @@ func (it *interp) heapAccess(fn int, in *ir.Instr, regs []uint64, store bool) ui
 	baseOff := int64(ptr & ptrOffMask)
 	byteOff := baseOff + in.Imm + idx*8
 	if handle >= len(it.objects) {
-		it.failf("heap access through invalid handle %d", handle)
+		it.trap(trap.InvalidPointer, "heap access through invalid handle %d", handle)
 	}
 	obj := &it.objects[handle]
 	if !obj.live {
-		it.failf("heap use after free (handle %d)", handle)
+		it.trap(trap.UseAfterFree, "heap use after free (handle %d)", handle)
 	}
 	w := byteOff / 8
 	if byteOff < 0 || uint64(byteOff) >= obj.size || byteOff%8 != 0 {
-		it.failf("heap access at byte %d outside object of %d bytes", byteOff, obj.size)
+		it.trap(trap.OutOfBounds, "heap access at byte %d outside object of %d bytes", byteOff, obj.size)
 	}
 	addr := obj.addr + mem.Addr(byteOff)
 	it.mach.Data(addr, 8)
@@ -638,6 +724,12 @@ func (it *interp) heapAccess(fn int, in *ir.Instr, regs []uint64, store bool) ui
 		it.mach.Stall(it.mach.Costs.UnalignedFP)
 	}
 	if store {
+		if it.rec != nil {
+			// Handles are assigned in allocation order and recycled LIFO,
+			// so they are identical across layouts; the object's simulated
+			// address never enters the digest.
+			it.rec.record(it.steps, EvStoreHeap, uint64(handle), uint64(byteOff), regs[in.Dst])
+		}
 		obj.data[w] = regs[in.Dst] // value register rides in Dst for StoreH
 		return 0
 	}
@@ -650,7 +742,10 @@ func (it *interp) alloc(size uint64) uint64 {
 		size = 8
 	}
 	size = (size + 7) &^ 7
-	addr := it.rt.Alloc(size)
+	addr, err := it.rt.Alloc(size)
+	if err != nil {
+		it.runtimeErr(err)
+	}
 	var handle int
 	if n := len(it.freeObj); n > 0 {
 		handle = it.freeObj[n-1]
@@ -661,7 +756,10 @@ func (it *interp) alloc(size uint64) uint64 {
 		it.objects = append(it.objects, heapObject{addr: addr, data: make([]uint64, size/8), size: size, live: true})
 	}
 	if handle >= 1<<30 {
-		it.failf("too many heap objects")
+		it.trap(trap.OutOfMemory, "too many heap objects")
+	}
+	if it.rec != nil {
+		it.rec.record(it.steps, EvAlloc, uint64(handle), 0, size)
 	}
 	p := ptrTag | uint64(handle)<<ptrHandleSh
 	it.liveBase[p] = true
@@ -671,17 +769,25 @@ func (it *interp) alloc(size uint64) uint64 {
 // free releases a heap object.
 func (it *interp) free(ptr uint64) {
 	if !IsPointer(ptr) {
-		it.failf("free of non-pointer value %#x", ptr)
+		it.trap(trap.InvalidFree, "free of non-pointer value %#x", ptr)
 	}
 	if ptr&ptrOffMask != 0 {
-		it.failf("free of interior pointer (offset %d)", ptr&ptrOffMask)
+		it.trap(trap.InvalidFree, "free of interior pointer (offset %d)", ptr&ptrOffMask)
 	}
 	handle := int((ptr &^ ptrTag) >> ptrHandleSh)
-	if handle >= len(it.objects) || !it.objects[handle].live {
-		it.failf("double or invalid free (handle %d)", handle)
+	if handle >= len(it.objects) {
+		it.trap(trap.InvalidFree, "free of invalid handle %d", handle)
+	}
+	if !it.objects[handle].live {
+		it.trap(trap.DoubleFree, "double free (handle %d)", handle)
 	}
 	obj := &it.objects[handle]
-	it.rt.Free(obj.addr)
+	if err := it.rt.Free(obj.addr); err != nil {
+		it.runtimeErr(err)
+	}
+	if it.rec != nil {
+		it.rec.record(it.steps, EvFree, uint64(handle), 0, 0)
+	}
 	obj.live = false
 	obj.data = nil
 	delete(it.liveBase, ptr)

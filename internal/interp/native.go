@@ -48,15 +48,15 @@ func (n *NativeRuntime) RelocCall(curFn, callee int) (mem.Addr, bool) { return 0
 func (n *NativeRuntime) RelocGlobal(curFn, g int) (mem.Addr, bool) { return 0, false }
 
 // Alloc implements Runtime.
-func (n *NativeRuntime) Alloc(size uint64) mem.Addr {
+func (n *NativeRuntime) Alloc(size uint64) (mem.Addr, error) {
 	n.Mach.Stall(MallocCost)
 	return n.Heap.Alloc(size)
 }
 
 // Free implements Runtime.
-func (n *NativeRuntime) Free(addr mem.Addr) {
+func (n *NativeRuntime) Free(addr mem.Addr) error {
 	n.Mach.Stall(FreeCost)
-	n.Heap.Free(addr)
+	return n.Heap.Free(addr)
 }
 
 // Tick implements Runtime; the native runtime has no timers.

@@ -14,6 +14,12 @@ type GenConfig struct {
 	MaxGlobals   int
 	MaxSlots     int
 	MaxDepth     int // nesting depth of loops/ifs (default 3)
+	// Faults plants one deterministic heap-misuse fault (double free,
+	// out-of-bounds access, use after free, or free of a non-pointer) at
+	// the end of main, after all normal behavior. The resulting program
+	// traps at a layout-invariant retired-instruction index, which is what
+	// the oracle's fault-equivalence fuzzing asserts across the matrix.
+	Faults bool
 }
 
 func (c *GenConfig) defaults() {
@@ -64,14 +70,14 @@ func Generate(seed uint64, cfg GenConfig) *Module {
 	for i := 0; i < nFuncs; i++ {
 		params := 1 + r.Intn(2)
 		fb := g.mb.Func(fmt.Sprintf("f%d", i), params)
-		g.buildBody(fb, params, cfg.MaxDepth, i, true)
+		g.buildBody(fb, params, cfg.MaxDepth, i, true, false)
 		g.funcs = append(g.funcs, genFunc{index: fb.Index(), params: params})
 	}
 
 	// main may not throw (an uncaught exception aborts the run), but its
 	// invoke handlers catch whatever the helpers raise.
 	main := g.mb.Func("main", 0)
-	g.buildBody(main, 0, cfg.MaxDepth, nFuncs, false)
+	g.buildBody(main, 0, cfg.MaxDepth, nFuncs, false, cfg.Faults)
 	m := g.mb.Module()
 	if err := m.Validate(); err != nil {
 		panic(fmt.Sprintf("ir: generator produced invalid module: %v", err))
@@ -95,7 +101,7 @@ type irgen struct {
 // buildBody emits a function body: bursts of instructions interleaved with
 // nested control flow, ending in a return. callableBelow limits callees to
 // functions with smaller indices.
-func (g *irgen) buildBody(fb *FuncBuilder, params, depth, callableBelow int, mayThrow bool) {
+func (g *irgen) buildBody(fb *FuncBuilder, params, depth, callableBelow int, mayThrow, plantFault bool) {
 	// Tracked integer values available as operands.
 	vals := []Reg{fb.ConstI(int64(g.r.Intn(100) + 1))}
 	for p := 0; p < params; p++ {
@@ -293,5 +299,32 @@ func (g *irgen) buildBody(fb *FuncBuilder, params, depth, callableBelow int, may
 			fb.Free(o.ptr)
 		}
 	}
+	if plantFault {
+		g.plantFault(fb)
+	}
 	fb.Ret(pickI())
+}
+
+// plantFault emits one deterministic heap-misuse idiom. Faulting loads are
+// sunk so no pass can delete them as dead; the trap therefore fires at the
+// same retired-instruction index under every layout.
+func (g *irgen) plantFault(fb *FuncBuilder) {
+	switch g.r.Intn(4) {
+	case 0: // double free
+		p := fb.Alloc(32)
+		fb.StoreH(p, 0, NoReg, fb.ConstI(1))
+		fb.Free(p)
+		fb.Free(p)
+	case 1: // out-of-bounds load
+		p := fb.Alloc(16)
+		fb.StoreH(p, 0, NoReg, fb.ConstI(2))
+		fb.Sink(fb.LoadH(p, 1024, NoReg))
+	case 2: // use after free
+		p := fb.Alloc(32)
+		fb.StoreH(p, 0, NoReg, fb.ConstI(3))
+		fb.Free(p)
+		fb.Sink(fb.LoadH(p, 0, NoReg))
+	default: // free of a non-pointer value
+		fb.Free(fb.ConstI(12345))
+	}
 }

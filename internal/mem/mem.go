@@ -10,7 +10,9 @@
 // Mytkowicz et al. environment-variable bias that the paper cites.
 package mem
 
-import "fmt"
+import (
+	"repro/internal/trap"
+)
 
 // Addr is a simulated virtual address.
 type Addr uint64
@@ -75,6 +77,8 @@ type AddressSpace struct {
 	low32Limit  Addr
 	stackBase   Addr // after env displacement; stack grows down from here
 	mapped      []Region
+	mappedBytes uint64
+	mapLimit    uint64          // total Map budget in bytes; 0 = unlimited
 	aslr        func(n int) int // random page-gap source; nil = deterministic
 }
 
@@ -132,8 +136,23 @@ func (as *AddressSpace) PlaceGlobal(size, align uint64) Addr {
 // With MapLow32, low memory is used until exhausted, then the request
 // silently falls back to high memory (the caller can detect this from the
 // returned address; see Below4G).
-func (as *AddressSpace) Map(size uint64, flag MapFlag) Region {
+//
+// Map fails with a typed *trap.TrapError instead of panicking: an unknown
+// placement flag is an invalid-map fault, and exceeding the optional
+// SetMapLimit budget is an out-of-memory fault. Both surface through the
+// allocators as structured program faults the interpreter can report.
+func (as *AddressSpace) Map(size uint64, flag MapFlag) (Region, error) {
+	switch flag {
+	case MapAnywhere, MapLow32, MapHigh:
+	default:
+		return Region{}, trap.New(trap.InvalidMap, "mem: unknown map flag %d", flag)
+	}
 	size = (size + PageSize - 1) &^ (PageSize - 1)
+	if as.mapLimit != 0 && as.mappedBytes+size > as.mapLimit {
+		return Region{}, trap.New(trap.OutOfMemory,
+			"mem: map of %d bytes exceeds the %d-byte budget (%d already mapped)",
+			size, as.mapLimit, as.mappedBytes)
+	}
 	if as.aslr != nil {
 		gap := Addr(as.aslr(256)) * PageSize
 		switch flag {
@@ -161,13 +180,17 @@ func (as *AddressSpace) Map(size uint64, flag MapFlag) Region {
 	case MapHigh:
 		base = as.highCursor
 		as.highCursor += Addr(size)
-	default:
-		panic(fmt.Sprintf("mem: unknown map flag %d", flag))
 	}
 	r := Region{Base: base, Size: size}
 	as.mapped = append(as.mapped, r)
-	return r
+	as.mappedBytes += size
+	return r, nil
 }
+
+// SetMapLimit caps the total bytes Map may hand out; further requests fail
+// with an out-of-memory trap. 0 (the default) removes the cap. The oracle's
+// allocator-exhaustion tests use this to make OOM reachable at small sizes.
+func (as *AddressSpace) SetMapLimit(bytes uint64) { as.mapLimit = bytes }
 
 // SetLow32Limit constrains the MAP_32BIT area, for tests that need to force
 // exhaustion of low memory.

@@ -3,6 +3,8 @@ package mem
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/trap"
 )
 
 func TestAlignUp(t *testing.T) {
@@ -73,13 +75,23 @@ func TestPlaceGlobalAlignment(t *testing.T) {
 	}
 }
 
+// mustMap is a test helper for call sites that cannot legitimately fail.
+func mustMap(t *testing.T, as *AddressSpace, size uint64, flag MapFlag) Region {
+	t.Helper()
+	r, err := as.Map(size, flag)
+	if err != nil {
+		t.Fatalf("Map(%d, %d): %v", size, flag, err)
+	}
+	return r
+}
+
 func TestMapAnywherePageRounding(t *testing.T) {
 	as := NewAddressSpace()
-	r := as.Map(1, MapAnywhere)
+	r := mustMap(t, as, 1, MapAnywhere)
 	if r.Size != PageSize {
 		t.Fatalf("size %d, want one page", r.Size)
 	}
-	r2 := as.Map(PageSize+1, MapAnywhere)
+	r2 := mustMap(t, as, PageSize+1, MapAnywhere)
 	if r2.Size != 2*PageSize {
 		t.Fatalf("size %d, want two pages", r2.Size)
 	}
@@ -91,9 +103,9 @@ func TestMapAnywherePageRounding(t *testing.T) {
 func TestMapLow32Fallback(t *testing.T) {
 	as := NewAddressSpace()
 	as.SetLow32Limit(MmapLow32 + 2*PageSize)
-	a := as.Map(PageSize, MapLow32)
-	b := as.Map(PageSize, MapLow32)
-	c := as.Map(PageSize, MapLow32)
+	a := mustMap(t, as, PageSize, MapLow32)
+	b := mustMap(t, as, PageSize, MapLow32)
+	c := mustMap(t, as, PageSize, MapLow32)
 	if !Below4G(a.Base) || !Below4G(b.Base) {
 		t.Fatal("first two low32 maps should be below 4G")
 	}
@@ -102,12 +114,36 @@ func TestMapLow32Fallback(t *testing.T) {
 	}
 }
 
+func TestMapUnknownFlagTraps(t *testing.T) {
+	as := NewAddressSpace()
+	_, err := as.Map(PageSize, MapFlag(99))
+	tr := trap.AsTrap(err)
+	if tr == nil || tr.Kind != trap.InvalidMap {
+		t.Fatalf("Map with unknown flag returned %v, want invalid-map trap", err)
+	}
+}
+
+func TestMapLimitTraps(t *testing.T) {
+	as := NewAddressSpace()
+	as.SetMapLimit(2 * PageSize)
+	mustMap(t, as, PageSize, MapAnywhere)
+	mustMap(t, as, PageSize, MapAnywhere)
+	_, err := as.Map(PageSize, MapAnywhere)
+	tr := trap.AsTrap(err)
+	if tr == nil || tr.Kind != trap.OutOfMemory {
+		t.Fatalf("Map past budget returned %v, want out-of-memory trap", err)
+	}
+	// Lifting the cap makes the same request succeed again.
+	as.SetMapLimit(0)
+	mustMap(t, as, PageSize, MapAnywhere)
+}
+
 func TestMapRegionsDisjoint(t *testing.T) {
 	as := NewAddressSpace()
 	sizes := []uint64{1, 4096, 8192, 100, 12288}
 	flags := []MapFlag{MapAnywhere, MapLow32, MapHigh, MapAnywhere, MapLow32}
 	for i, s := range sizes {
-		as.Map(s, flags[i])
+		mustMap(t, as, s, flags[i])
 	}
 	regions := as.Mapped()
 	for i := range regions {
@@ -164,15 +200,15 @@ func TestASLRRandomizesMapPlacement(t *testing.T) {
 	i := 0
 	as := NewAddressSpace()
 	as.SetASLR(func(n int) int { v := seq[i%len(seq)]; i++; return v })
-	r1 := as.Map(PageSize, MapAnywhere)
-	r2 := as.Map(PageSize, MapAnywhere)
+	r1 := mustMap(t, as, PageSize, MapAnywhere)
+	r2 := mustMap(t, as, PageSize, MapAnywhere)
 	if r1.Base != MmapBase+3*PageSize {
 		t.Fatalf("first ASLR map at %#x", uint64(r1.Base))
 	}
 	if r2.Base != r1.End() { // gap of 0 pages
 		t.Fatalf("second ASLR map at %#x, want %#x", uint64(r2.Base), uint64(r1.End()))
 	}
-	r3 := as.Map(PageSize, MapLow32)
+	r3 := mustMap(t, as, PageSize, MapLow32)
 	if r3.Base != MmapLow32+7*PageSize {
 		t.Fatalf("low32 ASLR map at %#x", uint64(r3.Base))
 	}

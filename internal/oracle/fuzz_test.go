@@ -1,0 +1,49 @@
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// fuzzVerify pumps one generated program through compile → link →
+// differential execution over a reduced matrix (two seeds keep a fuzz
+// iteration cheap; the full default matrix runs in the unit tests and the
+// verify CLI). Any divergence is a real bug in a pass, the runtime, or an
+// allocator — fail loudly with the localized report.
+func fuzzVerify(t *testing.T, seed uint64, cfg ir.GenConfig) {
+	m := ir.Generate(seed, cfg)
+	opts := Options{Seeds: []uint64{1, 2}, MaxSteps: 20_000_000}
+	if _, err := Verify(fmt.Sprintf("gen%d", seed), m, opts); err != nil {
+		var div *Divergence
+		if errors.As(err, &div) {
+			t.Fatalf("seed %d:\n%s", seed, div.Report())
+		}
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+}
+
+// FuzzDifferential feeds well-formed generated programs through the full
+// pipeline and asserts semantic invariance across the matrix.
+func FuzzDifferential(f *testing.F) {
+	for _, s := range []uint64{1, 7, 42, 1234, 99991} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzVerify(t, seed, ir.GenConfig{})
+	})
+}
+
+// FuzzTrapEquivalence plants a deterministic heap-misuse fault in every
+// generated program and asserts fault equivalence: the same trap kind in
+// every cell, at the same retired step under every layout.
+func FuzzTrapEquivalence(f *testing.F) {
+	for _, s := range []uint64{2, 11, 64, 4096, 31337} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		fuzzVerify(t, seed, ir.GenConfig{Faults: true})
+	})
+}

@@ -1,0 +1,192 @@
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+)
+
+// Axis names which matrix axis a divergence was found along.
+type Axis string
+
+const (
+	// AxisLayout means two cells at the same optimization level — differing
+	// only in seed and/or allocator — disagreed. Layout leaked into program
+	// behaviour: a runtime or randomization bug.
+	AxisLayout Axis = "layout"
+	// AxisOptimization means two optimization levels disagreed on the
+	// architectural digest: a compiler pass changed observable behaviour.
+	AxisOptimization Axis = "optimization"
+)
+
+// Divergence is a structured semantic-invariance violation. It implements
+// error so Verify can return it directly; Report renders the full
+// human-readable form with the first diverging retired instruction and a
+// window of surrounding events from both runs.
+type Divergence struct {
+	Program string
+	Axis    Axis
+	// Ref and Got are the two disagreeing cells; Ref is the matrix's
+	// reference cell for the comparison.
+	Ref, Got Cell
+	// RefDigest and GotDigest are the cells' full digests.
+	RefDigest, GotDigest interp.Digest
+	// Index is the position of the first diverging event in the compared
+	// sequence (all events on the layout axis, observable events only on
+	// the optimization axis), or -1 when the traces agree for their whole
+	// retained length — the divergence then lies beyond the trace capacity.
+	Index int
+	// RefEvent and GotEvent are the first diverging events; one is nil when
+	// that run's trace ended first (e.g. it trapped earlier).
+	RefEvent, GotEvent *interp.Event
+	// RefWindow and GotWindow are up to 2*Window+1 events surrounding the
+	// divergence in each trace.
+	RefWindow, GotWindow []interp.Event
+}
+
+func (d *Divergence) Error() string {
+	at := "beyond the retained trace window"
+	switch {
+	case d.RefEvent != nil && d.GotEvent != nil:
+		at = fmt.Sprintf("first diverging retired instruction: step %d (%s) vs step %d (%s)",
+			d.RefEvent.Step, d.RefEvent.Kind, d.GotEvent.Step, d.GotEvent.Kind)
+	case d.RefEvent != nil:
+		at = fmt.Sprintf("first diverging retired instruction: step %d (%s) with no counterpart — the other run ended first",
+			d.RefEvent.Step, d.RefEvent.Kind)
+	case d.GotEvent != nil:
+		at = fmt.Sprintf("first diverging retired instruction: step %d (%s) with no counterpart — the reference run ended first",
+			d.GotEvent.Step, d.GotEvent.Kind)
+	}
+	return fmt.Sprintf("oracle: %s: semantic divergence on the %s axis between [%v] and [%v]: %s",
+		d.Program, d.Axis, d.Ref, d.Got, at)
+}
+
+// Report renders the divergence with windowed event traces from both runs.
+func (d *Divergence) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", d.Error())
+	fmt.Fprintf(&sb, "  ref [%v]: arch=%016x exec=%016x steps=%d\n",
+		d.Ref, d.RefDigest.Arch, d.RefDigest.Exec, d.RefDigest.Steps)
+	fmt.Fprintf(&sb, "  got [%v]: arch=%016x exec=%016x steps=%d\n",
+		d.Got, d.GotDigest.Arch, d.GotDigest.Exec, d.GotDigest.Steps)
+	if d.Index < 0 {
+		sb.WriteString("  traces agree for their full retained length; raise Options.TraceCap to localize\n")
+		return sb.String()
+	}
+	writeWindow := func(label string, ev *interp.Event, win []interp.Event) {
+		fmt.Fprintf(&sb, "  %s window:\n", label)
+		if len(win) == 0 {
+			sb.WriteString("    (no events: run ended before the divergence point)\n")
+			return
+		}
+		for i := range win {
+			mark := "   "
+			if ev != nil && win[i] == *ev {
+				mark = ">>>"
+			}
+			fmt.Fprintf(&sb, "    %s %v\n", mark, win[i])
+		}
+	}
+	writeWindow("ref", d.RefEvent, d.RefWindow)
+	writeWindow("got", d.GotEvent, d.GotWindow)
+	return sb.String()
+}
+
+// observables filters a trace down to architecturally visible events — the
+// only events comparable across optimization levels.
+func observables(events []interp.Event) []interp.Event {
+	var out []interp.Event
+	for _, e := range events {
+		switch e.Kind {
+		case interp.EvSink, interp.EvExit, interp.EvTrap:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// sameEvent compares two events under an axis: on the layout axis the whole
+// event including its retired step must match; across optimization levels
+// steps legitimately differ, so only the observable payload is compared.
+func sameEvent(a, b interp.Event, axis Axis) bool {
+	if axis == AxisLayout {
+		return a == b
+	}
+	return a.Kind == b.Kind && a.Loc == b.Loc && a.Val == b.Val
+}
+
+// localize re-runs two diverging cells with tracing recorders and pins the
+// first diverging event. Infrastructure errors during the re-run (which
+// already succeeded once) are returned as plain errors.
+func (v *verifier) localize(ref, got Cell, refDigest, gotDigest interp.Digest, axis Axis) (*Divergence, error) {
+	refRec := interp.NewTracer(v.opts.TraceCap)
+	if err := v.runCell(ref, refRec); err != nil {
+		return nil, fmt.Errorf("oracle: re-running %v to localize divergence: %w", ref, err)
+	}
+	gotRec := interp.NewTracer(v.opts.TraceCap)
+	if err := v.runCell(got, gotRec); err != nil {
+		return nil, fmt.Errorf("oracle: re-running %v to localize divergence: %w", got, err)
+	}
+	refTrace, gotTrace := refRec.Digest().Events, gotRec.Digest().Events
+	if axis == AxisOptimization {
+		refTrace, gotTrace = observables(refTrace), observables(gotTrace)
+	}
+
+	d := &Divergence{
+		Program:   v.name,
+		Axis:      axis,
+		Ref:       ref,
+		Got:       got,
+		RefDigest: refDigest,
+		GotDigest: gotDigest,
+		Index:     -1,
+	}
+	n := len(refTrace)
+	if len(gotTrace) < n {
+		n = len(gotTrace)
+	}
+	idx := -1
+	for i := 0; i < n; i++ {
+		if !sameEvent(refTrace[i], gotTrace[i], axis) {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 && len(refTrace) != len(gotTrace) {
+		// Shared prefix, one trace longer: the divergence is the first
+		// unmatched event of the longer trace.
+		idx = n
+	}
+	if idx == -1 {
+		// Hashes disagreed but retained traces agree: divergence beyond the
+		// trace capacity.
+		return d, nil
+	}
+	d.Index = idx
+	if idx < len(refTrace) {
+		d.RefEvent = &refTrace[idx]
+	}
+	if idx < len(gotTrace) {
+		d.GotEvent = &gotTrace[idx]
+	}
+	d.RefWindow = window(refTrace, idx, v.opts.Window)
+	d.GotWindow = window(gotTrace, idx, v.opts.Window)
+	return d, nil
+}
+
+// window slices up to w events on each side of idx.
+func window(events []interp.Event, idx, w int) []interp.Event {
+	lo := idx - w
+	if lo < 0 {
+		lo = 0
+	}
+	hi := idx + w + 1
+	if hi > len(events) {
+		hi = len(events)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return events[lo:hi]
+}

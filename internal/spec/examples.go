@@ -1,0 +1,60 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// QuickstartProgram builds the quickstart demo program: a hot hash loop over
+// a few helper functions. extraPad adds a do-nothing stack slot to one
+// helper — the kind of incidental edit (§1: "adding or removing a stack
+// variable") that moves every address after it. It lives here, rather than
+// in the example binary, so the semantic-invariance verifier sweeps the
+// exact module the demo runs.
+func QuickstartProgram(extraPad bool, scale float64) *ir.Module {
+	mb := ir.NewModuleBuilder("quickstart")
+
+	helpers := make([]int32, 6)
+	for i := range helpers {
+		f := mb.Func(fmt.Sprintf("mix%d", i), 1)
+		if extraPad && i == 0 {
+			f.Slot("padding", 64) // the "change" under test
+		}
+		v := f.Mov(f.Param(0))
+		for r := 0; r < 6; r++ {
+			m := f.Mul(v, f.ConstI(int64(2654435761+i*37+r)))
+			v = f.Xor(m, f.Shr(m, f.ConstI(int64(11+r))))
+		}
+		f.Ret(v)
+		helpers[i] = f.Index()
+	}
+
+	main := mb.Func("main", 0)
+	acc := main.ConstI(12345)
+	main.LoopN(n(scale, 4000), func(i ir.Reg) {
+		for _, h := range helpers {
+			main.MovTo(acc, main.Call(h, main.Add(acc, i)))
+		}
+	})
+	main.Sink(acc)
+	main.Ret(ir.NoReg)
+	return mb.Module()
+}
+
+// Examples returns the example programs as benchmarks, so the
+// semantic-invariance verifier (stabilizer verify, experiments
+// -verify-semantics) covers them with the same machinery as the suite.
+func Examples() []Benchmark {
+	base := Benchmark{
+		Name: "quickstart", Lang: "c",
+		Notes: "the demo pair's baseline: a hot hash loop over six helpers",
+		Build: func(scale float64) *ir.Module { return QuickstartProgram(false, scale) },
+	}
+	padded := Benchmark{
+		Name: "quickstart-pad", Lang: "c",
+		Notes: "the demo pair's 'change': the same program with an unused 64-byte stack slot in one helper",
+		Build: func(scale float64) *ir.Module { return QuickstartProgram(true, scale) },
+	}
+	return []Benchmark{base, padded}
+}

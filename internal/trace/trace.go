@@ -83,8 +83,8 @@ func (s *Sampler) BlockOffsets(fn int) []uint64        { return s.inner.BlockOff
 func (s *Sampler) GlobalAddr(g int) mem.Addr           { return s.inner.GlobalAddr(g) }
 func (s *Sampler) StackBase() mem.Addr                 { return s.inner.StackBase() }
 func (s *Sampler) BeforeCall(fn int) uint64            { return s.inner.BeforeCall(fn) }
-func (s *Sampler) Alloc(size uint64) mem.Addr          { return s.inner.Alloc(size) }
-func (s *Sampler) Free(addr mem.Addr)                  { s.inner.Free(addr) }
+func (s *Sampler) Alloc(size uint64) (mem.Addr, error) { return s.inner.Alloc(size) }
+func (s *Sampler) Free(addr mem.Addr) error            { return s.inner.Free(addr) }
 func (s *Sampler) RelocCall(c, f int) (mem.Addr, bool) { return s.inner.RelocCall(c, f) }
 func (s *Sampler) RelocGlobal(c, g int) (mem.Addr, bool) {
 	return s.inner.RelocGlobal(c, g)

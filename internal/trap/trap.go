@@ -1,0 +1,117 @@
+// Package trap defines the typed program-fault taxonomy shared by the
+// simulated substrate (internal/mem, internal/heap, internal/interp).
+//
+// A trap is a fault the *program under measurement* triggered — a double
+// free, an out-of-bounds access, allocator exhaustion. Before this package
+// existed those conditions panicked inside the allocators, killing the
+// whole experiment process; now they surface as structured errors the
+// interpreter converts into program faults. That distinction is what lets
+// the semantic-invariance oracle (internal/oracle) assert
+// *fault-equivalence*: a program that traps must trap with the same Kind
+// at the same retired-instruction index under every layout randomization,
+// exactly as its outputs must match when it does not trap.
+package trap
+
+import "fmt"
+
+// Kind classifies a program fault.
+type Kind uint8
+
+const (
+	// DoubleFree is a free of a pointer that is already in the freed state.
+	DoubleFree Kind = iota + 1
+	// UnknownFree is a free of an address the allocator never issued.
+	UnknownFree
+	// InvalidFree is a free through a value that is not a heap pointer, or
+	// through an interior pointer.
+	InvalidFree
+	// UseAfterFree is an access through a pointer whose object was freed.
+	UseAfterFree
+	// OutOfBounds is an access outside an object's, global's, or stack
+	// slot's extent.
+	OutOfBounds
+	// InvalidPointer is a heap access through a value that is not a heap
+	// pointer, or an attempt to make a heap pointer architecturally
+	// observable (sinking it would leak layout into program output).
+	InvalidPointer
+	// OutOfMemory is allocator or address-space exhaustion.
+	OutOfMemory
+	// InvalidMap is a simulated mmap with an unknown placement flag.
+	InvalidMap
+)
+
+var kindNames = map[Kind]string{
+	DoubleFree:     "double-free",
+	UnknownFree:    "unknown-free",
+	InvalidFree:    "invalid-free",
+	UseAfterFree:   "use-after-free",
+	OutOfBounds:    "out-of-bounds",
+	InvalidPointer: "invalid-pointer",
+	OutOfMemory:    "out-of-memory",
+	InvalidMap:     "invalid-map",
+}
+
+// String returns the kind's report spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap-kind(%d)", uint8(k))
+}
+
+// TrapError is a structured program fault. Allocators and the address
+// space construct it with Kind and Detail; the interpreter stamps Step and
+// Fn when the fault crosses into program execution, pinning the fault to a
+// layout-invariant retired-instruction index.
+type TrapError struct {
+	// Kind classifies the fault.
+	Kind Kind
+	// Step is the retired-instruction counter at the fault (0 until the
+	// interpreter stamps it; allocator-level unit tests see 0).
+	Step uint64
+	// Fn names the function that was executing ("" outside the interpreter).
+	Fn string
+	// Detail is the human-readable specifics (addresses, sizes, handles).
+	Detail string
+}
+
+// New builds a TrapError with a formatted detail string.
+func New(kind Kind, format string, args ...any) *TrapError {
+	return &TrapError{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
+
+func (e *TrapError) Error() string {
+	s := "trap: " + e.Kind.String()
+	if e.Fn != "" {
+		s += " in " + e.Fn
+	}
+	if e.Step != 0 {
+		s += fmt.Sprintf(" at step %d", e.Step)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Is reports kind equality, so errors.Is(err, &TrapError{Kind: k}) matches
+// any trap of kind k regardless of step, function, or detail.
+func (e *TrapError) Is(target error) bool {
+	t, ok := target.(*TrapError)
+	return ok && t.Kind == e.Kind
+}
+
+// AsTrap unwraps err to a *TrapError, or nil if it is not a program fault.
+func AsTrap(err error) *TrapError {
+	for err != nil {
+		if t, ok := err.(*TrapError); ok {
+			return t
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil
+		}
+		err = u.Unwrap()
+	}
+	return nil
+}
