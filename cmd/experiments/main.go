@@ -19,6 +19,8 @@
 //	            [-seed n] [-qq benchmark] [-j n] [-progress=false]
 //	            [-checkpoint dir] [-resume dir] [-cell-timeout d] [-retries n]
 //	            [-verify-semantics [-verify-O 0,1,2,3]]
+//	            [-metrics file [-metrics-full]] [-trace file]
+//	            [-log file [-log-level lvl]]
 //
 // With -verify-semantics, the semantic-invariance oracle sweeps every
 // benchmark across seeds, optimization levels, and heap allocators before
@@ -81,6 +83,11 @@ func main() {
 	retries := flag.Int("retries", -1, "retries per cell after a transient failure or timeout (negative = default)")
 	verify := flag.Bool("verify-semantics", false, "pre-flight: run the semantic-invariance oracle over the suite before any experiment; abort on divergence")
 	verifyO := flag.String("verify-O", "0,1,2,3", "comma-separated optimization levels the pre-flight sweeps")
+	metricsOut := flag.String("metrics", "", "write an engine-metrics snapshot (JSON) to this file at exit; golden fields only, byte-identical at any -j")
+	metricsFull := flag.Bool("metrics-full", false, "include wall-clock histograms and gauges in -metrics (real but not reproducible)")
+	traceOut := flag.String("trace", "", "write engine spans as Chrome trace-event JSON to this file at exit (open in ui.perfetto.dev)")
+	logOut := flag.String("log", "", "write the structured JSONL run log to this file")
+	logLevel := flag.String("log-level", "info", "minimum -log level: debug, info, warn, error")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -111,6 +118,14 @@ func main() {
 	experiment.SetParallelism(*jobs)
 	if *progress {
 		experiment.SetProgress(os.Stderr)
+	}
+	flushObs, err := experiment.InstallObs(experiment.ObsFiles{
+		Metrics: *metricsOut, Full: *metricsFull,
+		Trace: *traceOut,
+		Log:   *logOut, LogLevel: *logLevel,
+	})
+	if err != nil {
+		fail("%v", err)
 	}
 
 	if *list {
@@ -213,8 +228,10 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 	}
 	enabled := func(name string) bool { return len(want) == 0 || want[name] }
 
-	// report prints the end-of-campaign telemetry: cells that needed
-	// retries, and checkpoint reuse.
+	// report prints the end-of-campaign telemetry — cells that needed
+	// retries, checkpoint reuse — and flushes the -metrics/-trace/-log
+	// artifacts. It runs on every exit path, so an interrupted or failed
+	// campaign still leaves its telemetry behind.
 	report := func() {
 		if r := experiment.RetryReport(); r != "" {
 			fmt.Fprint(os.Stderr, r)
@@ -222,6 +239,9 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 		if ckpt != nil {
 			stored, reused := ckpt.Stats()
 			fmt.Fprintf(os.Stderr, "checkpoint %s: %d cells stored, %d reused\n", ckpt.Dir(), stored, reused)
+		}
+		if err := flushObs(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing telemetry: %v\n", err)
 		}
 	}
 
@@ -241,6 +261,7 @@ phases        E14: extension — phase behavior under re-randomization (§4)`)
 				os.Exit(130)
 			}
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			report()
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -8,11 +8,16 @@
 //	           [-noise 0] [-j n] [-compare]
 //	stabilizer verify [-bench name] [-seeds 3] [-O 0,1,2,3]
 //	           [-allocs segregated,tlsf,diehard,shuffle] [-scale 0.1] [-j n]
+//	stabilizer prof -bench astar [-runs n] [-seed n] [-top n]
+//	           [-folded out.folded] [-trace out.json] [-code] [-all] ...
 //
 // With -compare, it also runs natively and prints the overhead. The verify
 // subcommand runs the semantic-invariance oracle over the suite and the
 // example programs, exiting 1 with a divergence report if any randomization
-// or optimization cell changes observable behaviour.
+// or optimization cell changes observable behaviour. The prof subcommand is
+// the layout-attribution profiler (same engine as cmd/szprof): per-function
+// counter attribution, folded stacks, a Perfetto flame chart, and the
+// cache-set conflict report.
 package main
 
 import (
@@ -25,15 +30,20 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/profcli"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
 
 func main() {
 	// Subcommand dispatch: `stabilizer verify` runs the semantic-invariance
-	// oracle (see verify.go); everything else is the original flag CLI.
+	// oracle (see verify.go), `stabilizer prof` the layout-attribution
+	// profiler; everything else is the original flag CLI.
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		os.Exit(runVerify(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "prof" {
+		os.Exit(profcli.Main(os.Args[2:], os.Stdout, os.Stderr))
 	}
 
 	bench := flag.String("bench", "", "benchmark name")

@@ -9,6 +9,8 @@
 //	szgate run [-o bench.json] [-runs n | -adaptive [-target f] [-max n]]
 //	           [-scale f] [-seed n] [-level 0..3] [-stabilize] [-noise f]
 //	           [-bench name[,name...]] [-cxx] [-quick] [-j n] [-commit sha]
+//	           [-metrics file [-metrics-full]] [-trace file]
+//	           [-log file [-log-level lvl]]
 //	szgate compare old.json new.json [-alpha f] [-threshold f] [-boot n]
 //	szgate show artifact.json
 //	szgate merge -o out.json a.json b.json [c.json ...]
@@ -120,6 +122,11 @@ func cmdRun(args []string) error {
 	progress := fs.Bool("progress", true, "write per-cell progress lines to stderr")
 	commit := fs.String("commit", "", "commit label (default: git rev-parse --short HEAD, if available)")
 	checkpoint := fs.String("checkpoint", "", "flush completed cells to this directory and reuse them on rerun (crash-safe)")
+	metricsOut := fs.String("metrics", "", "write an engine-metrics snapshot (JSON) to this file at exit; golden fields only, byte-identical at any -j")
+	metricsFull := fs.Bool("metrics-full", false, "include wall-clock histograms and gauges in -metrics (real but not reproducible)")
+	traceOut := fs.String("trace", "", "write engine spans as Chrome trace-event JSON to this file at exit")
+	logOut := fs.String("log", "", "write the structured JSONL run log to this file")
+	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, error")
 	fs.Parse(args)
 
 	optLevel, err := compiler.ParseLevel(*level)
@@ -140,6 +147,21 @@ func cmdRun(args []string) error {
 	if *progress {
 		experiment.SetProgress(os.Stderr)
 	}
+	flushObs, err := experiment.InstallObs(experiment.ObsFiles{
+		Metrics: *metricsOut, Full: *metricsFull,
+		Trace: *traceOut,
+		Log:   *logOut, LogLevel: *logLevel,
+	})
+	if err != nil {
+		return err
+	}
+	// Telemetry is written on every exit path: a failed collection still
+	// leaves its metrics, trace, and log behind for diagnosis.
+	defer func() {
+		if ferr := flushObs(); ferr != nil {
+			fmt.Fprintf(os.Stderr, "szgate: writing telemetry: %v\n", ferr)
+		}
+	}()
 
 	suite, err := pickSuite(*benches, *cxx)
 	if err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,9 +101,13 @@ func TestCompareInfraErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		raw = bytes.Replace(raw, []byte(`"schema": 1`), []byte(`"schema": 100`), 1)
+		cur := []byte(fmt.Sprintf(`"schema": %d`, bench.SchemaVersion))
+		rewritten := bytes.Replace(raw, cur, []byte(`"schema": 100`), 1)
+		if bytes.Equal(rewritten, raw) {
+			t.Fatalf("schema field %s not found in artifact; fixture is stale", cur)
+		}
 		future := filepath.Join(dir, "future.json")
-		if err := os.WriteFile(future, raw, 0o644); err != nil {
+		if err := os.WriteFile(future, rewritten, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		var out bytes.Buffer

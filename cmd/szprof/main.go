@@ -1,0 +1,19 @@
+// Command szprof is the layout-attribution profiler: it runs one benchmark
+// under the profiling observer and reports per-function counter
+// attribution, folded call stacks, a Perfetto flame chart on the
+// simulated-cycle axis, and the cache-set conflict report for the run's
+// actual layout. `szprof -validate-trace file.json` structurally checks
+// any Chrome trace-event JSON file (used by CI on the engines' -trace
+// output). See internal/profcli for the implementation, which is shared
+// with the `stabilizer prof` subcommand.
+package main
+
+import (
+	"os"
+
+	"repro/internal/profcli"
+)
+
+func main() {
+	os.Exit(profcli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

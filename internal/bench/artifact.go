@@ -14,11 +14,18 @@ import (
 	"math"
 	"os"
 	"sort"
+
+	"repro/internal/machine"
 )
 
-// SchemaVersion is bumped whenever the artifact layout changes
-// incompatibly; Read rejects artifacts from a different major schema.
-const SchemaVersion = 1
+// SchemaVersion is bumped whenever the artifact layout changes; Read
+// accepts every schema back to minSchemaVersion (older schemas are strict
+// subsets: schema 2 added the optional metrics summary block) and rejects
+// anything newer than this build understands.
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest artifact schema this build still reads.
+const minSchemaVersion = 1
 
 // Unit values for Meta.Unit.
 const (
@@ -64,10 +71,30 @@ type Benchmark struct {
 	RelHalfWidth float64 `json:"rel_half_width,omitempty"`
 }
 
+// MetricsSummary is the optional (schema ≥ 2) machine-counter aggregate of
+// a collection: every run's perf-stat snapshot summed over all benchmarks.
+// Sums of per-run counters are order-independent and the per-run counters
+// ride in checkpoint cell files, so the block is deterministic for a fixed
+// seed at any worker count and across checkpoint resumes — it is part of
+// the golden artifact, unlike wall-clock telemetry.
+type MetricsSummary struct {
+	TotalRuns int              `json:"total_runs"`
+	Counters  machine.Counters `json:"counters"`
+}
+
+// add folds another summary into s.
+func (s *MetricsSummary) add(o MetricsSummary) {
+	s.TotalRuns += o.TotalRuns
+	s.Counters = s.Counters.Add(o.Counters)
+}
+
 // Artifact is one collection run: metadata plus per-benchmark samples.
 type Artifact struct {
 	Meta       Meta        `json:"meta"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Metrics is the machine-counter summary block; nil in schema-1
+	// artifacts and in collections that disabled it.
+	Metrics *MetricsSummary `json:"metrics,omitempty"`
 }
 
 // Find returns the named benchmark entry, or nil.
@@ -93,8 +120,15 @@ func (a *Artifact) normalize() {
 // Validate checks the artifact's invariants: a known schema, finite samples
 // (JSON cannot carry NaN/Inf), consistent run counts, and unique names.
 func (a *Artifact) Validate() error {
-	if a.Meta.Schema != SchemaVersion {
-		return fmt.Errorf("bench: artifact schema %d, this build reads %d", a.Meta.Schema, SchemaVersion)
+	if a.Meta.Schema < minSchemaVersion || a.Meta.Schema > SchemaVersion {
+		return fmt.Errorf("bench: artifact schema %d, this build reads %d..%d",
+			a.Meta.Schema, minSchemaVersion, SchemaVersion)
+	}
+	if a.Metrics != nil && a.Meta.Schema < 2 {
+		return fmt.Errorf("bench: schema-%d artifact carries a metrics block (needs schema 2)", a.Meta.Schema)
+	}
+	if a.Metrics != nil && a.Metrics.TotalRuns < 0 {
+		return fmt.Errorf("bench: metrics block has negative total_runs %d", a.Metrics.TotalRuns)
 	}
 	if a.Meta.Unit == "" {
 		return fmt.Errorf("bench: artifact has no unit")
@@ -204,6 +238,9 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 	ca, cb := ma.Commit, mb.Commit
 	ma.Commit, mb.Commit = "", ""
 	ma.Seed, mb.Seed = 0, 0
+	// Schema is a file-format property, not a collection property: a
+	// schema-1 artifact extends fine with a schema-2 continuation.
+	ma.Schema, mb.Schema = 0, 0
 	if ma != mb {
 		return nil, fmt.Errorf("bench: merge: artifacts were collected under different configurations:\n  %+v\n  %+v", ma, mb)
 	}
@@ -238,6 +275,16 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 	for _, bb := range b.Benchmarks {
 		if a.Find(bb.Name) == nil {
 			out.Benchmarks = append(out.Benchmarks, bb)
+		}
+	}
+	// Counter sums compose under concatenation; the block survives a merge
+	// only when both halves carried one.
+	if a.Metrics != nil && b.Metrics != nil {
+		sum := *a.Metrics
+		sum.add(*b.Metrics)
+		out.Metrics = &sum
+		if out.Meta.Schema < 2 {
+			out.Meta.Schema = 2
 		}
 	}
 	out.normalize()

@@ -99,9 +99,9 @@ func Collect(ctx context.Context, opts CollectOptions) (*Artifact, error) {
 	if err := validateCollect(&opts); err != nil {
 		return nil, err
 	}
-	art := &Artifact{Meta: metaFor(opts)}
+	art := &Artifact{Meta: metaFor(opts), Metrics: &MetricsSummary{}}
 	for _, b := range opts.Suite {
-		entry, err := collectOne(ctx, b, opts)
+		entry, err := collectOne(ctx, b, opts, art.Metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +152,7 @@ func metaFor(opts CollectOptions) Meta {
 	}
 }
 
-func collectOne(ctx context.Context, b spec.Benchmark, opts CollectOptions) (Benchmark, error) {
+func collectOne(ctx context.Context, b spec.Benchmark, opts CollectOptions, met *MetricsSummary) (Benchmark, error) {
 	cc, err := experiment.CompileBench(b, opts.Config)
 	if err != nil {
 		return Benchmark{}, err
@@ -169,6 +169,9 @@ func collectOne(ctx context.Context, b spec.Benchmark, opts CollectOptions) (Ben
 		for _, r := range ss.Results {
 			entry.Cycles = append(entry.Cycles, r.Cycles)
 		}
+		// Per-run counters are stored in checkpoint cells, so a resumed
+		// collection replays them and the summary stays byte-identical.
+		met.add(MetricsSummary{TotalRuns: len(ss.Results), Counters: ss.Counters})
 		return nil
 	}
 

@@ -27,15 +27,18 @@ type compileKey struct {
 
 // cacheEntry compiles once per key; concurrent requesters wait on the Once.
 type cacheEntry struct {
-	once sync.Once
-	mod  *ir.Module
-	err  error
+	once     sync.Once
+	mod      *ir.Module
+	err      error
+	poisoned bool // err came from a recovered panic, not a clean failure
 }
 
 var compileCache = struct {
 	mu           sync.Mutex
 	entries      map[compileKey]*cacheEntry
 	hits, misses uint64
+	evictions    uint64
+	poisoned     uint64 // evictions of panic-poisoned entries
 }{entries: map[compileKey]*cacheEntry{}}
 
 // compileCached returns the compiled module for the key, compiling at most
@@ -46,19 +49,26 @@ func compileCached(b spec.Benchmark, scale float64, copts compiler.Options) (*ir
 	e, ok := compileCache.entries[key]
 	if ok {
 		compileCache.hits++
+		obsMetrics().Counter("compile.cache.hits").Inc()
 	} else {
 		compileCache.misses++
+		obsMetrics().Counter("compile.cache.misses").Inc()
 		e = &cacheEntry{}
 		compileCache.entries[key] = e
 	}
 	compileCache.mu.Unlock()
 	e.once.Do(func() {
+		done := obsTrace().Span("compile", b.Name, map[string]any{
+			"scale": scale, "level": copts.Level.String(), "stabilize": copts.Stabilize,
+		})
+		defer done()
 		// A panic while building or compiling must not take down the
 		// sweep — and must not leave the entry looking "compiled to nil":
 		// convert it to an error like any other compile failure.
 		defer func() {
 			if r := recover(); r != nil {
 				e.err = fmt.Errorf("experiment: compile %s: panic: %v", b.Name, r)
+				e.poisoned = true
 			}
 		}()
 		// The fault site has no per-run context; an armed KindHang here
@@ -77,8 +87,16 @@ func compileCached(b spec.Benchmark, scale float64, copts compiler.Options) (*ir
 		compileCache.mu.Lock()
 		if compileCache.entries[key] == e {
 			delete(compileCache.entries, key)
+			compileCache.evictions++
+			obsMetrics().Counter("compile.cache.evictions").Inc()
+			if e.poisoned {
+				compileCache.poisoned++
+				obsMetrics().Counter("compile.cache.poisoned_evictions").Inc()
+			}
 		}
 		compileCache.mu.Unlock()
+		obsLog().Warn("compile cache evicted failed entry",
+			obsF("bench", b.Name), obsF("poisoned", e.poisoned), obsF("err", e.err.Error()))
 	}
 	return e.mod, e.err
 }
@@ -90,10 +108,19 @@ func CompileCacheStats() (hits, misses uint64) {
 	return compileCache.hits, compileCache.misses
 }
 
+// CompileCacheEvictions reports cumulative failed-entry evictions, and how
+// many of those entries were poisoned by a recovered panic.
+func CompileCacheEvictions() (evictions, poisoned uint64) {
+	compileCache.mu.Lock()
+	defer compileCache.mu.Unlock()
+	return compileCache.evictions, compileCache.poisoned
+}
+
 // ResetCompileCache drops every cached module and zeroes the stats.
 func ResetCompileCache() {
 	compileCache.mu.Lock()
 	defer compileCache.mu.Unlock()
 	compileCache.entries = map[compileKey]*cacheEntry{}
 	compileCache.hits, compileCache.misses = 0, 0
+	compileCache.evictions, compileCache.poisoned = 0, 0
 }

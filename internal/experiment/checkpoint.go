@@ -71,33 +71,42 @@ func (cp *Checkpoint) cellPath(key string) string {
 // an error: re-collection is deterministic, so dropping a bad file is
 // always safe.
 func (cp *Checkpoint) Lookup(key string, runs int, seedBase uint64) []RunResult {
+	done := obsTrace().Span("checkpoint", "lookup", nil)
+	defer done()
 	path := cp.cellPath(key)
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			warnf("experiment: checkpoint: %v (cell will re-run)", err)
 		}
+		obsMetrics().Counter("checkpoint.lookup.misses").Inc()
 		return nil
 	}
+	obsMetrics().Counter("checkpoint.read_bytes").Add(uint64(len(buf)))
 	var f cellFile
+	miss := func() []RunResult {
+		obsMetrics().Counter("checkpoint.lookup.misses").Inc()
+		return nil
+	}
 	if err := json.Unmarshal(buf, &f); err != nil {
 		warnf("experiment: checkpoint: %s: corrupt cell file: %v (cell will re-run)", path, err)
-		return nil
+		return miss()
 	}
 	switch {
 	case f.Schema != CheckpointSchema:
 		warnf("experiment: checkpoint: %s: schema %d, this build reads %d (cell will re-run)", path, f.Schema, CheckpointSchema)
-		return nil
+		return miss()
 	case f.Key != key:
 		// Hash collision or stale directory from another configuration.
-		return nil
+		return miss()
 	case f.Runs != runs || f.SeedBase != seedBase || len(f.Results) != runs:
 		warnf("experiment: checkpoint: %s: run range mismatch (cell will re-run)", path)
-		return nil
+		return miss()
 	}
 	cp.mu.Lock()
 	cp.reused++
 	cp.mu.Unlock()
+	obsMetrics().Counter("checkpoint.lookup.hits").Inc()
 	return f.Results
 }
 
@@ -105,6 +114,8 @@ func (cp *Checkpoint) Lookup(key string, runs int, seedBase uint64) []RunResult 
 // crash or injected fault mid-write can never leave a truncated cell
 // behind — the file either has the old complete contents or the new.
 func (cp *Checkpoint) Store(ctx context.Context, key string, runs int, seedBase uint64, results []RunResult) (err error) {
+	done := obsTrace().Span("checkpoint", "store", nil)
+	defer done()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("experiment: checkpoint store panicked: %v", r)
@@ -144,6 +155,7 @@ func (cp *Checkpoint) Store(ctx context.Context, key string, runs int, seedBase 
 	cp.mu.Lock()
 	cp.stored++
 	cp.mu.Unlock()
+	obsMetrics().Counter("checkpoint.write_bytes").Add(uint64(len(buf)))
 	return nil
 }
 
@@ -170,12 +182,33 @@ func CheckpointFrom(ctx context.Context) *Checkpoint {
 	return cp
 }
 
-// warnf reports a non-fatal infrastructure problem to the progress writer
-// (stderr when none is set). Warnings never fail a sweep.
+// warnf reports a non-fatal infrastructure problem. Warnings never fail a
+// sweep. With an observability scope installed (SetObs) that carries a
+// logger, the warning becomes a structured JSONL line at warn level;
+// otherwise it falls back to the progress writer (stderr when none is set).
 func warnf(format string, args ...any) {
+	warnCell("", format, args...)
+}
+
+// warnCell is warnf with a cell label attached as a structured field (and
+// a plain-text prefix on the fallback path).
+func warnCell(label, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if lg := obsLog(); lg != nil {
+		if label != "" {
+			lg.Warn(msg, obsF("cell", label))
+		} else {
+			lg.Warn(msg)
+		}
+		return
+	}
 	w := progressWriter()
 	if w == nil {
 		w = os.Stderr
 	}
-	fmt.Fprintf(w, format+"\n", args...)
+	if label != "" {
+		fmt.Fprintf(w, "[%s] %s\n", label, msg)
+	} else {
+		fmt.Fprintln(w, msg)
+	}
 }

@@ -60,7 +60,13 @@ var (
 )
 
 // SetProgress directs per-cell progress/throughput lines (runs completed,
-// runs/sec, ETA) to w. nil (the default) disables them.
+// runs/sec, ETA) to w for pools without their own writer. nil (the
+// default) disables them.
+//
+// Deprecated: the global writer makes concurrently running pools (parallel
+// tests, nested sweeps) interleave their lines. Give each pool its own
+// writer with Pool.WithProgress instead; this shim remains as the fallback
+// for pools that never got one.
 func SetProgress(w io.Writer) {
 	progressMu.Lock()
 	progressW = w
@@ -75,7 +81,9 @@ func progressWriter() io.Writer {
 
 // Pool executes indexed work items across a fixed set of goroutines.
 type Pool struct {
-	workers int
+	workers     int
+	progress    io.Writer
+	hasProgress bool // distinguishes "explicitly disabled (nil)" from "unset"
 }
 
 // NewPool builds a pool with the given worker count; workers <= 0 uses the
@@ -85,6 +93,25 @@ func NewPool(workers int) *Pool {
 		workers = Parallelism()
 	}
 	return &Pool{workers: workers}
+}
+
+// WithProgress returns a copy of the pool whose progress lines go to w —
+// w == nil explicitly silences the pool, overriding the deprecated global
+// SetProgress fallback. The receiver is unchanged.
+func (p *Pool) WithProgress(w io.Writer) *Pool {
+	q := *p
+	q.progress = w
+	q.hasProgress = true
+	return &q
+}
+
+// progressDest resolves this pool's progress writer: its own if one was
+// set (even nil), else the deprecated global.
+func (p *Pool) progressDest() io.Writer {
+	if p.hasProgress {
+		return p.progress
+	}
+	return progressWriter()
 }
 
 // Workers returns the pool's worker count.
@@ -155,7 +182,17 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 	if n <= 0 {
 		return parent.Err()
 	}
-	prog := newProgress(label, n)
+	prog := p.newProgress(label, n)
+	met := obsMetrics()
+	met.Counter("pool.cells.started").Inc()
+	met.Gauge("pool.workers").Set(float64(p.workers))
+	cellStart := time.Now()
+	defer func() {
+		// Wall-clock throughput is real but not reproducible: non-golden.
+		met.Histogram("pool.cell.wall_seconds").NonGolden().Observe(time.Since(cellStart).Seconds())
+		met.Counter("pool.cells.completed").Inc()
+	}()
+	runDone := met.Counter("pool.runs.completed")
 	workers := p.workers
 	if workers > n {
 		workers = n
@@ -169,6 +206,7 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 			if err := safeCall(parent, label, i, fn); err != nil {
 				return err
 			}
+			runDone.Inc()
 			prog.step()
 		}
 		prog.done()
@@ -185,11 +223,15 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 		stopOnce sync.Once
 		stopErr  error
 	)
+	queueWait := met.Histogram("pool.queue.wait_seconds").NonGolden()
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Time from dispatch to this shard actually starting: scheduler
+			// queue wait. Wall-clock, hence non-golden.
+			queueWait.Observe(time.Since(cellStart).Seconds())
 			for i := lo; i < hi; i++ {
 				if ctx.Err() != nil || stopping.Load() {
 					return
@@ -209,6 +251,7 @@ func (p *Pool) forEach(parent context.Context, label string, n int, fn func(ctx 
 					})
 					return
 				}
+				runDone.Inc()
 				prog.step()
 			}
 		}()
@@ -238,14 +281,14 @@ type progress struct {
 // progressEvery throttles reporting; quick cells stay silent.
 const progressEvery = 500 * time.Millisecond
 
-func newProgress(label string, total int) *progress {
-	w := progressWriter()
+func (p *Pool) newProgress(label string, total int) *progress {
+	w := p.progressDest()
 	if w == nil || label == "" {
 		return nil
 	}
-	p := &progress{w: w, label: label, total: int64(total), start: time.Now()}
-	p.last.Store(p.start.UnixNano())
-	return p
+	pr := &progress{w: w, label: label, total: int64(total), start: time.Now()}
+	pr.last.Store(pr.start.UnixNano())
+	return pr
 }
 
 func (p *progress) step() {

@@ -6,6 +6,7 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime/debug"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/spec"
 )
@@ -125,6 +127,21 @@ func (c *Compiled) Run(seed uint64) (RunResult, error) {
 // result for a given seed is identical to Run's whenever the run is
 // allowed to complete.
 func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
+	res, _, err := c.runCtx(ctx, seed, false)
+	return res, err
+}
+
+// ProfileRun is RunCtx with a layout-attribution profiler attached: the
+// returned Profile attributes the run's machine-counter deltas to the
+// executing call stack and carries the set-conflict report for the run's
+// actual (post-randomization) layout. The observer only snapshots counters
+// — it never touches the simulated machine — so the RunResult is identical
+// to RunCtx's for the same seed.
+func (c *Compiled) ProfileRun(ctx context.Context, seed uint64) (RunResult, *obs.Profile, error) {
+	return c.runCtx(ctx, seed, true)
+}
+
+func (c *Compiled) runCtx(ctx context.Context, seed uint64, profile bool) (RunResult, *obs.Profile, error) {
 	r := rng.NewMarsaglia(seed ^ 0x5ab1112e)
 	as := mem.NewAddressSpaceEnv(c.Cfg.EnvSize)
 	// mmap ASLR is on for every run, native or stabilized, as on a stock
@@ -138,9 +155,10 @@ func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
 	}
 	img, err := compiler.Link(c.Module, order, as)
 	if err != nil {
-		return RunResult{}, err
+		return RunResult{}, nil, err
 	}
-	mach := machine.New(machine.DefaultConfig())
+	mcfg := machine.DefaultConfig()
+	mach := machine.New(mcfg)
 	// Every run gets a fresh physical page assignment, as on a real OS.
 	mach.SetPhysicalSeed(r.Next64())
 
@@ -152,7 +170,7 @@ func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
 		var err error
 		st, err = core.New(c.Module, mach, as, img.FuncAddrs, img.GlobalAddrs, opts)
 		if err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 		rt = st
 	} else {
@@ -172,15 +190,21 @@ func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
 	if ctx.Done() != nil {
 		interrupt = ctx.Err
 	}
-	res, err := interp.Run(c.Module, interp.Options{
+	var prof *obs.Profiler
+	iopts := interp.Options{
 		Machine:   mach,
 		Runtime:   rt,
 		MaxSteps:  c.Cfg.MaxSteps,
 		Profile:   c.Cfg.Profile,
 		Interrupt: interrupt,
-	})
+	}
+	if profile {
+		prof = obs.NewProfiler(c.Module, mcfg)
+		iopts.Observer = prof
+	}
+	res, err := interp.Run(c.Module, iopts)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("experiment: run %s: %w", c.Bench.Name, err)
+		return RunResult{}, nil, fmt.Errorf("experiment: run %s: %w", c.Bench.Name, err)
 	}
 
 	noise := c.Cfg.Noise
@@ -204,7 +228,14 @@ func (c *Compiled) RunCtx(ctx context.Context, seed uint64) (RunResult, error) {
 		out.Relocations = st.Stats.Relocations
 		out.AdaptiveTriggers = st.Stats.AdaptiveTriggers
 	}
-	return out, nil
+	var p *obs.Profile
+	if prof != nil {
+		// The runtime is still alive here, so the captured layout is the
+		// run's actual one — under randomization, the final placement.
+		prof.CaptureLayout(rt.CodeBase, rt.GlobalAddr)
+		p = prof.Profile()
+	}
+	return out, p, nil
 }
 
 // SampleSet is the outcome of a batch of runs of one cell.
@@ -272,10 +303,13 @@ func (c *Compiled) Collect(ctx context.Context, runs int, seedBase uint64) (*Sam
 
 func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase uint64) (*SampleSet, error) {
 	label := c.cellLabel()
+	endSpan := obsTrace().Span("cell", label, map[string]any{"runs": runs})
+	defer endSpan()
 	cp := CheckpointFrom(ctx)
 	key := c.cellKey(runs, seedBase)
 	if cp != nil {
 		if results := cp.Lookup(key, runs, seedBase); results != nil {
+			obsLog().Info("cell replayed from checkpoint", obsF("cell", label), obsF("runs", runs))
 			return sampleSetFrom(results), nil
 		}
 	}
@@ -292,18 +326,29 @@ func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase u
 			}
 			break
 		}
+		if attempt > 1 {
+			obsMetrics().Counter("cell.retries").Inc()
+			obsLog().Warn("retrying cell after transient failure",
+				obsF("cell", label), obsF("attempt", attempt), obsF("err", lastErr.Error()))
+		}
 		attempts = attempt
 		ss, err := c.collectOnce(ctx, pool, label, attempt, runs, seedBase)
 		if err == nil {
 			recordAttempts(label, attempts)
 			if cp != nil {
 				if serr := cp.Store(ctx, key, runs, seedBase, ss.Results); serr != nil {
-					warnf("experiment: checkpoint cell %s: %v (cell will re-run on resume)", label, serr)
+					warnCell(label, "experiment: checkpoint cell: %v (cell will re-run on resume)", serr)
 				}
 			}
+			obsLog().Info("cell collected", obsF("cell", label), obsF("runs", runs), obsF("attempts", attempts))
 			return ss, nil
 		}
 		lastErr = err
+		if errors.Is(err, context.DeadlineExceeded) && CellTimeout() > 0 {
+			obsMetrics().Counter("watchdog.interrupts").Inc()
+			obsLog().Warn("watchdog interrupted cell",
+				obsF("cell", label), obsF("attempt", attempt), obsF("timeout", CellTimeout().String()))
+		}
 		if !retryable(err) {
 			break
 		}
@@ -314,6 +359,7 @@ func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase u
 		}
 	}
 	recordAttempts(label, attempts)
+	obsLog().Error("cell failed", obsF("cell", label), obsF("attempts", attempts), obsF("err", fmt.Sprint(lastErr)))
 	return nil, &CellError{Label: label, Attempts: attempts, Err: lastErr}
 }
 

@@ -82,6 +82,8 @@ func (r *VerifyReport) String() string {
 // experiment driver's -verify-semantics pre-flight and the stabilizer
 // verify subcommand.
 func VerifySemantics(ctx context.Context, benches []spec.Benchmark, opts VerifyOptions) (*VerifyReport, error) {
+	endSpan := obsTrace().Span("verify", "semantic-invariance", map[string]any{"programs": len(benches)})
+	defer endSpan()
 	if opts.Scale == 0 {
 		opts.Scale = 1.0
 	}

@@ -171,7 +171,8 @@ func Compare(old, new *bench.Artifact, opts Options) (*Report, error) {
 func comparable(old, new *bench.Artifact) error {
 	mo, mn := old.Meta, new.Meta
 	mo.Commit, mn.Commit = "", ""
-	mo.Seed, mn.Seed = 0, 0 // different seeds are fine: independent samples
+	mo.Seed, mn.Seed = 0, 0     // different seeds are fine: independent samples
+	mo.Schema, mn.Schema = 0, 0 // a schema-1 baseline stays comparable to schema-2 artifacts
 	if mo != mn {
 		return fmt.Errorf("gate: artifacts are not comparable (unit/scale/level/stabilizer/noise differ):\n  old: %+v\n  new: %+v", mo, mn)
 	}

@@ -100,6 +100,19 @@ type Options struct {
 	// Record, if non-nil, accumulates the run's architectural digest (see
 	// digest.go). A Recorder must not be reused across runs.
 	Record *Recorder
+	// Observer, if non-nil, receives windowed machine-counter deltas
+	// attributed to the executing call stack. Windows close at every block
+	// boundary and around calls, so each delta belongs to exactly one
+	// function; summed over a run the deltas equal the machine's totals.
+	// internal/obs.Profiler satisfies this.
+	Observer Observer
+}
+
+// Observer receives per-window machine counter deltas during execution.
+// stack holds function indices, outermost first; it is reused between
+// calls and must not be retained.
+type Observer interface {
+	ProfileWindow(stack []int, delta machine.Counters)
 }
 
 // interruptStride is how many retired steps pass between Interrupt polls:
@@ -139,6 +152,9 @@ type interp struct {
 	liveBase  map[uint64]bool // exact encodings of live base pointers
 	ras       []mem.Addr      // modeled return-address stack (16 entries)
 	profile   []uint64        // per-function exclusive cycles (nil unless profiling)
+	obs       Observer
+	obsLast   machine.Counters // counter state at the last observer flush
+	obsStack  []int            // reusable stack buffer passed to the observer
 }
 
 // rasDepth is the modeled hardware return-address stack depth.
@@ -211,6 +227,12 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 		rec: opts.Record, liveBase: make(map[uint64]bool)}
 	if opts.Profile {
 		it.profile = make([]uint64, len(m.Funcs))
+	}
+	if opts.Observer != nil {
+		it.obs = opts.Observer
+		// The first window measures from here, not from machine zero, so a
+		// reused machine doesn't leak pre-run counters into the profile.
+		it.obsLast = opts.Machine.Snapshot()
 	}
 	it.globals = make([][]uint64, len(m.Globals))
 	for i, g := range m.Globals {
@@ -305,6 +327,23 @@ func (it *interp) runtimeErr(err error) {
 	it.fail(err)
 }
 
+// obsFlush closes the current observer window: the counter delta since the
+// last flush is attributed to the current call stack. Callers place flushes
+// so that every window's leaf is the function that did the work.
+func (it *interp) obsFlush() {
+	if it.obs == nil {
+		return
+	}
+	cur := it.mach.Snapshot()
+	delta := cur.Sub(it.obsLast)
+	it.obsLast = cur
+	it.obsStack = it.obsStack[:0]
+	for _, c := range it.callStack {
+		it.obsStack = append(it.obsStack, c.fn)
+	}
+	it.obs.ProfileWindow(it.obsStack, delta)
+}
+
 // returnAddrs snapshots the return addresses on the simulated stack, for the
 // STABILIZER code garbage collector's stack walk.
 func (it *interp) returnAddrs() []mem.Addr {
@@ -375,6 +414,8 @@ func (it *interp) call(fn int, args []uint64, callerPC mem.Addr) (uint64, *uint6
 		if n := len(it.ras); n > 0 {
 			it.ras = it.ras[:n-1]
 		}
+		// Unwind costs belong to the frame being unwound.
+		it.obsFlush()
 		it.callStack = it.callStack[:len(it.callStack)-1]
 		it.sp = savedSP
 		return 0, exc
@@ -398,6 +439,9 @@ func (it *interp) call(fn int, args []uint64, callerPC mem.Addr) (uint64, *uint6
 		it.mach.Stall(it.mach.Costs.SlowJump)
 	}
 
+	// Frame pop costs close out the callee's last window; the caller's next
+	// window starts clean after the pop.
+	it.obsFlush()
 	it.callStack = it.callStack[:len(it.callStack)-1]
 	it.sp = savedSP
 	return ret, nil
@@ -543,6 +587,11 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 					// are not double-counted against the caller.
 					it.profile[fn] += it.mach.Cycles - blockStart
 				}
+				// Close the observer window at the call site too: the call
+				// setup so far (relocation load, argument staging) belongs
+				// to the caller; everything from here until the callee's
+				// first flush belongs to the callee.
+				it.obsFlush()
 				v, exc := it.call(callee, args, callPC)
 				if it.profile != nil {
 					blockStart = it.mach.Cycles
@@ -599,6 +648,7 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 			// block's own cost plus runtime services charged while it ran.
 			it.profile[fn] += it.mach.Cycles - blockStart
 		}
+		it.obsFlush()
 		if jumped {
 			continue // control transferred to an exception handler
 		}

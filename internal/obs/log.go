@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used in log lines.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Field is one structured key/value pair on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Logger writes leveled structured JSONL: one JSON object per line with
+// "level" and "msg" first, then base fields, then per-call fields, in
+// insertion order. A nil *Logger discards everything, so call sites need
+// no nil checks. Timestamps are off by default — log lines are part of a
+// deterministic run's output — and opt-in via WallClock, which adds a
+// clearly marked "t_wall_ns_nongolden" field.
+type Logger struct {
+	mu        *sync.Mutex
+	w         io.Writer
+	min       Level
+	wallClock bool
+	base      []Field
+}
+
+// NewLogger returns a logger writing to w at the given minimum level.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min}
+}
+
+// WallClock returns a logger that stamps each line with the wall-clock
+// time in a field marked non-golden. For CLI run logs, not golden tests.
+func (l *Logger) WallClock() *Logger {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.wallClock = true
+	return &out
+}
+
+// With returns a logger that adds fields to every line. The receiver is
+// unchanged; the writer and lock are shared.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	out.base = append(append([]Field(nil), l.base...), fields...)
+	return &out
+}
+
+// Enabled reports whether lines at the given level are emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.min
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+func (l *Logger) log(level Level, msg string, fields []Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"level":`)
+	writeJSONValue(&buf, level.String())
+	buf.WriteString(`,"msg":`)
+	writeJSONValue(&buf, msg)
+	for _, f := range l.base {
+		writeField(&buf, f)
+	}
+	for _, f := range fields {
+		writeField(&buf, f)
+	}
+	if l.wallClock {
+		writeField(&buf, F("t_wall_ns_nongolden", time.Now().UnixNano()))
+	}
+	buf.WriteString("}\n")
+	l.mu.Lock()
+	l.w.Write(buf.Bytes())
+	l.mu.Unlock()
+}
+
+func writeField(buf *bytes.Buffer, f Field) {
+	buf.WriteByte(',')
+	writeJSONValue(buf, f.Key)
+	buf.WriteByte(':')
+	writeJSONValue(buf, f.Value)
+}
+
+// writeJSONValue marshals one value; unmarshalable values degrade to their
+// fmt rendering rather than corrupting the line.
+func writeJSONValue(buf *bytes.Buffer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	buf.Write(b)
+}

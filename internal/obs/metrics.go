@@ -1,0 +1,316 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricsSchema versions the metrics snapshot encoding.
+const MetricsSchema = 1
+
+// Registry holds named metrics. All methods are safe for concurrent use;
+// looking up the same name twice returns the same metric. Names use
+// dotted paths ("compile.cache.hits"); the glossary lives in README.md.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-receiver
+// safe: a nil registry returns a detached counter that still works, so
+// instrumentation sites need no nil checks.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named log-bucketed histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-write-wins float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets spans 2^-32 .. 2^31 in power-of-two buckets, enough for
+// byte counts, cycle counts, and sub-nanosecond-to-hours durations in
+// seconds.
+const (
+	histMinExp  = -32
+	histBuckets = 64
+)
+
+// Histogram is a log-bucketed (power-of-two) histogram. Observations are
+// order-independent (counts and sums), so a histogram of deterministic
+// values is itself deterministic at any worker count. Mark histograms of
+// wall-clock measurements NonGolden so they are excluded from golden
+// snapshots.
+type Histogram struct {
+	mu        sync.Mutex
+	count     uint64
+	sum       float64
+	min, max  float64
+	buckets   [histBuckets]uint64
+	nonGolden bool
+}
+
+// NonGolden marks the histogram as wall-clock-derived: it is skipped by
+// Snapshot unless non-golden metrics are requested. Returns the histogram
+// for chaining at the registration site.
+func (h *Histogram) NonGolden() *Histogram {
+	h.mu.Lock()
+	h.nonGolden = true
+	h.mu.Unlock()
+	return h
+}
+
+// Observe records one value. Non-finite and negative values are clamped
+// into the first bucket (they still count toward count/sum bounds).
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// bucketOf maps a value to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	if !(v > 0) || math.IsInf(v, 0) {
+		return 0
+	}
+	e := math.Ilogb(v)
+	idx := e - histMinExp + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// HistogramSnapshot is the serialized form of one histogram. Buckets maps
+// the bucket's upper bound (2^k, rendered as a JSON number) to its count;
+// empty buckets are omitted.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// snapshot serializes the histogram under its lock.
+func (h *Histogram) snapshot() (HistogramSnapshot, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = map[string]uint64{}
+		}
+		s.Buckets[bucketBound(i)] = n
+	}
+	return s, h.nonGolden
+}
+
+// bucketBound renders bucket i's upper bound as "le_2^k" (bucket 0 is the
+// underflow bucket for zero, negative, and non-finite values).
+func bucketBound(i int) string {
+	if i == 0 {
+		return "underflow"
+	}
+	exp := i - 1 + histMinExp + 1
+	return "le_2^" + itoa(exp)
+}
+
+func itoa(n int) string {
+	// strconv-free tiny int formatter keeps this file dependency-light.
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Snapshot is a point-in-time serialization of a registry. Maps encode
+// with sorted keys (encoding/json), so equal snapshots produce equal
+// bytes. The NonGolden section holds wall-clock-derived histograms and is
+// present only when requested.
+type Snapshot struct {
+	Schema   int               `json:"schema"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges are last-write-wins operational values (worker counts, queue
+	// depths) — environmental rather than seed-determined, so they are
+	// reported only alongside the non-golden section.
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// NonGolden holds wall-clock histograms: real on any given run, but
+	// not reproducible across runs or worker counts. Never part of golden
+	// comparisons.
+	NonGolden map[string]HistogramSnapshot `json:"non_golden,omitempty"`
+}
+
+// Snapshot captures every metric. includeNonGolden adds the wall-clock
+// histograms under the non_golden key and the (environmental) gauges;
+// golden artifacts leave it false.
+func (r *Registry) Snapshot(includeNonGolden bool) Snapshot {
+	s := Snapshot{Schema: MetricsSchema}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		if s.Counters == nil {
+			s.Counters = map[string]uint64{}
+		}
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		// A gauge like pool.workers tracks the environment (-j), not the
+		// seed: including it in golden snapshots would break byte-identity
+		// across worker counts.
+		if !includeNonGolden {
+			continue
+		}
+		if s.Gauges == nil {
+			s.Gauges = map[string]float64{}
+		}
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		hs, nonGolden := h.snapshot()
+		if nonGolden {
+			if !includeNonGolden {
+				continue
+			}
+			if s.NonGolden == nil {
+				s.NonGolden = map[string]HistogramSnapshot{}
+			}
+			s.NonGolden[k] = hs
+			continue
+		}
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}
+
+// Encode returns the snapshot as indented JSON with a trailing newline.
+// Equal snapshots encode to equal bytes.
+func (s Snapshot) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

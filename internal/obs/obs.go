@@ -1,0 +1,45 @@
+// Package obs is the observability layer of the reproduction: a metrics
+// registry (counters, gauges, log-bucketed histograms), a leveled
+// structured JSONL logger, a span tracer emitting Chrome trace-event JSON,
+// and the layout-attribution profiler that turns the machine model's
+// counters into per-function diagnoses.
+//
+// The paper explains randomization's effects by pointing at specific
+// microarchitectural mechanisms — cache-set conflicts, branch-predictor
+// aliasing, TLB pressure (§5.2). The profiler in this package makes those
+// explanations checkable in the substrate: it attributes per-window machine
+// counter deltas to the executing function (and call stack), and its
+// set-conflict report names the function pairs whose code or data collide
+// in the same cache sets.
+//
+// Determinism discipline: everything derived from the simulated machine
+// (profiles, folded stacks, flame-chart events on the simulated-cycle time
+// axis, counter aggregates) is deterministic under a fixed seed and
+// byte-identical at any worker count. Wall-clock measurements exist too —
+// engine span durations, cell throughput — but they are confined to
+// clearly marked non-golden fields (histograms registered with NonGolden,
+// the tracer's wall-clock timestamps, logger fields suffixed "_nongolden")
+// and are excluded from golden artifact encodings by default.
+package obs
+
+import "io"
+
+// Scope bundles the three observability sinks a component needs: where to
+// count, where to log, and where to trace. Any field may be nil; the
+// helpers on each type are nil-receiver safe, so a partially constructed
+// scope costs nothing on the disabled paths.
+type Scope struct {
+	Metrics *Registry
+	Log     *Logger
+	Trace   *Tracer
+}
+
+// NewScope returns a scope with a fresh registry and tracer and a logger
+// that discards output (swap in NewLogger(w, level) to keep a run log).
+func NewScope() *Scope {
+	return &Scope{
+		Metrics: NewRegistry(),
+		Log:     NewLogger(io.Discard, LevelInfo),
+		Trace:   NewTracer(),
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---- metrics ----
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Add(2)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	r.Gauge("g").Set(4.5)
+	if got := r.Gauge("g").Value(); got != 4.5 {
+		t.Errorf("gauge = %v, want 4.5", got)
+	}
+	h := r.Histogram("h")
+	for _, v := range []float64{0.5, 1.5, 1.6, 100} {
+		h.Observe(v)
+	}
+	s, _ := h.snapshot()
+	if s.Count != 4 || s.Min != 0.5 || s.Max != 100 {
+		t.Errorf("histogram snapshot = %+v", s)
+	}
+	if s.Sum != 0.5+1.5+1.6+100 {
+		t.Errorf("histogram sum = %v", s.Sum)
+	}
+	// 1.5 and 1.6 share the (1, 2] bucket.
+	if got := s.Buckets["le_2^1"]; got != 2 {
+		t.Errorf("bucket le_2^1 = %d, want 2; buckets: %v", got, s.Buckets)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	s := r.Snapshot(true)
+	if s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil registry snapshot should be empty: %+v", s)
+	}
+}
+
+func TestHistogramUnderflowBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(0)
+	h.Observe(-3)
+	s, _ := h.snapshot()
+	if got := s.Buckets["underflow"]; got != 2 {
+		t.Errorf("underflow bucket = %d, want 2", got)
+	}
+}
+
+func TestGoldenSnapshotExcludesNonGoldenAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Inc()
+	r.Gauge("pool.workers").Set(8) // environmental: varies with -j
+	r.Histogram("wall").NonGolden().Observe(1.23)
+	r.Histogram("cycles").Observe(42)
+
+	golden := r.Snapshot(false)
+	if golden.Gauges != nil {
+		t.Errorf("golden snapshot includes gauges: %v", golden.Gauges)
+	}
+	if golden.NonGolden != nil {
+		t.Errorf("golden snapshot includes non-golden histograms: %v", golden.NonGolden)
+	}
+	if _, ok := golden.Histograms["cycles"]; !ok {
+		t.Error("golden snapshot dropped a golden histogram")
+	}
+
+	full := r.Snapshot(true)
+	if full.Gauges["pool.workers"] != 8 {
+		t.Errorf("full snapshot gauges = %v", full.Gauges)
+	}
+	if _, ok := full.NonGolden["wall"]; !ok {
+		t.Error("full snapshot missing the non-golden histogram")
+	}
+}
+
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Inc()
+		}
+		buf, err := r.Snapshot(false).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a := build([]string{"x", "y", "z"})
+	b := build([]string{"z", "x", "y"})
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshot encoding depends on registration order:\n%s\n%s", a, b)
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	s, _ := r.Histogram("h").snapshot()
+	if s.Count != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", s.Count)
+	}
+}
+
+// ---- logging ----
+
+func TestLoggerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).With(F("cell", "astar -O2"))
+	l.Debug("dropped", F("k", 1))
+	l.Warn("kept", F("attempt", 2), F("err", "boom"))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug below min level): %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec["level"] != "warn" || rec["msg"] != "kept" {
+		t.Errorf("level/msg = %v/%v", rec["level"], rec["msg"])
+	}
+	if rec["cell"] != "astar -O2" {
+		t.Errorf("base field cell = %v", rec["cell"])
+	}
+	if rec["attempt"] != float64(2) || rec["err"] != "boom" {
+		t.Errorf("fields = %v", rec)
+	}
+	if _, ok := rec["t_wall_ns_nongolden"]; ok {
+		t.Error("timestamp present without WallClock()")
+	}
+}
+
+func TestLoggerWallClock(t *testing.T) {
+	var buf bytes.Buffer
+	NewLogger(&buf, LevelInfo).WallClock().Info("hi")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec["t_wall_ns_nongolden"]; !ok {
+		t.Errorf("WallClock logger line missing t_wall_ns_nongolden: %v", rec)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing", F("k", "v"))
+	l.With(F("a", 1)).WallClock().Error("still nothing")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+// ---- tracing ----
+
+func TestTracerSpansValidate(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span("compile", "astar", map[string]any{"level": "-O2"})
+	inner := tr.Span("run", "cell", nil)
+	inner()
+	end()
+	tr.Instant("note", "checkpoint-hit", nil)
+
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Errorf("tracer output fails validation: %v", err)
+	}
+	// Overlapping spans get distinct lanes.
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Tid == events[1].Tid {
+		t.Errorf("overlapping spans share tid %d", events[0].Tid)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", nil)()
+	tr.Instant("a", "b", nil)
+	if tr.Events() != nil {
+		t.Error("nil tracer has events")
+	}
+}
+
+func TestValidateTraceRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `nonsense`,
+		"no traceEvents":  `{"foo": []}`,
+		"unknown phase":   `[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":1}]`,
+		"missing pid":     `[{"name":"x","ph":"X","ts":0,"tid":1}]`,
+		"float tid":       `[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1.5}]`,
+		"missing ts":      `[{"name":"x","ph":"X","pid":1,"tid":1}]`,
+		"negative dur":    `[{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1}]`,
+		"nameless B":      `[{"ph":"B","ts":0,"pid":1,"tid":1}]`,
+		"E without B":     `[{"ph":"E","ts":0,"pid":1,"tid":1}]`,
+		"unclosed B":      `[{"name":"x","ph":"B","ts":0,"pid":1,"tid":1}]`,
+		"crossed nesting": `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"b","ph":"B","ts":1,"pid":1,"tid":1},{"name":"a","ph":"E","ts":2,"pid":1,"tid":1},{"name":"b","ph":"E","ts":3,"pid":1,"tid":1}]`,
+	}
+	for label, data := range cases {
+		if err := ValidateTrace([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateTrace accepted an invalid trace", label)
+		}
+	}
+}
+
+func TestValidateTraceAcceptsBothForms(t *testing.T) {
+	array := `[{"name":"x","ph":"X","ts":0,"dur":5,"pid":1,"tid":1}]`
+	object := `{"traceEvents": [{"name":"x","ph":"X","ts":0,"dur":5,"pid":1,"tid":1}]}`
+	meta := `[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sim"}}]`
+	balanced := `[{"name":"a","ph":"B","ts":0,"pid":1,"tid":1},{"name":"a","ph":"E","ts":2,"pid":1,"tid":1}]`
+	for label, data := range map[string]string{"array": array, "object": object, "metadata": meta, "balancedBE": balanced} {
+		if err := ValidateTrace([]byte(data)); err != nil {
+			t.Errorf("%s: ValidateTrace rejected a valid trace: %v", label, err)
+		}
+	}
+}
+
+func TestWriteTraceJSONDeterministic(t *testing.T) {
+	events := []TraceEvent{
+		{Name: "a", Cat: "sim", Ph: "B", Ts: 1, Pid: 1, Tid: 1},
+		{Name: "a", Ph: "E", Ts: 5, Pid: 1, Tid: 1},
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteTraceJSON(&b1, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&b2, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("WriteTraceJSON is not deterministic")
+	}
+}

@@ -1,0 +1,432 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Profiler attributes windows of machine-counter deltas to the executing
+// function and call stack. The interpreter feeds it one window per basic
+// block (and around calls) via ProfileWindow; the profiler never imports
+// the interpreter — it just satisfies interp's Observer interface
+// structurally.
+//
+// The time axis everywhere is simulated cycles, so every output (folded
+// stacks, flame-chart events, the attribution table, the conflict report)
+// is deterministic under a fixed seed.
+type Profiler struct {
+	mod   *ir.Module
+	cfg   machine.Config
+	perFn []machine.Counters
+	total machine.Counters
+
+	folded map[string]machine.Counters
+
+	flame     []TraceEvent
+	prevStack []int
+
+	// Layout captured by CaptureLayout: per-set line counts for each
+	// function's code (L1I, L2) and each global's data (L1D).
+	codeL1I, codeL2 []map[uint64]int
+	dataL1D         []map[uint64]int
+	layoutCaptured  bool
+}
+
+// NewProfiler returns a profiler for module m running on a machine built
+// from cfg. cfg is needed to map addresses to cache sets for the conflict
+// report.
+func NewProfiler(m *ir.Module, cfg machine.Config) *Profiler {
+	return &Profiler{
+		mod:    m,
+		cfg:    cfg,
+		perFn:  make([]machine.Counters, len(m.Funcs)),
+		folded: map[string]machine.Counters{},
+	}
+}
+
+// ProfileWindow attributes one window of counter deltas to the call stack
+// (innermost function last). This is interp's Observer hook; stack is
+// borrowed and must not be retained.
+func (p *Profiler) ProfileWindow(stack []int, delta machine.Counters) {
+	if len(stack) == 0 {
+		return
+	}
+	leaf := stack[len(stack)-1]
+	p.perFn[leaf] = p.perFn[leaf].Add(delta)
+	p.folded[p.stackKey(stack)] = p.folded[p.stackKey(stack)].Add(delta)
+
+	// Flame chart: diff against the previous window's stack, closing and
+	// opening frames at the current simulated-cycle timestamp.
+	ts := float64(p.total.Cycles)
+	common := 0
+	for common < len(p.prevStack) && common < len(stack) && p.prevStack[common] == stack[common] {
+		common++
+	}
+	for i := len(p.prevStack) - 1; i >= common; i-- {
+		p.flame = append(p.flame, TraceEvent{
+			Name: p.fnName(p.prevStack[i]), Cat: "sim", Ph: "E", Ts: ts, Pid: 1, Tid: 1,
+		})
+	}
+	for i := common; i < len(stack); i++ {
+		p.flame = append(p.flame, TraceEvent{
+			Name: p.fnName(stack[i]), Cat: "sim", Ph: "B", Ts: ts, Pid: 1, Tid: 1,
+		})
+	}
+	p.prevStack = append(p.prevStack[:0], stack...)
+	p.total = p.total.Add(delta)
+}
+
+func (p *Profiler) fnName(fn int) string { return p.mod.Funcs[fn].Name }
+
+func (p *Profiler) stackKey(stack []int) string {
+	var sb strings.Builder
+	for i, fn := range stack {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteString(p.fnName(fn))
+	}
+	return sb.String()
+}
+
+// CaptureLayout records where each function's code and each global's data
+// sit in the cache index space, so Profile can name set conflicts. Call it
+// after the run, while the runtime is still alive: under randomization the
+// queried addresses are the run's actual (final) layout.
+//
+// L1I and L1D are virtually indexed, so virtual addresses are exact. The
+// L2 is physically indexed, but the simulated OS does page coloring
+// (machine.SetPhysicalSeed preserves the low page bits that cover the L2's
+// index period), so L2 sets are virtual-equivalent too. The L3's index
+// bits are at the mercy of the random frame allocator and are deliberately
+// not reported.
+func (p *Profiler) CaptureLayout(codeBase func(fn int) mem.Addr, globalAddr func(g int) mem.Addr) {
+	l1i := machine.NewCache(p.cfg.L1I)
+	l1d := machine.NewCache(p.cfg.L1D)
+	l2 := machine.NewCache(p.cfg.L2)
+	p.codeL1I = make([]map[uint64]int, len(p.mod.Funcs))
+	p.codeL2 = make([]map[uint64]int, len(p.mod.Funcs))
+	for fi, f := range p.mod.Funcs {
+		base := codeBase(fi)
+		p.codeL1I[fi] = setFootprint(l1i, base, f.Size)
+		p.codeL2[fi] = setFootprint(l2, base, f.Size)
+	}
+	p.dataL1D = make([]map[uint64]int, len(p.mod.Globals))
+	for gi, g := range p.mod.Globals {
+		p.dataL1D[gi] = setFootprint(l1d, globalAddr(gi), g.Size)
+	}
+	p.layoutCaptured = true
+}
+
+// setFootprint counts, for each cache set, how many distinct lines of
+// [base, base+size) map to it.
+func setFootprint(c *machine.Cache, base mem.Addr, size uint64) map[uint64]int {
+	out := map[uint64]int{}
+	if size == 0 {
+		return out
+	}
+	line := c.LineSize()
+	first := uint64(base) &^ (line - 1)
+	last := (uint64(base) + size - 1) &^ (line - 1)
+	for l := first; ; l += line {
+		out[c.SetOf(mem.Addr(l))]++
+		if l >= last {
+			break
+		}
+	}
+	return out
+}
+
+// Conflict names one pair of entities whose footprints overload shared
+// cache sets: in the sets they share, their combined line count exceeds
+// the associativity, so they evict each other.
+type Conflict struct {
+	Level string // "L1I", "L1D", or "L2"
+	Kind  string // "code" (function pair) or "data" (global pair)
+	A, B  string
+	// SharedSets counts sets where both entities are present and combined
+	// lines exceed the ways.
+	SharedSets int
+	// OverflowLines sums, over those sets, the lines beyond associativity —
+	// the capacity shortfall that forces evictions.
+	OverflowLines int
+	// Misses is the attributed miss count at this level for the pair
+	// (sum of both functions' attributed misses; zero for data conflicts,
+	// which have no per-global attribution).
+	Misses uint64
+	// Score orders the report: overflow weighted by observed misses.
+	Score float64
+}
+
+// Profile is the finished result of one (or several merged) profiled runs.
+type Profile struct {
+	// FuncNames[i] names function i, indexing PerFn.
+	FuncNames []string
+	// PerFn holds each function's exclusive attributed counters.
+	PerFn []machine.Counters
+	// Total is the sum of all windows.
+	Total machine.Counters
+	// Conflicts is the set-conflict report, highest score first. Empty
+	// unless CaptureLayout was called before Profile.
+	Conflicts []Conflict
+
+	folded map[string]machine.Counters
+	flame  []TraceEvent
+}
+
+// Profile finalizes the profiler: closes the flame chart's open frames,
+// computes the set-conflict report from the captured layout, and returns
+// the result. The profiler can keep accumulating afterwards, but Profile
+// should be treated as the end of a run.
+func (p *Profiler) Profile() *Profile {
+	ts := float64(p.total.Cycles)
+	for i := len(p.prevStack) - 1; i >= 0; i-- {
+		p.flame = append(p.flame, TraceEvent{
+			Name: p.fnName(p.prevStack[i]), Cat: "sim", Ph: "E", Ts: ts, Pid: 1, Tid: 1,
+		})
+	}
+	p.prevStack = p.prevStack[:0]
+
+	pr := &Profile{
+		FuncNames: make([]string, len(p.mod.Funcs)),
+		PerFn:     append([]machine.Counters(nil), p.perFn...),
+		Total:     p.total,
+		folded:    map[string]machine.Counters{},
+		flame:     append([]TraceEvent(nil), p.flame...),
+	}
+	for i, f := range p.mod.Funcs {
+		pr.FuncNames[i] = f.Name
+	}
+	for k, v := range p.folded {
+		pr.folded[k] = v
+	}
+	if p.layoutCaptured {
+		pr.Conflicts = p.conflicts()
+	}
+	return pr
+}
+
+// conflicts scores every entity pair per cache level.
+func (p *Profiler) conflicts() []Conflict {
+	var out []Conflict
+	fnNames := make([]string, len(p.mod.Funcs))
+	fnL1IMiss := make([]uint64, len(p.mod.Funcs))
+	fnL2Miss := make([]uint64, len(p.mod.Funcs))
+	for i, f := range p.mod.Funcs {
+		fnNames[i] = f.Name
+		fnL1IMiss[i] = p.perFn[i].L1IMisses
+		fnL2Miss[i] = p.perFn[i].L2Misses
+	}
+	gNames := make([]string, len(p.mod.Globals))
+	for i, g := range p.mod.Globals {
+		gNames[i] = g.Name
+	}
+	out = append(out, pairConflicts("L1I", "code", p.cfg.L1I.Ways, fnNames, p.codeL1I, fnL1IMiss)...)
+	out = append(out, pairConflicts("L2", "code", p.cfg.L2.Ways, fnNames, p.codeL2, fnL2Miss)...)
+	out = append(out, pairConflicts("L1D", "data", p.cfg.L1D.Ways, gNames, p.dataL1D, nil)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// pairConflicts finds entity pairs whose combined per-set lines exceed the
+// associativity. misses (may be nil) gives per-entity attributed misses at
+// this level.
+func pairConflicts(level, kind string, ways int, names []string, footprints []map[uint64]int, misses []uint64) []Conflict {
+	var out []Conflict
+	for a := 0; a < len(footprints); a++ {
+		fa := footprints[a]
+		if len(fa) == 0 {
+			continue
+		}
+		for b := a + 1; b < len(footprints); b++ {
+			fb := footprints[b]
+			if len(fb) == 0 {
+				continue
+			}
+			// Iterate the smaller footprint.
+			small, large := fa, fb
+			if len(fb) < len(fa) {
+				small, large = fb, fa
+			}
+			shared, overflow := 0, 0
+			for set, n := range small {
+				m, ok := large[set]
+				if !ok {
+					continue
+				}
+				if n+m > ways {
+					shared++
+					overflow += n + m - ways
+				}
+			}
+			if shared == 0 {
+				continue
+			}
+			var miss uint64
+			if misses != nil {
+				miss = misses[a] + misses[b]
+			}
+			na, nb := names[a], names[b]
+			if na > nb {
+				na, nb = nb, na
+			}
+			out = append(out, Conflict{
+				Level: level, Kind: kind, A: na, B: nb,
+				SharedSets: shared, OverflowLines: overflow, Misses: miss,
+				Score: float64(overflow) * float64(1+miss),
+			})
+		}
+	}
+	return out
+}
+
+// FoldedStacks renders the profile in flamegraph folded-stack format, one
+// "frame;frame;frame cycles" line per distinct stack, sorted by stack for
+// byte-stable output. Feed it to inferno/flamegraph.pl or speedscope.
+func (pr *Profile) FoldedStacks() string {
+	keys := make([]string, 0, len(pr.folded))
+	for k := range pr.folded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, pr.folded[k].Cycles)
+	}
+	return sb.String()
+}
+
+// FlameEvents returns the flame-chart trace events (B/E pairs on the
+// simulated-cycle time axis, rendered by Perfetto as a flame chart when
+// microseconds are read as cycles).
+func (pr *Profile) FlameEvents() []TraceEvent {
+	return append([]TraceEvent(nil), pr.flame...)
+}
+
+// ConflictsFor filters the conflict report by cache level.
+func (pr *Profile) ConflictsFor(level string) []Conflict {
+	var out []Conflict
+	for _, c := range pr.Conflicts {
+		if c.Level == level {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Table renders the top-N functions by attributed cycles, perf-report
+// style. Deterministic: ties break by name.
+func (pr *Profile) Table(topN int) string {
+	type row struct {
+		name string
+		c    machine.Counters
+	}
+	rows := make([]row, 0, len(pr.PerFn))
+	for i, c := range pr.PerFn {
+		if c.Cycles == 0 && c.Instructions == 0 {
+			continue
+		}
+		rows = append(rows, row{pr.FuncNames[i], c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].c.Cycles != rows[j].c.Cycles {
+			return rows[i].c.Cycles > rows[j].c.Cycles
+		}
+		return rows[i].name < rows[j].name
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %12s %6s %10s %10s %10s %10s %10s %10s\n",
+		"function", "cycles", "cyc%", "instrs", "L1I-miss", "L1D-miss", "L2-miss", "L3-miss", "br-miss")
+	for _, r := range rows {
+		pct := 0.0
+		if pr.Total.Cycles > 0 {
+			pct = float64(r.c.Cycles) / float64(pr.Total.Cycles) * 100
+		}
+		fmt.Fprintf(&sb, "%-20s %12d %5.1f%% %10d %10d %10d %10d %10d %10d\n",
+			r.name, r.c.Cycles, pct, r.c.Instructions,
+			r.c.L1IMisses, r.c.L1DMisses, r.c.L2Misses, r.c.L3Misses,
+			r.c.DirectionMispredicts+r.c.BTBMispredicts)
+	}
+	return sb.String()
+}
+
+// ConflictReport renders the set-conflict report as text: per cache level,
+// the top pairs whose footprints overload shared sets.
+func (pr *Profile) ConflictReport(topN int) string {
+	var sb strings.Builder
+	for _, level := range []string{"L1I", "L1D", "L2"} {
+		cs := pr.ConflictsFor(level)
+		if len(cs) == 0 {
+			continue
+		}
+		if topN > 0 && len(cs) > topN {
+			cs = cs[:topN]
+		}
+		fmt.Fprintf(&sb, "%s set conflicts:\n", level)
+		for _, c := range cs {
+			fmt.Fprintf(&sb, "  %-18s <-> %-18s  %4d sets over capacity, %5d overflow lines",
+				c.A, c.B, c.SharedSets, c.OverflowLines)
+			if c.Kind == "code" {
+				fmt.Fprintf(&sb, ", %8d attributed misses", c.Misses)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if sb.Len() == 0 {
+		return "no set conflicts detected\n"
+	}
+	return sb.String()
+}
+
+// MergeProfiles merges per-run profiles from the same module into one:
+// counters sum (order-independent), folded stacks sum, and each run's
+// flame events keep their own pid lane so Perfetto shows runs side by
+// side. The conflict report is taken from the first profile that has one
+// (each run has its own layout; the first seed's is the one reported).
+// Returns nil for an empty input.
+func MergeProfiles(profiles []*Profile) *Profile {
+	if len(profiles) == 0 {
+		return nil
+	}
+	out := &Profile{
+		FuncNames: append([]string(nil), profiles[0].FuncNames...),
+		PerFn:     make([]machine.Counters, len(profiles[0].PerFn)),
+		folded:    map[string]machine.Counters{},
+	}
+	for pi, p := range profiles {
+		out.Total = out.Total.Add(p.Total)
+		for i, c := range p.PerFn {
+			out.PerFn[i] = out.PerFn[i].Add(c)
+		}
+		for k, v := range p.folded {
+			out.folded[k] = out.folded[k].Add(v)
+		}
+		for _, ev := range p.flame {
+			ev.Pid = int64(pi + 1)
+			out.flame = append(out.flame, ev)
+		}
+		if out.Conflicts == nil && len(p.Conflicts) > 0 {
+			out.Conflicts = append([]Conflict(nil), p.Conflicts...)
+		}
+	}
+	return out
+}

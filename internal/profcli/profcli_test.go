@@ -1,0 +1,141 @@
+package profcli
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// -update regenerates the golden files; run `go test ./internal/profcli
+// -update` after an intentional format change and review the diff.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runMain drives the CLI and captures its streams.
+func runMain(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestGoldenArtifacts pins the three output formats — folded stacks, the
+// flame-chart trace-event JSON, and the report text — for a fixed seed.
+// These are the formats external tools parse (flamegraph.pl, speedscope,
+// Perfetto), so changes must be deliberate.
+func TestGoldenArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	folded := filepath.Join(dir, "q.folded")
+	trace := filepath.Join(dir, "q.trace.json")
+	code, stdout, stderr := runMain(t,
+		"-bench", "quickstart", "-scale", "0.05", "-O", "0", "-seed", "1",
+		"-top", "4", "-folded", folded, "-trace", trace)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+	}
+
+	check := func(name string, got []byte) {
+		t.Helper()
+		golden := filepath.Join("testdata", name)
+		if *update {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/profcli -update` to create)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+		}
+	}
+	foldedBytes, err := os.ReadFile(folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBytes, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("quickstart.folded", foldedBytes)
+	check("quickstart.trace.json", traceBytes)
+	check("quickstart.report.txt", []byte(stdout))
+
+	if err := obs.ValidateTrace(traceBytes); err != nil {
+		t.Errorf("golden trace does not validate: %v", err)
+	}
+}
+
+// TestProfileByteIdentical reruns the same profile and requires identical
+// artifacts: the whole profiler pipeline is on the simulated-cycle axis.
+func TestProfileByteIdentical(t *testing.T) {
+	collect := func() (string, string, string) {
+		dir := t.TempDir()
+		folded := filepath.Join(dir, "f")
+		trace := filepath.Join(dir, "t")
+		code, stdout, stderr := runMain(t,
+			"-bench", "quickstart", "-scale", "0.05", "-O", "1", "-runs", "3",
+			"-seed", "42", "-all", "-folded", folded, "-trace", trace)
+		if code != 0 {
+			t.Fatalf("exit %d; stderr:\n%s", code, stderr)
+		}
+		fb, err := os.ReadFile(folded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(fb), string(tb), stdout
+	}
+	f1, t1, s1 := collect()
+	f2, t2, s2 := collect()
+	if f1 != f2 {
+		t.Error("folded stacks differ between identical invocations")
+	}
+	if t1 != t2 {
+		t.Error("trace JSON differs between identical invocations")
+	}
+	if s1 != s2 {
+		t.Error("report differs between identical invocations")
+	}
+}
+
+func TestValidateTraceMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"traceEvents": [
+  {"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1}
+]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runMain(t, "-validate-trace", good); code != 0 {
+		t.Errorf("valid trace rejected (exit %d): %s", code, stderr)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"ph":"E","ts":0,"pid":1,"tid":1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runMain(t, "-validate-trace", bad); code == 0 {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runMain(t); code != exitUsage {
+		t.Errorf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, stderr := runMain(t, "-bench", "no-such-bench"); code != exitUsage || !strings.Contains(stderr, "unknown benchmark") {
+		t.Errorf("unknown bench: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runMain(t, "-bench", "quickstart", "-runs", "0"); code != exitUsage {
+		t.Errorf("zero runs: exit %d, want %d", code, exitUsage)
+	}
+}

@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestSamplerZeroWindowDefault(t *testing.T) {
+	mach := machine.New(machine.DefaultConfig())
+	s := trace.New(nil, mach, 0)
+	if got := s.Series().WindowCycles; got != 50_000 {
+		t.Errorf("zero window defaulted to %d cycles, want 50000", got)
+	}
+}
+
+func TestSamplerFinalPartialWindowFlush(t *testing.T) {
+	// A window far larger than the whole run: Tick never fires a capture,
+	// so the only window is the partial one Series() flushes at the end.
+	series, res := runTraced(t, 1<<40)
+	if len(series.Windows) != 1 {
+		t.Fatalf("got %d windows, want exactly the flushed partial one", len(series.Windows))
+	}
+	w := series.Windows[0]
+	if w.Cycles != res.Cycles || w.Instructions != res.Instructions {
+		t.Errorf("partial window (%d cycles, %d instrs) != run totals (%d, %d)",
+			w.Cycles, w.Instructions, res.Cycles, res.Instructions)
+	}
+	if w.StartCycle != 0 {
+		t.Errorf("partial window starts at cycle %d, want 0", w.StartCycle)
+	}
+}
+
+func TestSamplerSeriesIdempotent(t *testing.T) {
+	// Series() flushes the partial window; calling it again must not
+	// append an empty duplicate.
+	m := buildTwoPhase()
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	sampler := trace.New(&interp.NativeRuntime{
+		FuncAddrs: img.FuncAddrs, GlobalAddrs: img.GlobalAddrs,
+		Stack: as.StackBase(), Mach: mach,
+	}, mach, 20_000)
+	if _, err := interp.Run(m, interp.Options{Machine: mach, Runtime: sampler}); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(sampler.Series().Windows)
+	n2 := len(sampler.Series().Windows)
+	if n1 != n2 {
+		t.Errorf("second Series() call changed window count: %d -> %d", n1, n2)
+	}
+}
+
+// TestSamplerWrapsStabilizerRuntime checks the sampler is runtime-agnostic:
+// wrapped around the STABILIZER runtime it must observe the same
+// conservation law (window deltas sum to the machine totals) as around the
+// native runtime, re-randomization pauses included.
+func TestSamplerWrapsStabilizerRuntime(t *testing.T) {
+	m, err := compiler.Compile(buildTwoPhase(), compiler.Options{Level: compiler.O0, Stabilize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.Options{
+		Code: true, Stack: true, Heap: true,
+		Rerandomize: true, Interval: 25_000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := trace.New(st, mach, 20_000)
+	res, err := interp.Run(m, interp.Options{Machine: mach, Runtime: sampler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sampler.Series()
+	if len(series.Windows) < 2 {
+		t.Fatalf("only %d windows sampled under the STABILIZER runtime", len(series.Windows))
+	}
+	var cyc, instr uint64
+	for _, w := range series.Windows {
+		cyc += w.Cycles
+		instr += w.Instructions
+	}
+	if cyc != res.Cycles || instr != res.Instructions {
+		t.Errorf("window sums (%d cycles, %d instrs) != run totals (%d, %d)",
+			cyc, instr, res.Cycles, res.Instructions)
+	}
+	if st.Stats.Rerands == 0 {
+		t.Error("re-randomization never fired; the wrapping test is vacuous")
+	}
+}
