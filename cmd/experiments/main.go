@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/experiment"
+	"repro/internal/interp"
 	"repro/internal/oracle"
 	"repro/internal/spec"
 )
@@ -88,6 +89,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write engine spans as Chrome trace-event JSON to this file at exit (open in ui.perfetto.dev)")
 	logOut := flag.String("log", "", "write the structured JSONL run log to this file")
 	logLevel := flag.String("log-level", "info", "minimum -log level: debug, info, warn, error")
+	engine := flag.String("engine", "", "interpreter engine: compiled (default) or walk; samples are identical, only host time differs")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -114,6 +116,12 @@ func main() {
 		}
 		verifyLevels = append(verifyLevels, lv)
 	}
+
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fail("%v", err)
+	}
+	experiment.SetDefaultEngine(eng)
 
 	experiment.SetParallelism(*jobs)
 	if *progress {

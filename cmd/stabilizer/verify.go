@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/experiment"
+	"repro/internal/interp"
 	"repro/internal/oracle"
 	"repro/internal/spec"
 )
@@ -41,6 +42,7 @@ func runVerify(args []string) int {
 	seeds := fs.Int("seeds", 3, "randomization seeds per cell axis")
 	levels := fs.String("O", "0,1,2,3", "comma-separated optimization levels to sweep")
 	allocs := fs.String("allocs", strings.Join(oracle.AllocatorNames, ","), "comma-separated heap allocators to sweep")
+	engines := fs.String("engines", "compiled,walk", "comma-separated execution engines to sweep")
 	scale := fs.Float64("scale", 0.1, "workload scale (verification sweeps many cells; keep small)")
 	jobs := fs.Int("j", 0, "parallel workers (0 = $SZ_PARALLEL or GOMAXPROCS)")
 	interval := fs.Uint64("interval", 0, "re-randomization interval in cycles (0 = oracle default)")
@@ -56,6 +58,15 @@ func runVerify(args []string) int {
 	var seedList []uint64
 	for i := 0; i < *seeds; i++ {
 		seedList = append(seedList, uint64(i+1))
+	}
+	var engList []interp.Engine
+	for _, part := range strings.Split(*engines, ",") {
+		eng, err := interp.ParseEngine(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stabilizer verify: %v\n", err)
+			return 2
+		}
+		engList = append(engList, eng)
 	}
 
 	benches := append(spec.FullSuite(), spec.Examples()...)
@@ -83,12 +94,13 @@ func runVerify(args []string) int {
 			Seeds:      seedList,
 			Levels:     lvs,
 			Allocators: strings.Split(*allocs, ","),
+			Engines:    engList,
 			Interval:   *interval,
 		},
 	}
 
-	fmt.Printf("verifying semantic invariance: %d programs x %d seeds x %d levels x %d allocators\n",
-		len(benches), len(seedList), len(lvs), len(opts.Oracle.Allocators))
+	fmt.Printf("verifying semantic invariance: %d programs x %d seeds x %d levels x %d allocators x %d engines\n",
+		len(benches), len(seedList), len(lvs), len(opts.Oracle.Allocators), len(engList))
 	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
 	defer stop()
 	rep, err := experiment.VerifySemantics(ctx, benches, opts)

@@ -8,10 +8,12 @@
 //
 //	szgate run [-o bench.json] [-runs n | -adaptive [-target f] [-max n]]
 //	           [-scale f] [-seed n] [-level 0..3] [-stabilize] [-noise f]
+//	           [-engine compiled|walk] [-throughput]
 //	           [-bench name[,name...]] [-cxx] [-quick] [-j n] [-commit sha]
 //	           [-metrics file [-metrics-full]] [-trace file]
 //	           [-log file [-log-level lvl]]
 //	szgate compare old.json new.json [-alpha f] [-threshold f] [-boot n]
+//	           [-min-ips-ratio f [-ips-bench name]]
 //	szgate show artifact.json
 //	szgate merge -o out.json a.json b.json [c.json ...]
 //
@@ -41,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/gate"
+	"repro/internal/interp"
 	"repro/internal/spec"
 	"repro/internal/stats"
 )
@@ -111,6 +114,8 @@ func cmdRun(args []string) error {
 	level := fs.Int("level", 2, "optimization level (0-3)")
 	stabilize := fs.Bool("stabilize", false, "run under full STABILIZER randomization")
 	noise := fs.Float64("noise", 0, "relative system-noise sigma (0 = default, negative disables)")
+	engine := fs.String("engine", "", "interpreter engine: compiled (default) or walk")
+	throughput := fs.Bool("throughput", false, "record per-run host wall-clock times (non-golden; enables IPS gating in compare)")
 	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
 	cxx := fs.Bool("cxx", false, "include the five C++ benchmarks")
 	quick := fs.Bool("quick", false, "CI mode: scale 0.2, 8 runs")
@@ -167,7 +172,11 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise, Engine: eng}
 	var st core.Options
 	if *stabilize {
 		st = core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
@@ -191,6 +200,8 @@ func cmdRun(args []string) error {
 		Runs:   *runs,
 		Seed:   *seed,
 		Commit: *commit,
+
+		Throughput: *throughput,
 
 		Adaptive:  *adaptive,
 		TargetRel: *target,
@@ -222,6 +233,8 @@ func cmdCompare(args []string, w io.Writer) (int, error) {
 	boot := fs.Int("boot", 2000, "bootstrap replicates")
 	confidence := fs.Float64("confidence", 0.95, "bootstrap CI level")
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
+	minIPS := fs.Float64("min-ips-ratio", 0, "throughput floor: fail unless new/old retired-instructions-per-second ratio reaches this (0 disables; needs -throughput artifacts)")
+	ipsBench := fs.String("ips-bench", "", "headline benchmark for -min-ips-ratio (default: heaviest baseline workload)")
 	if err := fs.Parse(args); err != nil {
 		return exitInfra, nil // flag package already printed the problem
 	}
@@ -239,6 +252,7 @@ func cmdCompare(args []string, w io.Writer) (int, error) {
 	rep, err := gate.Compare(old, new, gate.Options{
 		Alpha: *alpha, Threshold: *threshold,
 		Bootstrap: *boot, Confidence: *confidence, Seed: *seed,
+		MinIPSRatio: *minIPS, IPSBench: *ipsBench,
 	})
 	if err != nil {
 		// Compare only rejects inputs it cannot soundly gate (different

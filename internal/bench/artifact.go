@@ -20,9 +20,11 @@ import (
 
 // SchemaVersion is bumped whenever the artifact layout changes; Read
 // accepts every schema back to minSchemaVersion (older schemas are strict
-// subsets: schema 2 added the optional metrics summary block) and rejects
-// anything newer than this build understands.
-const SchemaVersion = 2
+// subsets: schema 2 added the optional metrics summary block; schema 3
+// added per-run retired-instruction counts, the informational engine tag,
+// and the non-golden host-seconds telemetry) and rejects anything newer
+// than this build understands.
+const SchemaVersion = 3
 
 // minSchemaVersion is the oldest artifact schema this build still reads.
 const minSchemaVersion = 1
@@ -48,6 +50,12 @@ type Meta struct {
 	Stabilizer string  `json:"stabilizer"` // "native" or core.Options.EnabledString()
 	Noise      float64 `json:"noise"`
 	Commit     string  `json:"commit,omitempty"`
+	// Engine records which interpreter engine collected the samples
+	// (schema ≥ 3; empty means compiled, the default). It is informational:
+	// both engines produce identical simulated samples, so it is excluded
+	// from comparability — a walk-engine artifact gates against a
+	// compiled-engine baseline.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Stopped values for adaptive collection.
@@ -64,6 +72,15 @@ type Benchmark struct {
 	Runs     int       `json:"runs"`
 	Seconds  []float64 `json:"seconds"`
 	Cycles   []uint64  `json:"cycles,omitempty"`
+	// Instructions holds per-run retired-instruction counts (schema ≥ 3).
+	// Deterministic for a fixed seed, hence part of the golden artifact;
+	// together with HostSeconds it yields simulator throughput.
+	Instructions []uint64 `json:"instructions,omitempty"`
+	// HostSeconds holds per-run host wall-clock interpreter times. Host
+	// timing is machine- and engine-dependent telemetry — never golden —
+	// so the JSON key carries the repo's _nongolden marker and collection
+	// only fills it when CollectOptions.Throughput asks for it.
+	HostSeconds []float64 `json:"host_seconds_nongolden,omitempty"`
 	// Adaptive-stopping outcome (empty for fixed-count collection).
 	Stopped string `json:"stopped,omitempty"`
 	// RelHalfWidth is the achieved bootstrap CI half-width on the mean,
@@ -127,6 +144,9 @@ func (a *Artifact) Validate() error {
 	if a.Metrics != nil && a.Meta.Schema < 2 {
 		return fmt.Errorf("bench: schema-%d artifact carries a metrics block (needs schema 2)", a.Meta.Schema)
 	}
+	if a.Meta.Schema < 3 && a.Meta.Engine != "" {
+		return fmt.Errorf("bench: schema-%d artifact carries an engine tag (needs schema 3)", a.Meta.Schema)
+	}
 	if a.Metrics != nil && a.Metrics.TotalRuns < 0 {
 		return fmt.Errorf("bench: metrics block has negative total_runs %d", a.Metrics.TotalRuns)
 	}
@@ -147,6 +167,20 @@ func (a *Artifact) Validate() error {
 		}
 		if len(b.Cycles) != 0 && len(b.Cycles) != len(b.Seconds) {
 			return fmt.Errorf("bench: %s: %d cycle counts for %d samples", b.Name, len(b.Cycles), len(b.Seconds))
+		}
+		if len(b.Instructions) != 0 && len(b.Instructions) != len(b.Seconds) {
+			return fmt.Errorf("bench: %s: %d instruction counts for %d samples", b.Name, len(b.Instructions), len(b.Seconds))
+		}
+		if len(b.HostSeconds) != 0 && len(b.HostSeconds) != len(b.Seconds) {
+			return fmt.Errorf("bench: %s: %d host times for %d samples", b.Name, len(b.HostSeconds), len(b.Seconds))
+		}
+		if (len(b.Instructions) != 0 || len(b.HostSeconds) != 0) && a.Meta.Schema < 3 {
+			return fmt.Errorf("bench: schema-%d artifact carries schema-3 fields (instructions/host times) in %s", a.Meta.Schema, b.Name)
+		}
+		for i, h := range b.HostSeconds {
+			if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
+				return fmt.Errorf("bench: %s: host time %d is %v", b.Name, i, h)
+			}
 		}
 		for i, s := range b.Seconds {
 			if math.IsNaN(s) || math.IsInf(s, 0) || s < 0 {
@@ -239,8 +273,11 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 	ma.Commit, mb.Commit = "", ""
 	ma.Seed, mb.Seed = 0, 0
 	// Schema is a file-format property, not a collection property: a
-	// schema-1 artifact extends fine with a schema-2 continuation.
+	// schema-1 artifact extends fine with a schema-2 continuation. The
+	// engine tag is informational (both engines collect identical samples),
+	// so continuations may switch engines; the merged artifact keeps a's.
 	ma.Schema, mb.Schema = 0, 0
+	ma.Engine, mb.Engine = "", ""
 	if ma != mb {
 		return nil, fmt.Errorf("bench: merge: artifacts were collected under different configurations:\n  %+v\n  %+v", ma, mb)
 	}
@@ -265,8 +302,16 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 			if (len(ba.Cycles) == 0) != (len(bb.Cycles) == 0) {
 				return nil, fmt.Errorf("bench: merge: %s: one artifact has cycle counts, the other does not", ba.Name)
 			}
+			if (len(ba.Instructions) == 0) != (len(bb.Instructions) == 0) {
+				return nil, fmt.Errorf("bench: merge: %s: one artifact has instruction counts, the other does not", ba.Name)
+			}
 			merged.Seconds = append(append([]float64(nil), ba.Seconds...), bb.Seconds...)
 			merged.Cycles = append(append([]uint64(nil), ba.Cycles...), bb.Cycles...)
+			merged.Instructions = append(append([]uint64(nil), ba.Instructions...), bb.Instructions...)
+			// Host times are telemetry from two different collection runs;
+			// concatenating them would suggest one coherent measurement, so
+			// a merge drops them.
+			merged.HostSeconds = nil
 			merged.Runs = len(merged.Seconds)
 			merged.Stopped, merged.RelHalfWidth = "", 0
 		}
@@ -286,6 +331,11 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 		if out.Meta.Schema < 2 {
 			out.Meta.Schema = 2
 		}
+	}
+	// The merged artifact needs the newer half's schema if it inherited
+	// schema-3 fields (e.g. instruction counts from a carried-over entry).
+	if b.Meta.Schema > out.Meta.Schema {
+		out.Meta.Schema = b.Meta.Schema
 	}
 	out.normalize()
 	return out, nil

@@ -26,6 +26,11 @@ type CollectOptions struct {
 	Seed uint64
 	// Commit labels the artifact with the source revision (optional).
 	Commit string
+	// Throughput additionally records per-run host wall-clock times in the
+	// artifact's non-golden HostSeconds field, for simulator-throughput
+	// gating (retired instructions per host second). Off by default so
+	// golden artifacts stay byte-identical across hosts and reruns.
+	Throughput bool
 
 	// Adaptive enables μOpTime-style adaptive stopping: sampling continues
 	// in batches until the bootstrap CI half-width on the mean, relative
@@ -52,6 +57,9 @@ func (o *CollectOptions) defaults() {
 	if o.Suite == nil {
 		o.Suite = spec.Suite()
 	}
+	// Host timing happens inside the runner; the experiment config is the
+	// channel that reaches it.
+	o.Config.Throughput = o.Throughput
 	if o.Runs == 0 {
 		o.Runs = 20
 	}
@@ -149,6 +157,7 @@ func metaFor(opts CollectOptions) Meta {
 		Stabilizer: stab,
 		Noise:      noise,
 		Commit:     opts.Commit,
+		Engine:     opts.Config.Engine.String(),
 	}
 }
 
@@ -168,6 +177,10 @@ func collectOne(ctx context.Context, b spec.Benchmark, opts CollectOptions, met 
 		entry.Seconds = append(entry.Seconds, ss.Seconds...)
 		for _, r := range ss.Results {
 			entry.Cycles = append(entry.Cycles, r.Cycles)
+			entry.Instructions = append(entry.Instructions, r.Instructions)
+			if opts.Throughput {
+				entry.HostSeconds = append(entry.HostSeconds, r.HostSeconds)
+			}
 		}
 		// Per-run counters are stored in checkpoint cells, so a resumed
 		// collection replays them and the summary stays byte-identical.

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/interp"
+	"repro/internal/spec"
+)
+
+// benchEngine measures simulator throughput — retired instructions per host
+// second — for one engine on the headline benchmark (cactusADM, the paper's
+// worst-case workload). The reported instr/s metric is what the CI perf job
+// gates on via szgate; this benchmark is the local, pprof-friendly view of
+// the same number:
+//
+//	go test -run xx -bench BenchmarkEngine ./internal/experiment/ -cpuprofile cpu.prof
+func benchEngine(b *testing.B, eng interp.Engine) {
+	bm, ok := spec.ByName("cactusADM")
+	if !ok {
+		b.Fatal("cactusADM missing from suite")
+	}
+	cc, err := CompileBench(bm, Config{Scale: 0.2, Level: compiler.O2, Noise: -1, Engine: eng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up run pays the per-module lowering and compile caches.
+	if _, err := cc.Run(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		r, err := cc.Run(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += r.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "instr/s")
+}
+
+func BenchmarkEngineCompiled(b *testing.B) { benchEngine(b, interp.EngineCompiled) }
+func BenchmarkEngineWalk(b *testing.B)     { benchEngine(b, interp.EngineWalk) }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -48,10 +50,44 @@ type Config struct {
 	MaxSteps uint64
 	// Profile enables per-function cycle attribution in RunResult.Profile.
 	Profile bool
+	// Engine selects the interpreter execution engine (default compiled;
+	// walk is the differential reference). Both engines produce identical
+	// samples — the cross-engine oracle axis enforces it — so the engine is
+	// deliberately not part of cellKey: a checkpoint collected under one
+	// engine replays correctly under the other. Only host-side throughput
+	// (RunResult.HostSeconds) differs.
+	Engine interp.Engine
+	// Throughput enables host wall-clock measurement of each interpreter
+	// run (RunResult.HostSeconds). Off by default: host time is the one
+	// nondeterministic quantity a run can carry, so golden collections keep
+	// it zeroed and stay bit-identical across re-runs. Throughput cells get
+	// their own checkpoint key — a replay reports the stored host time
+	// rather than silently serving zeros from a golden cell.
+	Throughput bool
 }
 
 // DefaultNoise is the default relative sigma of run-to-run system noise.
 const DefaultNoise = 0.0025
+
+// defaultEngine is the process-wide engine a zero-valued Config.Engine
+// resolves to. interp.EngineCompiled is the zero value, so "unset" and
+// "compiled" are indistinguishable by design: an explicit Config.Engine =
+// EngineWalk always wins, and SetDefaultEngine only matters for callers
+// that leave the field alone (the experiment CLIs' -engine flag).
+var defaultEngine atomic.Int32
+
+// SetDefaultEngine routes every run whose Config doesn't pick an engine to
+// eng. Safe to call concurrently; samples are engine-independent either
+// way, so this only changes host-side execution speed.
+func SetDefaultEngine(eng interp.Engine) { defaultEngine.Store(int32(eng)) }
+
+// effectiveEngine resolves a Config's engine against the process default.
+func effectiveEngine(cfg Config) interp.Engine {
+	if cfg.Engine != interp.EngineCompiled {
+		return cfg.Engine
+	}
+	return interp.Engine(defaultEngine.Load())
+}
 
 // validate rejects configurations that would silently produce garbage
 // samples instead of failing loudly.
@@ -112,6 +148,11 @@ type RunResult struct {
 	Counters machine.Counters
 	// Profile is per-function exclusive cycles (nil unless Config.Profile).
 	Profile []uint64
+	// HostSeconds is the host wall-clock time of the interpreter run —
+	// simulator throughput telemetry (engine-dependent), never part of the
+	// simulated measurements and never folded into golden outputs. Zero
+	// unless Config.Throughput is set.
+	HostSeconds float64 `json:"HostSeconds,omitempty"`
 }
 
 // Run executes the compiled benchmark once with the given seed. The seed
@@ -197,12 +238,15 @@ func (c *Compiled) runCtx(ctx context.Context, seed uint64, profile bool) (RunRe
 		MaxSteps:  c.Cfg.MaxSteps,
 		Profile:   c.Cfg.Profile,
 		Interrupt: interrupt,
+		Engine:    effectiveEngine(c.Cfg),
 	}
 	if profile {
 		prof = obs.NewProfiler(c.Module, mcfg)
 		iopts.Observer = prof
 	}
+	hostStart := time.Now()
 	res, err := interp.Run(c.Module, iopts)
+	hostElapsed := time.Since(hostStart)
 	if err != nil {
 		return RunResult{}, nil, fmt.Errorf("experiment: run %s: %w", c.Bench.Name, err)
 	}
@@ -222,6 +266,9 @@ func (c *Compiled) runCtx(ctx context.Context, seed uint64, profile bool) (RunRe
 		Output:       res.Output,
 		Counters:     mach.Snapshot(),
 		Profile:      res.Profile,
+	}
+	if c.Cfg.Throughput {
+		out.HostSeconds = hostElapsed.Seconds()
 	}
 	if st != nil {
 		out.Rerands = st.Stats.Rerands
@@ -266,10 +313,18 @@ func (c *Compiled) cellKey(runs int, seedBase uint64) string {
 	if c.Cfg.Stabilizer != nil {
 		stab = fmt.Sprintf("stab{%+v}", *c.Cfg.Stabilizer)
 	}
-	return fmt.Sprintf("%s|scale=%g|level=%s|%s|link=%v|env=%d|noise=%g|maxsteps=%d|profile=%v|runs=%d|seedbase=%d",
+	key := fmt.Sprintf("%s|scale=%g|level=%s|%s|link=%v|env=%d|noise=%g|maxsteps=%d|profile=%v|runs=%d|seedbase=%d",
 		c.Bench.Name, c.Cfg.Scale, c.Cfg.Level, stab,
 		c.Cfg.RandomLinkOrder, c.Cfg.EnvSize, c.Cfg.Noise,
 		c.Cfg.MaxSteps, c.Cfg.Profile, runs, seedBase)
+	// Throughput cells carry nondeterministic host times, so they never
+	// share a key with golden cells (the suffix is absent for those, keeping
+	// existing checkpoints valid). The engine is deliberately absent: both
+	// engines collect identical samples.
+	if c.Cfg.Throughput {
+		key += "|throughput"
+	}
+	return key
 }
 
 // sampleSetFrom rebuilds a SampleSet from per-run results (fresh or

@@ -33,8 +33,8 @@ func TestVerifySemantics(t *testing.T) {
 	if rep.Failed() {
 		t.Fatalf("clean programs failed verification:\n%s", rep)
 	}
-	// 2 programs x 2 seeds x 2 levels x 4 allocators.
-	if want := 2 * 2 * 2 * 4; rep.Cells != want {
+	// 2 programs x 2 seeds x 2 levels x 4 allocators x 2 engines.
+	if want := 2 * 2 * 2 * 4 * 2; rep.Cells != want {
 		t.Fatalf("ran %d cells, want %d", rep.Cells, want)
 	}
 	if len(rep.Findings) != 2 || rep.Findings[0].Program != "va" || rep.Findings[1].Program != "vb" {

@@ -1,0 +1,126 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// withIPS returns a copy of the artifact carrying per-run instruction counts
+// and host times such that each benchmark's throughput is exactly the given
+// instructions-per-second value.
+func withIPS(a *bench.Artifact, engine string, ips map[string]struct {
+	Instr uint64
+	IPS   float64
+}) *bench.Artifact {
+	buf, err := a.Encode()
+	if err != nil {
+		panic(err)
+	}
+	out, err := bench.ReadBytes(buf)
+	if err != nil {
+		panic(err)
+	}
+	out.Meta.Engine = engine
+	for i := range out.Benchmarks {
+		b := &out.Benchmarks[i]
+		spec, ok := ips[b.Name]
+		if !ok {
+			continue
+		}
+		for range b.Seconds {
+			b.Instructions = append(b.Instructions, spec.Instr)
+			b.HostSeconds = append(b.HostSeconds, float64(spec.Instr)/spec.IPS)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TestThroughputGate pins the IPS floor: headline selection by heaviest
+// baseline workload, pass/fail around the ratio, the summary section, and
+// the engine tag staying out of comparability.
+func TestThroughputGate(t *testing.T) {
+	base := synthetic(20, map[string]float64{"cactusADM": 2.0, "astar": 0.5})
+	// cactusADM is the heavier workload and must be the implicit headline.
+	old := withIPS(base, "walk", map[string]struct {
+		Instr uint64
+		IPS   float64
+	}{
+		"cactusADM": {Instr: 9_000_000, IPS: 1e6},
+		"astar":     {Instr: 1_000_000, IPS: 2e6},
+	})
+	new := withIPS(base, "compiled", map[string]struct {
+		Instr uint64
+		IPS   float64
+	}{
+		"cactusADM": {Instr: 9_000_000, IPS: 6e6}, // 6x
+		"astar":     {Instr: 1_000_000, IPS: 4e6}, // 2x
+	})
+
+	rep, err := Compare(old, new, Options{MinIPSRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPSBenchmark != "cactusADM" {
+		t.Fatalf("headline %q, want cactusADM (heaviest baseline workload)", rep.IPSBenchmark)
+	}
+	if rep.IPSRatio < 5.9 || rep.IPSRatio > 6.1 {
+		t.Fatalf("IPS ratio %v, want ~6", rep.IPSRatio)
+	}
+	if rep.IPSFail || rep.Fail {
+		t.Fatalf("6x throughput failed a 5x floor: %+v", rep)
+	}
+	tbl := rep.Table()
+	for _, want := range []string{"Simulator throughput", "cactusADM", "throughput gate", "meets"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+
+	// A floor above the measured ratio fails the gate — and only via the
+	// throughput arm, not the statistical rows.
+	rep, err = Compare(old, new, Options{MinIPSRatio: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.IPSFail || !rep.Fail || rep.Failures != 0 {
+		t.Fatalf("6x throughput passed a 7x floor: %+v", rep)
+	}
+	if !strings.Contains(rep.Table(), "GATE FAIL: throughput") {
+		t.Errorf("fail table does not name the throughput gate:\n%s", rep.Table())
+	}
+
+	// An explicit headline overrides the heuristic.
+	rep, err = Compare(old, new, Options{MinIPSRatio: 1.5, IPSBench: "astar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPSBenchmark != "astar" || rep.IPSFail {
+		t.Fatalf("explicit headline: %+v", rep)
+	}
+	if _, err := Compare(old, new, Options{MinIPSRatio: 1.5, IPSBench: "nosuch"}); err == nil {
+		t.Fatal("unknown IPSBench did not error")
+	}
+
+	// Without host timing the floor is an error, not a silent pass.
+	if _, err := Compare(base, base, Options{MinIPSRatio: 5}); err == nil {
+		t.Fatal("MinIPSRatio without host timing did not error")
+	}
+
+	// Differing engine tags alone never make artifacts incomparable, and
+	// without a floor the IPS section is informational only.
+	rep, err = Compare(old, new, Options{})
+	if err != nil {
+		t.Fatalf("engine tags broke comparability: %v", err)
+	}
+	if rep.Fail {
+		t.Fatalf("informational IPS failed the gate: %+v", rep)
+	}
+	if !strings.Contains(rep.Table(), "Simulator throughput") {
+		t.Errorf("IPS rows missing from informational table:\n%s", rep.Table())
+	}
+}

@@ -1,0 +1,249 @@
+package interp_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// The cross-engine differential suite: the compiled engine must be
+// indistinguishable from the tree-walk reference to every observer — the
+// Result (output, cycles, instructions, profile), the Recorder digest, the
+// machine's full counter snapshot, and the Observer's window stream. These
+// tests pin that equivalence over hand-built fixtures (covering traps,
+// exceptions, budget aborts, and stack overflow), generated programs, and
+// both the native and the full STABILIZER runtime.
+
+// windowObs records every observer window verbatim.
+type windowObs struct {
+	windows []struct {
+		stack []int
+		delta machine.Counters
+	}
+}
+
+func (w *windowObs) ProfileWindow(stack []int, delta machine.Counters) {
+	w.windows = append(w.windows, struct {
+		stack []int
+		delta machine.Counters
+	}{append([]int(nil), stack...), delta})
+}
+
+// engineObservation is everything one run exposes.
+type engineObservation struct {
+	res      interp.Result
+	err      error
+	digest   interp.Digest
+	counters machine.Counters
+	obs      *windowObs
+}
+
+// runEngine executes m (already finalized and sized) under one engine with
+// a fresh machine and runtime. With stabilize set, the full STABILIZER
+// runtime — code/stack/heap randomization with re-randomization — is used;
+// otherwise the native static layout.
+func runEngine(t *testing.T, m *ir.Module, eng interp.Engine, stabilize bool, seed uint64, tune func(*interp.Options)) engineObservation {
+	t.Helper()
+	as := mem.NewAddressSpace()
+	img, err := compiler.Link(m, compiler.DefaultOrder(len(m.Funcs)), as)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	mach := machine.New(machine.DefaultConfig())
+	mach.SetPhysicalSeed(seed)
+	var rt interp.Runtime
+	if stabilize {
+		st, err := core.New(m, mach, as, img.FuncAddrs, img.GlobalAddrs, core.Options{
+			Code: true, Stack: true, Heap: true,
+			Rerandomize: true, Interval: 2_000, FineGrainCode: true, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("core: %v", err)
+		}
+		rt = st
+	} else {
+		rt = &interp.NativeRuntime{
+			FuncAddrs:   img.FuncAddrs,
+			GlobalAddrs: img.GlobalAddrs,
+			Stack:       as.StackBase(),
+			Heap:        heap.NewSegregated(as),
+			Mach:        mach,
+		}
+	}
+	obs := &windowObs{}
+	o := interp.Options{
+		Machine:  mach,
+		Runtime:  rt,
+		Engine:   eng,
+		Profile:  true,
+		Record:   interp.NewRecorder(),
+		Observer: obs,
+	}
+	if tune != nil {
+		tune(&o)
+	}
+	res, err := interp.Run(m, o)
+	return engineObservation{res: res, err: err, digest: o.Record.Digest(), counters: mach.Snapshot(), obs: obs}
+}
+
+// diffEngines runs m under both engines in the same configuration and
+// fails on any observable difference.
+func diffEngines(t *testing.T, name string, m *ir.Module, stabilize bool, seed uint64, tune func(*interp.Options)) {
+	t.Helper()
+	walk := runEngine(t, m, interp.EngineWalk, stabilize, seed, tune)
+	comp := runEngine(t, m, interp.EngineCompiled, stabilize, seed, tune)
+
+	switch {
+	case (walk.err == nil) != (comp.err == nil):
+		t.Fatalf("%s: error divergence: walk=%v compiled=%v", name, walk.err, comp.err)
+	case walk.err != nil && walk.err.Error() != comp.err.Error():
+		t.Fatalf("%s: error text divergence:\n  walk:     %v\n  compiled: %v", name, walk.err, comp.err)
+	}
+	if !reflect.DeepEqual(walk.res, comp.res) {
+		t.Fatalf("%s: result divergence:\n  walk:     %+v\n  compiled: %+v", name, walk.res, comp.res)
+	}
+	if walk.digest.Arch != comp.digest.Arch || walk.digest.Exec != comp.digest.Exec || walk.digest.Steps != comp.digest.Steps {
+		t.Fatalf("%s: digest divergence:\n  walk:     arch=%016x exec=%016x steps=%d\n  compiled: arch=%016x exec=%016x steps=%d",
+			name, walk.digest.Arch, walk.digest.Exec, walk.digest.Steps,
+			comp.digest.Arch, comp.digest.Exec, comp.digest.Steps)
+	}
+	if walk.counters != comp.counters {
+		t.Fatalf("%s: machine counter divergence:\n  walk:\n%v\n  compiled:\n%v", name, walk.counters, comp.counters)
+	}
+	if !reflect.DeepEqual(walk.obs.windows, comp.obs.windows) {
+		if len(walk.obs.windows) != len(comp.obs.windows) {
+			t.Fatalf("%s: observer window count divergence: walk=%d compiled=%d",
+				name, len(walk.obs.windows), len(comp.obs.windows))
+		}
+		for i := range walk.obs.windows {
+			if !reflect.DeepEqual(walk.obs.windows[i], comp.obs.windows[i]) {
+				t.Fatalf("%s: observer window %d diverged:\n  walk:     %+v\n  compiled: %+v",
+					name, i, walk.obs.windows[i], comp.obs.windows[i])
+			}
+		}
+	}
+}
+
+// prepared compiles a fixture at the given level (stabilized so the core
+// runtime can host it) and finalizes sizes.
+func prepared(t *testing.T, m *ir.Module, lv compiler.OptLevel) *ir.Module {
+	t.Helper()
+	out, err := compiler.Compile(m, compiler.Options{Level: lv, Stabilize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return out
+}
+
+// budgetFixture spins forever, exercising the StepBudgetError path.
+func budgetFixture() *ir.Module {
+	mb := ir.NewModuleBuilder("spin")
+	f := mb.Func("main", 0)
+	loop := f.NewBlock()
+	f.Jmp(loop)
+	f.SetBlock(loop)
+	f.Jmp(loop)
+	return mb.Module()
+}
+
+// overflowFixture recurses without bound, exercising ErrStackOverflow.
+func overflowFixture() *ir.Module {
+	mb := ir.NewModuleBuilder("deep")
+	f := mb.Func("main", 0)
+	g := mb.Func("down", 1)
+	f.Ret(f.Call(g.Index(), f.ConstI(0)))
+	g.Slot("pad", 256)
+	g.Ret(g.Call(g.Index(), g.Param(0)))
+	return mb.Module()
+}
+
+func TestEnginesMatchOnFixtures(t *testing.T) {
+	fixtures := []struct {
+		name  string
+		build func() *ir.Module
+	}{
+		{"digestA", digestFixtureA},
+		{"digestB-doublefree", digestFixtureB},
+		{"thrower", buildThrower},
+	}
+	for _, fx := range fixtures {
+		for _, lv := range []compiler.OptLevel{compiler.O0, compiler.O2} {
+			m := prepared(t, fx.build(), lv)
+			for _, stab := range []bool{false, true} {
+				diffEngines(t, fmt.Sprintf("%s/%s/stab=%v", fx.name, lv, stab), m, stab, 7, nil)
+			}
+		}
+	}
+}
+
+func TestEnginesMatchOnGeneratedPrograms(t *testing.T) {
+	for _, seed := range []uint64{5, 21, 301, 8191} {
+		cfg := ir.GenConfig{Faults: seed%2 == 1}
+		for _, lv := range []compiler.OptLevel{compiler.O1, compiler.O3} {
+			m := prepared(t, ir.Generate(seed, cfg), lv)
+			for _, stab := range []bool{false, true} {
+				diffEngines(t, fmt.Sprintf("gen%d/%s/stab=%v", seed, lv, stab), m, stab, seed, nil)
+			}
+		}
+	}
+}
+
+func TestEnginesMatchOnBudgetAbort(t *testing.T) {
+	m := prepared(t, budgetFixture(), compiler.O0)
+	tune := func(o *interp.Options) { o.MaxSteps = 10_000 }
+	for _, stab := range []bool{false, true} {
+		diffEngines(t, fmt.Sprintf("budget/stab=%v", stab), m, stab, 3, tune)
+	}
+	// And the error is the structured budget error under both engines.
+	for _, eng := range interp.Engines() {
+		got := runEngine(t, m, eng, false, 3, tune)
+		if !errors.Is(got.err, interp.ErrMaxSteps) {
+			t.Fatalf("engine %s: budget abort surfaced as %v", eng, got.err)
+		}
+	}
+}
+
+func TestEnginesMatchOnStackOverflow(t *testing.T) {
+	m := prepared(t, overflowFixture(), compiler.O0)
+	tune := func(o *interp.Options) { o.StackLimit = 1 << 16 }
+	for _, stab := range []bool{false, true} {
+		diffEngines(t, fmt.Sprintf("overflow/stab=%v", stab), m, stab, 11, tune)
+	}
+	for _, eng := range interp.Engines() {
+		got := runEngine(t, m, eng, false, 11, tune)
+		if !errors.Is(got.err, interp.ErrStackOverflow) {
+			t.Fatalf("engine %s: overflow surfaced as %v", eng, got.err)
+		}
+	}
+}
+
+// TestEngineFlagParsing pins the -engine flag surface.
+func TestEngineFlagParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want interp.Engine
+		ok   bool
+	}{
+		{"compiled", interp.EngineCompiled, true},
+		{"", interp.EngineCompiled, true},
+		{"walk", interp.EngineWalk, true},
+		{"jit", 0, false},
+	} {
+		got, err := interp.ParseEngine(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Fatalf("ParseEngine(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if interp.EngineCompiled.String() != "compiled" || interp.EngineWalk.String() != "walk" {
+		t.Fatal("engine String() spellings changed")
+	}
+}

@@ -106,6 +106,10 @@ type Options struct {
 	// function; summed over a run the deltas equal the machine's totals.
 	// internal/obs.Profiler satisfies this.
 	Observer Observer
+	// Engine selects the execution strategy (default EngineCompiled). Both
+	// engines produce identical results; EngineWalk is the differential
+	// reference.
+	Engine Engine
 }
 
 // Observer receives per-window machine counter deltas during execution.
@@ -149,9 +153,8 @@ type interp struct {
 	rec       *Recorder
 	nextPoll  uint64 // step count at which Interrupt is polled next
 	callStack []callRecord
-	liveBase  map[uint64]bool // exact encodings of live base pointers
-	ras       []mem.Addr      // modeled return-address stack (16 entries)
-	profile   []uint64        // per-function exclusive cycles (nil unless profiling)
+	ras       []mem.Addr // modeled return-address stack (16 entries)
+	profile   []uint64   // per-function exclusive cycles (nil unless profiling)
 	obs       Observer
 	obsLast   machine.Counters // counter state at the last observer flush
 	obsStack  []int            // reusable stack buffer passed to the observer
@@ -207,8 +210,10 @@ func (e *StepBudgetError) Error() string {
 func (e *StepBudgetError) Is(target error) bool { return target == ErrMaxSteps }
 
 // Run executes module m under the given options and returns the result.
-// The module must have been finalized and sized (ir.ComputeSizes).
-func Run(m *ir.Module, opts Options) (res Result, err error) {
+// The module must have been finalized and sized (ir.ComputeSizes). The
+// execution strategy is chosen by Options.Engine; results are identical
+// either way.
+func Run(m *ir.Module, opts Options) (Result, error) {
 	if opts.Machine == nil || opts.Runtime == nil {
 		return Result{}, errors.New("interp: Machine and Runtime are required")
 	}
@@ -223,8 +228,16 @@ func Run(m *ir.Module, opts Options) (res Result, err error) {
 			return Result{}, fmt.Errorf("interp: function %d (%s) has no size; run ir.ComputeSizes", fi, f.Name)
 		}
 	}
+	if opts.Engine == EngineCompiled {
+		return runCompiled(m, opts)
+	}
+	return runWalk(m, opts)
+}
+
+// runWalk executes via the tree-walk engine (the differential reference).
+func runWalk(m *ir.Module, opts Options) (res Result, err error) {
 	it := &interp{m: m, mach: opts.Machine, rt: opts.Runtime, opts: opts,
-		rec: opts.Record, liveBase: make(map[uint64]bool)}
+		rec: opts.Record}
 	if opts.Profile {
 		it.profile = make([]uint64, len(m.Funcs))
 	}
@@ -622,7 +635,7 @@ func (it *interp) exec(fn int, f *ir.Function, codeBase mem.Addr, blockOffs []ui
 
 			case ir.OpSink:
 				v := regs[in.A]
-				if it.liveBase[v] {
+				if liveBaseVal(it.objects, v) {
 					it.trap(trap.InvalidPointer,
 						"%s sinks a heap pointer; output would be layout-dependent", f.Name)
 				}
@@ -811,9 +824,7 @@ func (it *interp) alloc(size uint64) uint64 {
 	if it.rec != nil {
 		it.rec.record(it.steps, EvAlloc, uint64(handle), 0, size)
 	}
-	p := ptrTag | uint64(handle)<<ptrHandleSh
-	it.liveBase[p] = true
-	return p
+	return ptrTag | uint64(handle)<<ptrHandleSh
 }
 
 // free releases a heap object.
@@ -840,8 +851,22 @@ func (it *interp) free(ptr uint64) {
 	}
 	obj.live = false
 	obj.data = nil
-	delete(it.liveBase, ptr)
 	it.freeObj = append(it.freeObj, handle)
+}
+
+// liveBaseVal reports whether v is exactly the base encoding of a live heap
+// object — the values Sink must reject as layout-dependent output. It is
+// equivalent to membership in a set maintained across alloc/free: a live
+// base pointer has the tag bit, a zero offset, and a live in-range handle;
+// no other bit pattern was ever handed out by alloc. (Values with bit 63
+// set decode to handles ≥ 2³¹, beyond the object-count trap threshold, so
+// the range check rejects them.)
+func liveBaseVal(objects []heapObject, v uint64) bool {
+	if v&ptrTag == 0 || v&ptrOffMask != 0 {
+		return false
+	}
+	h := (v &^ ptrTag) >> ptrHandleSh
+	return h < uint64(len(objects)) && objects[h].live
 }
 
 func f2(v uint64) float64 { return math.Float64frombits(v) }

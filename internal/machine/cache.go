@@ -54,6 +54,14 @@ type Cache struct {
 	Misses      uint64
 	Evictions   uint64
 	granularity uint64 // line size, or page size for a TLB
+
+	// Gen counts tag-array mutations: it advances whenever a line is
+	// installed, promoted within its set, or flushed. An MRU-way hit leaves
+	// Gen unchanged, so an unchanged Gen proves every previously verified
+	// MRU-resident line is still MRU-resident — the invariant FetchSteady's
+	// callers use to skip re-probing a fetch span (see fastpath.go). Gen is
+	// not a statistic: it is excluded from Counters and never recorded.
+	Gen uint64
 }
 
 // NewCache builds a cache from cfg. It panics on an invalid configuration;
@@ -97,23 +105,11 @@ func (c *Cache) Access(a mem.Addr) bool {
 	line := c.line(a)
 	tag := line | 1<<63 // bit 63 marks a valid entry; line numbers never reach it
 	base := int((line & c.setMask)) * c.ways
-	set := c.tags[base : base+c.ways]
-	for i, t := range set {
-		if t == tag {
-			// Move to front.
-			copy(set[1:i+1], set[:i])
-			set[0] = tag
-			c.Hits++
-			return true
-		}
+	if c.tags[base] == tag {
+		c.Hits++
+		return true
 	}
-	c.Misses++
-	if set[c.ways-1] != 0 {
-		c.Evictions++
-	}
-	copy(set[1:], set[:c.ways-1])
-	set[0] = tag
-	return false
+	return c.accessCold(c.tags[base:base+c.ways], tag)
 }
 
 // Probe reports whether the line containing a is resident without touching
@@ -132,6 +128,7 @@ func (c *Cache) Probe(a mem.Addr) bool {
 
 // Flush empties the cache but keeps counters.
 func (c *Cache) Flush() {
+	c.Gen++
 	for i := range c.tags {
 		c.tags[i] = 0
 	}

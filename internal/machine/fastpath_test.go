@@ -1,0 +1,92 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/rng"
+)
+
+// driveBoth replays the same access stream through two machines, one using
+// the general Fetch/Data paths and one using the precomputed fast paths,
+// and asserts identical counters after every step.
+func driveBoth(t *testing.T, seed uint64, physical bool) {
+	t.Helper()
+	ref := New(DefaultConfig())
+	fast := New(DefaultConfig())
+	if physical {
+		ref.SetPhysicalSeed(seed)
+		fast.SetPhysicalSeed(seed)
+	}
+	r := rng.NewMarsaglia(seed)
+
+	// Address pools that exercise aliasing: a few code regions (some above
+	// 4 GiB), data spread over many pages, and line-straddling offsets.
+	bases := []uint64{0x400000, 0x601000, 0x7f3200000000, 0x12345000}
+	for step := 0; step < 20000; step++ {
+		switch r.Uint64n(3) {
+		case 0: // fetch
+			a := mem.Addr(bases[r.Uint64n(uint64(len(bases)))] + r.Uint64n(1<<14))
+			size := 1 + r.Uint64n(200)
+			ref.Fetch(a, size)
+			fast.FetchPre(fast.PrepareFetch(a, size, nil))
+		case 1: // aligned-ish data
+			a := mem.Addr(bases[r.Uint64n(uint64(len(bases)))] + r.Uint64n(1<<16)&^7)
+			ref.Data(a, 8)
+			fast.Data8(a)
+		case 2: // arbitrary (possibly line-straddling) data
+			a := mem.Addr(bases[r.Uint64n(uint64(len(bases)))] + r.Uint64n(1<<16))
+			ref.Data(a, 8)
+			fast.Data8(a)
+		}
+		if ref.Snapshot() != fast.Snapshot() {
+			t.Fatalf("seed %d step %d: counters diverged\nref:\n%s\nfast:\n%s",
+				seed, step, ref.Snapshot(), fast.Snapshot())
+		}
+	}
+	// Cache state (not just counters) must match: probe a sample of lines.
+	for i := 0; i < 2000; i++ {
+		a := mem.Addr(bases[r.Uint64n(uint64(len(bases)))] + r.Uint64n(1<<16))
+		for _, pair := range [][2]*Cache{{ref.L1I, fast.L1I}, {ref.L1D, fast.L1D}, {ref.TLB, fast.TLB}} {
+			if pair[0].Probe(a) != pair[1].Probe(a) {
+				t.Fatalf("seed %d: residency of %#x diverged in %s", seed, a, pair[0].cfg.Name)
+			}
+		}
+	}
+}
+
+func TestFastPathsMatchGeneralPaths(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42, 2013} {
+		driveBoth(t, seed, false)
+		driveBoth(t, seed, true)
+	}
+}
+
+// TestPrepareFetchSpansMatchFetch checks the line-splitting itself: every
+// span Fetch would walk appears as exactly that PreLine sequence.
+func TestPrepareFetchSpansMatchFetch(t *testing.T) {
+	m := New(DefaultConfig())
+	line := m.L1I.LineSize()
+	for _, tc := range []struct {
+		a    uint64
+		size uint64
+		want int
+	}{
+		{0x400000, 1, 1},
+		{0x400000, 64, 1},
+		{0x400000, 65, 2},
+		{0x40003f, 2, 2},
+		{0x400001, 200, 4},
+	} {
+		got := m.PrepareFetch(mem.Addr(tc.a), tc.size, nil)
+		if len(got) != tc.want {
+			t.Fatalf("PrepareFetch(%#x, %d): %d lines, want %d", tc.a, tc.size, len(got), tc.want)
+		}
+		for i, p := range got {
+			want := mem.Addr((tc.a &^ (line - 1)) + uint64(i)*line)
+			if p.Addr != want {
+				t.Fatalf("PrepareFetch(%#x, %d): line %d at %#x, want %#x", tc.a, tc.size, i, p.Addr, want)
+			}
+		}
+	}
+}

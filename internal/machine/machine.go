@@ -100,8 +100,20 @@ type Machine struct {
 	// physically indexed, and the OS assigns physical frames essentially
 	// at random. frames memoizes the per-run page -> frame assignment;
 	// nil means identity mapping (virtual == physical), the default.
-	frames   map[uint64]uint64
-	frameRNG *rng.Marsaglia
+	// frameCache is a direct-mapped lookaside in front of the map; entries
+	// key on page+1 so the zero value never matches a real page.
+	frames     map[uint64]uint64
+	frameRNG   *rng.Marsaglia
+	frameCache [frameCacheLen]frameCacheEntry
+}
+
+// frameCacheLen sizes translate's lookaside; a working set beyond this many
+// distinct pages just falls back to the memoizing map.
+const frameCacheLen = 1024
+
+type frameCacheEntry struct {
+	page1 uint64 // page number + 1; 0 = empty
+	frame uint64
 }
 
 // physFrameBits bounds simulated physical memory (2^18 frames = 1 GiB).
@@ -125,6 +137,7 @@ const colorBits = 3
 func (m *Machine) SetPhysicalSeed(seed uint64) {
 	m.frames = make(map[uint64]uint64)
 	m.frameRNG = rng.NewMarsaglia(seed)
+	m.frameCache = [frameCacheLen]frameCacheEntry{}
 }
 
 // translate maps a virtual address to its simulated physical address.
@@ -133,13 +146,17 @@ func (m *Machine) translate(a mem.Addr) mem.Addr {
 		return a
 	}
 	page := uint64(a) / mem.PageSize
-	frame, ok := m.frames[page]
-	if !ok {
-		high := m.frameRNG.Uint64n(1 << (physFrameBits - colorBits))
-		frame = high<<colorBits | page&(1<<colorBits-1)
-		m.frames[page] = frame
+	e := &m.frameCache[page&(frameCacheLen-1)]
+	if e.page1 != page+1 {
+		frame, ok := m.frames[page]
+		if !ok {
+			high := m.frameRNG.Uint64n(1 << (physFrameBits - colorBits))
+			frame = high<<colorBits | page&(1<<colorBits-1)
+			m.frames[page] = frame
+		}
+		e.page1, e.frame = page+1, frame
 	}
-	return mem.Addr(frame*mem.PageSize + uint64(a)%mem.PageSize)
+	return mem.Addr(e.frame*mem.PageSize + uint64(a)%mem.PageSize)
 }
 
 // New builds a machine from cfg.

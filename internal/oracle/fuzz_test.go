@@ -36,6 +36,32 @@ func FuzzDifferential(f *testing.F) {
 	})
 }
 
+// FuzzEngineDifferential stresses the engine axis specifically: a single
+// seed and allocator (so layout is pinned) with both execution engines
+// across all optimization levels. Faults are enabled — trap paths are where
+// an engine divergence would most plausibly hide — and the step budget is
+// raised relative to fuzzVerify since the matrix is much smaller.
+func FuzzEngineDifferential(f *testing.F) {
+	for _, s := range []uint64{3, 17, 256, 7777, 123457} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		m := ir.Generate(seed, ir.GenConfig{Faults: seed%2 == 0})
+		opts := Options{
+			Seeds:      []uint64{1},
+			Allocators: []string{"shuffle"},
+			MaxSteps:   50_000_000,
+		}
+		if _, err := Verify(fmt.Sprintf("eng%d", seed), m, opts); err != nil {
+			var div *Divergence
+			if errors.As(err, &div) {
+				t.Fatalf("seed %d:\n%s", seed, div.Report())
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
 // FuzzTrapEquivalence plants a deterministic heap-misuse fault in every
 // generated program and asserts fault equivalence: the same trap kind in
 // every cell, at the same retired step under every layout.

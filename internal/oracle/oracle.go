@@ -58,6 +58,12 @@ type Options struct {
 	// Allocators are the heap policies to sweep, by name (default
 	// AllocatorNames).
 	Allocators []string
+	// Engines are the execution engines to sweep (default both: compiled
+	// and walk). The engine is a within-level axis like seed and allocator:
+	// every cell of a level must produce the same Exec digest regardless of
+	// which engine ran it, which pins the compiled engine to the tree-walk
+	// reference byte for byte.
+	Engines []interp.Engine
 	// MaxSteps bounds each cell's retired instructions (default 200e6).
 	// Exhausting it is an infrastructure error, not a divergence.
 	MaxSteps uint64
@@ -87,6 +93,9 @@ func (o *Options) defaults() {
 	if len(o.Allocators) == 0 {
 		o.Allocators = AllocatorNames
 	}
+	if len(o.Engines) == 0 {
+		o.Engines = interp.Engines()
+	}
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 200_000_000
 	}
@@ -107,10 +116,11 @@ type Cell struct {
 	Seed      uint64
 	Level     compiler.OptLevel
 	Allocator string
+	Engine    interp.Engine
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s seed=%d %s alloc=%s", c.Program, c.Seed, c.Level, c.Allocator)
+	return fmt.Sprintf("%s seed=%d %s alloc=%s engine=%s", c.Program, c.Seed, c.Level, c.Allocator, c.Engine)
 }
 
 // Result summarizes a passed verification.
@@ -165,23 +175,32 @@ func VerifyCompiled(name string, mods map[compiler.OptLevel]*ir.Module, opts Opt
 		var ref *levelRef
 		for _, seed := range opts.Seeds {
 			for _, al := range opts.Allocators {
-				cell := Cell{Program: name, Seed: seed, Level: lv, Allocator: al}
-				rec := interp.NewRecorder()
-				if err := v.runCell(cell, rec); err != nil {
-					return nil, fmt.Errorf("oracle: %v: %w", cell, err)
-				}
-				d := rec.Digest()
-				res.Cells++
-				if ref == nil {
-					ref = &levelRef{cell: cell, digest: d}
-					continue
-				}
-				if d.Exec != ref.digest.Exec {
-					div, err := v.localize(ref.cell, cell, ref.digest, d, AxisLayout)
-					if err != nil {
-						return nil, err
+				for _, eng := range opts.Engines {
+					cell := Cell{Program: name, Seed: seed, Level: lv, Allocator: al, Engine: eng}
+					rec := interp.NewRecorder()
+					if err := v.runCell(cell, rec); err != nil {
+						return nil, fmt.Errorf("oracle: %v: %w", cell, err)
 					}
-					return nil, div
+					d := rec.Digest()
+					res.Cells++
+					if ref == nil {
+						ref = &levelRef{cell: cell, digest: d}
+						continue
+					}
+					if d.Exec != ref.digest.Exec {
+						// Attribute the divergence to the engine axis only
+						// when the engines alone differ; otherwise layout
+						// (seed/allocator) is the moving part.
+						axis := AxisLayout
+						if ref.cell.Seed == cell.Seed && ref.cell.Allocator == cell.Allocator {
+							axis = AxisEngine
+						}
+						div, err := v.localize(ref.cell, cell, ref.digest, d, axis)
+						if err != nil {
+							return nil, err
+						}
+						return nil, div
+					}
 				}
 			}
 		}
@@ -266,6 +285,7 @@ func (v *verifier) runCell(cell Cell, rec *interp.Recorder) error {
 		Runtime:  st,
 		MaxSteps: v.opts.MaxSteps,
 		Record:   rec,
+		Engine:   cell.Engine,
 	})
 	return classify(err)
 }

@@ -56,7 +56,7 @@ func TestVerifyCleanFixture(t *testing.T) {
 	if err != nil {
 		t.Fatalf("verify failed on a clean fixture: %v", err)
 	}
-	want := 3 * 4 * 4 // seeds x levels x allocators
+	want := 3 * 4 * 4 * 2 // seeds x levels x allocators x engines
 	if res.Cells != want {
 		t.Fatalf("ran %d cells, want %d", res.Cells, want)
 	}

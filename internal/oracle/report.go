@@ -18,6 +18,11 @@ const (
 	// AxisOptimization means two optimization levels disagreed on the
 	// architectural digest: a compiler pass changed observable behaviour.
 	AxisOptimization Axis = "optimization"
+	// AxisEngine means two cells differing only in execution engine —
+	// compiled versus tree-walk — disagreed. The engines are required to be
+	// byte-identical in every digest, so this is an interpreter bug, not a
+	// program or randomization bug.
+	AxisEngine Axis = "engine"
 )
 
 // Divergence is a structured semantic-invariance violation. It implements
@@ -106,11 +111,12 @@ func observables(events []interp.Event) []interp.Event {
 	return out
 }
 
-// sameEvent compares two events under an axis: on the layout axis the whole
-// event including its retired step must match; across optimization levels
-// steps legitimately differ, so only the observable payload is compared.
+// sameEvent compares two events under an axis: on the layout and engine
+// axes the whole event including its retired step must match; across
+// optimization levels steps legitimately differ, so only the observable
+// payload is compared.
 func sameEvent(a, b interp.Event, axis Axis) bool {
-	if axis == AxisLayout {
+	if axis == AxisLayout || axis == AxisEngine {
 		return a == b
 	}
 	return a.Kind == b.Kind && a.Loc == b.Loc && a.Val == b.Val
