@@ -1,0 +1,54 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/ir"
+)
+
+// Repro for suspected propagateCopies staleness: a Mov destination later
+// redefined by a non-Mov op.
+func TestStaleCopyRepro(t *testing.T) {
+	mb := ir.NewModuleBuilder("repro")
+	f := mb.Func("main", 0)
+	c5 := f.ConstI(5)
+	c3 := f.ConstI(3)
+	c4 := f.ConstI(4)
+	d := f.Mov(c5)
+	_ = f.Add(c3, c4)
+	f.Sink(d)
+	f.Ret(ir.NoReg)
+	m := mb.Module()
+
+	out, err := compiler.Compile(m, compiler.Options{Level: compiler.O0, Stabilize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Find the Mov and the Add in main's entry block; redefine the Mov's
+	// destination with the Add.
+	blk := out.Funcs[out.Entry()].Blocks[0]
+	var movDst ir.Reg = ir.NoReg
+	addIdx := -1
+	for i := range blk.Instrs {
+		switch blk.Instrs[i].Op {
+		case ir.OpMov:
+			movDst = blk.Instrs[i].Dst
+		case ir.OpAdd:
+			addIdx = i
+		}
+	}
+	if movDst == ir.NoReg || addIdx < 0 {
+		t.Skipf("shape not preserved by compile: mov=%v addIdx=%d instrs=%+v", movDst, addIdx, blk.Instrs)
+	}
+	blk.Instrs[addIdx].Dst = movDst
+
+	walk := runEngine(t, out, 1 /* EngineWalk */, false, 7, nil)
+	comp := runEngine(t, out, 0 /* EngineCompiled */, false, 7, nil)
+	if walk.err != nil || comp.err != nil {
+		t.Fatalf("errs: walk=%v comp=%v", walk.err, comp.err)
+	}
+	if walk.res.Output != comp.res.Output {
+		t.Fatalf("OUTPUT DIVERGENCE: walk=%#x compiled=%#x", walk.res.Output, comp.res.Output)
+	}
+}
