@@ -1,0 +1,342 @@
+// Command szfarm is the distributed benchmarking farm: a coordinator that
+// shards a campaign's cells across worker processes over HTTP/JSON, backed
+// by the same content-addressed result store `szgate run -store` writes.
+// Every completed cell lands in the store, so a cell is computed once ever
+// — across workers, campaigns, and resubmissions — and a repeated campaign
+// is served entirely from store hits.
+//
+// Usage:
+//
+//	szfarm serve  -store dir [-addr :8713] [-lease-ttl 30s] [-max-attempts 3]
+//	szfarm work   -server url [-name id] [-j n] [-poll d] [-idle-exit]
+//	szfarm submit -server url [-runs n] [-scale f] [-seed n] [-level 0..3]
+//	              [-stabilize] [-noise f] [-engine compiled|walk]
+//	              [-bench name[,name...]] [-cxx] [-commit sha]
+//	              [-wait [-o artifact.json]]
+//	szfarm status -server url [-id cNNNN]
+//	szfarm events -server url -id cNNNN [-follow]
+//
+// Campaign artifacts are assembled by the ordinary collection path in
+// store-only mode, so they are byte-identical to what `szgate run` with the
+// same flags would have written — no matter how many workers computed the
+// cells or how many came from prior store hits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/interp"
+	"repro/internal/obs"
+	"repro/internal/spec"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "work":
+		err = cmdWork(os.Args[2:])
+	case "submit":
+		err = cmdSubmit(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
+	case "events":
+		err = cmdEvents(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "szfarm: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "szfarm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `szfarm — distributed benchmarking farm over a content-addressed store
+
+  szfarm serve   run the coordinator (owns the result store)
+  szfarm work    run a worker against a coordinator
+  szfarm submit  submit a campaign; -wait fetches the merged artifact
+  szfarm status  show campaign progress
+  szfarm events  print a campaign's JSONL event log
+
+Run 'szfarm <subcommand> -h' for flags.
+`)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("szfarm serve", flag.ExitOnError)
+	storeDir := fs.String("store", "", "result store directory (required; created if missing)")
+	addr := fs.String("addr", ":8713", "listen address")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease expiry without a heartbeat; dead workers' cells requeue after this")
+	maxAttempts := fs.Int("max-attempts", 3, "lease attempts per cell before the campaign fails")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("serve needs -store")
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	scope := obs.NewScope()
+	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	coord, err := campaign.NewCoordinator(campaign.CoordinatorOptions{
+		Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts, Obs: scope,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	// Unlike a collection sweep, the coordinator has no in-process compute
+	// to drain — workers post in-flight completions against the store, and
+	// everything else is recoverable — so the first signal shuts down.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "szfarm: serving on %s, store %s (%d blocks)\n", *addr, *storeDir, st.Len())
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func cmdWork(args []string) error {
+	fs := flag.NewFlagSet("szfarm work", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (required)")
+	name := fs.String("name", "", "worker name in leases and events (default: hostname)")
+	jobs := fs.Int("j", 0, "parallel runs within a cell (0 = $SZ_PARALLEL or GOMAXPROCS)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval")
+	idleExit := fs.Bool("idle-exit", false, "exit when the farm reports no remaining work")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("work needs -server")
+	}
+	if *name == "" {
+		if host, err := os.Hostname(); err == nil {
+			*name = host
+		} else {
+			*name = "worker"
+		}
+	}
+	experiment.SetParallelism(*jobs)
+	scope := obs.NewScope()
+	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+	w := &campaign.Worker{
+		Client:   campaign.NewClient(*server),
+		Name:     *name,
+		Poll:     *poll,
+		IdleExit: *idleExit,
+		Obs:      scope,
+	}
+	err := w.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil // clean signal-driven exit
+	}
+	return err
+}
+
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("szfarm submit", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (required)")
+	runs := fs.Int("runs", 20, "runs per benchmark")
+	scale := fs.Float64("scale", 1.0, "workload scale")
+	seed := fs.Uint64("seed", 2013, "master seed")
+	level := fs.Int("level", 2, "optimization level (0-3)")
+	stabilize := fs.Bool("stabilize", false, "run under full STABILIZER randomization")
+	noise := fs.Float64("noise", 0, "relative system-noise sigma (0 = default, negative disables)")
+	engine := fs.String("engine", "", "interpreter engine: compiled (default) or walk")
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	cxx := fs.Bool("cxx", false, "include the five C++ benchmarks")
+	commit := fs.String("commit", "", "commit label for the merged artifact")
+	wait := fs.Bool("wait", false, "poll until the campaign is done")
+	out := fs.String("o", "", "with -wait: write the merged artifact here (- for stdout)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "-wait poll interval")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("submit needs -server")
+	}
+	optLevel, err := compiler.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise, Engine: eng}
+	if *stabilize {
+		cfg.Stabilizer = &core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
+	}
+	names, err := pickNames(*benches, *cxx)
+	if err != nil {
+		return err
+	}
+	camp := campaign.Spec{
+		Benchmarks: names,
+		Config:     cfg,
+		Runs:       *runs,
+		Seed:       *seed,
+		Commit:     *commit,
+	}
+	if err := camp.Validate(); err != nil {
+		return err
+	}
+
+	client := campaign.NewClient(*server)
+	ctx, stopSig := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stopSig()
+	resp, err := client.Submit(ctx, camp)
+	if err != nil {
+		return err
+	}
+	// Machine-greppable: the CI smoke job asserts store_hits == cells on
+	// resubmission.
+	fmt.Printf("szfarm: submitted %s cells=%d store_hits=%d\n", resp.ID, resp.Cells, resp.StoreHits)
+	if !*wait {
+		return nil
+	}
+	st, err := client.WaitDone(ctx, resp.ID, *poll)
+	if err != nil {
+		return err
+	}
+	if st.State != campaign.StateDone {
+		return fmt.Errorf("campaign %s %s: %s", resp.ID, st.State, st.Error)
+	}
+	fmt.Printf("szfarm: campaign %s done (%d cells, %d store hits)\n", resp.ID, st.Cells, st.StoreHits)
+	if *out == "" {
+		return nil
+	}
+	buf, err := client.Artifact(ctx, resp.ID)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "szfarm: wrote %s\n", *out)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("szfarm status", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (required)")
+	id := fs.String("id", "", "campaign id (default: summarize all)")
+	fs.Parse(args)
+	if *server == "" {
+		return fmt.Errorf("status needs -server")
+	}
+	client := campaign.NewClient(*server)
+	ctx := context.Background()
+	if *id != "" {
+		st, err := client.Status(ctx, *id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s  %d/%d done (%d store hits, %d pending, %d leased, %d failed)\n",
+			st.ID, st.State, st.Done, st.Cells, st.StoreHits, st.Pending, st.Leased, st.Failed)
+		for _, cell := range st.Detail {
+			line := fmt.Sprintf("  %-12s %-8s attempts=%d", cell.Bench, cell.State, cell.Attempts)
+			if cell.StoreHit {
+				line += " (store hit)"
+			}
+			if cell.Error != "" {
+				line += "  err: " + cell.Error
+			}
+			fmt.Println(line)
+		}
+		if st.Error != "" {
+			fmt.Printf("  error: %s\n", st.Error)
+		}
+		return nil
+	}
+	all, err := client.StatusAll(ctx)
+	if err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		fmt.Println("no campaigns")
+		return nil
+	}
+	for _, st := range all {
+		fmt.Printf("%s: %-7s %d/%d done (%d store hits)\n", st.ID, st.State, st.Done, st.Cells, st.StoreHits)
+	}
+	return nil
+}
+
+func cmdEvents(args []string) error {
+	fs := flag.NewFlagSet("szfarm events", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (required)")
+	id := fs.String("id", "", "campaign id (required)")
+	follow := fs.Bool("follow", false, "stream until the campaign is terminal")
+	fs.Parse(args)
+	if *server == "" || *id == "" {
+		return fmt.Errorf("events needs -server and -id")
+	}
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+	err := campaign.NewClient(*server).Events(ctx, *id, *follow, os.Stdout)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// pickNames resolves -bench/-cxx into benchmark names, rejecting unknown
+// ones with the valid set.
+func pickNames(names string, cxx bool) ([]string, error) {
+	suite := spec.Suite()
+	if cxx {
+		suite = spec.FullSuite()
+	}
+	if names == "" {
+		return campaign.SuiteNames(suite), nil
+	}
+	valid := map[string]bool{}
+	for _, b := range suite {
+		valid[b.Name] = true
+	}
+	var out []string
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown benchmark %q; valid: %s", n, strings.Join(campaign.SuiteNames(suite), ", "))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -8,17 +8,24 @@
 //
 //	szgate run [-o bench.json] [-runs n | -adaptive [-target f] [-max n]]
 //	           [-scale f] [-seed n] [-level 0..3] [-stabilize] [-noise f]
-//	           [-engine compiled|walk] [-throughput]
+//	           [-engine compiled|walk] [-throughput] [-store dir]
 //	           [-bench name[,name...]] [-cxx] [-quick] [-j n] [-commit sha]
 //	           [-metrics file [-metrics-full]] [-trace file]
 //	           [-log file [-log-level lvl]]
 //	szgate compare old.json new.json [-alpha f] [-threshold f] [-boot n]
 //	           [-min-ips-ratio f [-ips-bench name]]
+//	szgate compare -store dir [collection flags] old.json
 //	szgate show artifact.json
+//	szgate show -store dir [collection flags]
 //	szgate merge -o out.json a.json b.json [c.json ...]
 //
 // `run` writes an artifact; identical seeds give byte-identical artifacts at
-// any -j. `compare` prints the gate table and distinguishes its exit codes
+// any -j. With -store, completed cells also land in a content-addressed
+// result store (shared with the szfarm benchmarking farm) and reruns are
+// served from it; `compare -store` and `show -store` assemble an artifact
+// from such a store in store-only mode — byte-identical to the artifact
+// `run` would have written, so the gate verdict cannot depend on where the
+// samples came from. `compare` prints the gate table and distinguishes its exit codes
 // so CI can tell a regression from a broken run: 0 means the gate passed,
 // 1 means it failed (a BH-corrected regression whose slowdown exceeds
 // -threshold), and 2 means an infrastructure error (unreadable artifact,
@@ -46,6 +53,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Exit codes. Gate failure and infrastructure breakage are distinct so a
@@ -105,19 +113,97 @@ Run 'szgate <subcommand> -h' for flags.
 `)
 }
 
+// specFlags are the flags that pin a collection's cells — everything a
+// store key is derived from. Shared by `run` (which computes the cells)
+// and the -store modes of compare/show (which assemble the same cells
+// from a content-addressed result store, so the flag names must agree).
+// seedName is "seed" except in compare, where -seed is already the
+// bootstrap seed and the master seed is -collect-seed.
+type specFlags struct {
+	runs      *int
+	scale     *float64
+	seed      *uint64
+	level     *int
+	stabilize *bool
+	noise     *float64
+	engine    *string
+	benches   *string
+	cxx       *bool
+}
+
+func addSpecFlags(fs *flag.FlagSet, seedName string) *specFlags {
+	return &specFlags{
+		runs:      fs.Int("runs", 20, "runs per benchmark (fixed mode; adaptive start)"),
+		scale:     fs.Float64("scale", 1.0, "workload scale"),
+		seed:      fs.Uint64(seedName, 2013, "master seed"),
+		level:     fs.Int("level", 2, "optimization level (0-3)"),
+		stabilize: fs.Bool("stabilize", false, "run under full STABILIZER randomization"),
+		noise:     fs.Float64("noise", 0, "relative system-noise sigma (0 = default, negative disables)"),
+		engine:    fs.String("engine", "", "interpreter engine: compiled (default) or walk"),
+		benches:   fs.String("bench", "", "comma-separated benchmark subset (default: all)"),
+		cxx:       fs.Bool("cxx", false, "include the five C++ benchmarks"),
+	}
+}
+
+// config resolves the flags into an experiment configuration.
+func (f *specFlags) config() (experiment.Config, error) {
+	optLevel, err := compiler.ParseLevel(*f.level)
+	if err != nil {
+		return experiment.Config{}, err
+	}
+	if *f.runs < 1 {
+		return experiment.Config{}, fmt.Errorf("-runs %d: need at least 1", *f.runs)
+	}
+	if *f.scale <= 0 {
+		return experiment.Config{}, fmt.Errorf("-scale %v: must be positive", *f.scale)
+	}
+	eng, err := interp.ParseEngine(*f.engine)
+	if err != nil {
+		return experiment.Config{}, err
+	}
+	cfg := experiment.Config{Scale: *f.scale, Level: optLevel, Noise: *f.noise, Engine: eng}
+	if *f.stabilize {
+		cfg.Stabilizer = &core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
+	}
+	return cfg, nil
+}
+
+func (f *specFlags) suite() ([]spec.Benchmark, error) {
+	return pickSuite(*f.benches, *f.cxx)
+}
+
+// storeArtifact assembles the artifact the collection flags describe from
+// a result store in store-only mode: the ordinary collection path with the
+// compute branch forbidden, so the bytes match a local `run` exactly. A
+// missing cell is an error (the store does not silently compute).
+func storeArtifact(ctx context.Context, dir string, sf *specFlags, commit string) (*bench.Artifact, error) {
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := sf.config()
+	if err != nil {
+		return nil, err
+	}
+	suite, err := sf.suite()
+	if err != nil {
+		return nil, err
+	}
+	ctx = experiment.WithStoreOnly(experiment.WithCellStore(ctx, st.Cells(cfg.Engine)))
+	return bench.Collect(ctx, bench.CollectOptions{
+		Suite:  suite,
+		Config: cfg,
+		Runs:   *sf.runs,
+		Seed:   *sf.seed,
+		Commit: commit,
+	})
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("szgate run", flag.ExitOnError)
 	out := fs.String("o", "bench.json", "output artifact path (- for stdout)")
-	runs := fs.Int("runs", 20, "runs per benchmark (fixed mode; adaptive start)")
-	scale := fs.Float64("scale", 1.0, "workload scale")
-	seed := fs.Uint64("seed", 2013, "master seed")
-	level := fs.Int("level", 2, "optimization level (0-3)")
-	stabilize := fs.Bool("stabilize", false, "run under full STABILIZER randomization")
-	noise := fs.Float64("noise", 0, "relative system-noise sigma (0 = default, negative disables)")
-	engine := fs.String("engine", "", "interpreter engine: compiled (default) or walk")
+	sf := addSpecFlags(fs, "seed")
 	throughput := fs.Bool("throughput", false, "record per-run host wall-clock times (non-golden; enables IPS gating in compare)")
-	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
-	cxx := fs.Bool("cxx", false, "include the five C++ benchmarks")
 	quick := fs.Bool("quick", false, "CI mode: scale 0.2, 8 runs")
 	adaptive := fs.Bool("adaptive", false, "adaptive stopping: sample until the CI half-width target")
 	target := fs.Float64("target", 0.005, "adaptive: target relative CI half-width on the mean")
@@ -127,6 +213,7 @@ func cmdRun(args []string) error {
 	progress := fs.Bool("progress", true, "write per-cell progress lines to stderr")
 	commit := fs.String("commit", "", "commit label (default: git rev-parse --short HEAD, if available)")
 	checkpoint := fs.String("checkpoint", "", "flush completed cells to this directory and reuse them on rerun (crash-safe)")
+	storeDir := fs.String("store", "", "content-addressed result store directory: completed cells are stored, already-stored cells are served without recomputing")
 	metricsOut := fs.String("metrics", "", "write an engine-metrics snapshot (JSON) to this file at exit; golden fields only, byte-identical at any -j")
 	metricsFull := fs.Bool("metrics-full", false, "include wall-clock histograms and gauges in -metrics (real but not reproducible)")
 	traceOut := fs.String("trace", "", "write engine spans as Chrome trace-event JSON to this file at exit")
@@ -134,19 +221,13 @@ func cmdRun(args []string) error {
 	logLevel := fs.String("log-level", "info", "minimum -log level: debug, info, warn, error")
 	fs.Parse(args)
 
-	optLevel, err := compiler.ParseLevel(*level)
+	if *quick {
+		*sf.scale = 0.2
+		*sf.runs = 8
+	}
+	cfg, err := sf.config()
 	if err != nil {
 		return err
-	}
-	if *runs < 1 {
-		return fmt.Errorf("-runs %d: need at least 1", *runs)
-	}
-	if *scale <= 0 {
-		return fmt.Errorf("-scale %v: must be positive", *scale)
-	}
-	if *quick {
-		*scale = 0.2
-		*runs = 8
 	}
 	experiment.SetParallelism(*jobs)
 	if *progress {
@@ -168,19 +249,9 @@ func cmdRun(args []string) error {
 		}
 	}()
 
-	suite, err := pickSuite(*benches, *cxx)
+	suite, err := sf.suite()
 	if err != nil {
 		return err
-	}
-	eng, err := interp.ParseEngine(*engine)
-	if err != nil {
-		return err
-	}
-	cfg := experiment.Config{Scale: *scale, Level: optLevel, Noise: *noise, Engine: eng}
-	var st core.Options
-	if *stabilize {
-		st = core.Options{Code: true, Stack: true, Heap: true, Rerandomize: true, Interval: 25_000}
-		cfg.Stabilizer = &st
 	}
 	if *commit == "" {
 		*commit = gitCommit()
@@ -194,11 +265,18 @@ func cmdRun(args []string) error {
 		}
 		ctx = experiment.WithCheckpoint(ctx, cp)
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		ctx = experiment.WithCellStore(ctx, st.Cells(cfg.Engine))
+	}
 	art, err := bench.Collect(ctx, bench.CollectOptions{
 		Suite:  suite,
 		Config: cfg,
-		Runs:   *runs,
-		Seed:   *seed,
+		Runs:   *sf.runs,
+		Seed:   *sf.seed,
 		Commit: *commit,
 
 		Throughput: *throughput,
@@ -235,17 +313,35 @@ func cmdCompare(args []string, w io.Writer) (int, error) {
 	seed := fs.Uint64("seed", 1, "bootstrap seed")
 	minIPS := fs.Float64("min-ips-ratio", 0, "throughput floor: fail unless new/old retired-instructions-per-second ratio reaches this (0 disables; needs -throughput artifacts)")
 	ipsBench := fs.String("ips-bench", "", "headline benchmark for -min-ips-ratio (default: heaviest baseline workload)")
+	storeDir := fs.String("store", "", "assemble the new artifact from this result store (store-only) instead of a new.json file; the collection flags select its cells")
+	sf := addSpecFlags(fs, "collect-seed")
+	commit := fs.String("commit", "", "commit label for the store-assembled artifact")
 	if err := fs.Parse(args); err != nil {
 		return exitInfra, nil // flag package already printed the problem
 	}
-	if fs.NArg() != 2 {
-		return exitInfra, fmt.Errorf("usage: szgate compare [flags] old.json new.json")
+	var new *bench.Artifact
+	var err error
+	switch {
+	case *storeDir != "":
+		if fs.NArg() != 1 {
+			return exitInfra, fmt.Errorf("usage: szgate compare -store dir [collection flags] old.json")
+		}
+		// A cell missing from the store is infrastructure (the campaign that
+		// should have filled it did not run), never a gate verdict.
+		new, err = storeArtifact(context.Background(), *storeDir, sf, *commit)
+		if err != nil {
+			return exitInfra, err
+		}
+	default:
+		if fs.NArg() != 2 {
+			return exitInfra, fmt.Errorf("usage: szgate compare [flags] old.json new.json")
+		}
+		new, err = bench.ReadFile(fs.Arg(1))
+		if err != nil {
+			return exitInfra, err
+		}
 	}
 	old, err := bench.ReadFile(fs.Arg(0))
-	if err != nil {
-		return exitInfra, err
-	}
-	new, err := bench.ReadFile(fs.Arg(1))
 	if err != nil {
 		return exitInfra, err
 	}
@@ -269,16 +365,30 @@ func cmdCompare(args []string, w io.Writer) (int, error) {
 
 func cmdShow(args []string) error {
 	fs := flag.NewFlagSet("szgate show", flag.ExitOnError)
+	storeDir := fs.String("store", "", "assemble the artifact from this result store (store-only; the collection flags select its cells) instead of reading a file")
+	sf := addSpecFlags(fs, "seed")
 	fs.Parse(args)
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: szgate show artifact.json")
+	var art *bench.Artifact
+	var err error
+	name := ""
+	if *storeDir != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: szgate show -store dir [collection flags]")
+		}
+		art, err = storeArtifact(context.Background(), *storeDir, sf, "")
+		name = *storeDir + " (store)"
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: szgate show artifact.json")
+		}
+		name = fs.Arg(0)
+		art, err = bench.ReadFile(name)
 	}
-	art, err := bench.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	m := art.Meta
-	fmt.Printf("artifact: %s  schema %d\n", fs.Arg(0), m.Schema)
+	fmt.Printf("artifact: %s  schema %d\n", name, m.Schema)
 	fmt.Printf("config:   scale %g  %s  %s  noise %g  seed %d", m.Scale, m.Level, m.Stabilizer, m.Noise, m.Seed)
 	if m.Commit != "" {
 		fmt.Printf("  commit %s", m.Commit)

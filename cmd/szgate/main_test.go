@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,7 +10,12 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/experiment"
+	"repro/internal/interp"
+	"repro/internal/spec"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // writeSynthetic writes an artifact with n deterministic normal-shaped
@@ -135,4 +141,86 @@ func TestCompareInfraErrors(t *testing.T) {
 			t.Fatalf("code=%d err=%v, want exit %d with usage error", code, err, exitInfra)
 		}
 	})
+}
+
+// TestCompareStoreParity pins the -store contract: gating against a
+// store-assembled artifact must reproduce the file-based compare exactly —
+// same exit code, same gate table — because the store assembly is the same
+// collection path that would have written new.json.
+func TestCompareStoreParity(t *testing.T) {
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "cells")
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	b, _ := spec.ByName("astar")
+	ctx := experiment.WithCellStore(context.Background(), st.Cells(interp.EngineCompiled))
+	art, err := bench.Collect(ctx, bench.CollectOptions{
+		Suite:  []spec.Benchmark{b},
+		Config: experiment.Config{Scale: 0.05, Level: compiler.O2},
+		Runs:   6,
+		Seed:   77,
+	})
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	newPath := filepath.Join(dir, "new.json")
+	if err := art.WriteFile(newPath); err != nil {
+		t.Fatalf("write new: %v", err)
+	}
+
+	// Two baselines: the collection itself (a pass) and a faster past (the
+	// collection is then a regression candidate). The verdicts themselves
+	// don't matter — their parity across file and store paths does.
+	writeOld := func(name string, speedup float64) string {
+		old := *art
+		old.Benchmarks = append([]bench.Benchmark(nil), art.Benchmarks...)
+		for i := range old.Benchmarks {
+			scaled := append([]float64(nil), old.Benchmarks[i].Seconds...)
+			for j := range scaled {
+				scaled[j] *= speedup
+			}
+			old.Benchmarks[i].Seconds = scaled
+		}
+		path := filepath.Join(dir, name)
+		if err := old.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	storeArgs := []string{"-store", storeDir, "-bench", "astar",
+		"-runs", "6", "-scale", "0.05", "-collect-seed", "77"}
+	for _, tc := range []struct {
+		name string
+		old  string
+	}{
+		{"same baseline", writeOld("same.json", 1.0)},
+		{"faster baseline", writeOld("fast.json", 0.5)},
+	} {
+		var fileOut, storeOut bytes.Buffer
+		fileCode, err := cmdCompare([]string{"-boot", "300", tc.old, newPath}, &fileOut)
+		if err != nil {
+			t.Fatalf("%s: file compare: %v", tc.name, err)
+		}
+		storeCode, err := cmdCompare(append(append([]string{"-boot", "300"}, storeArgs...), tc.old), &storeOut)
+		if err != nil {
+			t.Fatalf("%s: store compare: %v", tc.name, err)
+		}
+		if fileCode != storeCode {
+			t.Errorf("%s: file compare exit %d, store compare exit %d", tc.name, fileCode, storeCode)
+		}
+		if fileOut.String() != storeOut.String() {
+			t.Errorf("%s: gate tables differ\nfile:\n%s\nstore:\n%s", tc.name, fileOut.String(), storeOut.String())
+		}
+	}
+
+	// A cell the store never saw is infrastructure, not a verdict.
+	missArgs := []string{"-store", storeDir, "-bench", "astar",
+		"-runs", "6", "-scale", "0.05", "-collect-seed", "78"}
+	var out bytes.Buffer
+	code, err := cmdCompare(append(missArgs, writeOld("old.json", 1.0)), &out)
+	if code != exitInfra || err == nil {
+		t.Fatalf("store miss: code=%d err=%v, want exit %d with error", code, err, exitInfra)
+	}
 }

@@ -171,6 +171,87 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeDuplicateBlocks pins that merging an artifact with itself — the
+// same sample block for the same cell twice — is refused rather than
+// silently double-counted: the duplicate's seed base is not a continuation.
+func TestMergeDuplicateBlocks(t *testing.T) {
+	a := sampleArtifact()
+	if _, err := Merge(a, a); err == nil {
+		t.Fatal("merging an artifact with itself should fail, not double samples")
+	}
+	// The same holds for a partial overlap: a block that re-covers part of
+	// an existing seed range is not a continuation either.
+	dup := sampleArtifact()
+	dup.Benchmarks = []Benchmark{
+		{Name: "mcf", SeedBase: 101, Runs: 2, Seconds: []float64{1.251, 1.249}, Cycles: []uint64{11, 12}},
+	}
+	if _, err := Merge(a, dup); err == nil {
+		t.Fatal("merging an overlapping seed range should fail")
+	}
+}
+
+// TestMergeMixedEngines pins that continuations may switch engines (the
+// engines are sample-equivalent by the oracle's contract) and the merged
+// artifact keeps the first artifact's tag.
+func TestMergeMixedEngines(t *testing.T) {
+	a := sampleArtifact()
+	a.Meta.Engine = "walk"
+	b := &Artifact{
+		Meta: a.Meta,
+		Benchmarks: []Benchmark{
+			{Name: "mcf", SeedBase: 103, Runs: 1, Seconds: []float64{1.25}, Cycles: []uint64{13}},
+		},
+	}
+	b.Meta.Engine = "compiled"
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("cross-engine merge refused: %v", err)
+	}
+	if m.Meta.Engine != "walk" {
+		t.Fatalf("merged engine tag %q, want the first artifact's %q", m.Meta.Engine, "walk")
+	}
+	if got := m.Find("mcf"); got == nil || got.Runs != 4 {
+		t.Fatalf("cross-engine merged mcf = %+v", got)
+	}
+}
+
+// TestMergeSchema2IntoSchema3 pins the schema lattice: folding an old
+// schema-2 artifact into a schema-3 one (disjoint benchmarks, so the
+// schema-3-only per-run fields need not align) yields a valid schema-3
+// artifact.
+func TestMergeSchema2IntoSchema3(t *testing.T) {
+	old := sampleArtifact()
+	old.Meta.Schema = 2
+	old.Meta.Engine = "" // engine tags need schema 3
+	newer := &Artifact{
+		Meta: old.Meta,
+		Benchmarks: []Benchmark{
+			{Name: "lbm", SeedBase: 900, Runs: 2, Seconds: []float64{2, 2.01},
+				Cycles: []uint64{20, 21}, Instructions: []uint64{200, 201}},
+		},
+	}
+	newer.Meta.Schema = 3
+	newer.Meta.Engine = "compiled"
+	for _, order := range []struct {
+		name string
+		a, b *Artifact
+	}{{"old first", old, newer}, {"new first", newer, old}} {
+		m, err := Merge(order.a, order.b)
+		if err != nil {
+			t.Fatalf("%s: merge: %v", order.name, err)
+		}
+		if m.Meta.Schema != 3 {
+			t.Fatalf("%s: merged schema %d, want 3 (carries schema-3 fields)", order.name, m.Meta.Schema)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: merged artifact invalid: %v", order.name, err)
+		}
+		if m.Find("lbm") == nil || m.Find("mcf") == nil {
+			t.Fatalf("%s: merge dropped a benchmark", order.name)
+		}
+	}
+}
+
 func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	suite := testSuite(t, "astar", "libquantum")
 	opts := CollectOptions{

@@ -88,10 +88,12 @@ func (o *CollectOptions) defaults() {
 	}
 }
 
-// seedBase derives a benchmark's seed range start from the master seed and
+// SeedBase derives a benchmark's seed range start from the master seed and
 // the benchmark name (FNV-1a), so the same benchmark gets the same seeds no
-// matter which subset of the suite is collected.
-func seedBase(seed uint64, name string) uint64 {
+// matter which subset of the suite is collected. Exported because the
+// campaign coordinator must shard cells with exactly this derivation for
+// its merged artifacts to be byte-identical to a local collection.
+func SeedBase(seed uint64, name string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	return seed + h.Sum64()
@@ -166,7 +168,7 @@ func collectOne(ctx context.Context, b spec.Benchmark, opts CollectOptions, met 
 	if err != nil {
 		return Benchmark{}, err
 	}
-	base := seedBase(opts.Seed, b.Name)
+	base := SeedBase(opts.Seed, b.Name)
 	entry := Benchmark{Name: b.Name, SeedBase: base}
 
 	grow := func(n int) error {

@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the farm protocol's HTTP client, shared by workers, the szfarm
+// CLI, and tests.
+type Client struct {
+	// Server is the coordinator's base URL, e.g. "http://localhost:8713".
+	Server string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the coordinator at base URL server.
+func NewClient(server string) *Client {
+	return &Client{Server: server}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// doJSON performs one JSON request/response exchange. A non-2xx status is
+// returned as an error carrying the server's error message.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("campaign: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Server+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// StatusError is a non-2xx farm response.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("campaign: server returned %d: %s", e.Code, e.Message)
+}
+
+// Submit posts a campaign spec.
+func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/campaigns", spec, &out)
+	return out, err
+}
+
+// Status fetches one campaign's status.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var out Status
+	err := c.doJSON(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
+	return out, err
+}
+
+// StatusAll fetches every campaign's summary.
+func (c *Client) StatusAll(ctx context.Context) ([]Status, error) {
+	var out []Status
+	err := c.doJSON(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// Artifact fetches a completed campaign's merged artifact bytes.
+func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/campaigns/"+id+"/artifact", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.Unmarshal(buf, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	return buf, nil
+}
+
+// Events fetches a campaign's JSONL event log; with follow it streams
+// until the campaign is terminal, writing lines to w as they arrive.
+func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer) error {
+	url := c.Server + "/v1/campaigns/" + id + "/events"
+	if follow {
+		url += "?follow=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &StatusError{Code: resp.StatusCode, Message: resp.Status}
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Acquire requests a lease.
+func (c *Client) Acquire(ctx context.Context, worker string) (AcquireResponse, error) {
+	var out AcquireResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/leases",
+		map[string]string{"worker": worker}, &out)
+	return out, err
+}
+
+// Heartbeat extends a lease; ok=false means the lease is gone and the
+// worker should abandon the cell.
+func (c *Client) Heartbeat(ctx context.Context, leaseID uint64) (ok bool, err error) {
+	err = c.doJSON(ctx, http.MethodPost, fmt.Sprintf("/v1/leases/%d/heartbeat", leaseID), map[string]any{}, nil)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusGone {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// Complete posts a finished cell.
+func (c *Client) Complete(ctx context.Context, leaseID uint64, req CompleteRequest) error {
+	return c.doJSON(ctx, http.MethodPost, fmt.Sprintf("/v1/leases/%d/complete", leaseID), req, nil)
+}
+
+// WaitDone polls a campaign until it reaches a terminal state; it returns
+// the final status (whose State distinguishes done from failed).
+func (c *Client) WaitDone(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return Status{}, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		if err := sleepCtx(ctx, poll); err != nil {
+			return st, err
+		}
+	}
+}

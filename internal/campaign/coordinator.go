@@ -1,0 +1,727 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Cell states.
+const (
+	cellPending = "pending"
+	cellLeased  = "leased"
+	cellDone    = "done"
+	cellFailed  = "failed"
+)
+
+// Campaign states reported by Status.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Store is the content-addressed result store (required). Every
+	// completed cell lands here; every submitted cell is probed here first.
+	Store *store.Store
+	// LeaseTTL is how long a lease survives without a heartbeat before its
+	// cell is requeued (default 30s).
+	LeaseTTL time.Duration
+	// MaxAttempts caps how many times a cell is leased before the campaign
+	// fails (default 3 — one run plus two retries, mirroring the local
+	// engine's per-cell retry posture).
+	MaxAttempts int
+	// Obs receives the farm counters and the coordinator log. Counter
+	// discipline: store hits/misses and cells completed are golden
+	// (deterministic given store contents and the submission sequence);
+	// leases granted, heartbeats missed, and requeues depend on worker
+	// scheduling and wall-clock timing, so they are registered non-golden.
+	Obs *obs.Scope
+	// now is the clock, overridable in tests.
+	now func() time.Time
+}
+
+func (o *CoordinatorOptions) defaults() error {
+	if o.Store == nil {
+		return fmt.Errorf("campaign: coordinator needs a result store")
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return nil
+}
+
+// cellState is one cell's scheduling state.
+type cellState struct {
+	CellSpec
+	state    string
+	attempts int    // leases granted so far
+	fromHit  bool   // served from the store at submit time
+	lease    uint64 // current lease id when leased
+	err      string // last failure, for status reporting
+}
+
+// campaignState is one submitted campaign.
+type campaignState struct {
+	id    string
+	spec  Spec
+	cells []*cellState
+	state string
+	err   string
+
+	// events is the campaign's JSONL event log (obs wire format); artifact
+	// caches the merged artifact bytes once assembled.
+	events   [][]byte
+	artifact []byte
+}
+
+type lease struct {
+	id       uint64
+	campaign *campaignState
+	cell     *cellState
+	worker   string
+	deadline time.Time
+	expired  bool
+}
+
+// Coordinator owns campaign scheduling state and serves the farm protocol.
+// All HTTP handlers are safe for concurrent use; the state machine is a
+// single mutex — farm throughput is bounded by cell compute time, not
+// coordination.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on any event append / state change
+	campaigns []*campaignState
+	byID      map[string]*campaignState
+	leases    map[uint64]*lease
+	nextCamp  uint64
+	nextLease uint64
+}
+
+// NewCoordinator builds a coordinator over the given store.
+func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		opts:   opts,
+		byID:   map[string]*campaignState{},
+		leases: map[uint64]*lease{},
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if opts.Obs != nil {
+		// Register the timing-dependent farm histograms/counters as
+		// non-golden up front so a snapshot taken before any activity
+		// already classifies them correctly.
+		opts.Obs.Metrics.Counter("campaign.leases.granted").NonGolden()
+		opts.Obs.Metrics.Counter("campaign.heartbeats.missed").NonGolden()
+		opts.Obs.Metrics.Counter("campaign.requeues").NonGolden()
+	}
+	return c, nil
+}
+
+func (c *Coordinator) metrics() *obs.Registry {
+	if c.opts.Obs != nil {
+		return c.opts.Obs.Metrics
+	}
+	return nil
+}
+
+func (c *Coordinator) logger() *obs.Logger {
+	if c.opts.Obs != nil {
+		return c.opts.Obs.Log
+	}
+	return nil
+}
+
+// event appends a JSONL line in the obs wire format to the campaign's
+// event log and mirrors it to the coordinator log. Must be called with
+// c.mu held.
+func (c *Coordinator) eventLocked(camp *campaignState, msg string, fields ...obs.Field) {
+	var line lineBuffer
+	lg := obs.NewLogger(&line, obs.LevelInfo).With(obs.F("campaign", camp.id))
+	lg.Info(msg, fields...)
+	camp.events = append(camp.events, line.line)
+	c.logger().Info(msg, append([]obs.Field{obs.F("campaign", camp.id)}, fields...)...)
+	c.cond.Broadcast()
+}
+
+// lineBuffer captures a single logger line.
+type lineBuffer struct{ line []byte }
+
+func (b *lineBuffer) Write(p []byte) (int, error) {
+	b.line = append(b.line, p...)
+	return len(p), nil
+}
+
+// Submit registers a campaign, probing the store for every cell first:
+// already-computed cells are marked done immediately and never dispatched
+// (store-first dedupe). Returns the campaign id and how many cells were
+// served from the store.
+func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) {
+	if err := spec.Validate(); err != nil {
+		return "", 0, 0, err
+	}
+	camp := &campaignState{spec: spec, state: StateRunning}
+	for _, cs := range spec.Cells() {
+		st := &cellState{CellSpec: cs, state: cellPending}
+		// The probe uses Get, not a cheaper existence check, so a corrupt
+		// block degrades to a recompute here rather than a failed assembly
+		// later.
+		if results := c.opts.Store.Get(cs.StoreKey, cs.Runs, cs.SeedBase); results != nil {
+			st.state = cellDone
+			st.fromHit = true
+			hits++
+			c.metrics().Counter("campaign.store.hits").Inc()
+		} else {
+			c.metrics().Counter("campaign.store.misses").Inc()
+		}
+		camp.cells = append(camp.cells, st)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCamp++
+	camp.id = fmt.Sprintf("c%04d", c.nextCamp)
+	c.campaigns = append(c.campaigns, camp)
+	c.byID[camp.id] = camp
+	c.eventLocked(camp, "campaign submitted",
+		obs.F("cells", len(camp.cells)), obs.F("store_hits", hits),
+		obs.F("runs", spec.Runs), obs.F("seed", spec.Seed))
+	c.refreshLocked(camp)
+	return camp.id, len(camp.cells), hits, nil
+}
+
+// refreshLocked recomputes a campaign's terminal state and, on completion,
+// emits the completion event. Must be called with c.mu held.
+func (c *Coordinator) refreshLocked(camp *campaignState) {
+	if camp.state != StateRunning {
+		return
+	}
+	done := 0
+	for _, cell := range camp.cells {
+		switch cell.state {
+		case cellFailed:
+			camp.state = StateFailed
+			camp.err = fmt.Sprintf("cell %s failed after %d attempts: %s", cell.Bench, cell.attempts, cell.err)
+			c.eventLocked(camp, "campaign failed", obs.F("cell", cell.Bench), obs.F("err", cell.err))
+			return
+		case cellDone:
+			done++
+		}
+	}
+	if done == len(camp.cells) {
+		camp.state = StateDone
+		c.eventLocked(camp, "campaign complete", obs.F("cells", done))
+	}
+	c.cond.Broadcast()
+}
+
+// expireLocked requeues cells whose leases have missed their deadline.
+// Called lazily from every scheduling entry point; must hold c.mu.
+func (c *Coordinator) expireLocked() {
+	now := c.opts.now()
+	for id, l := range c.leases {
+		if l.expired || now.Before(l.deadline) {
+			continue
+		}
+		// The lease is retired, not deleted: a worker that was merely slow
+		// can still post its (deterministic, therefore correct) results
+		// against the expired lease, and the done-state guard makes the
+		// duplicate a no-op.
+		l.expired = true
+		c.metrics().Counter("campaign.heartbeats.missed").Inc()
+		if l.cell.state != cellLeased || l.cell.lease != id {
+			continue // cell already completed by a late post or re-lease
+		}
+		c.eventLocked(l.campaign, "lease expired", obs.F("cell", l.cell.Bench),
+			obs.F("worker", l.worker), obs.F("attempt", l.cell.attempts))
+		c.requeueLocked(l.campaign, l.cell, "lease expired (worker presumed dead)")
+	}
+}
+
+// requeueLocked puts a leased cell back in the queue or fails it when its
+// attempts are exhausted. Must hold c.mu.
+func (c *Coordinator) requeueLocked(camp *campaignState, cell *cellState, reason string) {
+	cell.lease = 0
+	cell.err = reason
+	if cell.attempts >= c.opts.MaxAttempts {
+		cell.state = cellFailed
+		c.refreshLocked(camp)
+		return
+	}
+	cell.state = cellPending
+	c.metrics().Counter("campaign.requeues").Inc()
+	c.eventLocked(camp, "cell requeued", obs.F("cell", cell.Bench),
+		obs.F("attempt", cell.attempts), obs.F("reason", reason))
+}
+
+// Lease is the work grant the coordinator hands a worker.
+type Lease struct {
+	ID       uint64            `json:"id"`
+	Campaign string            `json:"campaign"`
+	Bench    string            `json:"bench"`
+	Runs     int               `json:"runs"`
+	SeedBase uint64            `json:"seed_base"`
+	Config   experiment.Config `json:"config"`
+	// TTLSeconds is how often the worker must heartbeat (it should do so at
+	// a fraction of this).
+	TTLSeconds float64 `json:"ttl_seconds"`
+	Attempt    int     `json:"attempt"`
+}
+
+// AcquireResponse answers a lease request. A nil Lease with Remaining > 0
+// means "all work is leased out, poll again"; Remaining == 0 means the
+// farm is idle.
+type AcquireResponse struct {
+	Lease *Lease `json:"lease,omitempty"`
+	// Remaining counts cells not yet done or failed across all campaigns
+	// (pending + leased), so idle-exiting workers can tell "nothing left"
+	// from "nothing for me right now".
+	Remaining int `json:"remaining"`
+}
+
+// Acquire grants the oldest pending cell to the worker, or reports how
+// much work remains in flight.
+func (c *Coordinator) Acquire(worker string) AcquireResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	remaining := 0
+	var grant *lease
+	for _, camp := range c.campaigns {
+		if camp.state != StateRunning {
+			continue
+		}
+		for _, cell := range camp.cells {
+			switch cell.state {
+			case cellPending:
+				remaining++
+				if grant == nil {
+					c.nextLease++
+					cell.state = cellLeased
+					cell.attempts++
+					cell.lease = c.nextLease
+					grant = &lease{
+						id: c.nextLease, campaign: camp, cell: cell, worker: worker,
+						deadline: c.opts.now().Add(c.opts.LeaseTTL),
+					}
+					c.leases[grant.id] = grant
+					c.metrics().Counter("campaign.leases.granted").Inc()
+					c.eventLocked(camp, "lease granted", obs.F("cell", cell.Bench),
+						obs.F("worker", worker), obs.F("lease", grant.id), obs.F("attempt", cell.attempts))
+				}
+			case cellLeased:
+				remaining++
+			}
+		}
+	}
+	resp := AcquireResponse{Remaining: remaining}
+	if grant != nil {
+		resp.Lease = &Lease{
+			ID:         grant.id,
+			Campaign:   grant.campaign.id,
+			Bench:      grant.cell.Bench,
+			Runs:       grant.cell.Runs,
+			SeedBase:   grant.cell.SeedBase,
+			Config:     grant.campaign.spec.Config,
+			TTLSeconds: c.opts.LeaseTTL.Seconds(),
+			Attempt:    grant.cell.attempts,
+		}
+	}
+	return resp
+}
+
+// Heartbeat extends a lease. Returns false when the lease is unknown or
+// already expired — the worker should abandon the cell (a successor lease
+// may already be running it; determinism makes the duplicate harmless, but
+// abandoning saves the wasted work).
+func (c *Coordinator) Heartbeat(leaseID uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	l, ok := c.leases[leaseID]
+	if !ok || l.expired {
+		return false
+	}
+	l.deadline = c.opts.now().Add(c.opts.LeaseTTL)
+	return true
+}
+
+// CompleteRequest posts a finished (or failed) cell back.
+type CompleteRequest struct {
+	Worker  string                 `json:"worker"`
+	Results []experiment.RunResult `json:"results,omitempty"`
+	// Error, when non-empty, reports a compute failure; the cell is
+	// requeued or failed.
+	Error string `json:"error,omitempty"`
+	// Events carries the worker's per-cell JSONL telemetry lines (obs wire
+	// format), folded into the campaign's event stream.
+	Events []json.RawMessage `json:"events,omitempty"`
+}
+
+// Complete resolves a lease. Late completions (expired lease, cell already
+// re-leased or done) are accepted when they carry valid results — the cell
+// is deterministic, so any completion is the completion; the store's
+// immutability makes duplicates no-ops.
+func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
+	c.mu.Lock()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("campaign: unknown or expired lease %d", leaseID)
+	}
+	camp, cell := l.campaign, l.cell
+	delete(c.leases, leaseID)
+	for _, raw := range req.Events {
+		camp.events = append(camp.events, append(append([]byte(nil), raw...), '\n'))
+	}
+
+	if req.Error != "" {
+		c.eventLocked(camp, "cell failed on worker", obs.F("cell", cell.Bench),
+			obs.F("worker", req.Worker), obs.F("err", req.Error))
+		if cell.state == cellLeased && cell.lease == leaseID {
+			c.requeueLocked(camp, cell, req.Error)
+		}
+		c.mu.Unlock()
+		return nil
+	}
+	if len(req.Results) != cell.Runs {
+		c.mu.Unlock()
+		return fmt.Errorf("campaign: cell %s: %d results for %d runs", cell.Bench, len(req.Results), cell.Runs)
+	}
+	// Persist outside the scheduling decision but inside one logical
+	// completion: the store write is what makes the cell durable.
+	storeKey, runs, seedBase := cell.StoreKey, cell.Runs, cell.SeedBase
+	c.mu.Unlock()
+	if err := c.opts.Store.Put(storeKey, runs, seedBase, req.Results); err != nil {
+		return fmt.Errorf("campaign: storing cell %s: %w", cell.Bench, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cell.state != cellDone {
+		cell.state = cellDone
+		cell.err = ""
+		c.metrics().Counter("campaign.cells.completed").Inc()
+		c.eventLocked(camp, "cell complete", obs.F("cell", cell.Bench),
+			obs.F("worker", req.Worker), obs.F("runs", runs))
+		c.refreshLocked(camp)
+	}
+	return nil
+}
+
+// CellStatus is one cell's scheduling state in a status report.
+type CellStatus struct {
+	Bench    string `json:"bench"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	StoreHit bool   `json:"store_hit"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Status is a campaign's progress snapshot.
+type Status struct {
+	ID        string       `json:"id"`
+	State     string       `json:"state"`
+	Cells     int          `json:"cells"`
+	Done      int          `json:"done"`
+	Pending   int          `json:"pending"`
+	Leased    int          `json:"leased"`
+	Failed    int          `json:"failed"`
+	StoreHits int          `json:"store_hits"`
+	Error     string       `json:"error,omitempty"`
+	Detail    []CellStatus `json:"detail,omitempty"`
+}
+
+// Status reports one campaign (detail included), or false if unknown.
+func (c *Coordinator) Status(id string) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	camp, ok := c.byID[id]
+	if !ok {
+		return Status{}, false
+	}
+	return c.statusLocked(camp, true), true
+}
+
+// StatusAll summarizes every campaign in submission order.
+func (c *Coordinator) StatusAll() []Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	out := make([]Status, 0, len(c.campaigns))
+	for _, camp := range c.campaigns {
+		out = append(out, c.statusLocked(camp, false))
+	}
+	return out
+}
+
+func (c *Coordinator) statusLocked(camp *campaignState, detail bool) Status {
+	st := Status{ID: camp.id, State: camp.state, Cells: len(camp.cells), Error: camp.err}
+	for _, cell := range camp.cells {
+		switch cell.state {
+		case cellDone:
+			st.Done++
+		case cellPending:
+			st.Pending++
+		case cellLeased:
+			st.Leased++
+		case cellFailed:
+			st.Failed++
+		}
+		if cell.fromHit {
+			st.StoreHits++
+		}
+		if detail {
+			st.Detail = append(st.Detail, CellStatus{
+				Bench: cell.Bench, State: cell.state, Attempts: cell.attempts,
+				StoreHit: cell.fromHit, Error: cell.err,
+			})
+		}
+	}
+	return st
+}
+
+// Artifact assembles (and caches) a completed campaign's merged artifact by
+// running the ordinary collection path in store-only mode: the exact code
+// that builds a local artifact, with the compute branch forbidden. This is
+// the mechanism behind the byte-identity guarantee — there is no separate
+// "merge" implementation to drift.
+func (c *Coordinator) Artifact(ctx context.Context, id string) ([]byte, error) {
+	c.mu.Lock()
+	camp, ok := c.byID[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	if camp.state != StateDone {
+		state := camp.state
+		c.mu.Unlock()
+		return nil, fmt.Errorf("campaign: %s is %s, artifact available once done", id, state)
+	}
+	if camp.artifact != nil {
+		buf := camp.artifact
+		c.mu.Unlock()
+		return buf, nil
+	}
+	spec := camp.spec
+	c.mu.Unlock()
+
+	opts, err := spec.CollectOptions()
+	if err != nil {
+		return nil, err
+	}
+	ctx = experiment.WithStoreOnly(experiment.WithCellStore(ctx, c.opts.Store.Cells(spec.Config.Engine)))
+	art, err := bench.Collect(ctx, opts)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: assembling %s from store: %w", id, err)
+	}
+	buf, err := art.Encode()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	camp.artifact = buf
+	c.mu.Unlock()
+	return buf, nil
+}
+
+// Events returns the campaign's event log as JSONL bytes from offset line
+// `from`, and whether the campaign is terminal. Used by the streaming
+// handler; also convenient for tests.
+func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	camp, ok := c.byID[id]
+	if !ok {
+		return nil, 0, true, false
+	}
+	var buf []byte
+	for _, line := range camp.events[min(from, len(camp.events)):] {
+		buf = append(buf, line...)
+	}
+	return buf, len(camp.events), camp.state != StateRunning, true
+}
+
+// Handler returns the coordinator's HTTP API.
+//
+//	POST /v1/campaigns                submit a Spec -> {id, cells, store_hits}
+//	GET  /v1/campaigns                all campaign statuses
+//	GET  /v1/campaigns/{id}           one campaign's status (with cell detail)
+//	GET  /v1/campaigns/{id}/artifact  merged artifact (campaign must be done)
+//	GET  /v1/campaigns/{id}/events    JSONL event stream; ?follow=1 streams
+//	                                  until the campaign is terminal
+//	POST /v1/leases                   {worker} -> AcquireResponse
+//	POST /v1/leases/{id}/heartbeat    extend the lease
+//	POST /v1/leases/{id}/complete     CompleteRequest
+//	GET  /healthz                     liveness probe
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store_blocks": c.opts.Store.Len()})
+	})
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+			return
+		}
+		id, cells, hits, err := c.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: id, Cells: cells, StoreHits: hits})
+	})
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.StatusAll())
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := c.Status(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/artifact", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := c.Artifact(r.Context(), r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", c.handleEvents)
+	mux.HandleFunc("POST /v1/leases", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding lease request: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Acquire(req.Worker))
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad lease id: %w", err))
+			return
+		}
+		if !c.Heartbeat(id) {
+			httpError(w, http.StatusGone, fmt.Errorf("lease %d expired or unknown", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad lease id: %w", err))
+			return
+		}
+		var req CompleteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding completion: %w", err))
+			return
+		}
+		if err := c.Complete(id, req); err != nil {
+			httpError(w, http.StatusGone, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+// handleEvents streams a campaign's JSONL event log. With ?follow=1 the
+// response stays open, flushing new lines as they appear, until the
+// campaign reaches a terminal state or the client goes away.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/jsonl")
+	flusher, _ := w.(http.Flusher)
+	from := 0
+	for {
+		buf, next, terminal, ok := c.events(id, from)
+		if !ok {
+			if from == 0 {
+				httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+			}
+			return
+		}
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		from = next
+		if !follow || terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.waitEvents(from):
+		}
+	}
+}
+
+// waitEvents returns a channel that closes when the event log may have
+// grown past n lines (or on a coarse timeout so lazy lease expiry still
+// advances while a follower is attached).
+func (c *Coordinator) waitEvents(n int) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		timeout := time.AfterFunc(time.Second, func() { c.cond.Broadcast() })
+		defer timeout.Stop()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.cond.Wait()
+	}()
+	return ch
+}
+
+// SubmitResponse answers a campaign submission.
+type SubmitResponse struct {
+	ID        string `json:"id"`
+	Cells     int    `json:"cells"`
+	StoreHits int    `json:"store_hits"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -304,27 +304,11 @@ func (c *Compiled) cellLabel() string {
 	return fmt.Sprintf("%s %s %s", c.Bench.Name, c.Cfg.Level, rt)
 }
 
-// cellKey fingerprints the cell for checkpointing: every configuration
-// field that influences the samples, plus the run range. Two cells with
-// equal keys collect identical results (same-seed determinism), which is
-// what lets a checkpoint substitute stored results for a re-run.
+// cellKey fingerprints the cell for checkpointing. It delegates to the
+// exported CellKey so checkpoint keys and result-store keys provably share
+// one definition (a drift test pins the equivalence).
 func (c *Compiled) cellKey(runs int, seedBase uint64) string {
-	stab := "native"
-	if c.Cfg.Stabilizer != nil {
-		stab = fmt.Sprintf("stab{%+v}", *c.Cfg.Stabilizer)
-	}
-	key := fmt.Sprintf("%s|scale=%g|level=%s|%s|link=%v|env=%d|noise=%g|maxsteps=%d|profile=%v|runs=%d|seedbase=%d",
-		c.Bench.Name, c.Cfg.Scale, c.Cfg.Level, stab,
-		c.Cfg.RandomLinkOrder, c.Cfg.EnvSize, c.Cfg.Noise,
-		c.Cfg.MaxSteps, c.Cfg.Profile, runs, seedBase)
-	// Throughput cells carry nondeterministic host times, so they never
-	// share a key with golden cells (the suffix is absent for those, keeping
-	// existing checkpoints valid). The engine is deliberately absent: both
-	// engines collect identical samples.
-	if c.Cfg.Throughput {
-		key += "|throughput"
-	}
-	return key
+	return CellKey(c.Bench.Name, c.Cfg, runs, seedBase)
 }
 
 // sampleSetFrom rebuilds a SampleSet from per-run results (fresh or
@@ -361,12 +345,31 @@ func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase u
 	endSpan := obsTrace().Span("cell", label, map[string]any{"runs": runs})
 	defer endSpan()
 	cp := CheckpointFrom(ctx)
+	cs := CellStoreFrom(ctx)
 	key := c.cellKey(runs, seedBase)
+	if cs != nil {
+		if results := cs.Lookup(key, runs, seedBase); results != nil {
+			obsMetrics().Counter("cellstore.hits").Inc()
+			obsLog().Info("cell served from result store", obsF("cell", label), obsF("runs", runs))
+			return sampleSetFrom(results), nil
+		}
+		obsMetrics().Counter("cellstore.misses").Inc()
+	}
 	if cp != nil {
 		if results := cp.Lookup(key, runs, seedBase); results != nil {
 			obsLog().Info("cell replayed from checkpoint", obsF("cell", label), obsF("runs", runs))
+			// Write a checkpoint hit through to the result store so resumed
+			// local campaigns populate the shared store too.
+			if cs != nil {
+				if serr := cs.Store(ctx, key, runs, seedBase, results); serr != nil {
+					warnCell(label, "experiment: result store: %v (cell stays checkpoint-local)", serr)
+				}
+			}
 			return sampleSetFrom(results), nil
 		}
+	}
+	if StoreOnly(ctx) {
+		return nil, &StoreMissError{Label: label, Key: key}
 	}
 	if Draining(ctx) {
 		return nil, fmt.Errorf("experiment: cell %s not started: %w", label, ErrStopped)
@@ -393,6 +396,11 @@ func (c *Compiled) collect(ctx context.Context, pool *Pool, runs int, seedBase u
 			if cp != nil {
 				if serr := cp.Store(ctx, key, runs, seedBase, ss.Results); serr != nil {
 					warnCell(label, "experiment: checkpoint cell: %v (cell will re-run on resume)", serr)
+				}
+			}
+			if cs != nil {
+				if serr := cs.Store(ctx, key, runs, seedBase, ss.Results); serr != nil {
+					warnCell(label, "experiment: result store: %v (cell will re-run next campaign)", serr)
 				}
 			}
 			obsLog().Info("cell collected", obsF("cell", label), obsF("runs", runs), obsF("attempts", attempts))

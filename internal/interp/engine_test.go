@@ -226,6 +226,55 @@ func TestEnginesMatchOnStackOverflow(t *testing.T) {
 	}
 }
 
+// TestStaleCopyRepro is the regression fixture for propagateCopies
+// staleness: a Mov destination later redefined by a non-Mov op must not be
+// rewritten to the Mov's (now stale) source. Both engines must agree on
+// the output; the oracle fuzz corpus carries a generated twin of this
+// shape (testdata/fuzz/FuzzEngineDifferential).
+func TestStaleCopyRepro(t *testing.T) {
+	mb := ir.NewModuleBuilder("repro")
+	f := mb.Func("main", 0)
+	c5 := f.ConstI(5)
+	c3 := f.ConstI(3)
+	c4 := f.ConstI(4)
+	d := f.Mov(c5)
+	_ = f.Add(c3, c4)
+	f.Sink(d)
+	f.Ret(ir.NoReg)
+	m := mb.Module()
+
+	out, err := compiler.Compile(m, compiler.Options{Level: compiler.O0, Stabilize: true})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// Find the Mov and the Add in main's entry block; redefine the Mov's
+	// destination with the Add.
+	blk := out.Funcs[out.Entry()].Blocks[0]
+	movDst := ir.NoReg
+	addIdx := -1
+	for i := range blk.Instrs {
+		switch blk.Instrs[i].Op {
+		case ir.OpMov:
+			movDst = blk.Instrs[i].Dst
+		case ir.OpAdd:
+			addIdx = i
+		}
+	}
+	if movDst == ir.NoReg || addIdx < 0 {
+		t.Skipf("shape not preserved by compile: mov=%v addIdx=%d instrs=%+v", movDst, addIdx, blk.Instrs)
+	}
+	blk.Instrs[addIdx].Dst = movDst
+
+	walk := runEngine(t, out, interp.EngineWalk, false, 7, nil)
+	comp := runEngine(t, out, interp.EngineCompiled, false, 7, nil)
+	if walk.err != nil || comp.err != nil {
+		t.Fatalf("errs: walk=%v comp=%v", walk.err, comp.err)
+	}
+	if walk.res.Output != comp.res.Output {
+		t.Fatalf("output divergence: walk=%#x compiled=%#x", walk.res.Output, comp.res.Output)
+	}
+}
+
 // TestEngineFlagParsing pins the -engine flag surface.
 func TestEngineFlagParsing(t *testing.T) {
 	for _, tc := range []struct {

@@ -397,6 +397,11 @@ func renameReads(in *ir.Instr, val []ir.Reg) {
 func propagateCopies(f *ir.Function, blocks []scratchBlock) {
 	val := make([]ir.Reg, f.NumRegs)
 	kill := func(d ir.Reg) {
+		// A write to d invalidates both directions of every copy relation
+		// involving d: registers that aliased d, and — when d was itself a
+		// Mov destination later redefined by a non-Mov op — d's own mapping
+		// to the Mov source, which now holds a different value.
+		val[d] = d
 		for i := range val {
 			if val[i] == d {
 				val[i] = ir.Reg(i)

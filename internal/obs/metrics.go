@@ -76,9 +76,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Counter is a monotonically increasing uint64.
+// Counter is a monotonically increasing uint64. Counters are golden by
+// default — a deterministic engine increments them identically at any
+// worker count — but counters that track scheduling or wall-clock events
+// (lease grants, missed heartbeats, requeues) are environmental; mark
+// those NonGolden so snapshots classify them with the other
+// non-reproducible telemetry.
 type Counter struct {
-	v atomic.Uint64
+	v         atomic.Uint64
+	nonGolden atomic.Bool
+}
+
+// NonGolden marks the counter as scheduling/wall-clock-dependent: it is
+// reported under the snapshot's non-golden section and excluded from
+// golden snapshots. Returns the counter for chaining at the registration
+// site.
+func (c *Counter) NonGolden() *Counter {
+	c.nonGolden.Store(true)
+	return c
 }
 
 // Add increments the counter by n.
@@ -242,6 +257,11 @@ type Snapshot struct {
 	// not reproducible across runs or worker counts. Never part of golden
 	// comparisons.
 	NonGolden map[string]HistogramSnapshot `json:"non_golden,omitempty"`
+	// NonGoldenCounters holds counters marked Counter.NonGolden —
+	// scheduling- and timing-dependent event counts (farm lease grants,
+	// missed heartbeats, requeues). Present only when non-golden metrics
+	// are requested.
+	NonGoldenCounters map[string]uint64 `json:"non_golden_counters,omitempty"`
 }
 
 // Snapshot captures every metric. includeNonGolden adds the wall-clock
@@ -268,6 +288,16 @@ func (r *Registry) Snapshot(includeNonGolden bool) Snapshot {
 	r.mu.Unlock()
 
 	for k, c := range counters {
+		if c.nonGolden.Load() {
+			if !includeNonGolden {
+				continue
+			}
+			if s.NonGoldenCounters == nil {
+				s.NonGoldenCounters = map[string]uint64{}
+			}
+			s.NonGoldenCounters[k] = c.Value()
+			continue
+		}
 		if s.Counters == nil {
 			s.Counters = map[string]uint64{}
 		}

@@ -86,6 +86,45 @@ func TestGoldenSnapshotExcludesNonGoldenAndGauges(t *testing.T) {
 	}
 }
 
+// TestNonGoldenCounters pins the farm counters' discipline: a counter
+// marked NonGolden (lease grants, missed heartbeats, requeues — events
+// that depend on worker scheduling and wall-clock timing) is excluded from
+// golden snapshots and reported under non_golden_counters in full ones.
+func TestNonGoldenCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.store.hits").Add(3) // deterministic: golden
+	r.Counter("campaign.leases.granted").NonGolden().Add(5)
+
+	golden := r.Snapshot(false)
+	if _, ok := golden.Counters["campaign.leases.granted"]; ok {
+		t.Error("golden snapshot includes a non-golden counter")
+	}
+	if golden.NonGoldenCounters != nil {
+		t.Errorf("golden snapshot carries non_golden_counters: %v", golden.NonGoldenCounters)
+	}
+	if golden.Counters["campaign.store.hits"] != 3 {
+		t.Errorf("golden counters = %v", golden.Counters)
+	}
+
+	full := r.Snapshot(true)
+	if full.NonGoldenCounters["campaign.leases.granted"] != 5 {
+		t.Errorf("full snapshot non_golden_counters = %v", full.NonGoldenCounters)
+	}
+	if _, ok := full.Counters["campaign.leases.granted"]; ok {
+		t.Error("full snapshot double-reports the non-golden counter under counters")
+	}
+
+	// NonGolden returns the same counter (chaining at the registration
+	// site), and looking the name up again preserves the marking.
+	if r.Counter("campaign.leases.granted").Value() != 5 {
+		t.Error("NonGolden chaining lost the counter identity")
+	}
+	r.Counter("campaign.leases.granted").Inc()
+	if got := r.Snapshot(true).NonGoldenCounters["campaign.leases.granted"]; got != 6 {
+		t.Errorf("re-looked-up counter snapshot = %d, want 6", got)
+	}
+}
+
 func TestSnapshotEncodeDeterministic(t *testing.T) {
 	build := func(order []string) []byte {
 		r := NewRegistry()
