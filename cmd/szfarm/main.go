@@ -7,29 +7,41 @@
 //
 // Usage:
 //
-//	szfarm serve  -store dir [-addr :8713] [-lease-ttl 30s] [-max-attempts 3]
-//	szfarm work   -server url [-name id] [-j n] [-poll d] [-idle-exit]
-//	szfarm submit -server url [-runs n] [-scale f] [-seed n] [-level 0..3]
-//	              [-stabilize] [-noise f] [-engine compiled|walk]
-//	              [-bench name[,name...]] [-cxx] [-commit sha]
-//	              [-wait [-o artifact.json]]
-//	szfarm status -server url [-id cNNNN]
-//	szfarm events -server url -id cNNNN [-follow]
+//	szfarm serve    -store dir [-addr :8713] [-lease-ttl 30s] [-max-attempts 3]
+//	                [-max-pending n] [-event-cap n]
+//	szfarm work     -server url [-name id] [-j n] [-poll d] [-idle-exit]
+//	szfarm submit   -server url [-runs n] [-scale f] [-seed n] [-level 0..3]
+//	                [-stabilize] [-noise f] [-engine compiled|walk]
+//	                [-bench name[,name...]] [-cxx] [-commit sha]
+//	                [-wait [-o artifact.json]]
+//	szfarm status   -server url [-id cNNNN]
+//	szfarm events   -server url -id cNNNN [-follow]
+//	szfarm artifact -server url -id cNNNN [-o artifact.json]
+//	szfarm gc       -store dir [-dry-run] [-json]
 //
 // Campaign artifacts are assembled by the ordinary collection path in
 // store-only mode, so they are byte-identical to what `szgate run` with the
 // same flags would have written — no matter how many workers computed the
 // cells or how many came from prior store hits.
+//
+// The coordinator persists campaign state under <store>/campaigns/ on every
+// transition: a crashed (even kill -9'd) coordinator restarted against the
+// same -store resumes its open campaigns with no lost or double-counted
+// cells. Chaos jobs arm protocol fault injection through the environment:
+// SZ_FAULTS="site:kind[:nth[:repeat]];..." (sites net.*, coord.*; kinds
+// drop, dup, 5xx, torn, error, delay=<dur>), seeded by SZ_FAULT_SEED.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +50,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/spec"
@@ -47,6 +60,10 @@ import (
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
+	}
+	if err := armFaults(); err != nil {
+		fmt.Fprintf(os.Stderr, "szfarm: %v\n", err)
 		os.Exit(2)
 	}
 	var err error
@@ -61,6 +78,10 @@ func main() {
 		err = cmdStatus(os.Args[2:])
 	case "events":
 		err = cmdEvents(os.Args[2:])
+	case "artifact":
+		err = cmdArtifact(os.Args[2:])
+	case "gc":
+		err = cmdGC(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -78,14 +99,42 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `szfarm — distributed benchmarking farm over a content-addressed store
 
-  szfarm serve   run the coordinator (owns the result store)
-  szfarm work    run a worker against a coordinator
-  szfarm submit  submit a campaign; -wait fetches the merged artifact
-  szfarm status  show campaign progress
-  szfarm events  print a campaign's JSONL event log
+  szfarm serve     run the coordinator (owns the result store)
+  szfarm work      run a worker against a coordinator
+  szfarm submit    submit a campaign; -wait fetches the merged artifact
+  szfarm status    show campaign progress
+  szfarm events    print a campaign's JSONL event log
+  szfarm artifact  fetch a completed campaign's merged artifact
+  szfarm gc        evict stale blocks from a result store
 
-Run 'szfarm <subcommand> -h' for flags.
+Run 'szfarm <subcommand> -h' for flags. Set SZ_FAULTS (and SZ_FAULT_SEED)
+to arm protocol fault injection for chaos testing.
 `)
+}
+
+// armFaults activates the process-wide fault-injection plan described by
+// $SZ_FAULTS ("site:kind[:nth[:repeat]];...", see internal/faultinject), so
+// chaos jobs can arm unmodified szfarm binaries through the environment.
+func armFaults() error {
+	planSpec := os.Getenv("SZ_FAULTS")
+	if planSpec == "" {
+		return nil
+	}
+	faults, err := faultinject.ParseFaults(planSpec)
+	if err != nil {
+		return fmt.Errorf("SZ_FAULTS: %w", err)
+	}
+	seed := uint64(1)
+	if s := os.Getenv("SZ_FAULT_SEED"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("SZ_FAULT_SEED: %w", err)
+		}
+		seed = n
+	}
+	faultinject.Activate(seed, faults...)
+	fmt.Fprintf(os.Stderr, "szfarm: fault injection armed: %s (seed %d)\n", planSpec, seed)
+	return nil
 }
 
 func cmdServe(args []string) error {
@@ -94,6 +143,8 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8713", "listen address")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease expiry without a heartbeat; dead workers' cells requeue after this")
 	maxAttempts := fs.Int("max-attempts", 3, "lease attempts per cell before the campaign fails")
+	maxPending := fs.Int("max-pending", 0, "open-cell bound before submissions shed with 429 (0 = default 10000, negative disables)")
+	eventCap := fs.Int("event-cap", 0, "per-campaign event ring size in lines (0 = default 4096)")
 	fs.Parse(args)
 	if *storeDir == "" {
 		return fmt.Errorf("serve needs -store")
@@ -105,7 +156,8 @@ func cmdServe(args []string) error {
 	scope := obs.NewScope()
 	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
 	coord, err := campaign.NewCoordinator(campaign.CoordinatorOptions{
-		Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts, Obs: scope,
+		Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts,
+		MaxPendingCells: *maxPending, EventLogCap: *eventCap, Obs: scope,
 	})
 	if err != nil {
 		return err
@@ -314,6 +366,67 @@ func cmdEvents(args []string) error {
 		return nil
 	}
 	return err
+}
+
+func cmdArtifact(args []string) error {
+	fs := flag.NewFlagSet("szfarm artifact", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (required)")
+	id := fs.String("id", "", "campaign id (required)")
+	out := fs.String("o", "-", "output path (- for stdout)")
+	fs.Parse(args)
+	if *server == "" || *id == "" {
+		return fmt.Errorf("artifact needs -server and -id")
+	}
+	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+	defer stop()
+	buf, err := campaign.NewClient(*server).Artifact(ctx, *id)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "szfarm: wrote %s\n", *out)
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("szfarm gc", flag.ExitOnError)
+	storeDir := fs.String("store", "", "result store directory (required)")
+	dryRun := fs.Bool("dry-run", false, "report what would be evicted without touching the store")
+	sample := fs.Int("sample", 10, "evicted-key sample size in the report (negative disables)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("gc needs -store")
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	rep, err := st.GC(store.GCOptions{DryRun: *dryRun, SampleKeys: *sample})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	mode := ""
+	if rep.DryRun {
+		mode = " (dry run)"
+	}
+	fmt.Printf("szfarm: gc%s: scanned=%d kept=%d evicted=%d quarantined=%d bytes_reclaimed=%d\n",
+		mode, rep.Scanned, rep.Kept, rep.Evicted, rep.Quarantined, rep.BytesReclaimed)
+	for _, key := range rep.EvictedSample {
+		fmt.Printf("  evicted: %s\n", key)
+	}
+	return nil
 }
 
 // pickNames resolves -bench/-cxx into benchmark names, rejecting unknown

@@ -175,7 +175,9 @@ func (f *specFlags) suite() ([]spec.Benchmark, error) {
 // storeArtifact assembles the artifact the collection flags describe from
 // a result store in store-only mode: the ordinary collection path with the
 // compute branch forbidden, so the bytes match a local `run` exactly. A
-// missing cell is an error (the store does not silently compute).
+// missing cell is an error (the store does not silently compute); every
+// cell is probed up front so the error names the missing keys — the thing
+// an operator needs to resubmit or recompute — rather than just the first.
 func storeArtifact(ctx context.Context, dir string, sf *specFlags, commit string) (*bench.Artifact, error) {
 	st, err := store.Open(dir)
 	if err != nil {
@@ -188,6 +190,24 @@ func storeArtifact(ctx context.Context, dir string, sf *specFlags, commit string
 	suite, err := sf.suite()
 	if err != nil {
 		return nil, err
+	}
+	var missing []string
+	for _, b := range suite {
+		key := store.KeyFor(b.Name, cfg, *sf.runs, bench.SeedBase(*sf.seed, b.Name))
+		if st.Get(key, *sf.runs, bench.SeedBase(*sf.seed, b.Name)) == nil {
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		const maxListed = 10
+		listed := missing
+		extra := ""
+		if len(listed) > maxListed {
+			extra = fmt.Sprintf("\n  ... and %d more", len(listed)-maxListed)
+			listed = listed[:maxListed]
+		}
+		return nil, fmt.Errorf("store %s is missing %d of %d cells:\n  %s%s",
+			dir, len(missing), len(suite), strings.Join(listed, "\n  "), extra)
 	}
 	ctx = experiment.WithStoreOnly(experiment.WithCellStore(ctx, st.Cells(cfg.Engine)))
 	return bench.Collect(ctx, bench.CollectOptions{

@@ -7,17 +7,31 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Client is the farm protocol's HTTP client, shared by workers, the szfarm
-// CLI, and tests.
+// CLI, and tests. Every exchange passes through a named fault-injection
+// site (net.submit, net.acquire, …) and a bounded retry loop: transient
+// failures — transport errors, 5xx, 429 — are retried with capped
+// exponential backoff and jitter; other 4xx are returned immediately.
+// Retried completions carry an idempotency key (set by the worker), so a
+// completion whose response was lost is deduplicated server-side rather
+// than burning a cell attempt.
 type Client struct {
 	// Server is the coordinator's base URL, e.g. "http://localhost:8713".
 	Server string
 	// HTTP is the underlying client (default http.DefaultClient).
 	HTTP *http.Client
+	// MaxAttempts bounds tries per exchange (default 5; 1 disables retry).
+	MaxAttempts int
+	// RetryBase is the first backoff delay (default 50ms, doubling per
+	// attempt, capped at 2s). Tests shrink it.
+	RetryBase time.Duration
 }
 
 // NewClient returns a client for the coordinator at base URL server.
@@ -32,9 +46,87 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// doJSON performs one JSON request/response exchange. A non-2xx status is
-// returned as an error carrying the server's error message.
-func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+const retryBackoffCap = 2 * time.Second
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 5
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 50 * time.Millisecond
+}
+
+// retryableError reports whether an exchange failure is worth retrying:
+// transport-level failures (the request may never have arrived, or the
+// response was lost) and explicitly transient statuses. Every other status
+// is a definitive answer from the coordinator — 410 Gone on a heartbeat,
+// for instance, is a signal, not a failure.
+func retryableError(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == http.StatusTooManyRequests || se.Code/100 == 5
+	}
+	return true
+}
+
+// doJSON performs a JSON exchange with retries. The site names this
+// exchange for fault injection.
+func (c *Client) doJSON(ctx context.Context, site, method, path string, in, out any) error {
+	attempts := c.maxAttempts()
+	for attempt := 0; ; attempt++ {
+		err := c.doJSONOnce(ctx, site, method, path, in, out)
+		if err == nil || attempt >= attempts-1 || !retryableError(err) || ctx.Err() != nil {
+			return err
+		}
+		delay := c.retryBase() << attempt
+		if delay > retryBackoffCap {
+			delay = retryBackoffCap
+		}
+		// A server-suggested Retry-After overrides the schedule; the jitter
+		// spreads synchronized retries from a worker fleet.
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			delay = se.RetryAfter
+		}
+		delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return err
+		}
+	}
+}
+
+// doJSONOnce runs one exchange through the site's injected network fault,
+// if any: a drop fails before sending (request lost), an injected status
+// fails without sending (upstream 5xx), a duplicate sends the request twice
+// and discards the first response (retransmission reaching the server
+// twice), and a torn response lets the server process the request but loses
+// the reply — the case idempotency keys exist for.
+func (c *Client) doJSONOnce(ctx context.Context, site, method, path string, in, out any) error {
+	nf := faultinject.Protocol(ctx, site)
+	switch {
+	case nf.Drop:
+		return fmt.Errorf("campaign: %s: injected request drop", site)
+	case nf.Status != 0:
+		return &StatusError{Code: nf.Status, Message: "injected upstream error"}
+	case nf.Duplicate:
+		_ = c.exchange(ctx, method, path, in, nil, false)
+	case nf.Torn:
+		return c.exchange(ctx, method, path, in, out, true)
+	}
+	return c.exchange(ctx, method, path, in, out, false)
+}
+
+// exchange is one raw JSON request/response. A non-2xx status is returned
+// as a *StatusError carrying the server's error message. With torn set,
+// the response is discarded after the server has handled the request and a
+// transport-style error is returned instead.
+func (c *Client) exchange(ctx context.Context, method, path string, in, out any, torn bool) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -55,6 +147,9 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 		return err
 	}
 	defer resp.Body.Close()
+	if torn {
+		return fmt.Errorf("campaign: %s %s: injected torn response", method, path)
+	}
 	if resp.StatusCode/100 != 2 {
 		var e struct {
 			Error string `json:"error"`
@@ -63,7 +158,14 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &StatusError{Code: resp.StatusCode, Message: msg}
+		se := &StatusError{Code: resp.StatusCode, Message: msg}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			var secs int
+			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return se
 	}
 	if out == nil {
 		return nil
@@ -75,30 +177,35 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter carries the server's Retry-After hint on 429 responses.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("campaign: server returned %d: %s", e.Code, e.Message)
 }
 
-// Submit posts a campaign spec.
+// Submit posts a campaign spec. A retried submission whose first attempt
+// actually landed creates a second campaign over the same cells; that is
+// benign — the store dedupes the work — but callers wanting exactly-one
+// should check StatusAll after an ambiguous failure.
 func (c *Client) Submit(ctx context.Context, spec Spec) (SubmitResponse, error) {
 	var out SubmitResponse
-	err := c.doJSON(ctx, http.MethodPost, "/v1/campaigns", spec, &out)
+	err := c.doJSON(ctx, faultinject.SiteNetSubmit, http.MethodPost, "/v1/campaigns", spec, &out)
 	return out, err
 }
 
 // Status fetches one campaign's status.
 func (c *Client) Status(ctx context.Context, id string) (Status, error) {
 	var out Status
-	err := c.doJSON(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
+	err := c.doJSON(ctx, faultinject.SiteNetStatus, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
 	return out, err
 }
 
 // StatusAll fetches every campaign's summary.
 func (c *Client) StatusAll(ctx context.Context) ([]Status, error) {
 	var out []Status
-	err := c.doJSON(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	err := c.doJSON(ctx, faultinject.SiteNetStatus, http.MethodGet, "/v1/campaigns", nil, &out)
 	return out, err
 }
 
@@ -156,7 +263,7 @@ func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer
 // Acquire requests a lease.
 func (c *Client) Acquire(ctx context.Context, worker string) (AcquireResponse, error) {
 	var out AcquireResponse
-	err := c.doJSON(ctx, http.MethodPost, "/v1/leases",
+	err := c.doJSON(ctx, faultinject.SiteNetAcquire, http.MethodPost, "/v1/leases",
 		map[string]string{"worker": worker}, &out)
 	return out, err
 }
@@ -164,7 +271,7 @@ func (c *Client) Acquire(ctx context.Context, worker string) (AcquireResponse, e
 // Heartbeat extends a lease; ok=false means the lease is gone and the
 // worker should abandon the cell.
 func (c *Client) Heartbeat(ctx context.Context, leaseID uint64) (ok bool, err error) {
-	err = c.doJSON(ctx, http.MethodPost, fmt.Sprintf("/v1/leases/%d/heartbeat", leaseID), map[string]any{}, nil)
+	err = c.doJSON(ctx, faultinject.SiteNetHeartbeat, http.MethodPost, fmt.Sprintf("/v1/leases/%d/heartbeat", leaseID), map[string]any{}, nil)
 	if err != nil {
 		var se *StatusError
 		if errors.As(err, &se) && se.Code == http.StatusGone {
@@ -175,9 +282,27 @@ func (c *Client) Heartbeat(ctx context.Context, leaseID uint64) (ok bool, err er
 	return true, nil
 }
 
-// Complete posts a finished cell.
+// Complete posts a finished cell. Callers should set req.IdempotencyKey so
+// retried posts are deduplicated server-side; the worker uses the lease id,
+// which is single-use.
 func (c *Client) Complete(ctx context.Context, leaseID uint64, req CompleteRequest) error {
-	return c.doJSON(ctx, http.MethodPost, fmt.Sprintf("/v1/leases/%d/complete", leaseID), req, nil)
+	return c.doJSON(ctx, faultinject.SiteNetComplete, http.MethodPost, fmt.Sprintf("/v1/leases/%d/complete", leaseID), req, nil)
+}
+
+// Release hands a lease back to the coordinator without burning an attempt
+// — the drain path. ok=false means the lease was already gone, which a
+// draining worker can ignore.
+func (c *Client) Release(ctx context.Context, leaseID uint64, worker string) (ok bool, err error) {
+	err = c.doJSON(ctx, faultinject.SiteNetRelease, http.MethodPost,
+		fmt.Sprintf("/v1/leases/%d/release", leaseID), map[string]string{"worker": worker}, nil)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusGone {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
 }
 
 // WaitDone polls a campaign until it reaches a terminal state; it returns

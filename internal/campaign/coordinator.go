@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiment"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -42,6 +44,17 @@ type CoordinatorOptions struct {
 	// fails (default 3 — one run plus two retries, mirroring the local
 	// engine's per-cell retry posture).
 	MaxAttempts int
+	// MaxPendingCells bounds the open (pending + leased) cells across all
+	// running campaigns. A submission that would push past the bound is
+	// shed with an *OverloadError (HTTP 429 + Retry-After) instead of
+	// growing the queue without limit. Default 10000; negative disables
+	// the bound.
+	MaxPendingCells int
+	// EventLogCap bounds each campaign's in-memory event log: a ring of
+	// the most recent lines with a monotonic cursor, so multi-day
+	// campaigns cannot grow coordinator memory without limit. Default
+	// 4096 lines; the minimum is 16.
+	EventLogCap int
 	// Obs receives the farm counters and the coordinator log. Counter
 	// discipline: store hits/misses and cells completed are golden
 	// (deterministic given store contents and the submission sequence);
@@ -61,6 +74,15 @@ func (o *CoordinatorOptions) defaults() error {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 3
+	}
+	if o.MaxPendingCells == 0 {
+		o.MaxPendingCells = 10000
+	}
+	if o.EventLogCap <= 0 {
+		o.EventLogCap = 4096
+	}
+	if o.EventLogCap < 16 {
+		o.EventLogCap = 16
 	}
 	if o.now == nil {
 		o.now = time.Now
@@ -86,10 +108,51 @@ type campaignState struct {
 	state string
 	err   string
 
-	// events is the campaign's JSONL event log (obs wire format); artifact
-	// caches the merged artifact bytes once assembled.
-	events   [][]byte
+	// events is the campaign's bounded JSONL event log (obs wire format);
+	// artifact caches the merged artifact bytes once assembled.
+	events   *eventRing
 	artifact []byte
+}
+
+// eventRing is a bounded event log with a monotonic cursor: the last cap
+// lines are retained, and every line ever appended has a stable sequence
+// number, so a follower that saw lines [0, n) asks for "since n" and keeps
+// working across wrap — it just skips the lines the ring dropped.
+type eventRing struct {
+	lines [][]byte
+	head  int // index of the oldest retained line
+	n     int // retained count
+	seq   int // total lines ever appended; retained are [seq-n, seq)
+}
+
+func newEventRing(capLines int) *eventRing {
+	return &eventRing{lines: make([][]byte, capLines)}
+}
+
+func (r *eventRing) append(line []byte) {
+	if r.n < len(r.lines) {
+		r.lines[(r.head+r.n)%len(r.lines)] = line
+		r.n++
+	} else {
+		r.lines[r.head] = line
+		r.head = (r.head + 1) % len(r.lines)
+	}
+	r.seq++
+}
+
+// since concatenates the retained lines with sequence >= from and returns
+// them with the next cursor. A from below the retention window silently
+// starts at the window (those lines are gone); a from at or past seq
+// returns nothing.
+func (r *eventRing) since(from int) (buf []byte, next int) {
+	start := r.seq - r.n
+	if from < start {
+		from = start
+	}
+	for i := from; i < r.seq; i++ {
+		buf = append(buf, r.lines[(r.head+(i-start))%len(r.lines)]...)
+	}
+	return buf, r.seq
 }
 
 type lease struct {
@@ -106,7 +169,9 @@ type lease struct {
 // single mutex — farm throughput is bounded by cell compute time, not
 // coordination.
 type Coordinator struct {
-	opts CoordinatorOptions
+	opts     CoordinatorOptions
+	area     *store.StateArea // durable campaign documents (campaigns/ beside blocks/)
+	eventCap int
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast on any event append / state change
@@ -115,17 +180,34 @@ type Coordinator struct {
 	leases    map[uint64]*lease
 	nextCamp  uint64
 	nextLease uint64
+
+	// idem deduplicates retried completions by idempotency key: a network
+	// layer (or an injected fault) that replays a completion gets the
+	// original outcome back instead of burning a cell attempt. Bounded to
+	// the most recent idemCap keys; keys older than that have long since
+	// resolved through the lease table anyway.
+	idem      map[string]string // key -> outcome ("" = success)
+	idemOrder []string
 }
 
-// NewCoordinator builds a coordinator over the given store.
+// idemCap bounds the idempotency-key window.
+const idemCap = 4096
+
+// NewCoordinator builds a coordinator over the given store and restores
+// any campaigns persisted by a previous coordinator process on the same
+// store directory: open campaigns resume scheduling, their stale leases
+// re-expire lazily, and completed-but-unjournaled cells are recovered from
+// the store itself.
 func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
 	c := &Coordinator{
-		opts:   opts,
-		byID:   map[string]*campaignState{},
-		leases: map[uint64]*lease{},
+		opts:     opts,
+		eventCap: opts.EventLogCap,
+		byID:     map[string]*campaignState{},
+		leases:   map[uint64]*lease{},
+		idem:     map[string]string{},
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.Obs != nil {
@@ -135,6 +217,14 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		opts.Obs.Metrics.Counter("campaign.leases.granted").NonGolden()
 		opts.Obs.Metrics.Counter("campaign.heartbeats.missed").NonGolden()
 		opts.Obs.Metrics.Counter("campaign.requeues").NonGolden()
+	}
+	area, err := opts.Store.StateArea("campaigns")
+	if err != nil {
+		return nil, err
+	}
+	c.area = area
+	if err := c.loadCampaigns(); err != nil {
+		return nil, fmt.Errorf("campaign: restoring persisted campaigns: %w", err)
 	}
 	return c, nil
 }
@@ -160,7 +250,7 @@ func (c *Coordinator) eventLocked(camp *campaignState, msg string, fields ...obs
 	var line lineBuffer
 	lg := obs.NewLogger(&line, obs.LevelInfo).With(obs.F("campaign", camp.id))
 	lg.Info(msg, fields...)
-	camp.events = append(camp.events, line.line)
+	camp.events.append(line.line)
 	c.logger().Info(msg, append([]obs.Field{obs.F("campaign", camp.id)}, fields...)...)
 	c.cond.Broadcast()
 }
@@ -173,15 +263,47 @@ func (b *lineBuffer) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// OverloadError sheds a submission the coordinator cannot queue without
+// breaching its pending-cell bound. The HTTP layer maps it to 429 with a
+// Retry-After header; the client backs off and retries.
+type OverloadError struct {
+	Open       int           // open (pending + leased) cells right now
+	Limit      int           // the configured bound
+	RetryAfter time.Duration // suggested client backoff
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("campaign: coordinator overloaded: %d open cells at limit %d; retry in %s",
+		e.Open, e.Limit, e.RetryAfter)
+}
+
+// openCellsLocked counts cells not yet resolved across running campaigns.
+func (c *Coordinator) openCellsLocked() int {
+	open := 0
+	for _, camp := range c.campaigns {
+		if camp.state != StateRunning {
+			continue
+		}
+		for _, cell := range camp.cells {
+			if cell.state == cellPending || cell.state == cellLeased {
+				open++
+			}
+		}
+	}
+	return open
+}
+
 // Submit registers a campaign, probing the store for every cell first:
 // already-computed cells are marked done immediately and never dispatched
 // (store-first dedupe). Returns the campaign id and how many cells were
-// served from the store.
+// served from the store. A submission whose unserved cells would push the
+// open-cell count past MaxPendingCells is shed with *OverloadError before
+// any state is created.
 func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) {
 	if err := spec.Validate(); err != nil {
 		return "", 0, 0, err
 	}
-	camp := &campaignState{spec: spec, state: StateRunning}
+	camp := &campaignState{spec: spec, state: StateRunning, events: newEventRing(c.eventCap)}
 	for _, cs := range spec.Cells() {
 		st := &cellState{CellSpec: cs, state: cellPending}
 		// The probe uses Get, not a cheaper existence check, so a corrupt
@@ -200,6 +322,12 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if lim := c.opts.MaxPendingCells; lim > 0 {
+		if open := c.openCellsLocked(); open+len(camp.cells)-hits > lim {
+			c.metrics().Counter("campaign.overload.shed").NonGolden().Inc()
+			return "", 0, 0, &OverloadError{Open: open, Limit: lim, RetryAfter: 5 * time.Second}
+		}
+	}
 	c.nextCamp++
 	camp.id = fmt.Sprintf("c%04d", c.nextCamp)
 	c.campaigns = append(c.campaigns, camp)
@@ -208,6 +336,7 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 		obs.F("cells", len(camp.cells)), obs.F("store_hits", hits),
 		obs.F("runs", spec.Runs), obs.F("seed", spec.Seed))
 	c.refreshLocked(camp)
+	c.persistLocked(camp)
 	return camp.id, len(camp.cells), hits, nil
 }
 
@@ -251,11 +380,13 @@ func (c *Coordinator) expireLocked() {
 		l.expired = true
 		c.metrics().Counter("campaign.heartbeats.missed").Inc()
 		if l.cell.state != cellLeased || l.cell.lease != id {
-			continue // cell already completed by a late post or re-lease
+			c.persistLocked(l.campaign) // journal the retirement itself
+			continue                    // cell already completed by a late post or re-lease
 		}
 		c.eventLocked(l.campaign, "lease expired", obs.F("cell", l.cell.Bench),
 			obs.F("worker", l.worker), obs.F("attempt", l.cell.attempts))
 		c.requeueLocked(l.campaign, l.cell, "lease expired (worker presumed dead)")
+		c.persistLocked(l.campaign)
 	}
 }
 
@@ -337,6 +468,7 @@ func (c *Coordinator) Acquire(worker string) AcquireResponse {
 	}
 	resp := AcquireResponse{Remaining: remaining}
 	if grant != nil {
+		c.persistLocked(grant.campaign)
 		resp.Lease = &Lease{
 			ID:         grant.id,
 			Campaign:   grant.campaign.id,
@@ -377,14 +509,45 @@ type CompleteRequest struct {
 	// Events carries the worker's per-cell JSONL telemetry lines (obs wire
 	// format), folded into the campaign's event stream.
 	Events []json.RawMessage `json:"events,omitempty"`
+	// IdempotencyKey, when non-empty, deduplicates retried posts of this
+	// completion: a retry after a lost response returns the original
+	// outcome instead of reprocessing (and instead of surfacing "unknown
+	// lease" for an already-resolved one). The farm client derives it from
+	// the lease id, which is single-use.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// recordIdemLocked remembers a completion outcome under its idempotency
+// key, evicting the oldest key past the window. Must hold c.mu.
+func (c *Coordinator) recordIdemLocked(key, outcome string) {
+	if key == "" {
+		return
+	}
+	if _, seen := c.idem[key]; !seen {
+		c.idemOrder = append(c.idemOrder, key)
+		if len(c.idemOrder) > idemCap {
+			delete(c.idem, c.idemOrder[0])
+			c.idemOrder = c.idemOrder[1:]
+		}
+	}
+	c.idem[key] = outcome
 }
 
 // Complete resolves a lease. Late completions (expired lease, cell already
 // re-leased or done) are accepted when they carry valid results — the cell
 // is deterministic, so any completion is the completion; the store's
-// immutability makes duplicates no-ops.
+// immutability makes duplicates no-ops. Retried posts carrying an
+// idempotency key already seen return the first post's outcome.
 func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 	c.mu.Lock()
+	if outcome, seen := c.idem[req.IdempotencyKey]; req.IdempotencyKey != "" && seen {
+		c.metrics().Counter("campaign.completions.deduped").NonGolden().Inc()
+		c.mu.Unlock()
+		if outcome == "" {
+			return nil
+		}
+		return fmt.Errorf("%s", outcome)
+	}
 	l, ok := c.leases[leaseID]
 	if !ok {
 		c.mu.Unlock()
@@ -393,7 +556,7 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 	camp, cell := l.campaign, l.cell
 	delete(c.leases, leaseID)
 	for _, raw := range req.Events {
-		camp.events = append(camp.events, append(append([]byte(nil), raw...), '\n'))
+		camp.events.append(append(append([]byte(nil), raw...), '\n'))
 	}
 
 	if req.Error != "" {
@@ -402,18 +565,27 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 		if cell.state == cellLeased && cell.lease == leaseID {
 			c.requeueLocked(camp, cell, req.Error)
 		}
+		c.recordIdemLocked(req.IdempotencyKey, "")
+		c.persistLocked(camp)
 		c.mu.Unlock()
 		return nil
 	}
 	if len(req.Results) != cell.Runs {
+		err := fmt.Errorf("campaign: cell %s: %d results for %d runs", cell.Bench, len(req.Results), cell.Runs)
+		c.recordIdemLocked(req.IdempotencyKey, err.Error())
 		c.mu.Unlock()
-		return fmt.Errorf("campaign: cell %s: %d results for %d runs", cell.Bench, len(req.Results), cell.Runs)
+		return err
 	}
 	// Persist outside the scheduling decision but inside one logical
-	// completion: the store write is what makes the cell durable.
+	// completion: the store write is what makes the cell durable. A crash
+	// between the Put and the state journal below loses only the
+	// transition, never the work — restart recovers the cell as done from
+	// the store block itself.
 	storeKey, runs, seedBase := cell.StoreKey, cell.Runs, cell.SeedBase
 	c.mu.Unlock()
 	if err := c.opts.Store.Put(storeKey, runs, seedBase, req.Results); err != nil {
+		// Deliberately not recorded under the idempotency key: a retry of
+		// this post should retry the store write.
 		return fmt.Errorf("campaign: storing cell %s: %w", cell.Bench, err)
 	}
 	c.mu.Lock()
@@ -426,7 +598,36 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 			obs.F("worker", req.Worker), obs.F("runs", runs))
 		c.refreshLocked(camp)
 	}
+	c.recordIdemLocked(req.IdempotencyKey, "")
+	c.persistLocked(camp)
 	return nil
+}
+
+// Release hands a leased cell back to the queue without burning one of its
+// attempts — the drain path: a worker told to shut down returns its
+// in-flight lease immediately instead of letting it idle until TTL expiry
+// delays the requeue, and the abandonment is not a failure, so the attempt
+// count is restored. Returns false for an unknown or already-expired lease.
+func (c *Coordinator) Release(leaseID uint64, worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[leaseID]
+	if !ok || l.expired {
+		return false
+	}
+	l.expired = true
+	if l.cell.state == cellLeased && l.cell.lease == leaseID {
+		if l.cell.attempts > 0 {
+			l.cell.attempts--
+		}
+		l.cell.lease = 0
+		l.cell.state = cellPending
+		c.metrics().Counter("campaign.leases.released").NonGolden().Inc()
+		c.eventLocked(l.campaign, "lease released (worker draining)",
+			obs.F("cell", l.cell.Bench), obs.F("worker", worker))
+	}
+	c.persistLocked(l.campaign)
+	return true
 }
 
 // CellStatus is one cell's scheduling state in a status report.
@@ -546,9 +747,12 @@ func (c *Coordinator) Artifact(ctx context.Context, id string) ([]byte, error) {
 	return buf, nil
 }
 
-// Events returns the campaign's event log as JSONL bytes from offset line
-// `from`, and whether the campaign is terminal. Used by the streaming
-// handler; also convenient for tests.
+// Events returns the campaign's event log as JSONL bytes from monotonic
+// cursor `from`, and whether the campaign is terminal. The cursor counts
+// lines ever appended, not lines retained: a follower whose cursor fell
+// behind a ring wrap resumes at the oldest retained line (dropped lines are
+// simply gone — the ring is bounded telemetry, not a durable log). Used by
+// the streaming handler; also convenient for tests.
 func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -556,11 +760,8 @@ func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
 	if !ok {
 		return nil, 0, true, false
 	}
-	var buf []byte
-	for _, line := range camp.events[min(from, len(camp.events)):] {
-		buf = append(buf, line...)
-	}
-	return buf, len(camp.events), camp.state != StateRunning, true
+	buf, next := camp.events.since(from)
+	return buf, next, camp.state != StateRunning, true
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -574,7 +775,12 @@ func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
 //	POST /v1/leases                   {worker} -> AcquireResponse
 //	POST /v1/leases/{id}/heartbeat    extend the lease
 //	POST /v1/leases/{id}/complete     CompleteRequest
+//	POST /v1/leases/{id}/release      {worker}; drain path, returns the cell
 //	GET  /healthz                     liveness probe
+//
+// Submission overload surfaces as 429 with a Retry-After header; the
+// acquire and complete handlers carry fault-injection sites
+// (coord.acquire, coord.complete) for chaos tests.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -588,6 +794,12 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		id, cells, hits, err := c.Submit(spec)
 		if err != nil {
+			var over *OverloadError
+			if errors.As(err, &over) {
+				w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
+				httpError(w, http.StatusTooManyRequests, err)
+				return
+			}
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -615,6 +827,10 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/campaigns/{id}/events", c.handleEvents)
 	mux.HandleFunc("POST /v1/leases", func(w http.ResponseWriter, r *http.Request) {
+		if err := faultinject.Hit(r.Context(), faultinject.SiteCoordAcquire); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 		var req struct {
 			Worker string `json:"worker"`
 		}
@@ -637,6 +853,10 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	mux.HandleFunc("POST /v1/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		if err := faultinject.Hit(r.Context(), faultinject.SiteCoordComplete); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("bad lease id: %w", err))
@@ -649,6 +869,25 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		if err := c.Complete(id, req); err != nil {
 			httpError(w, http.StatusGone, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad lease id: %w", err))
+			return
+		}
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding release: %w", err))
+			return
+		}
+		if !c.Release(id, req.Worker) {
+			httpError(w, http.StatusGone, fmt.Errorf("lease %d expired or unknown", id))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})

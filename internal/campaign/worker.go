@@ -25,6 +25,12 @@ type Worker struct {
 	Poll time.Duration
 	// IdleExit exits Run when the coordinator reports zero remaining cells.
 	IdleExit bool
+	// CircuitMax caps the acquire backoff when the coordinator is
+	// unreachable (default 30s). Consecutive acquire failures double the
+	// poll delay up to this cap — a circuit breaker, so a dead coordinator
+	// costs a fleet one request per worker per CircuitMax, not a poll-rate
+	// hammering — and one success snaps the delay back to Poll.
+	CircuitMax time.Duration
 	// Obs receives worker counters (worker.cells.completed,
 	// worker.cells.failed — golden per assigned work; worker.leases.acquired
 	// and worker.heartbeats.sent are scheduling-dependent and non-golden)
@@ -60,29 +66,40 @@ func (w *Worker) Run(ctx context.Context) error {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	circuitMax := w.CircuitMax
+	if circuitMax <= 0 {
+		circuitMax = 30 * time.Second
+	}
 	if w.Obs != nil {
 		w.Obs.Metrics.Counter("worker.leases.acquired").NonGolden()
 		w.Obs.Metrics.Counter("worker.heartbeats.sent").NonGolden()
 	}
+	backoff := poll
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		if experiment.Draining(ctx) {
 			// Shutdown was requested (first SIGINT/SIGTERM): the in-flight
-			// cell has finished and been posted; exit cleanly instead of
-			// taking new leases.
+			// cell has finished and been posted (or its lease released);
+			// exit cleanly instead of taking new leases.
 			w.logger().Info("drain requested; worker exiting", obs.F("worker", w.Name))
 			return nil
 		}
 		resp, err := w.Client.Acquire(ctx, w.Name)
 		if err != nil {
-			w.logger().Warn("lease request failed", obs.F("err", err.Error()))
-			if serr := sleepCtx(ctx, poll); serr != nil {
+			w.logger().Warn("lease request failed", obs.F("err", err.Error()),
+				obs.F("backoff", backoff.String()))
+			w.metrics().Counter("worker.acquire.failures").NonGolden().Inc()
+			if serr := sleepCtx(ctx, backoff); serr != nil {
 				return serr
+			}
+			if backoff *= 2; backoff > circuitMax {
+				backoff = circuitMax
 			}
 			continue
 		}
+		backoff = poll
 		if resp.Lease == nil {
 			if resp.Remaining == 0 && w.IdleExit {
 				w.logger().Info("farm idle, exiting", obs.F("worker", w.Name))
@@ -142,7 +159,12 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 
 	results, events, err := w.computeCell(cellCtx, l)
 	cancelHB()
-	req := CompleteRequest{Worker: w.Name, Results: results, Events: events}
+	req := CompleteRequest{
+		Worker: w.Name, Results: results, Events: events,
+		// The lease id is single-use, so it keys this completion for
+		// server-side dedup when the post is retried after a lost response.
+		IdempotencyKey: fmt.Sprintf("lease-%d", l.ID),
+	}
 	if err != nil {
 		if errors.Is(cellCtx.Err(), context.Canceled) && ctx.Err() == nil {
 			// Abandoned after lease expiry: nothing to report, the
@@ -150,12 +172,12 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 			w.metrics().Counter("worker.cells.abandoned").NonGolden().Inc()
 			return
 		}
-		if errors.Is(err, experiment.ErrStopped) {
-			// This worker is draining, not the cell failing: leave the lease
-			// to expire so another worker recomputes the cell without
-			// burning one of its failure attempts.
-			w.logger().Info("draining; releasing cell", obs.F("cell", l.Bench))
-			w.metrics().Counter("worker.cells.abandoned").NonGolden().Inc()
+		if errors.Is(err, experiment.ErrStopped) || ctx.Err() != nil {
+			// This worker is draining (or hard-cancelled), not the cell
+			// failing: hand the lease back so the cell requeues immediately
+			// — without burning an attempt — instead of idling until TTL
+			// expiry.
+			w.releaseLease(ctx, l)
 			return
 		}
 		req.Results = nil
@@ -167,6 +189,25 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 	if cerr := w.Client.Complete(ctx, l.ID, req); cerr != nil {
 		w.logger().Warn("posting completion failed; lease will expire and requeue",
 			obs.F("cell", l.Bench), obs.F("err", cerr.Error()))
+	}
+}
+
+// releaseLease returns an in-flight lease during shutdown. On a hard cancel
+// the worker's context is already dead, so the release runs best-effort on
+// a short independent deadline; a failure costs nothing but requeue latency
+// (the lease TTL still expires).
+func (w *Worker) releaseLease(ctx context.Context, l *Lease) {
+	w.logger().Info("draining; releasing lease", obs.F("cell", l.Bench), obs.F("lease", l.ID))
+	w.metrics().Counter("worker.cells.abandoned").NonGolden().Inc()
+	rctx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+	}
+	if _, err := w.Client.Release(rctx, l.ID, w.Name); err != nil {
+		w.logger().Warn("lease release failed; lease will expire and requeue",
+			obs.F("lease", l.ID), obs.F("err", err.Error()))
 	}
 }
 

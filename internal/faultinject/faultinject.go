@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +34,29 @@ const (
 	SiteCompileCache = "compile.cache"
 	// SiteCheckpointStore is hit before a checkpoint cell file is written.
 	SiteCheckpointStore = "checkpoint.store"
+)
+
+// Instrumented protocol sites in the campaign farm. Client-side net.* sites
+// are consulted (via Protocol) once per request the farm client sends;
+// coordinator-side coord.* sites are hit at the top of the matching HTTP
+// handler, so an armed fault there surfaces as a server 5xx.
+const (
+	// SiteNetSubmit is the client's campaign submission request.
+	SiteNetSubmit = "net.submit"
+	// SiteNetAcquire is the client's lease acquisition request.
+	SiteNetAcquire = "net.acquire"
+	// SiteNetHeartbeat is the client's lease heartbeat request.
+	SiteNetHeartbeat = "net.heartbeat"
+	// SiteNetComplete is the client's cell completion post.
+	SiteNetComplete = "net.complete"
+	// SiteNetRelease is the client's drain-time lease release.
+	SiteNetRelease = "net.release"
+	// SiteNetStatus is the client's campaign status request.
+	SiteNetStatus = "net.status"
+	// SiteCoordAcquire is the coordinator's lease-grant handler.
+	SiteCoordAcquire = "coord.acquire"
+	// SiteCoordComplete is the coordinator's completion handler.
+	SiteCoordComplete = "coord.complete"
 )
 
 // Kind selects what a fault does when it fires.
@@ -50,6 +75,23 @@ const (
 	// KindHook calls Fault.Hook and proceeds; used by tests to trigger
 	// external events (e.g. a drain) at a deterministic point.
 	KindHook
+	// KindDrop, at a protocol site, loses the request or its response: the
+	// caller sees a transport error and never learns whether the server
+	// processed the exchange. At a non-protocol site it behaves as
+	// KindError.
+	KindDrop
+	// KindDup, at a protocol site, sends the request twice — the retry the
+	// network performed on the caller's behalf. Exercises idempotency:
+	// duplicate completions must be deduplicated, not attempt-burned.
+	KindDup
+	// Kind5xx, at a protocol site, short-circuits the exchange with a 503 —
+	// an overloaded proxy or crashing server. Clients must treat it as
+	// retryable.
+	Kind5xx
+	// KindTorn, at a protocol site, truncates the response body mid-stream
+	// (a torn TCP connection): the request was processed but the caller
+	// cannot decode the answer.
+	KindTorn
 )
 
 func (k Kind) String() string {
@@ -64,8 +106,27 @@ func (k Kind) String() string {
 		return "hang"
 	case KindHook:
 		return "hook"
+	case KindDrop:
+		return "drop"
+	case KindDup:
+		return "dup"
+	case Kind5xx:
+		return "5xx"
+	case KindTorn:
+		return "torn"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a kind name (the String form) back to its Kind; used
+// by ParseFaults.
+func ParseKind(s string) (Kind, error) {
+	for k := KindError; k <= KindTorn; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault kind %q", s)
 }
 
 // Fault is one rule in a plan.
@@ -159,11 +220,13 @@ func Hit(ctx context.Context, site string) error {
 	return p.hit(ctx, site)
 }
 
-func (p *plan) hit(ctx context.Context, site string) error {
+// match advances the site's hit counter and returns the fault that fires on
+// this hit, if any, plus the hit ordinal.
+func (p *plan) match(site string) (*Fault, uint64) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.hits[site]++
 	h := p.hits[site]
-	var f *Fault
 	for i := range p.faults {
 		r := &p.faults[i]
 		if r.Site != site {
@@ -171,16 +234,21 @@ func (p *plan) hit(ctx context.Context, site string) error {
 		}
 		if (r.Repeat && h >= r.Nth) || (!r.Repeat && h == r.Nth && !p.fired[i]) {
 			p.fired[i] = true
-			f = r
-			break
+			return r, h
 		}
 	}
-	p.mu.Unlock()
+	return nil, h
+}
+
+func (p *plan) hit(ctx context.Context, site string) error {
+	f, h := p.match(site)
 	if f == nil {
 		return nil
 	}
 	switch f.Kind {
-	case KindError:
+	case KindError, KindDrop, KindDup, Kind5xx, KindTorn:
+		// The protocol kinds only shape traffic at protocol sites
+		// (Protocol); at a plain site they degrade to a transient error.
 		return &Error{Site: site, Hit: h}
 	case KindPanic:
 		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, h))
@@ -215,4 +283,127 @@ func Hits(site string) uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits[site]
+}
+
+// NetFault is the traffic-shaping decision Protocol returns for one
+// request at a protocol site. The zero value means "no fault: proceed".
+type NetFault struct {
+	// Drop loses the exchange: the caller must fail with a transport
+	// error without learning whether the server processed the request.
+	Drop bool
+	// Duplicate sends the request twice (first response discarded).
+	Duplicate bool
+	// Status, when non-zero, short-circuits the exchange with this HTTP
+	// status (a synthetic 5xx) without reaching the server.
+	Status int
+	// Torn truncates the response body mid-stream after a real exchange.
+	Torn bool
+}
+
+// Protocol is the runtime hook for network/protocol sites (the farm
+// client's requests, the coordinator's handlers). With no active plan it is
+// a single atomic load and returns the zero decision. An armed KindDelay
+// sleeps here (bounded by ctx); KindPanic and KindHang behave as at plain
+// sites; the protocol kinds map onto the returned decision.
+func Protocol(ctx context.Context, site string) NetFault {
+	p := active.Load()
+	if p == nil {
+		return NetFault{}
+	}
+	f, h := p.match(site)
+	if f == nil {
+		return NetFault{}
+	}
+	switch f.Kind {
+	case KindDrop, KindError:
+		return NetFault{Drop: true}
+	case KindDup:
+		return NetFault{Duplicate: true}
+	case Kind5xx:
+		return NetFault{Status: 503}
+	case KindTorn:
+		return NetFault{Torn: true}
+	case KindDelay:
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return NetFault{Drop: true}
+		}
+		return NetFault{}
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, h))
+	case KindHang:
+		<-ctx.Done()
+		return NetFault{Drop: true}
+	case KindHook:
+		if f.Hook != nil {
+			f.Hook()
+		}
+		return NetFault{}
+	}
+	return NetFault{}
+}
+
+// ParseFaults parses a textual fault plan — the SZ_FAULTS wire format used
+// to arm chaos runs of the farm CLIs without recompiling. Entries are
+// semicolon-separated; each is
+//
+//	site:kind[:nth[:repeat]]
+//
+// where kind is one of error, panic, delay=<duration>, hang, hook (no-op
+// from text), drop, dup, 5xx, torn; nth is the 1-based hit ordinal (0 or
+// absent derives one from the plan seed); and the literal "repeat" fires
+// the fault on every hit >= nth. Example:
+//
+//	net.complete:dup:1;net.acquire:drop:2:repeat;coord.complete:5xx:3
+func ParseFaults(s string) ([]Fault, error) {
+	var out []Fault
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("faultinject: entry %q: want site:kind[:nth[:repeat]]", entry)
+		}
+		f := Fault{Site: parts[0]}
+		kind := parts[1]
+		if d, ok := strings.CutPrefix(kind, "delay="); ok {
+			dur, err := time.ParseDuration(d)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: entry %q: bad delay: %v", entry, err)
+			}
+			f.Kind, f.Delay = KindDelay, dur
+		} else {
+			k, err := ParseKind(kind)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: entry %q: %v", entry, err)
+			}
+			if k == KindDelay {
+				return nil, fmt.Errorf("faultinject: entry %q: delay needs a duration (delay=200ms)", entry)
+			}
+			f.Kind = k
+		}
+		if len(parts) >= 3 && parts[2] != "" {
+			n, err := strconv.ParseUint(parts[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: entry %q: bad nth: %v", entry, err)
+			}
+			f.Nth = n
+		}
+		if len(parts) >= 4 {
+			if parts[3] != "repeat" {
+				return nil, fmt.Errorf("faultinject: entry %q: trailing field must be \"repeat\"", entry)
+			}
+			f.Repeat = true
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault plan %q", s)
+	}
+	return out, nil
 }

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestProtocolKindMapping pins the Kind -> NetFault decision table.
+func TestProtocolKindMapping(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		kind Kind
+		want NetFault
+	}{
+		{KindDrop, NetFault{Drop: true}},
+		{KindError, NetFault{Drop: true}},
+		{KindDup, NetFault{Duplicate: true}},
+		{Kind5xx, NetFault{Status: 503}},
+		{KindTorn, NetFault{Torn: true}},
+	}
+	for _, tc := range cases {
+		deactivate := Activate(1, Fault{Site: SiteNetComplete, Nth: 1, Kind: tc.kind})
+		if got := Protocol(ctx, SiteNetComplete); got != tc.want {
+			t.Errorf("%v: Protocol = %+v, want %+v", tc.kind, got, tc.want)
+		}
+		// The fault fired once; the next request flows clean.
+		if got := Protocol(ctx, SiteNetComplete); got != (NetFault{}) {
+			t.Errorf("%v: second hit = %+v, want clean", tc.kind, got)
+		}
+		deactivate()
+	}
+	// No plan: zero decision.
+	if got := Protocol(ctx, SiteNetComplete); got != (NetFault{}) {
+		t.Errorf("inactive Protocol = %+v, want zero", got)
+	}
+}
+
+// TestProtocolDelayRespectsContext: an armed delay at a protocol site turns
+// into a drop when the caller's context dies first.
+func TestProtocolDelayRespectsContext(t *testing.T) {
+	defer Activate(1, Fault{Site: SiteNetAcquire, Nth: 1, Kind: KindDelay, Delay: time.Minute})()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := Protocol(ctx, SiteNetAcquire); !got.Drop {
+		t.Fatalf("delay under dead context = %+v, want Drop", got)
+	}
+}
+
+// TestHitDegradesProtocolKinds: the protocol kinds fired through plain Hit
+// behave as transient errors, so arming them at a non-protocol site is
+// safe.
+func TestHitDegradesProtocolKinds(t *testing.T) {
+	for _, k := range []Kind{KindDrop, KindDup, Kind5xx, KindTorn} {
+		deactivate := Activate(1, Fault{Site: SitePoolWorker, Nth: 1, Kind: k})
+		if err := Hit(context.Background(), SitePoolWorker); err == nil || !Transient(err) {
+			t.Errorf("%v at plain site: Hit = %v, want transient error", k, err)
+		}
+		deactivate()
+	}
+}
+
+// TestParseFaults covers the SZ_FAULTS wire format.
+func TestParseFaults(t *testing.T) {
+	faults, err := ParseFaults("net.complete:dup:1; net.acquire:drop:2:repeat ;coord.complete:5xx;cell.start:delay=250ms:4")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []Fault{
+		{Site: "net.complete", Kind: KindDup, Nth: 1},
+		{Site: "net.acquire", Kind: KindDrop, Nth: 2, Repeat: true},
+		{Site: "coord.complete", Kind: Kind5xx},
+		{Site: "cell.start", Kind: KindDelay, Nth: 4, Delay: 250 * time.Millisecond},
+	}
+	if len(faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(faults), len(want))
+	}
+	for i, w := range want {
+		f := faults[i]
+		if f.Site != w.Site || f.Kind != w.Kind || f.Nth != w.Nth || f.Repeat != w.Repeat || f.Delay != w.Delay {
+			t.Errorf("fault %d = %+v, want %+v", i, f, w)
+		}
+	}
+	for _, bad := range []string{
+		"",                      // empty plan
+		"net.complete",          // no kind
+		"net.complete:quantum",  // unknown kind
+		"net.complete:delay",    // delay needs a duration
+		"net.complete:drop:x",   // bad ordinal
+		"net.complete:drop:1:z", // trailing junk
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParseKindRoundtrips every kind through its String form.
+func TestParseKindRoundtrips(t *testing.T) {
+	for k := KindError; k <= KindTorn; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = (%v, %v), want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Errorf("ParseKind accepted an unknown name")
+	}
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/interp"
+)
+
+// GCOptions configures a store garbage collection.
+type GCOptions struct {
+	// DryRun reports what would be evicted without deleting anything.
+	DryRun bool
+	// SampleKeys bounds GCReport.Evicted's key sample (default 10; negative
+	// disables the sample).
+	SampleKeys int
+}
+
+// GCReport summarizes one GC pass. The counts are deterministic given the
+// store contents (golden under the obs discipline).
+type GCReport struct {
+	// Scanned is every block file the pass examined.
+	Scanned int `json:"scanned"`
+	// Kept blocks carry the current semantics generation and a known
+	// engine tag.
+	Kept int `json:"kept"`
+	// Evicted blocks were stale: wrong SemanticsGeneration or an engine
+	// tag this build cannot attribute. With DryRun they are only counted.
+	Evicted int `json:"evicted"`
+	// Quarantined counts blocks that were unreadable or failed integrity
+	// checks: moved to <dir>/quarantine/ on a real run (never silently
+	// deleted — a corrupt block is evidence, not garbage), merely counted
+	// on a dry run.
+	Quarantined int `json:"quarantined"`
+	// BytesReclaimed totals the evicted block file sizes.
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
+	// EvictedSample lists up to SampleKeys evicted keys for human output.
+	EvictedSample []string `json:"evicted_sample,omitempty"`
+	// DryRun echoes the option so reports are self-describing.
+	DryRun bool `json:"dry_run"`
+}
+
+// staleKey reports whether a store key's suffix names a semantics
+// generation other than the current one, or an engine tag this build does
+// not know. Keys without the |engine=…|gen=… suffix predate the store's key
+// schema entirely and are stale by definition.
+func staleKey(key string) (stale bool, reason string) {
+	genIdx := strings.LastIndex(key, "|gen=")
+	if genIdx < 0 {
+		return true, "no semantics generation in key"
+	}
+	gen, err := strconv.Atoi(key[genIdx+len("|gen="):])
+	if err != nil {
+		return true, "unparsable semantics generation"
+	}
+	if gen != experiment.SemanticsGeneration {
+		return true, fmt.Sprintf("semantics generation %d, current %d", gen, experiment.SemanticsGeneration)
+	}
+	engIdx := strings.LastIndex(key[:genIdx], "|engine=")
+	if engIdx < 0 {
+		return true, "no engine tag in key"
+	}
+	if _, err := interp.ParseEngine(key[engIdx+len("|engine=") : genIdx]); err != nil {
+		return true, "unknown engine tag"
+	}
+	return false, ""
+}
+
+// GC walks the block tree and evicts blocks whose key is stale — a
+// SemanticsGeneration other than the running build's, or an engine tag the
+// build no longer recognizes. Such blocks can never be served again (the
+// current key schema cannot address them), so they are pure disk overhead
+// in a long-lived farm store. Corrupt blocks found along the way are
+// quarantined, mirroring the index rebuild. The index is rewritten after a
+// non-dry run so it never names an evicted block.
+func (s *Store) GC(opts GCOptions) (GCReport, error) {
+	if opts.SampleKeys == 0 {
+		opts.SampleKeys = 10
+	}
+	rep := GCReport{DryRun: opts.DryRun}
+	root := filepath.Join(s.dir, "blocks")
+	var evict, bad []string
+	evictKey := map[string]string{} // path -> key
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		rep.Scanned++
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			s.warnf("gc: %s: %v (quarantining)", path, err)
+			bad = append(bad, path)
+			return nil
+		}
+		var f blockFile
+		if jerr := json.Unmarshal(buf, &f); jerr != nil || f.Schema != BlockSchema {
+			s.warnf("gc: %s: unreadable or foreign block (quarantining)", path)
+			bad = append(bad, path)
+			return nil
+		}
+		canon, cerr := canonicalPayload(f.Payload)
+		var p blockPayload
+		if cerr != nil || json.Unmarshal(canon, &p) != nil || hashHex(canon) != f.SHA256 {
+			s.warnf("gc: %s: corrupt block (quarantining)", path)
+			bad = append(bad, path)
+			return nil
+		}
+		if stale, reason := staleKey(p.Key); stale {
+			rep.Evicted++
+			rep.BytesReclaimed += int64(len(buf))
+			if opts.SampleKeys > 0 && len(rep.EvictedSample) < opts.SampleKeys {
+				rep.EvictedSample = append(rep.EvictedSample, p.Key)
+			}
+			s.warnf("gc: evicting %s: %s", p.Key, reason)
+			evict = append(evict, path)
+			evictKey[path] = p.Key
+			return nil
+		}
+		rep.Kept++
+		return nil
+	})
+	if err != nil {
+		return rep, fmt.Errorf("store: gc: %w", err)
+	}
+	if !opts.DryRun {
+		for _, path := range bad {
+			s.quarantine(path)
+		}
+		rep.Quarantined = len(bad)
+		for _, path := range evict {
+			if err := os.Remove(path); err != nil {
+				return rep, fmt.Errorf("store: gc: evicting %s: %w", path, err)
+			}
+			s.mu.Lock()
+			delete(s.index, evictKey[path])
+			s.mu.Unlock()
+		}
+		if err := s.writeIndex(); err != nil {
+			s.warnf("gc: rewriting index: %v (blocks are unaffected)", err)
+		}
+	} else {
+		rep.Quarantined = len(bad)
+	}
+	s.metrics().Counter("store.gc.scanned").Add(uint64(rep.Scanned))
+	s.metrics().Counter("store.gc.kept").Add(uint64(rep.Kept))
+	s.metrics().Counter("store.gc.evicted").Add(uint64(rep.Evicted))
+	s.metrics().Counter("store.gc.bytes_reclaimed").Add(uint64(rep.BytesReclaimed))
+	return rep, nil
+}

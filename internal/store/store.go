@@ -410,30 +410,37 @@ func (s *Store) loadIndex() error {
 }
 
 // rebuildIndex scans the block directories and rewrites the index from
-// what is actually on disk. Unreadable blocks are skipped with a warning.
+// what is actually on disk. Corrupt, truncated, or foreign blocks are
+// quarantined — moved aside into <dir>/quarantine/ so a later Put of the
+// same key is not blocked by Put's exists-check short-circuit — and the
+// rebuild continues; only a failed directory walk aborts it.
 func (s *Store) rebuildIndex() error {
 	s.mu.Lock()
 	s.index = map[string]IndexEntry{}
 	s.mu.Unlock()
 	root := filepath.Join(s.dir, "blocks")
+	var bad []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
 			return err
 		}
 		buf, err := os.ReadFile(path)
 		if err != nil {
-			s.warnf("%s: %v (skipped by index rebuild)", path, err)
+			s.warnf("%s: %v (quarantined by index rebuild)", path, err)
+			bad = append(bad, path)
 			return nil
 		}
 		var f blockFile
 		if err := json.Unmarshal(buf, &f); err != nil || f.Schema != BlockSchema {
-			s.warnf("%s: unreadable or foreign block (skipped by index rebuild)", path)
+			s.warnf("%s: unreadable or foreign block (quarantined by index rebuild)", path)
+			bad = append(bad, path)
 			return nil
 		}
 		var p blockPayload
 		canon, err := canonicalPayload(f.Payload)
 		if err != nil || json.Unmarshal(canon, &p) != nil || hashHex(canon) != f.SHA256 {
-			s.warnf("%s: corrupt block (skipped by index rebuild)", path)
+			s.warnf("%s: corrupt block (quarantined by index rebuild)", path)
+			bad = append(bad, path)
 			return nil
 		}
 		s.mu.Lock()
@@ -447,7 +454,27 @@ func (s *Store) rebuildIndex() error {
 	if err != nil {
 		return fmt.Errorf("store: rebuild index: %w", err)
 	}
+	for _, path := range bad {
+		s.quarantine(path)
+	}
 	return s.writeIndex()
+}
+
+// quarantine moves a damaged block file into <dir>/quarantine/, keeping
+// its name. Failures degrade to a warning — the block is already excluded
+// from the index, so quarantine is hygiene, not correctness.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		s.warnf("quarantining %s: %v (left in place)", path, err)
+		return
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		s.warnf("quarantining %s: %v (left in place)", path, err)
+		return
+	}
+	s.metrics().Counter("store.quarantined.blocks").Inc()
 }
 
 // writeIndex atomically rewrites index.json, sorted by key so equal stores
