@@ -7,17 +7,19 @@
 //
 // Usage:
 //
-//	szfarm serve    -store dir [-addr :8713] [-lease-ttl 30s] [-max-attempts 3]
-//	                [-max-pending n] [-event-cap n]
-//	szfarm work     -server url [-name id] [-j n] [-poll d] [-idle-exit]
-//	szfarm submit   -server url [-runs n] [-scale f] [-seed n] [-level 0..3]
-//	                [-stabilize] [-noise f] [-engine compiled|walk]
-//	                [-bench name[,name...]] [-cxx] [-commit sha]
-//	                [-wait [-o artifact.json]]
-//	szfarm status   -server url [-id cNNNN]
+//	szfarm serve    -store dir [-addr :8713] [-identity name] [-coord-ttl 15s]
+//	                [-lease-ttl 30s] [-max-attempts 3] [-max-pending n]
+//	                [-tenant-weights t=w,...] [-tenant-max-inflight n]
+//	                [-tenant-max-pending n] [-event-cap n]
+//	szfarm work     -server url[,url...] [-name id] [-j n] [-poll d] [-idle-exit]
+//	szfarm submit   -server url[,url...] [-runs n] [-scale f] [-seed n]
+//	                [-level 0..3] [-stabilize] [-noise f]
+//	                [-engine compiled|walk] [-bench name[,name...]] [-cxx]
+//	                [-commit sha] [-tenant name] [-wait [-o artifact.json]]
+//	szfarm status   -server url[,url...] [-id cNNNN] [-json]
 //	szfarm events   -server url -id cNNNN [-follow]
 //	szfarm artifact -server url -id cNNNN [-o artifact.json]
-//	szfarm gc       -store dir [-dry-run] [-json]
+//	szfarm gc       -store dir [-dry-run] [-force] [-json]
 //
 // Campaign artifacts are assembled by the ordinary collection path in
 // store-only mode, so they are byte-identical to what `szgate run` with the
@@ -27,9 +29,15 @@
 // The coordinator persists campaign state under <store>/campaigns/ on every
 // transition: a crashed (even kill -9'd) coordinator restarted against the
 // same -store resumes its open campaigns with no lost or double-counted
-// cells. Chaos jobs arm protocol fault injection through the environment:
-// SZ_FAULTS="site:kind[:nth[:repeat]];..." (sites net.*, coord.*; kinds
-// drop, dup, 5xx, torn, error, delay=<dur>), seeded by SZ_FAULT_SEED.
+// cells. Two serve processes may share one -store for high availability:
+// they race for the store's coordination lease, exactly one is active at a
+// time, and a killed active is replaced by its standby within ~2× the
+// -coord-ttl — clients and workers given the comma-separated server list
+// fail over automatically, and the deposed process's late writes are
+// rejected by its stale fencing epoch. Chaos jobs arm protocol fault
+// injection through the environment: SZ_FAULTS="site:kind[:nth[:repeat]];..."
+// (sites net.*, coord.*, lease.*; kinds drop, dup, 5xx, torn, error,
+// delay=<dur>), seeded by SZ_FAULT_SEED.
 package main
 
 import (
@@ -141,49 +149,101 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("szfarm serve", flag.ExitOnError)
 	storeDir := fs.String("store", "", "result store directory (required; created if missing)")
 	addr := fs.String("addr", ":8713", "listen address")
+	identity := fs.String("identity", "", "coordinator identity in the coordination lease and logs (default: hostname:addr)")
+	coordTTL := fs.Duration("coord-ttl", 15*time.Second, "coordination-lease TTL; a standby takes over this long after the active's last heartbeat")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease expiry without a heartbeat; dead workers' cells requeue after this")
 	maxAttempts := fs.Int("max-attempts", 3, "lease attempts per cell before the campaign fails")
 	maxPending := fs.Int("max-pending", 0, "open-cell bound before submissions shed with 429 (0 = default 10000, negative disables)")
+	tenantWeights := fs.String("tenant-weights", "", "weighted-round-robin tenant shares, e.g. ci=5,default=1")
+	tenantMaxInflight := fs.Int("tenant-max-inflight", 0, "max leased cells per tenant (0 = unlimited)")
+	tenantMaxPending := fs.Int("tenant-max-pending", 0, "open-cell bound per tenant before that tenant's submissions shed with 429 (0 = unlimited)")
 	eventCap := fs.Int("event-cap", 0, "per-campaign event ring size in lines (0 = default 4096)")
 	fs.Parse(args)
 	if *storeDir == "" {
 		return fmt.Errorf("serve needs -store")
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 	st, err := store.Open(*storeDir)
 	if err != nil {
 		return err
 	}
+	if *identity == "" {
+		host, herr := os.Hostname()
+		if herr != nil {
+			host = "szfarm"
+		}
+		*identity = host + *addr
+	}
 	scope := obs.NewScope()
 	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
-	coord, err := campaign.NewCoordinator(campaign.CoordinatorOptions{
-		Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts,
-		MaxPendingCells: *maxPending, EventLogCap: *eventCap, Obs: scope,
+	ha, err := campaign.NewHAServer(campaign.HAOptions{
+		Coordinator: campaign.CoordinatorOptions{
+			Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts,
+			MaxPendingCells: *maxPending, EventLogCap: *eventCap, Obs: scope,
+			TenantWeights:        weights,
+			MaxInflightPerTenant: *tenantMaxInflight,
+			MaxPendingPerTenant:  *tenantMaxPending,
+		},
+		Identity: *identity,
+		CoordTTL: *coordTTL,
+		Obs:      scope,
 	})
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: *addr, Handler: coord.Handler()}
+	srv := &http.Server{Addr: *addr, Handler: ha}
 	// Unlike a collection sweep, the coordinator has no in-process compute
 	// to drain — workers post in-flight completions against the store, and
-	// everything else is recoverable — so the first signal shuts down.
+	// everything else is recoverable — so the first signal shuts down. The
+	// election loop releases the coordination lease on the way out, letting
+	// a standby promote without waiting out the TTL.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	electionDone := make(chan error, 1)
+	go func() { electionDone <- ha.Run(ctx) }()
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	fmt.Fprintf(os.Stderr, "szfarm: serving on %s, store %s (%d blocks)\n", *addr, *storeDir, st.Len())
+	fmt.Fprintf(os.Stderr, "szfarm: %s serving on %s, store %s (%d blocks), coordination lease ttl %s\n",
+		*identity, *addr, *storeDir, st.Len(), *coordTTL)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		stop()
+		<-electionDone
 		return err
 	}
-	return nil
+	return <-electionDone
+}
+
+// parseTenantWeights reads "tenant=weight,..." into the scheduler's weight
+// map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant-weights: %q is not tenant=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant-weights: %q needs a positive integer weight", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 func cmdWork(args []string) error {
 	fs := flag.NewFlagSet("szfarm work", flag.ExitOnError)
-	server := fs.String("server", "", "coordinator base URL (required)")
+	server := fs.String("server", "", "coordinator base URL(s), comma-separated for failover (required)")
 	name := fs.String("name", "", "worker name in leases and events (default: hostname)")
 	jobs := fs.Int("j", 0, "parallel runs within a cell (0 = $SZ_PARALLEL or GOMAXPROCS)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval")
@@ -220,7 +280,7 @@ func cmdWork(args []string) error {
 
 func cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("szfarm submit", flag.ExitOnError)
-	server := fs.String("server", "", "coordinator base URL (required)")
+	server := fs.String("server", "", "coordinator base URL(s), comma-separated for failover (required)")
 	runs := fs.Int("runs", 20, "runs per benchmark")
 	scale := fs.Float64("scale", 1.0, "workload scale")
 	seed := fs.Uint64("seed", 2013, "master seed")
@@ -231,6 +291,7 @@ func cmdSubmit(args []string) error {
 	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
 	cxx := fs.Bool("cxx", false, "include the five C++ benchmarks")
 	commit := fs.String("commit", "", "commit label for the merged artifact")
+	tenant := fs.String("tenant", "", "tenant label for fair scheduling and quotas (default: \"default\")")
 	wait := fs.Bool("wait", false, "poll until the campaign is done")
 	out := fs.String("o", "", "with -wait: write the merged artifact here (- for stdout)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "-wait poll interval")
@@ -260,6 +321,7 @@ func cmdSubmit(args []string) error {
 		Runs:       *runs,
 		Seed:       *seed,
 		Commit:     *commit,
+		Tenant:     *tenant,
 	}
 	if err := camp.Validate(); err != nil {
 		return err
@@ -273,8 +335,9 @@ func cmdSubmit(args []string) error {
 		return err
 	}
 	// Machine-greppable: the CI smoke job asserts store_hits == cells on
-	// resubmission.
-	fmt.Printf("szfarm: submitted %s cells=%d store_hits=%d\n", resp.ID, resp.Cells, resp.StoreHits)
+	// resubmission; the trailing coordinator identity and fencing epoch let
+	// chaos-test logs attribute the exchange across a failover.
+	fmt.Printf("szfarm: submitted %s cells=%d store_hits=%d%s\n", resp.ID, resp.Cells, resp.StoreHits, observedSuffix(client))
 	if !*wait {
 		return nil
 	}
@@ -285,7 +348,7 @@ func cmdSubmit(args []string) error {
 	if st.State != campaign.StateDone {
 		return fmt.Errorf("campaign %s %s: %s", resp.ID, st.State, st.Error)
 	}
-	fmt.Printf("szfarm: campaign %s done (%d cells, %d store hits)\n", resp.ID, st.Cells, st.StoreHits)
+	fmt.Printf("szfarm: campaign %s done (%d cells, %d store hits)%s\n", resp.ID, st.Cells, st.StoreHits, observedSuffix(client))
 	if *out == "" {
 		return nil
 	}
@@ -304,16 +367,30 @@ func cmdSubmit(args []string) error {
 	return nil
 }
 
+// observedSuffix formats the coordinator identity and fencing epoch the
+// client last observed, for appending to human/grep output lines.
+func observedSuffix(client *campaign.Client) string {
+	holder, epoch := client.ObservedCoordinator()
+	if holder == "" {
+		return ""
+	}
+	return fmt.Sprintf(" coordinator=%s epoch=%d", holder, epoch)
+}
+
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("szfarm status", flag.ExitOnError)
-	server := fs.String("server", "", "coordinator base URL (required)")
+	server := fs.String("server", "", "coordinator base URL(s), comma-separated (required)")
 	id := fs.String("id", "", "campaign id (default: summarize all)")
+	jsonOut := fs.Bool("json", false, "print a JSON document: coordinator identity/epoch, scaling signals, campaigns")
 	fs.Parse(args)
 	if *server == "" {
 		return fmt.Errorf("status needs -server")
 	}
 	client := campaign.NewClient(*server)
 	ctx := context.Background()
+	if *jsonOut {
+		return statusJSON(ctx, client, *id)
+	}
 	if *id != "" {
 		st, err := client.Status(ctx, *id)
 		if err != nil {
@@ -347,7 +424,42 @@ func cmdStatus(args []string) error {
 	for _, st := range all {
 		fmt.Printf("%s: %-7s %d/%d done (%d store hits)\n", st.ID, st.State, st.Done, st.Cells, st.StoreHits)
 	}
+	if suffix := observedSuffix(client); suffix != "" {
+		fmt.Printf("szfarm:%s\n", suffix)
+	}
 	return nil
+}
+
+// statusJSON emits one machine-readable document: who answered (identity +
+// fencing epoch), the autoscaling signals, and the campaign statuses — the
+// `szfarm status -json` surface autoscalers and chaos-test logs consume.
+func statusJSON(ctx context.Context, client *campaign.Client, id string) error {
+	doc := struct {
+		Coordinator campaign.CoordinatorInfo `json:"coordinator"`
+		Scaling     campaign.ScalingReport   `json:"scaling"`
+		Campaigns   []campaign.Status        `json:"campaigns"`
+	}{}
+	var err error
+	if id != "" {
+		var st campaign.Status
+		if st, err = client.Status(ctx, id); err == nil {
+			doc.Campaigns = []campaign.Status{st}
+		}
+	} else {
+		doc.Campaigns, err = client.StatusAll(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	if doc.Scaling, err = client.Scaling(ctx); err != nil {
+		return err
+	}
+	if doc.Coordinator, err = client.Coordinator(ctx); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func cmdEvents(args []string) error {
@@ -398,6 +510,7 @@ func cmdGC(args []string) error {
 	fs := flag.NewFlagSet("szfarm gc", flag.ExitOnError)
 	storeDir := fs.String("store", "", "result store directory (required)")
 	dryRun := fs.Bool("dry-run", false, "report what would be evicted without touching the store")
+	force := fs.Bool("force", false, "run even when the store's coordination lease is held by a live coordinator")
 	sample := fs.Int("sample", 10, "evicted-key sample size in the report (negative disables)")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	fs.Parse(args)
@@ -408,8 +521,12 @@ func cmdGC(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := st.GC(store.GCOptions{DryRun: *dryRun, SampleKeys: *sample})
+	rep, err := st.GC(store.GCOptions{DryRun: *dryRun, SampleKeys: *sample, Force: *force})
 	if err != nil {
+		var held *store.LeaseHeldError
+		if errors.As(err, &held) {
+			return fmt.Errorf("%w\n(use -force to override, or stop the coordinator first)", err)
+		}
 		return err
 	}
 	if *jsonOut {

@@ -51,6 +51,22 @@ type Spec struct {
 	Seed uint64 `json:"seed"`
 	// Commit labels the merged artifact (optional).
 	Commit string `json:"commit,omitempty"`
+	// Tenant labels the campaign's owner for fair scheduling and quota
+	// accounting. Empty means DefaultTenant. The label does not enter any
+	// cell key: a cell computed for one tenant is a store hit for every
+	// other, and the merged artifact is tenant-independent.
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// DefaultTenant is the tenant label applied to campaigns that carry none.
+const DefaultTenant = "default"
+
+// tenantOf normalizes a spec's tenant label.
+func tenantOf(s Spec) string {
+	if s.Tenant == "" {
+		return DefaultTenant
+	}
+	return s.Tenant
 }
 
 // Validate rejects specs the farm cannot soundly serve.

@@ -9,6 +9,9 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/faultinject"
@@ -22,8 +25,18 @@ import (
 // Retried completions carry an idempotency key (set by the worker), so a
 // completion whose response was lost is deduplicated server-side rather
 // than burning a cell attempt.
+//
+// For a high-availability farm, Server may list several coordinators
+// (comma-separated). The client talks to one at a time; when an exchange
+// fails retryably it reprobes every listed server's /v1/coordinator
+// endpoint and fails over to the one reporting itself active with the
+// highest fencing epoch — the promoted standby — inside the same bounded
+// retry loop. A standby answers protocol requests with 503 + Retry-After,
+// which is retryable, so a client that guessed wrong converges on the
+// active coordinator without special cases.
 type Client struct {
-	// Server is the coordinator's base URL, e.g. "http://localhost:8713".
+	// Server is one or more coordinator base URLs, comma-separated, e.g.
+	// "http://localhost:8713" or "http://a:8713,http://b:8713".
 	Server string
 	// HTTP is the underlying client (default http.DefaultClient).
 	HTTP *http.Client
@@ -32,9 +45,22 @@ type Client struct {
 	// RetryBase is the first backoff delay (default 50ms, doubling per
 	// attempt, capped at 2s). Tests shrink it.
 	RetryBase time.Duration
+
+	// mu guards the failover state below.
+	mu sync.Mutex
+	// servers is Server split on commas (parsed lazily); active indexes
+	// the one currently receiving requests.
+	servers []string
+	active  int
+	// obsHolder/obsEpoch record the coordinator identity and fencing epoch
+	// from the most recent response's X-Sz-* headers, so CLIs and chaos
+	// logs can attribute events across a failover.
+	obsHolder string
+	obsEpoch  uint64
 }
 
-// NewClient returns a client for the coordinator at base URL server.
+// NewClient returns a client for the coordinator(s) at the given base
+// URL(s), comma-separated.
 func NewClient(server string) *Client {
 	return &Client{Server: server}
 }
@@ -44,6 +70,112 @@ func (c *Client) http() *http.Client {
 		return c.HTTP
 	}
 	return http.DefaultClient
+}
+
+// serverList parses Server on first use. Single-server configurations pay
+// nothing beyond the parse.
+func (c *Client) serverList() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.servers == nil {
+		for _, s := range strings.Split(c.Server, ",") {
+			if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+				c.servers = append(c.servers, s)
+			}
+		}
+		if c.servers == nil {
+			c.servers = []string{""}
+		}
+	}
+	return c.servers
+}
+
+// base returns the server currently receiving requests.
+func (c *Client) base() string {
+	list := c.serverList()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return list[c.active%len(list)]
+}
+
+// observe records the answering coordinator's identity headers.
+func (c *Client) observe(resp *http.Response) {
+	holder := resp.Header.Get(HeaderCoordinator)
+	if holder == "" {
+		return
+	}
+	epoch, _ := strconv.ParseUint(resp.Header.Get(HeaderEpoch), 10, 64)
+	c.mu.Lock()
+	c.obsHolder, c.obsEpoch = holder, epoch
+	c.mu.Unlock()
+}
+
+// ObservedCoordinator reports the identity and fencing epoch of the last
+// coordinator that answered this client ("" / 0 before any exchange).
+func (c *Client) ObservedCoordinator() (holder string, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.obsHolder, c.obsEpoch
+}
+
+// reprobe asks every listed server who it is and switches to the best
+// answer: active role first, then highest fencing epoch. With nobody
+// answering "active" (mid-election) the current choice stands — the retry
+// loop's backoff covers the promotion window. Single-server clients skip
+// the probe entirely.
+func (c *Client) reprobe(ctx context.Context) {
+	list := c.serverList()
+	if len(list) < 2 {
+		return
+	}
+	best, bestEpoch := -1, uint64(0)
+	for i, server := range list {
+		info, err := c.probeOne(ctx, server)
+		if err != nil || info.Role != RoleActive {
+			continue
+		}
+		if best < 0 || info.Epoch > bestEpoch {
+			best, bestEpoch = i, info.Epoch
+		}
+	}
+	if best >= 0 {
+		c.mu.Lock()
+		c.active = best
+		c.mu.Unlock()
+	}
+}
+
+// probeOne fetches one server's /v1/coordinator document (single attempt,
+// no retry — the caller is already inside a retry loop).
+func (c *Client) probeOne(ctx context.Context, server string) (CoordinatorInfo, error) {
+	var info CoordinatorInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, server+"/v1/coordinator", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return info, &StatusError{Code: resp.StatusCode, Message: resp.Status}
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info)
+	return info, err
+}
+
+// Coordinator reports the currently-selected server's role, identity, and
+// fencing epoch.
+func (c *Client) Coordinator(ctx context.Context) (CoordinatorInfo, error) {
+	return c.probeOne(ctx, c.base())
+}
+
+// Scaling fetches the coordinator's autoscaling signals.
+func (c *Client) Scaling(ctx context.Context) (ScalingReport, error) {
+	var out ScalingReport
+	err := c.doJSON(ctx, faultinject.SiteNetStatus, http.MethodGet, "/v1/scaling", nil, &out)
+	return out, err
 }
 
 const retryBackoffCap = 2 * time.Second
@@ -76,7 +208,10 @@ func retryableError(err error) bool {
 }
 
 // doJSON performs a JSON exchange with retries. The site names this
-// exchange for fault injection.
+// exchange for fault injection. A retryable failure against a multi-server
+// list triggers a coordinator reprobe before the next attempt, so a
+// failover (dead active, promoted standby) resolves inside the ordinary
+// retry budget.
 func (c *Client) doJSON(ctx context.Context, site, method, path string, in, out any) error {
 	attempts := c.maxAttempts()
 	for attempt := 0; ; attempt++ {
@@ -98,6 +233,7 @@ func (c *Client) doJSON(ctx context.Context, site, method, path string, in, out 
 		if serr := sleepCtx(ctx, delay); serr != nil {
 			return err
 		}
+		c.reprobe(ctx)
 	}
 }
 
@@ -135,7 +271,7 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 		}
 		body = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.Server+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, body)
 	if err != nil {
 		return err
 	}
@@ -147,6 +283,7 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 		return err
 	}
 	defer resp.Body.Close()
+	c.observe(resp)
 	if torn {
 		return fmt.Errorf("campaign: %s %s: injected torn response", method, path)
 	}
@@ -159,18 +296,43 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 			msg = e.Error
 		}
 		se := &StatusError{Code: resp.StatusCode, Message: msg}
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			var secs int
-			if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
-				se.RetryAfter = time.Duration(secs) * time.Second
-			}
-		}
+		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return se
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryAfterCap bounds how long a server-directed Retry-After may stall a
+// client: the ceiling for delays the server asked for, distinct from (and
+// higher than) retryBackoffCap, which governs the client's own schedule. A
+// misbehaving or miscalibrated server cannot park a worker fleet for
+// minutes.
+const retryAfterCap = 30 * time.Second
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay-seconds or an HTTP-date — clamped to [0, retryAfterCap]. Malformed
+// values and dates in the past yield 0 (no server-directed delay).
+func parseRetryAfter(s string, now time.Time) time.Duration {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(s); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, perr := http.ParseTime(s); perr == nil {
+		d = t.Sub(now)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	return d
 }
 
 // StatusError is a non-2xx farm response.
@@ -211,7 +373,7 @@ func (c *Client) StatusAll(ctx context.Context) ([]Status, error) {
 
 // Artifact fetches a completed campaign's merged artifact bytes.
 func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/campaigns/"+id+"/artifact", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/v1/campaigns/"+id+"/artifact", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +382,7 @@ func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	c.observe(resp)
 	buf, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err
@@ -240,7 +403,7 @@ func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
 // Events fetches a campaign's JSONL event log; with follow it streams
 // until the campaign is terminal, writing lines to w as they arrive.
 func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer) error {
-	url := c.Server + "/v1/campaigns/" + id + "/events"
+	url := c.base() + "/v1/campaigns/" + id + "/events"
 	if follow {
 		url += "?follow=1"
 	}

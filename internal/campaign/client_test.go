@@ -1,0 +1,57 @@
+package campaign
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins both RFC 9110 Retry-After forms — delay-seconds
+// and HTTP-date — and the cap that keeps a misbehaving server from parking
+// a worker fleet for minutes. The cap is deliberately higher than the
+// client's own backoff ceiling: a server-directed delay may stretch the
+// schedule, but only up to retryAfterCap.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 2, 3, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"7", 7 * time.Second},
+		{" 2 ", 2 * time.Second},
+		{"0", 0},
+		{"-3", 0},   // negative delay: no wait
+		{"soon", 0}, // malformed: ignore the hint
+		{"86400", retryAfterCap},
+		{now.Add(10 * time.Second).Format(http.TimeFormat), 10 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // date in the past
+		{now.Add(10 * time.Minute).Format(http.TimeFormat), retryAfterCap},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if retryAfterCap <= retryBackoffCap {
+		t.Fatalf("retryAfterCap %s must exceed the client's own backoff ceiling %s", retryAfterCap, retryBackoffCap)
+	}
+}
+
+// TestClientServerListParsing pins the comma-separated failover list:
+// whitespace and trailing slashes are trimmed, empties dropped, and a
+// single-server value behaves exactly as before.
+func TestClientServerListParsing(t *testing.T) {
+	c := NewClient(" http://a:1/ , http://b:2 ,")
+	list := c.serverList()
+	if len(list) != 2 || list[0] != "http://a:1" || list[1] != "http://b:2" {
+		t.Fatalf("serverList = %v", list)
+	}
+	if got := c.base(); got != "http://a:1" {
+		t.Fatalf("base = %q, want the first listed server", got)
+	}
+	single := NewClient("http://only:3")
+	if got := single.base(); got != "http://only:3" {
+		t.Fatalf("single-server base = %q", got)
+	}
+}

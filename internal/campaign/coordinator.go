@@ -55,6 +55,32 @@ type CoordinatorOptions struct {
 	// campaigns cannot grow coordinator memory without limit. Default
 	// 4096 lines; the minimum is 16.
 	EventLogCap int
+	// Identity names this coordinator process in /v1/coordinator reports
+	// and the X-SZ-Coordinator response header (default "local"). In an HA
+	// pair each process gets a distinct identity so chaos-test logs can
+	// attribute events across a failover.
+	Identity string
+	// Fence, when non-nil, is the coordination lease this coordinator
+	// holds on the store (store.Coordination). Every journal write and
+	// every completion's store write re-verifies the fencing epoch first;
+	// a deposed coordinator — one whose epoch has been superseded by a
+	// promoted standby — has the write rejected with *store.FencedError
+	// instead of corrupting the successor's state. Nil runs unfenced
+	// (single-coordinator deployments and most tests).
+	Fence *store.LeaseHandle
+	// TenantWeights sets each tenant's share of the weighted round-robin
+	// lease scheduler; tenants absent from the map weigh 1. Weights below
+	// 1 are treated as 1.
+	TenantWeights map[string]int
+	// MaxInflightPerTenant caps how many cells one tenant may have leased
+	// at once (0 or negative = unlimited). The cap idles a tenant's
+	// surplus demand rather than shedding it.
+	MaxInflightPerTenant int
+	// MaxPendingPerTenant bounds one tenant's open (pending + leased)
+	// cells; a submission breaching it is shed with a per-tenant
+	// *OverloadError (HTTP 429 + Retry-After) while other tenants keep
+	// submitting. 0 or negative = unlimited.
+	MaxPendingPerTenant int
 	// Obs receives the farm counters and the coordinator log. Counter
 	// discipline: store hits/misses and cells completed are golden
 	// (deterministic given store contents and the submission sequence);
@@ -84,6 +110,9 @@ func (o *CoordinatorOptions) defaults() error {
 	if o.EventLogCap < 16 {
 		o.EventLogCap = 16
 	}
+	if o.Identity == "" {
+		o.Identity = "local"
+	}
 	if o.now == nil {
 		o.now = time.Now
 	}
@@ -102,11 +131,12 @@ type cellState struct {
 
 // campaignState is one submitted campaign.
 type campaignState struct {
-	id    string
-	spec  Spec
-	cells []*cellState
-	state string
-	err   string
+	id     string
+	spec   Spec
+	tenant string
+	cells  []*cellState
+	state  string
+	err    string
 
 	// events is the campaign's bounded JSONL event log (obs wire format);
 	// artifact caches the merged artifact bytes once assembled.
@@ -188,6 +218,13 @@ type Coordinator struct {
 	// resolved through the lease table anyway.
 	idem      map[string]string // key -> outcome ("" = success)
 	idemOrder []string
+
+	// Scheduler and autoscaling state (scheduler.go): smooth-WRR credit
+	// per tenant, last-seen time per worker, and a bounded ring of recent
+	// completion times for the drain-rate estimate.
+	wrrCredit  map[string]int
+	workerSeen map[string]time.Time
+	recentDone []time.Time
 }
 
 // idemCap bounds the idempotency-key window.
@@ -203,11 +240,13 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		opts:     opts,
-		eventCap: opts.EventLogCap,
-		byID:     map[string]*campaignState{},
-		leases:   map[uint64]*lease{},
-		idem:     map[string]string{},
+		opts:       opts,
+		eventCap:   opts.EventLogCap,
+		byID:       map[string]*campaignState{},
+		leases:     map[uint64]*lease{},
+		idem:       map[string]string{},
+		wrrCredit:  map[string]int{},
+		workerSeen: map[string]time.Time{},
 	}
 	c.cond = sync.NewCond(&c.mu)
 	if opts.Obs != nil {
@@ -264,22 +303,45 @@ func (b *lineBuffer) Write(p []byte) (int, error) {
 }
 
 // OverloadError sheds a submission the coordinator cannot queue without
-// breaching its pending-cell bound. The HTTP layer maps it to 429 with a
-// Retry-After header; the client backs off and retries.
+// breaching its pending-cell bound — globally, or for one tenant when the
+// per-tenant quota is the one breached. The HTTP layer maps it to 429 with
+// a Retry-After header; the client backs off and retries. A per-tenant shed
+// carries the tenant label so the caller can see other tenants are
+// unaffected.
 type OverloadError struct {
 	Open       int           // open (pending + leased) cells right now
 	Limit      int           // the configured bound
 	RetryAfter time.Duration // suggested client backoff
+	Tenant     string        // non-empty when a per-tenant quota shed this
 }
 
 func (e *OverloadError) Error() string {
+	if e.Tenant != "" {
+		return fmt.Sprintf("campaign: tenant %s over quota: %d open cells at limit %d; retry in %s",
+			e.Tenant, e.Open, e.Limit, e.RetryAfter)
+	}
 	return fmt.Sprintf("campaign: coordinator overloaded: %d open cells at limit %d; retry in %s",
 		e.Open, e.Limit, e.RetryAfter)
 }
 
-// openCellsLocked counts cells not yet resolved across running campaigns.
-func (c *Coordinator) openCellsLocked() int {
-	open := 0
+// fenceErr re-verifies the coordinator's fencing epoch before a write to
+// shared state. Unfenced coordinators (Fence == nil) always pass. A
+// *store.FencedError means a standby claimed a newer epoch: this
+// coordinator is deposed and the write must not happen.
+func (c *Coordinator) fenceErr() error {
+	if c.opts.Fence == nil {
+		return nil
+	}
+	if err := c.opts.Fence.Check(); err != nil {
+		c.metrics().Counter("campaign.fenced.writes").NonGolden().Inc()
+		return err
+	}
+	return nil
+}
+
+// openCellsLocked counts cells not yet resolved across running campaigns —
+// in total, and for the given tenant ("" skips the per-tenant count).
+func (c *Coordinator) openCellsLocked(tenant string) (open, tenantOpen int) {
 	for _, camp := range c.campaigns {
 		if camp.state != StateRunning {
 			continue
@@ -287,10 +349,13 @@ func (c *Coordinator) openCellsLocked() int {
 		for _, cell := range camp.cells {
 			if cell.state == cellPending || cell.state == cellLeased {
 				open++
+				if camp.tenant == tenant {
+					tenantOpen++
+				}
 			}
 		}
 	}
-	return open
+	return open, tenantOpen
 }
 
 // Submit registers a campaign, probing the store for every cell first:
@@ -303,7 +368,10 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 	if err := spec.Validate(); err != nil {
 		return "", 0, 0, err
 	}
-	camp := &campaignState{spec: spec, state: StateRunning, events: newEventRing(c.eventCap)}
+	if err := c.fenceErr(); err != nil {
+		return "", 0, 0, err
+	}
+	camp := &campaignState{spec: spec, tenant: tenantOf(spec), state: StateRunning, events: newEventRing(c.eventCap)}
 	for _, cs := range spec.Cells() {
 		st := &cellState{CellSpec: cs, state: cellPending}
 		// The probe uses Get, not a cheaper existence check, so a corrupt
@@ -322,11 +390,15 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if lim := c.opts.MaxPendingCells; lim > 0 {
-		if open := c.openCellsLocked(); open+len(camp.cells)-hits > lim {
-			c.metrics().Counter("campaign.overload.shed").NonGolden().Inc()
-			return "", 0, 0, &OverloadError{Open: open, Limit: lim, RetryAfter: 5 * time.Second}
-		}
+	open, tenantOpen := c.openCellsLocked(camp.tenant)
+	adding := len(camp.cells) - hits
+	if lim := c.opts.MaxPendingCells; lim > 0 && open+adding > lim {
+		c.metrics().Counter("campaign.overload.shed").NonGolden().Inc()
+		return "", 0, 0, &OverloadError{Open: open, Limit: lim, RetryAfter: 5 * time.Second}
+	}
+	if lim := c.opts.MaxPendingPerTenant; lim > 0 && tenantOpen+adding > lim {
+		c.metrics().Counter("campaign.overload.shed_tenant").NonGolden().Inc()
+		return "", 0, 0, &OverloadError{Open: tenantOpen, Limit: lim, RetryAfter: 5 * time.Second, Tenant: camp.tenant}
 	}
 	c.nextCamp++
 	camp.id = fmt.Sprintf("c%04d", c.nextCamp)
@@ -334,7 +406,8 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 	c.byID[camp.id] = camp
 	c.eventLocked(camp, "campaign submitted",
 		obs.F("cells", len(camp.cells)), obs.F("store_hits", hits),
-		obs.F("runs", spec.Runs), obs.F("seed", spec.Seed))
+		obs.F("runs", spec.Runs), obs.F("seed", spec.Seed),
+		obs.F("tenant", camp.tenant))
 	c.refreshLocked(camp)
 	c.persistLocked(camp)
 	return camp.id, len(camp.cells), hits, nil
@@ -431,41 +504,17 @@ type AcquireResponse struct {
 	Remaining int `json:"remaining"`
 }
 
-// Acquire grants the oldest pending cell to the worker, or reports how
-// much work remains in flight.
+// Acquire grants a pending cell to the worker — chosen by the weighted
+// round-robin tenant scheduler in scheduler.go — or reports how much work
+// remains in flight.
 func (c *Coordinator) Acquire(worker string) AcquireResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked()
-	remaining := 0
-	var grant *lease
-	for _, camp := range c.campaigns {
-		if camp.state != StateRunning {
-			continue
-		}
-		for _, cell := range camp.cells {
-			switch cell.state {
-			case cellPending:
-				remaining++
-				if grant == nil {
-					c.nextLease++
-					cell.state = cellLeased
-					cell.attempts++
-					cell.lease = c.nextLease
-					grant = &lease{
-						id: c.nextLease, campaign: camp, cell: cell, worker: worker,
-						deadline: c.opts.now().Add(c.opts.LeaseTTL),
-					}
-					c.leases[grant.id] = grant
-					c.metrics().Counter("campaign.leases.granted").Inc()
-					c.eventLocked(camp, "lease granted", obs.F("cell", cell.Bench),
-						obs.F("worker", worker), obs.F("lease", grant.id), obs.F("attempt", cell.attempts))
-				}
-			case cellLeased:
-				remaining++
-			}
-		}
+	if worker != "" {
+		c.workerSeen[worker] = c.opts.now()
 	}
+	grant, remaining := c.scheduleLocked(worker)
 	resp := AcquireResponse{Remaining: remaining}
 	if grant != nil {
 		c.persistLocked(grant.campaign)
@@ -496,6 +545,7 @@ func (c *Coordinator) Heartbeat(leaseID uint64) bool {
 		return false
 	}
 	l.deadline = c.opts.now().Add(c.opts.LeaseTTL)
+	c.workerSeen[l.worker] = c.opts.now()
 	return true
 }
 
@@ -583,6 +633,14 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 	// the store block itself.
 	storeKey, runs, seedBase := cell.StoreKey, cell.Runs, cell.SeedBase
 	c.mu.Unlock()
+	// The fencing epoch is re-verified immediately before the store write:
+	// a deposed coordinator must not write blocks (or journal state) the
+	// promoted one no longer expects. Not recorded under the idempotency
+	// key — the worker's retry should land on the new active coordinator,
+	// which restored this lease from the journal and completes it there.
+	if err := c.fenceErr(); err != nil {
+		return err
+	}
 	if err := c.opts.Store.Put(storeKey, runs, seedBase, req.Results); err != nil {
 		// Deliberately not recorded under the idempotency key: a retry of
 		// this post should retry the store write.
@@ -594,6 +652,7 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 		cell.state = cellDone
 		cell.err = ""
 		c.metrics().Counter("campaign.cells.completed").Inc()
+		c.noteCompletionLocked()
 		c.eventLocked(camp, "cell complete", obs.F("cell", cell.Bench),
 			obs.F("worker", req.Worker), obs.F("runs", runs))
 		c.refreshLocked(camp)
@@ -642,6 +701,7 @@ type CellStatus struct {
 // Status is a campaign's progress snapshot.
 type Status struct {
 	ID        string       `json:"id"`
+	Tenant    string       `json:"tenant,omitempty"`
 	State     string       `json:"state"`
 	Cells     int          `json:"cells"`
 	Done      int          `json:"done"`
@@ -678,7 +738,7 @@ func (c *Coordinator) StatusAll() []Status {
 }
 
 func (c *Coordinator) statusLocked(camp *campaignState, detail bool) Status {
-	st := Status{ID: camp.id, State: camp.state, Cells: len(camp.cells), Error: camp.err}
+	st := Status{ID: camp.id, Tenant: camp.tenant, State: camp.state, Cells: len(camp.cells), Error: camp.err}
 	for _, cell := range camp.cells {
 		switch cell.state {
 		case cellDone:
@@ -776,15 +836,28 @@ func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
 //	POST /v1/leases/{id}/heartbeat    extend the lease
 //	POST /v1/leases/{id}/complete     CompleteRequest
 //	POST /v1/leases/{id}/release      {worker}; drain path, returns the cell
+//	GET  /v1/coordinator              this process's role, identity, and
+//	                                  fencing epoch (failover probe target)
+//	GET  /v1/scaling                  autoscaling signals (ScalingReport)
 //	GET  /healthz                     liveness probe
 //
-// Submission overload surfaces as 429 with a Retry-After header; the
-// acquire and complete handlers carry fault-injection sites
-// (coord.acquire, coord.complete) for chaos tests.
+// Every response carries X-SZ-Coordinator (identity) and X-SZ-Epoch
+// (fencing epoch, 0 when unfenced) headers so clients can attribute
+// exchanges across a failover. Submission overload surfaces as 429 with a
+// Retry-After header; a fenced (deposed-coordinator) write surfaces as 503
+// so the client retries against the promoted coordinator. The acquire and
+// complete handlers carry fault-injection sites (coord.acquire,
+// coord.complete) for chaos tests.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store_blocks": c.opts.Store.Len()})
+	})
+	mux.HandleFunc("GET /v1/coordinator", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Info())
+	})
+	mux.HandleFunc("GET /v1/scaling", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Scaling())
 	})
 	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
@@ -798,6 +871,12 @@ func (c *Coordinator) Handler() http.Handler {
 			if errors.As(err, &over) {
 				w.Header().Set("Retry-After", strconv.Itoa(int(over.RetryAfter/time.Second)))
 				httpError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			var fenced *store.FencedError
+			if errors.As(err, &fenced) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, err)
 				return
 			}
 			httpError(w, http.StatusBadRequest, err)
@@ -868,6 +947,16 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		if err := c.Complete(id, req); err != nil {
+			// A fenced completion is retryable — the worker should reprobe
+			// and post to the promoted coordinator, which restored this
+			// lease from the journal. Everything else is terminal for the
+			// lease (gone).
+			var fenced *store.FencedError
+			if errors.As(err, &fenced) {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			httpError(w, http.StatusGone, err)
 			return
 		}
@@ -892,7 +981,69 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
-	return mux
+	return c.withCoordHeaders(mux)
+}
+
+// withCoordHeaders stamps every response with this coordinator's identity
+// and fencing epoch, so clients and chaos-test logs can attribute an
+// exchange to a specific coordinator incarnation across a failover.
+func (c *Coordinator) withCoordHeaders(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderCoordinator, c.opts.Identity)
+		var epoch uint64
+		if c.opts.Fence != nil {
+			epoch = c.opts.Fence.Epoch()
+		}
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Response headers identifying the answering coordinator.
+const (
+	HeaderCoordinator = "X-Sz-Coordinator"
+	HeaderEpoch       = "X-Sz-Epoch"
+)
+
+// CoordinatorInfo answers GET /v1/coordinator: which process answered,
+// its role, and the coordination-lease epoch it holds (or observes, for a
+// standby). Clients probe this endpoint across their server list to find
+// the active coordinator after a failover.
+type CoordinatorInfo struct {
+	// Role is RoleActive or RoleStandby.
+	Role string `json:"role"`
+	// Self identifies the answering process.
+	Self string `json:"self"`
+	// Holder identifies the lease holder (== Self when Role is active).
+	Holder string `json:"holder,omitempty"`
+	// Epoch is the fencing epoch (0 when unfenced).
+	Epoch uint64 `json:"epoch"`
+	// LeaseExpiresInS is the observed heartbeat headroom (standby reports
+	// only; the active holder renews its own lease).
+	LeaseExpiresInS float64 `json:"lease_expires_in_s,omitempty"`
+	// StoreBlocks sizes the shared store, a cheap liveness signal.
+	StoreBlocks int `json:"store_blocks"`
+}
+
+// Coordinator roles reported by /v1/coordinator.
+const (
+	RoleActive  = "active"
+	RoleStandby = "standby"
+)
+
+// Info reports this coordinator's identity and fencing epoch. A bare
+// Coordinator is always active (standby processes answer through HAServer,
+// which has no Coordinator until promotion).
+func (c *Coordinator) Info() CoordinatorInfo {
+	info := CoordinatorInfo{
+		Role: RoleActive, Self: c.opts.Identity, Holder: c.opts.Identity,
+		StoreBlocks: c.opts.Store.Len(),
+	}
+	if c.opts.Fence != nil {
+		info.Epoch = c.opts.Fence.Epoch()
+		info.Holder = c.opts.Fence.Holder()
+	}
+	return info
 }
 
 // handleEvents streams a campaign's JSONL event log. With ?follow=1 the

@@ -405,6 +405,55 @@ func TestChaosProtocolFaults(t *testing.T) {
 	}
 }
 
+// TestTornCampaignDocsSkippedNotFatal: damaged documents in the campaigns/
+// state area — a torn write predating the atomic-write layer, a document
+// from a future schema, one whose cells no longer marry to its spec — must
+// never prevent a coordinator from starting. Each is skipped with a
+// counter; intact neighbors restore normally.
+func TestTornCampaignDocsSkippedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	stA, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	coordA, err := NewCoordinator(CoordinatorOptions{Store: stA, Obs: obs.NewScope()})
+	if err != nil {
+		t.Fatalf("coordinator A: %v", err)
+	}
+	id, _, _, err := coordA.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	writeDoc := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "campaigns", name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeDoc("c0100.json", `{"schema":1,"id":"c0100","spec":{"benchmarks":["as`) // torn mid-write
+	writeDoc("c0101.json", `{"schema":99,"id":"c0101"}`)                         // future schema
+	writeDoc("c0102.json", `{"schema":1,"id":"c0102","spec":{},"cells":[{"bench":"ghost"}]}`)
+
+	stB, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	coordB, err := NewCoordinator(CoordinatorOptions{Store: stB, Obs: obs.NewScope(), now: futureClock})
+	if err != nil {
+		t.Fatalf("coordinator refused to start over damaged documents: %v", err)
+	}
+	if got := coordB.metrics().Counter("campaign.docs.skipped").Value(); got != 3 {
+		t.Fatalf("documents skipped = %d, want 3", got)
+	}
+	if got := coordB.metrics().Counter("campaign.restored").Value(); got != 1 {
+		t.Fatalf("campaigns restored = %d, want 1", got)
+	}
+	if _, ok := coordB.Status(id); !ok {
+		t.Fatalf("intact campaign %s lost among damaged neighbors", id)
+	}
+}
+
 // TestWorkerDrainReleasesLease: a worker whose drain flag rises while it
 // holds a lease hands the lease back immediately — the coordinator sees a
 // released (not TTL-expired) lease, the cell requeues at its original

@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// HAServer makes a coordinator highly available: two (or more) `szfarm
+// serve` processes point at the same store, race for its coordination
+// lease (store.Coordination), and exactly one — the active — builds a
+// Coordinator and serves the farm protocol. The rest are standbys: they
+// answer /healthz and /v1/coordinator so clients can probe them, reject
+// everything else with 503 + Retry-After, and poll the lease with a
+// jittered interval. When the active dies (kill -9, partition) its
+// heartbeat expires and a standby promotes: it claims the next fencing
+// epoch, replays the campaign journal, and re-probes the store — the exact
+// restart path a single coordinator uses — while the deposed process's
+// late writes are rejected by its stale epoch.
+//
+// The roles are symmetric: every process runs the same loop, so a deposed
+// active demotes back to standby and may later promote again.
+type HAServer struct {
+	opts  HAOptions
+	coord *store.Coordination
+
+	mu     sync.RWMutex
+	role   string
+	epoch  uint64
+	active *Coordinator
+	h      http.Handler
+	info   store.LeaseInfo // last observed lease state while standby
+}
+
+// HAOptions configures an HAServer.
+type HAOptions struct {
+	// Coordinator configures the Coordinator built at each promotion.
+	// Identity and Fence are set by the HAServer; Store is required.
+	Coordinator CoordinatorOptions
+	// Identity names this process in the lease, the /v1/coordinator
+	// report, and response headers (required; distinct per process).
+	Identity string
+	// CoordTTL is the coordination-lease TTL: how long after the active's
+	// last heartbeat a standby may take over (default 15s). The active
+	// renews at a jittered CoordTTL/3.
+	CoordTTL time.Duration
+	// Poll is the standby's lease-poll interval (default CoordTTL/3),
+	// jittered so multiple standbys don't race in lockstep.
+	Poll time.Duration
+	// Obs receives the election log and counters (all non-golden: election
+	// timing is wall-clock).
+	Obs *obs.Scope
+	// now is the clock, overridable in tests.
+	now func() time.Time
+}
+
+func (o *HAOptions) defaults() error {
+	if o.Coordinator.Store == nil {
+		return fmt.Errorf("campaign: HA server needs a result store")
+	}
+	if o.Identity == "" {
+		return fmt.Errorf("campaign: HA server needs a distinct identity")
+	}
+	if o.CoordTTL <= 0 {
+		o.CoordTTL = 15 * time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = o.CoordTTL / 3
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return nil
+}
+
+// NewHAServer builds the server in the standby role; Run drives the
+// election.
+func NewHAServer(opts HAOptions) (*HAServer, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	return &HAServer{
+		opts:  opts,
+		coord: opts.Coordinator.Store.Coordination(),
+		role:  RoleStandby,
+	}, nil
+}
+
+func (s *HAServer) logger() *obs.Logger {
+	if s.opts.Obs != nil {
+		return s.opts.Obs.Log
+	}
+	return nil
+}
+
+func (s *HAServer) metrics() *obs.Registry {
+	if s.opts.Obs != nil {
+		return s.opts.Obs.Metrics
+	}
+	return nil
+}
+
+// Role reports the current role (RoleActive or RoleStandby).
+func (s *HAServer) Role() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.role
+}
+
+// Coordinator returns the active Coordinator, or nil while standby —
+// mainly for tests poking at promoted state.
+func (s *HAServer) Coordinator() *Coordinator {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.active
+}
+
+// ServeHTTP dispatches by role: the active coordinator's full handler, or
+// the standby surface (probe endpoints + 503 for everything else).
+func (s *HAServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	role, h, epoch, info := s.role, s.h, s.epoch, s.info
+	s.mu.RUnlock()
+	if role == RoleActive && h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set(HeaderCoordinator, s.opts.Identity)
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "role": RoleStandby})
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/coordinator":
+		ci := CoordinatorInfo{
+			Role: RoleStandby, Self: s.opts.Identity,
+			Holder: info.Holder, Epoch: info.Epoch,
+			LeaseExpiresInS: info.ExpiresIn.Seconds(),
+			StoreBlocks:     s.opts.Coordinator.Store.Len(),
+		}
+		writeJSON(w, http.StatusOK, ci)
+	default:
+		// Retryable by design: the client's failover loop reprobes and
+		// lands on the active coordinator (or waits out an election).
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.Poll/time.Second)+1))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("campaign: %s is standby; lease epoch %d held by %s", s.opts.Identity, info.Epoch, info.Holder))
+	}
+}
+
+// Run drives the election until ctx is cancelled: poll as standby, promote
+// on acquisition, renew while active, demote when deposed. On cancellation
+// an active server releases the lease so its peer can take over without
+// waiting out the TTL.
+func (s *HAServer) Run(ctx context.Context) error {
+	if s.opts.Obs != nil {
+		s.metrics().Counter("ha.promotions").NonGolden()
+		s.metrics().Counter("ha.depositions").NonGolden()
+	}
+	for {
+		handle, err := s.standby(ctx)
+		if err != nil {
+			return err
+		}
+		if handle == nil {
+			return nil // ctx cancelled while standby
+		}
+		if err := s.promote(ctx, handle); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		// Deposed: fall through and poll again as standby.
+	}
+}
+
+// standby polls the coordination lease until it acquires it (returning the
+// handle) or ctx ends (returning nil).
+func (s *HAServer) standby(ctx context.Context) (*store.LeaseHandle, error) {
+	for {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		handle, info, err := s.coord.TryAcquire(s.opts.Identity, s.opts.CoordTTL, s.opts.now())
+		if err != nil {
+			// Acquisition failures (including injected lease.acquire
+			// faults) are retried on the poll cadence, not fatal: the store
+			// may be briefly unwritable.
+			s.logger().Warn("lease acquisition failed", obs.F("id", s.opts.Identity), obs.F("err", err.Error()))
+		}
+		if handle != nil {
+			return handle, nil
+		}
+		s.mu.Lock()
+		s.info = info
+		s.mu.Unlock()
+		if err := sleepCtx(ctx, jitterDur(s.opts.Poll)); err != nil {
+			return nil, nil
+		}
+	}
+}
+
+// promote builds the fenced Coordinator (journal replay + store re-probe)
+// and renews the lease until deposed or cancelled. Returns nil on
+// deposition (the caller demotes and keeps polling) and on cancellation.
+func (s *HAServer) promote(ctx context.Context, handle *store.LeaseHandle) error {
+	copts := s.opts.Coordinator
+	copts.Identity = s.opts.Identity
+	copts.Fence = handle
+	if copts.LeaseTTL <= 0 {
+		// Worker-lease expiry must outlive an election, or every failover
+		// also burns an attempt on every inflight cell.
+		copts.LeaseTTL = 2 * s.opts.CoordTTL
+	}
+	active, err := NewCoordinator(copts)
+	if err != nil {
+		// Promotion failed (corrupt journal area, store error): give the
+		// lease back so the peer can try, and surface the error — this
+		// process cannot serve.
+		_ = handle.Release(s.opts.now())
+		return fmt.Errorf("campaign: promoting %s at epoch %d: %w", s.opts.Identity, handle.Epoch(), err)
+	}
+	s.mu.Lock()
+	s.role, s.epoch, s.active, s.h = RoleActive, handle.Epoch(), active, active.Handler()
+	s.mu.Unlock()
+	s.metrics().Counter("ha.promotions").Inc()
+	s.logger().Info("promoted to active coordinator",
+		obs.F("id", s.opts.Identity), obs.F("epoch", handle.Epoch()))
+
+	defer func() {
+		s.mu.Lock()
+		s.role, s.active, s.h = RoleStandby, nil, nil
+		s.mu.Unlock()
+	}()
+
+	lastRenewed := s.opts.now()
+	for {
+		if err := sleepCtx(ctx, jitterDur(s.opts.CoordTTL/3)); err != nil {
+			// Graceful shutdown: hand the lease over immediately.
+			_ = handle.Release(s.opts.now())
+			s.logger().Info("released coordination lease on shutdown",
+				obs.F("id", s.opts.Identity), obs.F("epoch", handle.Epoch()))
+			return nil
+		}
+		now := s.opts.now()
+		err := handle.Renew(s.opts.CoordTTL, now)
+		var fenced *store.FencedError
+		switch {
+		case err == nil:
+			lastRenewed = now
+		case errors.As(err, &fenced):
+			// Deposed outright: a peer claimed a newer epoch.
+			s.metrics().Counter("ha.depositions").Inc()
+			s.logger().Warn("deposed: coordination lease superseded",
+				obs.F("id", s.opts.Identity), obs.F("our_epoch", fenced.OurEpoch),
+				obs.F("epoch", fenced.Epoch), obs.F("holder", fenced.Holder))
+			return nil
+		case now.Sub(lastRenewed) > s.opts.CoordTTL:
+			// Renewals have failed for longer than the TTL: this process can
+			// no longer prove it holds the lease (a standby may be promoting
+			// right now), so it must self-depose rather than keep serving.
+			s.metrics().Counter("ha.depositions").Inc()
+			s.logger().Warn("self-deposing: lease renewals failing past TTL",
+				obs.F("id", s.opts.Identity), obs.F("err", err.Error()))
+			return nil
+		default:
+			s.logger().Warn("lease renewal failed (will retry)",
+				obs.F("id", s.opts.Identity), obs.F("err", err.Error()))
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -80,11 +82,27 @@ func (c *Coordinator) recordLocked(camp *campaignState) persistedCampaign {
 
 // persistLocked journals a campaign's current state through the store's
 // atomic write layer. A failed write degrades durability, not scheduling:
-// it is logged and counted, and the next transition retries. Must be
+// it is logged and counted, and the next transition retries. A fenced
+// write — this coordinator's epoch superseded by a promoted standby — is
+// refused outright: the successor replayed this journal at promotion, and
+// a deposed writer must not clobber the successor's newer records. Must be
 // called with c.mu held.
 func (c *Coordinator) persistLocked(camp *campaignState) {
 	if c.area == nil {
 		return
+	}
+	if err := faultinject.Hit(context.Background(), faultinject.SiteCoordPersist); err != nil {
+		c.metrics().Counter("campaign.persist.errors").NonGolden().Inc()
+		c.logger().Error("journal write faulted", obs.F("campaign", camp.id), obs.F("err", err.Error()))
+		return
+	}
+	if c.opts.Fence != nil {
+		if err := c.opts.Fence.Check(); err != nil {
+			c.metrics().Counter("campaign.persist.fenced").NonGolden().Inc()
+			c.logger().Error("journal write refused: coordinator deposed by a newer fencing epoch",
+				obs.F("campaign", camp.id), obs.F("err", err.Error()))
+			return
+		}
 	}
 	buf, err := json.MarshalIndent(c.recordLocked(camp), "", "  ")
 	if err == nil {
@@ -109,7 +127,7 @@ func (c *Coordinator) restore(rec persistedCampaign) (*campaignState, error) {
 		return nil, fmt.Errorf("campaign %s: persisted schema %d, this build reads %d", rec.ID, rec.Schema, PersistSchema)
 	}
 	camp := &campaignState{
-		id: rec.ID, spec: rec.Spec, state: rec.State, err: rec.Err,
+		id: rec.ID, spec: rec.Spec, tenant: tenantOf(rec.Spec), state: rec.State, err: rec.Err,
 		events: newEventRing(c.eventCap),
 	}
 	byBench := map[string]persistedCell{}
@@ -171,17 +189,20 @@ func (c *Coordinator) loadCampaigns() error {
 	for _, name := range names {
 		buf, err := c.area.Load(name)
 		if err != nil || buf == nil {
+			c.metrics().Counter("campaign.docs.skipped").NonGolden().Inc()
 			c.logger().Warn("unreadable campaign document skipped", obs.F("campaign", name))
 			continue
 		}
 		var rec persistedCampaign
 		if err := json.Unmarshal(buf, &rec); err != nil {
+			c.metrics().Counter("campaign.docs.skipped").NonGolden().Inc()
 			c.logger().Warn("corrupt campaign document skipped",
 				obs.F("campaign", name), obs.F("err", err.Error()))
 			continue
 		}
 		camp, err := c.restore(rec)
 		if err != nil {
+			c.metrics().Counter("campaign.docs.skipped").NonGolden().Inc()
 			c.logger().Warn("campaign document failed to restore",
 				obs.F("campaign", name), obs.F("err", err.Error()))
 			continue

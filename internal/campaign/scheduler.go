@@ -1,0 +1,243 @@
+package campaign
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the coordinator's multi-tenant lease scheduler and the
+// autoscaling signal derivation.
+//
+// Scheduling is smooth weighted round-robin across tenants: each Acquire,
+// every tenant with grantable work earns credit equal to its weight, the
+// richest tenant wins the grant and pays the round's total weight back.
+// Over time each tenant receives leases in proportion to its weight, and
+// the interleaving is smooth (a weight-5 tenant gets 5 of every 6 grants
+// spread out, not 5 in a burst) — so a CI gate's 2-cell smoke campaign
+// keeps making progress while another tenant's 10k-cell sweep is in
+// flight, without priorities or preemption. Ties break by lexical tenant
+// order, keeping the grant sequence deterministic for tests.
+//
+// Within a tenant, scheduling is unchanged from the single-tenant farm:
+// oldest campaign first, artifact cell order within a campaign.
+
+// tenantWeight returns a tenant's configured WRR weight (>= 1).
+func (c *Coordinator) tenantWeight(tenant string) int {
+	if w, ok := c.opts.TenantWeights[tenant]; ok && w > 1 {
+		return w
+	}
+	return 1
+}
+
+// schedulable reports whether a tenant may receive another lease: below
+// its inflight cap (or uncapped).
+func (c *Coordinator) schedulableLocked(tenant string, inflight int) bool {
+	limit := c.opts.MaxInflightPerTenant
+	return limit <= 0 || inflight < limit
+}
+
+// scheduleLocked picks the next cell to lease (or nil when nothing is
+// grantable) and counts the remaining open cells. Must hold c.mu.
+func (c *Coordinator) scheduleLocked(worker string) (*lease, int) {
+	// One pass over the campaign list builds the per-tenant view:
+	// pending/leased counts and the oldest campaign with a pending cell.
+	type tenantQueue struct {
+		pending  int
+		inflight int
+		head     *campaignState // oldest running campaign with a pending cell
+	}
+	queues := map[string]*tenantQueue{}
+	remaining := 0
+	for _, camp := range c.campaigns {
+		if camp.state != StateRunning {
+			continue
+		}
+		q := queues[camp.tenant]
+		if q == nil {
+			q = &tenantQueue{}
+			queues[camp.tenant] = q
+		}
+		for _, cell := range camp.cells {
+			switch cell.state {
+			case cellPending:
+				remaining++
+				q.pending++
+				if q.head == nil {
+					q.head = camp
+				}
+			case cellLeased:
+				remaining++
+				q.inflight++
+			}
+		}
+	}
+
+	// Eligible tenants, in deterministic (lexical) order.
+	var eligible []string
+	total := 0
+	for tenant, q := range queues {
+		if q.pending > 0 && c.schedulableLocked(tenant, q.inflight) {
+			eligible = append(eligible, tenant)
+			total += c.tenantWeight(tenant)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, remaining
+	}
+	sort.Strings(eligible)
+
+	// Smooth WRR: earn weight, pick the richest, pay back the round.
+	winner := eligible[0]
+	for _, tenant := range eligible {
+		c.wrrCredit[tenant] += c.tenantWeight(tenant)
+		if c.wrrCredit[tenant] > c.wrrCredit[winner] {
+			winner = tenant
+		}
+	}
+	c.wrrCredit[winner] -= total
+
+	camp := queues[winner].head
+	for _, cell := range camp.cells {
+		if cell.state != cellPending {
+			continue
+		}
+		c.nextLease++
+		cell.state = cellLeased
+		cell.attempts++
+		cell.lease = c.nextLease
+		grant := &lease{
+			id: c.nextLease, campaign: camp, cell: cell, worker: worker,
+			deadline: c.opts.now().Add(c.opts.LeaseTTL),
+		}
+		c.leases[grant.id] = grant
+		c.metrics().Counter("campaign.leases.granted").Inc()
+		c.eventLocked(camp, "lease granted", obs.F("cell", cell.Bench),
+			obs.F("worker", worker), obs.F("lease", grant.id),
+			obs.F("attempt", cell.attempts), obs.F("tenant", winner))
+		return grant, remaining
+	}
+	return nil, remaining // unreachable: head had a pending cell
+}
+
+// recentDoneCap bounds the completion-time ring behind the drain-rate
+// estimate.
+const recentDoneCap = 256
+
+// workerWindowTTLs is how many lease TTLs of silence retire a worker from
+// the scaling report's live-worker count.
+const workerWindowTTLs = 2
+
+// noteCompletionLocked records a cell completion time for the throughput
+// estimate. Must hold c.mu.
+func (c *Coordinator) noteCompletionLocked() {
+	c.recentDone = append(c.recentDone, c.opts.now())
+	if len(c.recentDone) > recentDoneCap {
+		c.recentDone = c.recentDone[len(c.recentDone)-recentDoneCap:]
+	}
+}
+
+// TenantScaling is one tenant's slice of the scaling report.
+type TenantScaling struct {
+	Tenant string `json:"tenant"`
+	Weight int    `json:"weight"`
+	// Pending and Inflight count the tenant's open cells by state.
+	Pending  int `json:"pending"`
+	Inflight int `json:"inflight"`
+	// Campaigns counts the tenant's running campaigns.
+	Campaigns int `json:"campaigns"`
+}
+
+// ScalingReport answers GET /v1/scaling: the signals a worker autoscaler
+// needs, derived from the same state behind the campaign.* counters. All
+// fields are instantaneous observations, not promises — the report is a
+// scaling hook, not part of the golden surface.
+type ScalingReport struct {
+	// Coordinator and Epoch attribute the report across failovers.
+	Coordinator string `json:"coordinator"`
+	Epoch       uint64 `json:"epoch"`
+	// Backlog counts pending (unleased) cells; Inflight counts leased ones.
+	Backlog  int `json:"backlog"`
+	Inflight int `json:"inflight"`
+	// Workers counts distinct workers heard from within the last
+	// workerWindowTTLs lease TTLs.
+	Workers int `json:"workers"`
+	// LeaseUtilization is Inflight / Workers (0 with no live workers):
+	// near 1.0 every worker is busy and backlog means "add workers"; near
+	// 0 adding workers won't help.
+	LeaseUtilization float64 `json:"lease_utilization"`
+	// CompletionsPerSecond is the recent cell throughput (over the ring of
+	// the last recentDoneCap completions; 0 until two completions land).
+	CompletionsPerSecond float64 `json:"completions_per_second"`
+	// EstimatedDrainSeconds extrapolates (Backlog + Inflight) at that
+	// throughput; 0 when the farm is idle or the rate is unknown.
+	EstimatedDrainSeconds float64 `json:"estimated_drain_seconds"`
+	// Tenants breaks the queue down per tenant, sorted by label.
+	Tenants []TenantScaling `json:"tenants,omitempty"`
+}
+
+// Scaling derives the autoscaling signals from current scheduler state.
+func (c *Coordinator) Scaling() ScalingReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked()
+	now := c.opts.now()
+	rep := ScalingReport{Coordinator: c.opts.Identity}
+	if c.opts.Fence != nil {
+		rep.Epoch = c.opts.Fence.Epoch()
+	}
+
+	perTenant := map[string]*TenantScaling{}
+	for _, camp := range c.campaigns {
+		if camp.state != StateRunning {
+			continue
+		}
+		ts := perTenant[camp.tenant]
+		if ts == nil {
+			ts = &TenantScaling{Tenant: camp.tenant, Weight: c.tenantWeight(camp.tenant)}
+			perTenant[camp.tenant] = ts
+		}
+		ts.Campaigns++
+		for _, cell := range camp.cells {
+			switch cell.state {
+			case cellPending:
+				rep.Backlog++
+				ts.Pending++
+			case cellLeased:
+				rep.Inflight++
+				ts.Inflight++
+			}
+		}
+	}
+	var labels []string
+	for tenant := range perTenant {
+		labels = append(labels, tenant)
+	}
+	sort.Strings(labels)
+	for _, tenant := range labels {
+		rep.Tenants = append(rep.Tenants, *perTenant[tenant])
+	}
+
+	window := time.Duration(workerWindowTTLs) * c.opts.LeaseTTL
+	for worker, seen := range c.workerSeen {
+		if now.Sub(seen) > window {
+			delete(c.workerSeen, worker) // retired: free the entry too
+			continue
+		}
+		rep.Workers++
+	}
+	if rep.Workers > 0 {
+		rep.LeaseUtilization = float64(rep.Inflight) / float64(rep.Workers)
+	}
+	if n := len(c.recentDone); n >= 2 {
+		span := now.Sub(c.recentDone[0]).Seconds()
+		if span > 0 {
+			rep.CompletionsPerSecond = float64(n) / span
+		}
+	}
+	if open := rep.Backlog + rep.Inflight; open > 0 && rep.CompletionsPerSecond > 0 {
+		rep.EstimatedDrainSeconds = float64(open) / rep.CompletionsPerSecond
+	}
+	return rep
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/experiment"
@@ -91,7 +92,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.logger().Warn("lease request failed", obs.F("err", err.Error()),
 				obs.F("backoff", backoff.String()))
 			w.metrics().Counter("worker.acquire.failures").NonGolden().Inc()
-			if serr := sleepCtx(ctx, backoff); serr != nil {
+			if serr := sleepCtx(ctx, jitterDur(backoff)); serr != nil {
 				return serr
 			}
 			if backoff *= 2; backoff > circuitMax {
@@ -105,7 +106,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				w.logger().Info("farm idle, exiting", obs.F("worker", w.Name))
 				return nil
 			}
-			if serr := sleepCtx(ctx, poll); serr != nil {
+			if serr := sleepCtx(ctx, jitterDur(poll)); serr != nil {
 				return serr
 			}
 			continue
@@ -136,13 +137,17 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 		ttl = 30 * time.Second
 	}
 	go func() {
-		tick := time.NewTicker(ttl / 3)
-		defer tick.Stop()
+		// Each interval is re-jittered around ttl/3 so a worker fleet whose
+		// heartbeats were synchronized by a common event (a coordinator
+		// failover resetting every lease at once) de-correlates instead of
+		// thundering against the freshly promoted coordinator.
+		timer := time.NewTimer(jitterDur(ttl / 3))
+		defer timer.Stop()
 		for {
 			select {
 			case <-hbCtx.Done():
 				return
-			case <-tick.C:
+			case <-timer.C:
 				ok, err := w.Client.Heartbeat(hbCtx, l.ID)
 				if err == nil && !ok {
 					w.logger().Warn("lease expired under us; abandoning cell",
@@ -153,6 +158,7 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 				if err == nil {
 					w.metrics().Counter("worker.heartbeats.sent").Inc()
 				}
+				timer.Reset(jitterDur(ttl / 3))
 			}
 		}
 	}()
@@ -240,6 +246,16 @@ func trimNL(b []byte) []byte {
 		b = b[:len(b)-1]
 	}
 	return b
+}
+
+// jitterDur spreads a nominal delay uniformly over [d/2, 3d/2), so
+// periodic timers across a fleet (heartbeats, idle polls, standby lease
+// polls) cannot stay phase-locked after a synchronizing event.
+func jitterDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // sleepCtx sleeps d or until ctx is done, returning ctx's error in the

@@ -59,6 +59,26 @@ const (
 	SiteCoordComplete = "coord.complete"
 )
 
+// Instrumented coordination-lease sites in the store. These sit inside the
+// coordinator-election protocol, so chaos tests can depose an active
+// coordinator (lease.steal hooks before a fence check), delay a renewal
+// past the TTL (lease.renew + delay simulates a GC pause or clock skew),
+// or fail an acquisition attempt; coord.persist fires before each fenced
+// journal write, the deposed-write rejection point.
+const (
+	// SiteLeaseAcquire is hit at the top of Coordination.TryAcquire.
+	SiteLeaseAcquire = "lease.acquire"
+	// SiteLeaseRenew is hit at the top of LeaseHandle.Renew, before the
+	// fence re-check.
+	SiteLeaseRenew = "lease.renew"
+	// SiteLeaseSteal is hit inside LeaseHandle.Check, before the epoch
+	// comparison — a hook here can claim a newer epoch out from under the
+	// holder at the worst possible moment.
+	SiteLeaseSteal = "lease.steal"
+	// SiteCoordPersist is hit before each fenced coordinator journal write.
+	SiteCoordPersist = "coord.persist"
+)
+
 // Kind selects what a fault does when it fires.
 type Kind int
 

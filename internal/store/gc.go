@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/interp"
@@ -19,6 +20,21 @@ type GCOptions struct {
 	// SampleKeys bounds GCReport.Evicted's key sample (default 10; negative
 	// disables the sample).
 	SampleKeys int
+	// Force runs the pass even when the store's coordination lease is held.
+	// By default GC refuses (see LeaseHeldError): deleting blocks under a
+	// live coordinator races its journal writes and store re-probes.
+	Force bool
+}
+
+// LeaseHeldError is returned by GC when the store's coordination lease is
+// currently held and Force was not set.
+type LeaseHeldError struct {
+	Info LeaseInfo
+}
+
+func (e *LeaseHeldError) Error() string {
+	return fmt.Sprintf("store: gc: coordination lease held by %s (epoch %d, expires in %s); a live coordinator may be writing — pass Force to override",
+		e.Info.Holder, e.Info.Epoch, e.Info.ExpiresIn.Round(time.Millisecond))
 }
 
 // GCReport summarizes one GC pass. The counts are deterministic given the
@@ -83,6 +99,11 @@ func (s *Store) GC(opts GCOptions) (GCReport, error) {
 		opts.SampleKeys = 10
 	}
 	rep := GCReport{DryRun: opts.DryRun}
+	if !opts.Force && !opts.DryRun {
+		if info, err := s.Coordination().Observe(time.Now()); err == nil && info.Held {
+			return rep, &LeaseHeldError{Info: info}
+		}
+	}
 	root := filepath.Join(s.dir, "blocks")
 	var evict, bad []string
 	evictKey := map[string]string{} // path -> key

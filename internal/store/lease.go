@@ -1,0 +1,372 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Coordination is the store's coordinator-election area:
+// <dir>/coordination/, beside blocks/ and campaigns/. Two `szfarm serve`
+// processes pointing at the same store race for a single lease here; the
+// winner is the active coordinator, the loser polls as a standby.
+//
+// The protocol needs no server, only the store's filesystem:
+//
+//   - epoch-<n>.claim files, created with O_CREATE|O_EXCL, make epoch
+//     acquisition mutually exclusive: exactly one process can create the
+//     file for epoch n, so the epoch sequence is a monotonic fencing token.
+//     The highest claim on disk names the authoritative epoch and holder.
+//   - lease.json is the holder's heartbeat document ({epoch, holder,
+//     expires}), rewritten atomically on every renewal. It is only
+//     meaningful while its epoch matches the highest claim — a deposed
+//     holder's late renewal write carries a stale epoch and is ignored, so
+//     the renewal race cannot resurrect a stolen lease.
+//
+// Safety does not rest on clocks: expiry only gates when a standby may
+// CLAIM the next epoch; whether a coordinator may still WRITE is decided by
+// comparing its fencing epoch against the highest claim (LeaseHandle.Check),
+// which is exact. A partitioned or paused coordinator whose lease was taken
+// over finds every subsequent journal/store write rejected.
+type Coordination struct {
+	dir string
+}
+
+// LeaseSchema versions lease.json and the claim-file payloads.
+const LeaseSchema = 1
+
+// claimKeep is how many superseded claim files acquisition leaves behind
+// for post-mortems before pruning older ones.
+const claimKeep = 8
+
+// coordLeaseDoc is the on-disk lease.json heartbeat document.
+type coordLeaseDoc struct {
+	Schema  int    `json:"schema"`
+	Epoch   uint64 `json:"epoch"`
+	Holder  string `json:"holder"`
+	Expires int64  `json:"expires_unix_nano"`
+}
+
+// claimDoc is an epoch-claim file's payload: who claimed the epoch and the
+// TTL their first heartbeat will honor, so observers can treat a claim whose
+// lease.json has not landed yet as held rather than free.
+type claimDoc struct {
+	Schema   int           `json:"schema"`
+	Holder   string        `json:"holder"`
+	Acquired int64         `json:"acquired_unix_nano"`
+	TTL      time.Duration `json:"ttl_nano"`
+}
+
+// LeaseInfo is an observation of the coordination area, for standby
+// polling, /v1/coordinator reporting, and the gc guard.
+type LeaseInfo struct {
+	// Held reports whether some coordinator currently holds the lease
+	// (heartbeat unexpired, or a fresh claim whose first heartbeat is
+	// still pending).
+	Held bool `json:"held"`
+	// Epoch is the highest claimed epoch (0 when the area is empty).
+	Epoch uint64 `json:"epoch"`
+	// Holder identifies the claimant of that epoch.
+	Holder string `json:"holder,omitempty"`
+	// ExpiresIn is how long the current heartbeat has left (0 when not
+	// held or unknown).
+	ExpiresIn time.Duration `json:"expires_in,omitempty"`
+}
+
+// FencedError rejects a write from a coordinator whose fencing epoch has
+// been superseded: another process claimed a newer epoch, so this one is
+// deposed and must stop writing.
+type FencedError struct {
+	// OurEpoch is the deposed coordinator's fencing epoch.
+	OurEpoch uint64
+	// Epoch and Holder name the superseding claim.
+	Epoch  uint64
+	Holder string
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("store: coordination fencing: epoch %d superseded by epoch %d (held by %s); this coordinator is deposed",
+		e.OurEpoch, e.Epoch, e.Holder)
+}
+
+// Coordination returns the store's coordination area. The directory is not
+// created until an acquisition attempt, so observing (or GC-guarding) a
+// store never mutates it.
+func (s *Store) Coordination() *Coordination {
+	return &Coordination{dir: filepath.Join(s.dir, "coordination")}
+}
+
+// Dir returns the coordination area's directory (for log lines and CI
+// artifact uploads).
+func (c *Coordination) Dir() string { return c.dir }
+
+func (c *Coordination) leasePath() string { return filepath.Join(c.dir, "lease.json") }
+
+func (c *Coordination) claimPath(epoch uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("epoch-%016d.claim", epoch))
+}
+
+// maxClaim scans the claim files and returns the highest epoch and its
+// payload. A missing directory is epoch 0 (never claimed).
+func (c *Coordination) maxClaim() (uint64, claimDoc, error) {
+	entries, err := os.ReadDir(c.dir)
+	if os.IsNotExist(err) {
+		return 0, claimDoc{}, nil
+	}
+	if err != nil {
+		return 0, claimDoc{}, fmt.Errorf("store: coordination: %w", err)
+	}
+	var max uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "epoch-") || !strings.HasSuffix(name, ".claim") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "epoch-"), ".claim"), 10, 64)
+		if err != nil || n == 0 {
+			continue
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max == 0 {
+		return 0, claimDoc{}, nil
+	}
+	var doc claimDoc
+	if buf, err := os.ReadFile(c.claimPath(max)); err == nil {
+		// A torn or foreign claim payload degrades to an anonymous claim:
+		// the epoch number (the fencing token) lives in the file name and
+		// stays authoritative.
+		_ = json.Unmarshal(buf, &doc)
+	}
+	return max, doc, nil
+}
+
+// readLease reads lease.json; a missing or torn document returns ok=false
+// (the claim files remain authoritative for the epoch).
+func (c *Coordination) readLease() (coordLeaseDoc, bool) {
+	buf, err := os.ReadFile(c.leasePath())
+	if err != nil {
+		return coordLeaseDoc{}, false
+	}
+	var doc coordLeaseDoc
+	if json.Unmarshal(buf, &doc) != nil || doc.Schema != LeaseSchema {
+		return coordLeaseDoc{}, false
+	}
+	return doc, true
+}
+
+// Observe reports the coordination area's current state without mutating
+// it: the highest claimed epoch, its holder, and whether the lease is live
+// at `now` (heartbeat unexpired, or claim younger than its TTL while the
+// first heartbeat is still in flight).
+func (c *Coordination) Observe(now time.Time) (LeaseInfo, error) {
+	epoch, claim, err := c.maxClaim()
+	if err != nil {
+		return LeaseInfo{}, err
+	}
+	if epoch == 0 {
+		return LeaseInfo{}, nil
+	}
+	info := LeaseInfo{Epoch: epoch, Holder: claim.Holder}
+	if doc, ok := c.readLease(); ok && doc.Epoch == epoch {
+		info.Holder = doc.Holder
+		if exp := time.Unix(0, doc.Expires); exp.After(now) {
+			info.Held = true
+			info.ExpiresIn = exp.Sub(now)
+		}
+		return info, nil
+	}
+	// No (current-epoch) heartbeat yet: the claim itself holds the lease
+	// for one TTL from its acquisition, covering the window between the
+	// O_EXCL claim and the first lease.json write.
+	if claim.TTL > 0 {
+		if exp := time.Unix(0, claim.Acquired).Add(claim.TTL); exp.After(now) {
+			info.Held = true
+			info.ExpiresIn = exp.Sub(now)
+		}
+	}
+	return info, nil
+}
+
+// TryAcquire attempts to take the coordination lease as `holder`. When the
+// current lease is live, it returns (nil, info) — the caller is a standby
+// and should poll. When the lease is free (never claimed, expired, or
+// released), it claims the next epoch with an O_CREATE|O_EXCL claim file —
+// losing that race to a concurrent standby returns (nil, info) too — and
+// writes the first heartbeat. The returned handle carries the fencing
+// epoch for Check/Renew/Release.
+func (c *Coordination) TryAcquire(holder string, ttl time.Duration, now time.Time) (*LeaseHandle, LeaseInfo, error) {
+	if holder == "" {
+		return nil, LeaseInfo{}, fmt.Errorf("store: coordination: empty holder identity")
+	}
+	if ttl <= 0 {
+		return nil, LeaseInfo{}, fmt.Errorf("store: coordination: non-positive ttl %s", ttl)
+	}
+	if err := faultinject.Hit(context.Background(), faultinject.SiteLeaseAcquire); err != nil {
+		return nil, LeaseInfo{}, err
+	}
+	info, err := c.Observe(now)
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Held {
+		return nil, info, nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("store: coordination: %w", err)
+	}
+	epoch := info.Epoch + 1
+	claim, err := json.Marshal(claimDoc{Schema: LeaseSchema, Holder: holder, Acquired: now.UnixNano(), TTL: ttl})
+	if err != nil {
+		return nil, info, err
+	}
+	f, err := os.OpenFile(c.claimPath(epoch), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			// A concurrent standby claimed this epoch first; report what we
+			// now observe and keep polling.
+			info, oerr := c.Observe(now)
+			return nil, info, oerr
+		}
+		return nil, info, fmt.Errorf("store: coordination: claiming epoch %d: %w", epoch, err)
+	}
+	_, werr := f.Write(claim)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		// The claim file exists (the epoch is ours) but its payload may be
+		// torn; the heartbeat below still establishes holder and expiry.
+		werr = nil
+	}
+	h := &LeaseHandle{coord: c, epoch: epoch, holder: holder}
+	if err := h.writeHeartbeat(ttl, now); err != nil {
+		return nil, info, err
+	}
+	c.pruneClaims(epoch)
+	held := LeaseInfo{Held: true, Epoch: epoch, Holder: holder, ExpiresIn: ttl}
+	return h, held, nil
+}
+
+// pruneClaims removes superseded claim files older than the last claimKeep
+// epochs. Best-effort hygiene: failures are ignored (a stale claim file
+// below the maximum changes nothing).
+func (c *Coordination) pruneClaims(current uint64) {
+	if current <= claimKeep {
+		return
+	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "epoch-") || !strings.HasSuffix(name, ".claim") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "epoch-"), ".claim"), 10, 64)
+		if err == nil && n <= current-claimKeep {
+			os.Remove(filepath.Join(c.dir, name))
+		}
+	}
+}
+
+// LeaseHandle is a held coordination lease: the fencing epoch plus the
+// operations a coordinator performs with it. The zero value is not valid;
+// handles come from TryAcquire.
+type LeaseHandle struct {
+	coord  *Coordination
+	epoch  uint64
+	holder string
+}
+
+// Epoch returns the handle's fencing epoch.
+func (h *LeaseHandle) Epoch() uint64 { return h.epoch }
+
+// Holder returns the identity the lease was acquired under.
+func (h *LeaseHandle) Holder() string { return h.holder }
+
+// Check verifies the handle still names the authoritative epoch; a
+// *FencedError means another coordinator claimed a newer epoch and every
+// write guarded by this check must be refused. The comparison is against
+// the claim files, not the heartbeat document, so it cannot be fooled by
+// this holder's own stale renewal racing a takeover. The lease-steal fault
+// site fires before the read, letting chaos tests depose the holder at the
+// worst possible moment.
+func (h *LeaseHandle) Check() error {
+	if h == nil {
+		return nil
+	}
+	if err := faultinject.Hit(context.Background(), faultinject.SiteLeaseSteal); err != nil {
+		return err
+	}
+	epoch, claim, err := h.coord.maxClaim()
+	if err != nil {
+		return err
+	}
+	if epoch != h.epoch {
+		return &FencedError{OurEpoch: h.epoch, Epoch: epoch, Holder: claim.Holder}
+	}
+	return nil
+}
+
+// Renew extends the heartbeat by ttl from now. It first re-verifies the
+// fencing epoch — a holder that was deposed while paused (GC stall, VM
+// migration, clock skew) learns it here and must stop. The lease-renew
+// fault site lets tests delay a renewal past expiry to simulate exactly
+// that skew.
+func (h *LeaseHandle) Renew(ttl time.Duration, now time.Time) error {
+	if err := faultinject.Hit(context.Background(), faultinject.SiteLeaseRenew); err != nil {
+		return err
+	}
+	if err := h.Check(); err != nil {
+		return err
+	}
+	return h.writeHeartbeat(ttl, now)
+}
+
+// Release gives the lease up immediately: the heartbeat is rewritten
+// already-expired, so a standby's next poll can claim the successor epoch
+// without waiting out the TTL. Releasing a superseded handle is a no-op.
+func (h *LeaseHandle) Release(now time.Time) error {
+	if err := h.Check(); err != nil {
+		var fe *FencedError
+		if ok := asFenced(err, &fe); ok {
+			return nil
+		}
+		return err
+	}
+	return h.writeHeartbeat(-time.Second, now)
+}
+
+func asFenced(err error, target **FencedError) bool {
+	fe, ok := err.(*FencedError)
+	if ok {
+		*target = fe
+	}
+	return ok
+}
+
+// writeHeartbeat atomically rewrites lease.json for this handle's epoch.
+func (h *LeaseHandle) writeHeartbeat(ttl time.Duration, now time.Time) error {
+	buf, err := json.MarshalIndent(coordLeaseDoc{
+		Schema: LeaseSchema, Epoch: h.epoch, Holder: h.holder,
+		Expires: now.Add(ttl).UnixNano(),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(h.coord.leasePath(), append(buf, '\n')); err != nil {
+		return fmt.Errorf("store: coordination heartbeat: %w", err)
+	}
+	return nil
+}
