@@ -12,14 +12,27 @@
 //	                [-tenant-weights t=w,...] [-tenant-max-inflight n]
 //	                [-tenant-max-pending n] [-event-cap n]
 //	szfarm work     -server url[,url...] [-name id] [-j n] [-poll d] [-idle-exit]
+//	                [-metrics-addr :9713]
 //	szfarm submit   -server url[,url...] [-runs n] [-scale f] [-seed n]
 //	                [-level 0..3] [-stabilize] [-noise f]
 //	                [-engine compiled|walk] [-bench name[,name...]] [-cxx]
 //	                [-commit sha] [-tenant name] [-wait [-o artifact.json]]
 //	szfarm status   -server url[,url...] [-id cNNNN] [-json]
 //	szfarm events   -server url -id cNNNN [-follow]
-//	szfarm artifact -server url -id cNNNN [-o artifact.json]
+//	szfarm artifact -server url -id cNNNN [-o artifact.json] [-provenance]
+//	szfarm timeline (-server url | -store dir) -id cNNNN [-o trace.json]
 //	szfarm gc       -store dir [-dry-run] [-force] [-json]
+//
+// Observability: every coordinator (active or standby) serves Prometheus
+// text metrics on GET /metrics, and workers do the same on -metrics-addr.
+// Each campaign carries a trace ID minted at submission and journaled with
+// the campaign state, so one distributed trace spans lease grant → compute
+// → completion even across a coordinator failover; leases and completions
+// carry X-Sz-Trace/X-Sz-Span headers. `szfarm timeline` reconstructs a
+// campaign's durable event journal into a Chrome trace (load it in
+// Perfetto) plus a critical-path/straggler report, and `szfarm artifact
+// -provenance` decorates the merged artifact with each cell's measurement
+// pedigree — a non-golden overlay that strips back to the golden bytes.
 //
 // Campaign artifacts are assembled by the ordinary collection path in
 // store-only mode, so they are byte-identical to what `szgate run` with the
@@ -41,6 +54,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -88,6 +102,8 @@ func main() {
 		err = cmdEvents(os.Args[2:])
 	case "artifact":
 		err = cmdArtifact(os.Args[2:])
+	case "timeline":
+		err = cmdTimeline(os.Args[2:])
 	case "gc":
 		err = cmdGC(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -113,6 +129,7 @@ func usage() {
   szfarm status    show campaign progress
   szfarm events    print a campaign's JSONL event log
   szfarm artifact  fetch a completed campaign's merged artifact
+  szfarm timeline  reconstruct a campaign's execution timeline (Chrome trace)
   szfarm gc        evict stale blocks from a result store
 
 Run 'szfarm <subcommand> -h' for flags. Set SZ_FAULTS (and SZ_FAULT_SEED)
@@ -179,6 +196,9 @@ func cmdServe(args []string) error {
 	}
 	scope := obs.NewScope()
 	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	// Store counters (hits, writes, GC) share the coordinator's registry so
+	// one /metrics scrape covers the whole process.
+	st.Obs = scope
 	ha, err := campaign.NewHAServer(campaign.HAOptions{
 		Coordinator: campaign.CoordinatorOptions{
 			Store: st, LeaseTTL: *leaseTTL, MaxAttempts: *maxAttempts,
@@ -248,6 +268,7 @@ func cmdWork(args []string) error {
 	jobs := fs.Int("j", 0, "parallel runs within a cell (0 = $SZ_PARALLEL or GOMAXPROCS)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval")
 	idleExit := fs.Bool("idle-exit", false, "exit when the farm reports no remaining work")
+	metricsAddr := fs.String("metrics-addr", "", "serve worker metrics (GET /metrics, Prometheus text) on this address")
 	fs.Parse(args)
 	if *server == "" {
 		return fmt.Errorf("work needs -server")
@@ -264,6 +285,22 @@ func cmdWork(args []string) error {
 	scope.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
 	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
 	defer stop()
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", scope.Metrics.PromHandler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"ok": true, "role": "worker"}`)
+		})
+		go func() {
+			// Best-effort: a worker whose metrics port is taken keeps
+			// computing; the scrape is lost, not the work.
+			if merr := http.ListenAndServe(*metricsAddr, mux); merr != nil {
+				scope.Log.Warn("worker metrics listener failed", obs.F("addr", *metricsAddr), obs.F("err", merr.Error()))
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "szfarm: worker metrics on %s\n", *metricsAddr)
+	}
 	w := &campaign.Worker{
 		Client:   campaign.NewClient(*server),
 		Name:     *name,
@@ -424,6 +461,20 @@ func cmdStatus(args []string) error {
 	for _, st := range all {
 		fmt.Printf("%s: %-7s %d/%d done (%d store hits)\n", st.ID, st.State, st.Done, st.Cells, st.StoreHits)
 	}
+	// The operator's queue view: overall load plus per-tenant depths, from
+	// the same signals an autoscaler reads via -json.
+	if rep, serr := client.Scaling(ctx); serr == nil {
+		fmt.Printf("farm: backlog=%d inflight=%d workers=%d lease_utilization=%.2f completions_per_s=%.2f",
+			rep.Backlog, rep.Inflight, rep.Workers, rep.LeaseUtilization, rep.CompletionsPerSecond)
+		if rep.EstimatedDrainSeconds > 0 {
+			fmt.Printf(" est_drain_s=%.1f", rep.EstimatedDrainSeconds)
+		}
+		fmt.Println()
+		for _, ts := range rep.Tenants {
+			fmt.Printf("  tenant %-12s weight=%d pending=%d inflight=%d campaigns=%d\n",
+				ts.Tenant, ts.Weight, ts.Pending, ts.Inflight, ts.Campaigns)
+		}
+	}
 	if suffix := observedSuffix(client); suffix != "" {
 		fmt.Printf("szfarm:%s\n", suffix)
 	}
@@ -485,13 +536,19 @@ func cmdArtifact(args []string) error {
 	server := fs.String("server", "", "coordinator base URL (required)")
 	id := fs.String("id", "", "campaign id (required)")
 	out := fs.String("o", "-", "output path (- for stdout)")
+	provenance := fs.Bool("provenance", false, "attach per-cell measurement pedigree (non-golden; szgate show prints it)")
 	fs.Parse(args)
 	if *server == "" || *id == "" {
 		return fmt.Errorf("artifact needs -server and -id")
 	}
 	ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
 	defer stop()
-	buf, err := campaign.NewClient(*server).Artifact(ctx, *id)
+	client := campaign.NewClient(*server)
+	fetch := client.Artifact
+	if *provenance {
+		fetch = client.ArtifactProvenance
+	}
+	buf, err := fetch(ctx, *id)
 	if err != nil {
 		return err
 	}
@@ -503,6 +560,84 @@ func cmdArtifact(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "szfarm: wrote %s\n", *out)
+	return nil
+}
+
+// cmdTimeline reconstructs a campaign's execution timeline. With -store it
+// reads the complete durable event journal (<store>/campaigns/<id>.events.jsonl
+// — every line across restarts and failovers); with -server it reads the
+// coordinator's in-memory event ring, which only retains the most recent
+// -event-cap lines. The trace is validated before it is written, so a file
+// that lands on disk is guaranteed to load in Perfetto/chrome://tracing.
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("szfarm timeline", flag.ExitOnError)
+	server := fs.String("server", "", "coordinator base URL (reads the in-memory event ring)")
+	storeDir := fs.String("store", "", "store directory (reads the complete durable journal)")
+	id := fs.String("id", "", "campaign id (required)")
+	out := fs.String("o", "", "write the Chrome trace JSON here (- for stdout)")
+	report := fs.Bool("report", true, "print the critical-path/straggler report")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
+	fs.Parse(args)
+	if *id == "" || (*server == "") == (*storeDir == "") {
+		return fmt.Errorf("timeline needs -id and exactly one of -server or -store")
+	}
+	var journal []byte
+	var err error
+	if *storeDir != "" {
+		st, serr := store.Open(*storeDir)
+		if serr != nil {
+			return serr
+		}
+		area, serr := st.StateArea("campaigns")
+		if serr != nil {
+			return serr
+		}
+		if journal, err = area.LoadLog(*id + ".events"); err != nil {
+			return err
+		}
+		if journal == nil {
+			return fmt.Errorf("no event journal for campaign %s in %s", *id, *storeDir)
+		}
+	} else {
+		var buf bytes.Buffer
+		ctx, stop := experiment.NotifyShutdown(context.Background(), os.Stderr)
+		defer stop()
+		if err = campaign.NewClient(*server).Events(ctx, *id, false, &buf); err != nil {
+			return err
+		}
+		journal = buf.Bytes()
+	}
+	tl, err := campaign.BuildTimeline(journal, *id)
+	if err != nil {
+		return err
+	}
+	trace, err := tl.EncodeTrace()
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateTrace(trace); err != nil {
+		return fmt.Errorf("reconstructed trace failed validation: %w", err)
+	}
+	switch *out {
+	case "":
+	case "-":
+		if _, err := os.Stdout.Write(trace); err != nil {
+			return err
+		}
+	default:
+		if err := os.WriteFile(*out, trace, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "szfarm: wrote %s (%d trace events)\n", *out, len(tl.Events))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tl.Report)
+	}
+	if *report && *out != "-" {
+		fmt.Print(tl.Report.Render())
+	}
 	return nil
 }
 

@@ -424,6 +424,17 @@ func cmdShow(args []string) error {
 		}
 		fmt.Printf("%-12s %5d %12.6f %12.6f %7.3f%% %10s\n",
 			b.Name, b.Runs, mean, stats.Median(b.Seconds), cv*100, stopped)
+		if p := b.Provenance; p != nil {
+			// Present only on farm artifacts fetched with -provenance: the
+			// cell's measurement pedigree, non-golden by construction.
+			switch {
+			case p.StoreHit:
+				fmt.Printf("  provenance: store hit  trace %s\n", p.Trace)
+			default:
+				fmt.Printf("  provenance: worker %s via %s (epoch %d)  attempts %d  queue_wait %.2fs  run %.2fs  trace %s\n",
+					p.Worker, p.Coordinator, p.Epoch, p.Attempts, p.QueueWaitSeconds, p.RunSeconds, p.Trace)
+			}
+		}
 	}
 	return nil
 }

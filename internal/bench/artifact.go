@@ -81,11 +81,46 @@ type Benchmark struct {
 	// so the JSON key carries the repo's _nongolden marker and collection
 	// only fills it when CollectOptions.Throughput asks for it.
 	HostSeconds []float64 `json:"host_seconds_nongolden,omitempty"`
+	// Provenance is the farm's measurement pedigree for this entry
+	// (schema ≥ 3): which worker computed the samples, under which
+	// coordinator incarnation, after how many lease attempts, and how
+	// long the cell waited and ran. Every field is environmental — the
+	// JSON key carries the repo's _nongolden marker, the coordinator
+	// attaches the block only when asked (?provenance=1), and golden
+	// byte-identity checks strip it first.
+	Provenance *Provenance `json:"provenance_nongolden,omitempty"`
 	// Adaptive-stopping outcome (empty for fixed-count collection).
 	Stopped string `json:"stopped,omitempty"`
 	// RelHalfWidth is the achieved bootstrap CI half-width on the mean,
 	// relative to the mean, at the stopping point (adaptive mode only).
 	RelHalfWidth float64 `json:"rel_half_width,omitempty"`
+}
+
+// Provenance records where one benchmark's samples came from in a farm
+// campaign — the measurement pedigree Kalibera-style statistics want
+// alongside the raw numbers. The trace and span tie the entry back to
+// the campaign's distributed trace; the rest identifies the worker, the
+// coordinator epoch that accepted the completion, and the cell's
+// scheduling history. All of it is environmental (non-golden).
+type Provenance struct {
+	Trace            string  `json:"trace,omitempty"`
+	Span             string  `json:"span,omitempty"`
+	Worker           string  `json:"worker,omitempty"`
+	Coordinator      string  `json:"coordinator,omitempty"`
+	Epoch            uint64  `json:"epoch,omitempty"`
+	Attempts         int     `json:"attempts,omitempty"`
+	StoreHit         bool    `json:"store_hit,omitempty"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	RunSeconds       float64 `json:"run_seconds,omitempty"`
+}
+
+// StripProvenance removes every benchmark's provenance block — the
+// inverse of the coordinator's ?provenance=1 decoration, used when
+// checking a decorated artifact against golden bytes.
+func (a *Artifact) StripProvenance() {
+	for i := range a.Benchmarks {
+		a.Benchmarks[i].Provenance = nil
+	}
 }
 
 // MetricsSummary is the optional (schema ≥ 2) machine-counter aggregate of
@@ -174,8 +209,8 @@ func (a *Artifact) Validate() error {
 		if len(b.HostSeconds) != 0 && len(b.HostSeconds) != len(b.Seconds) {
 			return fmt.Errorf("bench: %s: %d host times for %d samples", b.Name, len(b.HostSeconds), len(b.Seconds))
 		}
-		if (len(b.Instructions) != 0 || len(b.HostSeconds) != 0) && a.Meta.Schema < 3 {
-			return fmt.Errorf("bench: schema-%d artifact carries schema-3 fields (instructions/host times) in %s", a.Meta.Schema, b.Name)
+		if (len(b.Instructions) != 0 || len(b.HostSeconds) != 0 || b.Provenance != nil) && a.Meta.Schema < 3 {
+			return fmt.Errorf("bench: schema-%d artifact carries schema-3 fields (instructions/host times/provenance) in %s", a.Meta.Schema, b.Name)
 		}
 		for i, h := range b.HostSeconds {
 			if math.IsNaN(h) || math.IsInf(h, 0) || h < 0 {
@@ -310,8 +345,10 @@ func Merge(a, b *Artifact) (*Artifact, error) {
 			merged.Instructions = append(append([]uint64(nil), ba.Instructions...), bb.Instructions...)
 			// Host times are telemetry from two different collection runs;
 			// concatenating them would suggest one coherent measurement, so
-			// a merge drops them.
+			// a merge drops them. Provenance goes with them: the merged
+			// samples no longer have a single pedigree.
 			merged.HostSeconds = nil
+			merged.Provenance = nil
 			merged.Runs = len(merged.Seconds)
 			merged.Stopped, merged.RelHalfWidth = "", 0
 		}

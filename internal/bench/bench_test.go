@@ -431,3 +431,76 @@ func TestResumeArtifactByteIdentical(t *testing.T) {
 		t.Errorf("resume stats stored=%d reused=%d, want 1/1", stored, reused)
 	}
 }
+
+func TestProvenanceNonGoldenAndMergeDrop(t *testing.T) {
+	a := sampleArtifact()
+	golden, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decorating with provenance then stripping restores golden bytes.
+	dec := sampleArtifact()
+	dec.Benchmarks[0].Provenance = &Provenance{
+		Trace: "deadbeefcafef00d", Span: "c0001/mcf#2", Worker: "w1",
+		Coordinator: "coord-a", Epoch: 3, Attempts: 2,
+		QueueWaitSeconds: 0.5, RunSeconds: 1.25,
+	}
+	buf, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, golden) {
+		t.Fatal("provenance block did not change encoded bytes (not attached?)")
+	}
+	if !strings.Contains(string(buf), `"provenance_nongolden"`) {
+		t.Fatalf("provenance key missing the _nongolden marker:\n%s", buf)
+	}
+	back, err := ReadBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := back.Find("mcf").Provenance; p == nil || p.Worker != "w1" || p.Attempts != 2 {
+		t.Fatalf("provenance did not round-trip: %+v", p)
+	}
+	back.StripProvenance()
+	stripped, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripped, golden) {
+		t.Fatalf("strip(decorated) != golden:\n%s\nvs\n%s", stripped, golden)
+	}
+	// A schema too old for provenance is rejected.
+	old := sampleArtifact()
+	old.Meta.Schema = 2
+	old.Benchmarks[0].Instructions = nil
+	old.Benchmarks[0].Provenance = &Provenance{Worker: "w1"}
+	if err := old.Validate(); err == nil || !strings.Contains(err.Error(), "schema-3") {
+		t.Fatalf("schema-2 artifact with provenance: Validate = %v", err)
+	}
+	// Merging continuations drops the pedigree like it drops host times.
+	m1 := sampleArtifact()
+	m1.Benchmarks[0].Provenance = &Provenance{Worker: "w1"}
+	m2 := &Artifact{Meta: m1.Meta, Benchmarks: []Benchmark{
+		{Name: "mcf", SeedBase: 103, Runs: 1, Seconds: []float64{1.25}, Cycles: []uint64{10}},
+	}}
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Find("mcf").Provenance != nil {
+		t.Fatal("merge kept provenance on a merged entry")
+	}
+	// Carried-over entries (present in only one half) keep theirs.
+	if m1.Benchmarks[1].Name != "astar" {
+		t.Fatalf("fixture changed: %v", m1.Benchmarks[1].Name)
+	}
+	m1.Benchmarks[1].Provenance = &Provenance{Worker: "w2"}
+	merged, err = Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := merged.Find("astar").Provenance; p == nil || p.Worker != "w2" {
+		t.Fatalf("carried-over provenance lost: %+v", p)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // Client is the farm protocol's HTTP client, shared by workers, the szfarm
@@ -278,6 +279,9 @@ func (c *Client) exchange(ctx context.Context, method, path string, in, out any,
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the caller's trace context (a worker's leased span, usually)
+	// so coordinator-side logs join the distributed trace.
+	obs.TraceContextFrom(ctx).Inject(req.Header)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -373,7 +377,18 @@ func (c *Client) StatusAll(ctx context.Context) ([]Status, error) {
 
 // Artifact fetches a completed campaign's merged artifact bytes.
 func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/v1/campaigns/"+id+"/artifact", nil)
+	return c.artifact(ctx, id, "")
+}
+
+// ArtifactProvenance fetches the artifact with per-cell provenance blocks
+// attached (worker, coordinator, attempts, timings). The provenance is
+// non-golden decoration: stripping it recovers the plain artifact bytes.
+func (c *Client) ArtifactProvenance(ctx context.Context, id string) ([]byte, error) {
+	return c.artifact(ctx, id, "?provenance=1")
+}
+
+func (c *Client) artifact(ctx context.Context, id, query string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/v1/campaigns/"+id+"/artifact"+query, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -400,27 +415,89 @@ func (c *Client) Artifact(ctx context.Context, id string) ([]byte, error) {
 	return buf, nil
 }
 
-// Events fetches a campaign's JSONL event log; with follow it streams
-// until the campaign is terminal, writing lines to w as they arrive.
+// Events fetches a campaign's JSONL event log. Without follow it is one
+// page: whatever the coordinator's event ring currently holds. With follow
+// it polls the ring by cursor until the campaign is terminal, writing new
+// lines to w as they arrive; the cursor survives a coordinator failover
+// (the promoted standby's ring restarts, and the cursor headers report the
+// jump as a drop). When the ring wrapped past the cursor, a comment line
+//
+//	# gap=N events dropped (ring wrapped; raise -event-cap)
+//
+// marks the hole, so a consumer knows the stream is incomplete rather than
+// silently missing lines. The durable per-campaign journal (szfarm
+// timeline) has no such gaps.
 func (c *Client) Events(ctx context.Context, id string, follow bool, w io.Writer) error {
+	page, err := c.eventsPage(ctx, id, 0)
+	if err != nil {
+		return err
+	}
+	if follow && page.dropped > 0 {
+		fmt.Fprintf(w, "# gap=%d events dropped (ring wrapped; raise -event-cap)\n", page.dropped)
+	}
+	if _, err := w.Write(page.buf); err != nil {
+		return err
+	}
+	if !follow {
+		return nil
+	}
+	for !page.terminal {
+		if err := sleepCtx(ctx, 500*time.Millisecond); err != nil {
+			return err
+		}
+		next, err := c.eventsPage(ctx, id, page.next)
+		if err != nil {
+			return err
+		}
+		if next.dropped > 0 {
+			fmt.Fprintf(w, "# gap=%d events dropped (ring wrapped; raise -event-cap)\n", next.dropped)
+		}
+		if _, err := w.Write(next.buf); err != nil {
+			return err
+		}
+		page = next
+	}
+	return nil
+}
+
+// eventsResult is one page of a campaign's event ring plus its cursor
+// metadata, decoded from the X-Sz-Events-* headers.
+type eventsResult struct {
+	buf      []byte
+	next     int
+	dropped  int
+	terminal bool
+}
+
+// eventsPage fetches the event lines at or after cursor from (0 = oldest
+// retained).
+func (c *Client) eventsPage(ctx context.Context, id string, from int) (eventsResult, error) {
+	var page eventsResult
 	url := c.base() + "/v1/campaigns/" + id + "/events"
-	if follow {
-		url += "?follow=1"
+	if from > 0 {
+		url += "?since=" + strconv.Itoa(from)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return page, err
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return page, err
 	}
 	defer resp.Body.Close()
+	c.observe(resp)
 	if resp.StatusCode/100 != 2 {
-		return &StatusError{Code: resp.StatusCode, Message: resp.Status}
+		return page, &StatusError{Code: resp.StatusCode, Message: resp.Status}
 	}
-	_, err = io.Copy(w, resp.Body)
-	return err
+	page.buf, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return page, err
+	}
+	page.next, _ = strconv.Atoi(resp.Header.Get(HeaderEventsNext))
+	page.dropped, _ = strconv.Atoi(resp.Header.Get(HeaderEventsDropped))
+	page.terminal = resp.Header.Get(HeaderEventsTerminal) == "1"
+	return page, nil
 }
 
 // Acquire requests a lease.

@@ -127,6 +127,13 @@ type cellState struct {
 	fromHit  bool   // served from the store at submit time
 	lease    uint64 // current lease id when leased
 	err      string // last failure, for status reporting
+	// firstGrant is when the cell's first lease was granted (zero until
+	// then); with the campaign's submit time it yields the queue-wait
+	// feeding campaign.queue.wait_seconds and the straggler report.
+	firstGrant time.Time
+	// prov is the measurement pedigree of the completing attempt,
+	// attached to the artifact on request (?provenance=1). Non-golden.
+	prov *bench.Provenance
 }
 
 // campaignState is one submitted campaign.
@@ -137,6 +144,13 @@ type campaignState struct {
 	cells  []*cellState
 	state  string
 	err    string
+	// trace is the campaign's distributed trace ID, minted at submission
+	// and journaled, so every cell attempt — including ones re-leased by
+	// a promoted successor after failover — shares one trace.
+	trace string
+	// submitted anchors queue-wait measurement (journaled; zero for
+	// campaigns restored from pre-trace journals).
+	submitted time.Time
 
 	// events is the campaign's bounded JSONL event log (obs wire format);
 	// artifact caches the merged artifact bytes once assembled.
@@ -171,18 +185,20 @@ func (r *eventRing) append(line []byte) {
 }
 
 // since concatenates the retained lines with sequence >= from and returns
-// them with the next cursor. A from below the retention window silently
-// starts at the window (those lines are gone); a from at or past seq
-// returns nothing.
-func (r *eventRing) since(from int) (buf []byte, next int) {
+// them with the next cursor. A from below the retention window starts at
+// the window and reports how many lines the wrap dropped — followers
+// surface that as a gap marker instead of silently missing events. A
+// from at or past seq returns nothing.
+func (r *eventRing) since(from int) (buf []byte, next, dropped int) {
 	start := r.seq - r.n
 	if from < start {
+		dropped = start - from
 		from = start
 	}
 	for i := from; i < r.seq; i++ {
 		buf = append(buf, r.lines[(r.head+(i-start))%len(r.lines)]...)
 	}
-	return buf, r.seq
+	return buf, r.seq, dropped
 }
 
 type lease struct {
@@ -192,6 +208,10 @@ type lease struct {
 	worker   string
 	deadline time.Time
 	expired  bool
+	// attempt is the cell attempt this lease represents, frozen at grant
+	// time: a late completion against an expired lease must name its own
+	// attempt's span, not whatever attempt the cell is on by then.
+	attempt int
 }
 
 // Coordinator owns campaign scheduling state and serves the farm protocol.
@@ -256,6 +276,9 @@ func NewCoordinator(opts CoordinatorOptions) (*Coordinator, error) {
 		opts.Obs.Metrics.Counter("campaign.leases.granted").NonGolden()
 		opts.Obs.Metrics.Counter("campaign.heartbeats.missed").NonGolden()
 		opts.Obs.Metrics.Counter("campaign.requeues").NonGolden()
+		opts.Obs.Metrics.Counter("campaign.leases.expired").NonGolden()
+		opts.Obs.Metrics.Counter("campaign.leases.churn").NonGolden()
+		opts.Obs.Metrics.Histogram("campaign.queue.wait_seconds").NonGolden()
 	}
 	area, err := opts.Store.StateArea("campaigns")
 	if err != nil {
@@ -283,15 +306,38 @@ func (c *Coordinator) logger() *obs.Logger {
 }
 
 // event appends a JSONL line in the obs wire format to the campaign's
-// event log and mirrors it to the coordinator log. Must be called with
-// c.mu held.
+// event log, mirrors it to the coordinator log, and journals it to the
+// durable per-campaign event log beside the campaign document. Lines
+// carry a wall-clock timestamp (t_wall_ns_nongolden) so the timeline can
+// order them; the ring stays the bounded live-follow surface while the
+// journal is what `szfarm timeline` reads across restarts, failovers,
+// and ring wraps. Must be called with c.mu held.
 func (c *Coordinator) eventLocked(camp *campaignState, msg string, fields ...obs.Field) {
 	var line lineBuffer
-	lg := obs.NewLogger(&line, obs.LevelInfo).With(obs.F("campaign", camp.id))
+	lg := obs.NewLogger(&line, obs.LevelInfo).WallClock().With(obs.F("campaign", camp.id))
 	lg.Info(msg, fields...)
 	camp.events.append(line.line)
+	c.appendEventJournalLocked(camp, line.line)
 	c.logger().Info(msg, append([]obs.Field{obs.F("campaign", camp.id)}, fields...)...)
 	c.cond.Broadcast()
+}
+
+// appendEventJournalLocked writes one event line to the campaign's
+// durable log, fenced like every other shared-store write: a deposed
+// coordinator must not interleave its lines with the successor's. Append
+// failures are counted, not fatal — the journal is observability, and
+// losing a line must never fail the scheduling operation that emitted it.
+func (c *Coordinator) appendEventJournalLocked(camp *campaignState, line []byte) {
+	if c.area == nil {
+		return
+	}
+	if c.opts.Fence != nil && c.opts.Fence.Check() != nil {
+		c.metrics().Counter("campaign.events.unjournaled").NonGolden().Inc()
+		return
+	}
+	if err := c.area.AppendLog(camp.id+".events", line); err != nil {
+		c.metrics().Counter("campaign.events.unjournaled").NonGolden().Inc()
+	}
 }
 
 // lineBuffer captures a single logger line.
@@ -371,7 +417,8 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 	if err := c.fenceErr(); err != nil {
 		return "", 0, 0, err
 	}
-	camp := &campaignState{spec: spec, tenant: tenantOf(spec), state: StateRunning, events: newEventRing(c.eventCap)}
+	camp := &campaignState{spec: spec, tenant: tenantOf(spec), state: StateRunning,
+		events: newEventRing(c.eventCap), trace: obs.NewTraceID()}
 	for _, cs := range spec.Cells() {
 		st := &cellState{CellSpec: cs, state: cellPending}
 		// The probe uses Get, not a cheaper existence check, so a corrupt
@@ -402,12 +449,13 @@ func (c *Coordinator) Submit(spec Spec) (id string, cells, hits int, err error) 
 	}
 	c.nextCamp++
 	camp.id = fmt.Sprintf("c%04d", c.nextCamp)
+	camp.submitted = c.opts.now()
 	c.campaigns = append(c.campaigns, camp)
 	c.byID[camp.id] = camp
 	c.eventLocked(camp, "campaign submitted",
 		obs.F("cells", len(camp.cells)), obs.F("store_hits", hits),
 		obs.F("runs", spec.Runs), obs.F("seed", spec.Seed),
-		obs.F("tenant", camp.tenant))
+		obs.F("tenant", camp.tenant), obs.F("trace", camp.trace))
 	c.refreshLocked(camp)
 	c.persistLocked(camp)
 	return camp.id, len(camp.cells), hits, nil
@@ -452,12 +500,15 @@ func (c *Coordinator) expireLocked() {
 		// duplicate a no-op.
 		l.expired = true
 		c.metrics().Counter("campaign.heartbeats.missed").Inc()
+		c.metrics().Counter("campaign.leases.expired").Inc()
 		if l.cell.state != cellLeased || l.cell.lease != id {
 			c.persistLocked(l.campaign) // journal the retirement itself
 			continue                    // cell already completed by a late post or re-lease
 		}
 		c.eventLocked(l.campaign, "lease expired", obs.F("cell", l.cell.Bench),
-			obs.F("worker", l.worker), obs.F("attempt", l.cell.attempts))
+			obs.F("worker", l.worker), obs.F("attempt", l.cell.attempts),
+			obs.F("trace", l.campaign.trace),
+			obs.F("span", obs.SpanID(l.campaign.id, l.cell.Bench, l.attempt)))
 		c.requeueLocked(l.campaign, l.cell, "lease expired (worker presumed dead)")
 		c.persistLocked(l.campaign)
 	}
@@ -475,8 +526,13 @@ func (c *Coordinator) requeueLocked(camp *campaignState, cell *cellState, reason
 	}
 	cell.state = cellPending
 	c.metrics().Counter("campaign.requeues").Inc()
+	// Churn counts lease turnover that produced no completion — expiries,
+	// drains, and error requeues — the "wasted lease" signal an operator
+	// watches for flapping workers.
+	c.metrics().Counter("campaign.leases.churn").Inc()
 	c.eventLocked(camp, "cell requeued", obs.F("cell", cell.Bench),
-		obs.F("attempt", cell.attempts), obs.F("reason", reason))
+		obs.F("attempt", cell.attempts), obs.F("reason", reason),
+		obs.F("trace", camp.trace))
 }
 
 // Lease is the work grant the coordinator hands a worker.
@@ -491,6 +547,11 @@ type Lease struct {
 	// a fraction of this).
 	TTLSeconds float64 `json:"ttl_seconds"`
 	Attempt    int     `json:"attempt"`
+	// Trace is the campaign's distributed trace ID and Span names this
+	// cell attempt within it; the worker carries both back on every
+	// heartbeat and completion via the X-Sz-Trace/X-Sz-Span headers.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // AcquireResponse answers a lease request. A nil Lease with Remaining > 0
@@ -527,6 +588,8 @@ func (c *Coordinator) Acquire(worker string) AcquireResponse {
 			Config:     grant.campaign.spec.Config,
 			TTLSeconds: c.opts.LeaseTTL.Seconds(),
 			Attempt:    grant.cell.attempts,
+			Trace:      grant.campaign.trace,
+			Span:       obs.SpanID(grant.campaign.id, grant.cell.Bench, grant.attempt),
 		}
 	}
 	return resp
@@ -565,6 +628,36 @@ type CompleteRequest struct {
 	// lease" for an already-resolved one). The farm client derives it from
 	// the lease id, which is single-use.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Trace and Span identify the attempt in the campaign's distributed
+	// trace. The HTTP layer fills them from the X-Sz-Trace/X-Sz-Span
+	// request headers (headers win over the body); the coordinator falls
+	// back to its own lease-derived values when both are absent.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+	// SpanRecord is the worker's timing record for the attempt — the
+	// distributed half of the campaign trace, folded into the event log
+	// for timeline reconstruction and into the artifact's provenance.
+	SpanRecord *SpanRecord `json:"span_record,omitempty"`
+}
+
+// SpanRecord is one worker-side cell-attempt span: when the attempt
+// started and finished on the worker's clock. Wall-clock by nature, so
+// everything here is non-golden telemetry; it never touches the golden
+// artifact path.
+type SpanRecord struct {
+	Trace       string `json:"trace,omitempty"`
+	Span        string `json:"span,omitempty"`
+	Worker      string `json:"worker,omitempty"`
+	StartUnixNs int64  `json:"start_unix_ns"`
+	EndUnixNs   int64  `json:"end_unix_ns"`
+}
+
+// RunSeconds is the span's duration (clamped at zero).
+func (s *SpanRecord) RunSeconds() float64 {
+	if s == nil || s.EndUnixNs <= s.StartUnixNs {
+		return 0
+	}
+	return float64(s.EndUnixNs-s.StartUnixNs) / 1e9
 }
 
 // recordIdemLocked remembers a completion outcome under its idempotency
@@ -605,13 +698,33 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 	}
 	camp, cell := l.campaign, l.cell
 	delete(c.leases, leaseID)
+	// The attempt's trace identity: headers/body win, the lease is the
+	// fallback, so even a bare post lands in the right trace.
+	trace, span := req.Trace, req.Span
+	if trace == "" {
+		trace = camp.trace
+	}
+	if span == "" {
+		span = obs.SpanID(camp.id, cell.Bench, l.attempt)
+	}
 	for _, raw := range req.Events {
-		camp.events.append(append(append([]byte(nil), raw...), '\n'))
+		line := append(append([]byte(nil), raw...), '\n')
+		camp.events.append(line)
+		c.appendEventJournalLocked(camp, line)
+	}
+	if sr := req.SpanRecord; sr != nil {
+		// The worker's timing record becomes a first-class event so the
+		// timeline can draw the worker-side span without a second channel.
+		c.eventLocked(camp, "cell span", obs.F("cell", cell.Bench),
+			obs.F("worker", req.Worker), obs.F("attempt", l.attempt),
+			obs.F("trace", trace), obs.F("span", span),
+			obs.F("start_unix_ns", sr.StartUnixNs), obs.F("end_unix_ns", sr.EndUnixNs))
 	}
 
 	if req.Error != "" {
 		c.eventLocked(camp, "cell failed on worker", obs.F("cell", cell.Bench),
-			obs.F("worker", req.Worker), obs.F("err", req.Error))
+			obs.F("worker", req.Worker), obs.F("err", req.Error),
+			obs.F("trace", trace), obs.F("span", span))
 		if cell.state == cellLeased && cell.lease == leaseID {
 			c.requeueLocked(camp, cell, req.Error)
 		}
@@ -651,10 +764,25 @@ func (c *Coordinator) Complete(leaseID uint64, req CompleteRequest) error {
 	if cell.state != cellDone {
 		cell.state = cellDone
 		cell.err = ""
+		cell.prov = &bench.Provenance{
+			Trace:       trace,
+			Span:        span,
+			Worker:      req.Worker,
+			Coordinator: c.opts.Identity,
+			Attempts:    cell.attempts,
+			RunSeconds:  req.SpanRecord.RunSeconds(),
+		}
+		if c.opts.Fence != nil {
+			cell.prov.Epoch = c.opts.Fence.Epoch()
+		}
+		if !camp.submitted.IsZero() && !cell.firstGrant.IsZero() {
+			cell.prov.QueueWaitSeconds = cell.firstGrant.Sub(camp.submitted).Seconds()
+		}
 		c.metrics().Counter("campaign.cells.completed").Inc()
 		c.noteCompletionLocked()
 		c.eventLocked(camp, "cell complete", obs.F("cell", cell.Bench),
-			obs.F("worker", req.Worker), obs.F("runs", runs))
+			obs.F("worker", req.Worker), obs.F("runs", runs),
+			obs.F("trace", trace), obs.F("span", span))
 		c.refreshLocked(camp)
 	}
 	c.recordIdemLocked(req.IdempotencyKey, "")
@@ -682,8 +810,11 @@ func (c *Coordinator) Release(leaseID uint64, worker string) bool {
 		l.cell.lease = 0
 		l.cell.state = cellPending
 		c.metrics().Counter("campaign.leases.released").NonGolden().Inc()
+		c.metrics().Counter("campaign.leases.churn").Inc()
 		c.eventLocked(l.campaign, "lease released (worker draining)",
-			obs.F("cell", l.cell.Bench), obs.F("worker", worker))
+			obs.F("cell", l.cell.Bench), obs.F("worker", worker),
+			obs.F("trace", l.campaign.trace),
+			obs.F("span", obs.SpanID(l.campaign.id, l.cell.Bench, l.attempt)))
 	}
 	c.persistLocked(l.campaign)
 	return true
@@ -808,20 +939,33 @@ func (c *Coordinator) Artifact(ctx context.Context, id string) ([]byte, error) {
 }
 
 // Events returns the campaign's event log as JSONL bytes from monotonic
-// cursor `from`, and whether the campaign is terminal. The cursor counts
-// lines ever appended, not lines retained: a follower whose cursor fell
-// behind a ring wrap resumes at the oldest retained line (dropped lines are
-// simply gone — the ring is bounded telemetry, not a durable log). Used by
-// the streaming handler; also convenient for tests.
-func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
+// cursor `from`, with the next cursor, how many lines a ring wrap dropped
+// before the window, and whether the campaign is terminal. The cursor
+// counts lines ever appended, not lines retained: a follower whose cursor
+// fell behind a ring wrap resumes at the oldest retained line and learns
+// the size of the gap (the durable event journal still has the dropped
+// lines — the ring is the bounded live surface). Used by the streaming
+// handler; also convenient for tests.
+func (c *Coordinator) events(id string, from int) (buf []byte, next, dropped int, terminal, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	camp, ok := c.byID[id]
 	if !ok {
-		return nil, 0, true, false
+		return nil, 0, 0, true, false
 	}
-	buf, next := camp.events.since(from)
-	return buf, next, camp.state != StateRunning, true
+	buf, next, dropped = camp.events.since(from)
+	return buf, next, dropped, camp.state != StateRunning, true
+}
+
+// EventJournal reads a campaign's durable event log from the store —
+// every line ever emitted, across restarts and failovers, torn tail
+// dropped. This is the timeline's preferred source; the in-memory ring
+// only retains the most recent EventLogCap lines.
+func (c *Coordinator) EventJournal(id string) ([]byte, error) {
+	if c.area == nil {
+		return nil, fmt.Errorf("campaign: no durable state area")
+	}
+	return c.area.LoadLog(id + ".events")
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -839,6 +983,8 @@ func (c *Coordinator) events(id string, from int) ([]byte, int, bool, bool) {
 //	GET  /v1/coordinator              this process's role, identity, and
 //	                                  fencing epoch (failover probe target)
 //	GET  /v1/scaling                  autoscaling signals (ScalingReport)
+//	GET  /metrics                     Prometheus text exposition (includes
+//	                                  non-golden series; operational surface)
 //	GET  /healthz                     liveness probe
 //
 // Every response carries X-SZ-Coordinator (identity) and X-SZ-Epoch
@@ -859,6 +1005,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scaling", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Scaling())
 	})
+	mux.Handle("GET /metrics", c.metricsHandler())
 	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
 		var spec Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
@@ -901,6 +1048,15 @@ func (c *Coordinator) Handler() http.Handler {
 			httpError(w, http.StatusConflict, err)
 			return
 		}
+		// ?provenance=1 decorates a copy with each cell's measurement
+		// pedigree; the cached plain artifact — the golden bytes — is
+		// never touched.
+		if r.URL.Query().Get("provenance") == "1" {
+			if buf, err = c.decorateProvenance(r.PathValue("id"), buf); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(buf)
 	})
@@ -917,7 +1073,13 @@ func (c *Coordinator) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding lease request: %w", err))
 			return
 		}
-		writeJSON(w, http.StatusOK, c.Acquire(req.Worker))
+		resp := c.Acquire(req.Worker)
+		if resp.Lease != nil {
+			// The grant's trace context rides the response headers too, so
+			// transport-level tooling sees the same identifiers as the body.
+			obs.TraceContext{TraceID: resp.Lease.Trace, SpanID: resp.Lease.Span}.Inject(w.Header())
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
@@ -945,6 +1107,9 @@ func (c *Coordinator) Handler() http.Handler {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding completion: %w", err))
 			return
+		}
+		if tc := obs.ExtractTrace(r.Header); tc.Valid() {
+			req.Trace, req.Span = tc.TraceID, tc.SpanID
 		}
 		if err := c.Complete(id, req); err != nil {
 			// A fenced completion is retryable — the worker should reprobe
@@ -995,8 +1160,90 @@ func (c *Coordinator) withCoordHeaders(next http.Handler) http.Handler {
 			epoch = c.opts.Fence.Epoch()
 		}
 		w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+		// Echo the caller's trace context so both halves of every exchange
+		// carry the same identifiers.
+		obs.ExtractTrace(r.Header).Inject(w.Header())
 		next.ServeHTTP(w, r)
 	})
+}
+
+// metricsHandler serves the coordinator's registry in Prometheus text
+// format, refreshing the derived operational gauges (backlog, inflight,
+// lease utilization, per-tenant queue depths) from the scaling report
+// first so a scrape always sees current queue state.
+func (c *Coordinator) metricsHandler() http.Handler {
+	inner := c.metrics().PromHandler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.refreshGauges()
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// refreshGauges derives the operational gauges from the scaling report.
+// Gauges are environmental (never golden), so the tenant label rides in
+// the registry key and surfaces as a Prometheus label.
+func (c *Coordinator) refreshGauges() {
+	m := c.metrics()
+	if m == nil {
+		return
+	}
+	rep := c.Scaling()
+	m.Gauge("campaign.backlog").Set(float64(rep.Backlog))
+	m.Gauge("campaign.inflight").Set(float64(rep.Inflight))
+	m.Gauge("campaign.workers.live").Set(float64(rep.Workers))
+	m.Gauge("campaign.lease.utilization").Set(rep.LeaseUtilization)
+	m.Gauge("campaign.completions.per_second").Set(rep.CompletionsPerSecond)
+	// The scaling report only lists tenants with running campaigns; a
+	// tenant whose queue just drained must go to zero, not disappear from
+	// the scrape — so derive the tenant set from every known campaign.
+	perTenant := map[string]TenantScaling{}
+	for _, ts := range rep.Tenants {
+		perTenant[ts.Tenant] = ts
+	}
+	c.mu.Lock()
+	for _, camp := range c.campaigns {
+		if _, ok := perTenant[camp.tenant]; !ok {
+			perTenant[camp.tenant] = TenantScaling{Tenant: camp.tenant, Weight: c.tenantWeight(camp.tenant)}
+		}
+	}
+	c.mu.Unlock()
+	for tenant, ts := range perTenant {
+		m.Gauge(`campaign.tenant.pending{tenant="` + tenant + `"}`).Set(float64(ts.Pending))
+		m.Gauge(`campaign.tenant.inflight{tenant="` + tenant + `"}`).Set(float64(ts.Inflight))
+		m.Gauge(`campaign.tenant.weight{tenant="` + tenant + `"}`).Set(float64(ts.Weight))
+	}
+}
+
+// decorateProvenance attaches each cell's measurement pedigree to a copy
+// of the campaign's (already-assembled) artifact. Store-hit cells carry a
+// minimal block — the samples were deduplicated, so their pedigree is
+// the store itself.
+func (c *Coordinator) decorateProvenance(id string, plain []byte) ([]byte, error) {
+	art, err := bench.ReadBytes(plain)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: decoding %s artifact: %w", id, err)
+	}
+	c.mu.Lock()
+	camp, ok := c.byID[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	prov := make(map[string]*bench.Provenance, len(camp.cells))
+	for _, cell := range camp.cells {
+		switch {
+		case cell.prov != nil:
+			cp := *cell.prov
+			prov[cell.Bench] = &cp
+		case cell.fromHit:
+			prov[cell.Bench] = &bench.Provenance{Trace: camp.trace, StoreHit: true}
+		}
+	}
+	c.mu.Unlock()
+	for i := range art.Benchmarks {
+		art.Benchmarks[i].Provenance = prov[art.Benchmarks[i].Name]
+	}
+	return art.Encode()
 }
 
 // Response headers identifying the answering coordinator.
@@ -1046,23 +1293,44 @@ func (c *Coordinator) Info() CoordinatorInfo {
 	return info
 }
 
-// handleEvents streams a campaign's JSONL event log. With ?follow=1 the
-// response stays open, flushing new lines as they appear, until the
-// campaign reaches a terminal state or the client goes away.
+// Event-cursor response headers. A one-shot page (?since=N) answers with
+// the next cursor to poll from, how many lines a ring wrap dropped before
+// the window (the client renders that as a gap marker), and whether the
+// campaign is terminal — together they make a poll loop that follows a
+// campaign to completion without holding a connection open.
+const (
+	HeaderEventsNext     = "X-Sz-Events-Next"
+	HeaderEventsDropped  = "X-Sz-Events-Dropped"
+	HeaderEventsTerminal = "X-Sz-Events-Terminal"
+)
+
+// handleEvents streams a campaign's JSONL event log. ?since=N starts the
+// page at cursor N; the response carries the cursor headers above. With
+// ?follow=1 the response stays open, flushing new lines as they appear,
+// until the campaign reaches a terminal state or the client goes away.
 func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	follow := r.URL.Query().Get("follow") == "1"
-	w.Header().Set("Content-Type", "application/jsonl")
-	flusher, _ := w.(http.Flusher)
 	from := 0
-	for {
-		buf, next, terminal, ok := c.events(id, from)
-		if !ok {
-			if from == 0 {
-				httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
-			}
+	if s := r.URL.Query().Get("since"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad since cursor %q", s))
 			return
 		}
+		from = n
+	}
+	buf, next, dropped, terminal, ok := c.events(id, from)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.Header().Set(HeaderEventsNext, strconv.Itoa(next))
+	w.Header().Set(HeaderEventsDropped, strconv.Itoa(dropped))
+	w.Header().Set(HeaderEventsTerminal, boolHeader(terminal))
+	flusher, _ := w.(http.Flusher)
+	for {
 		if len(buf) > 0 {
 			if _, err := w.Write(buf); err != nil {
 				return
@@ -1080,7 +1348,18 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-c.waitEvents(from):
 		}
+		buf, next, _, terminal, ok = c.events(id, from)
+		if !ok {
+			return
+		}
 	}
+}
+
+func boolHeader(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
 }
 
 // waitEvents returns a channel that closes when the event log may have

@@ -312,25 +312,26 @@ func TestSubmitOverloadSheds(t *testing.T) {
 
 // TestEventRing pins the ring's cursor semantics: cursors are monotonic
 // line ordinals, a reader behind a wrap resumes at the oldest retained
-// line, and a caught-up reader gets nothing.
+// line (and learns how many lines it lost), and a caught-up reader gets
+// nothing.
 func TestEventRing(t *testing.T) {
 	r := newEventRing(4)
 	for i := 0; i < 10; i++ {
 		r.append([]byte(fmt.Sprintf("l%d\n", i)))
 	}
-	buf, next := r.since(0) // cursor far behind the wrap
-	if string(buf) != "l6\nl7\nl8\nl9\n" || next != 10 {
-		t.Fatalf("since(0) = (%q, %d), want last 4 lines and cursor 10", buf, next)
+	buf, next, dropped := r.since(0) // cursor far behind the wrap
+	if string(buf) != "l6\nl7\nl8\nl9\n" || next != 10 || dropped != 6 {
+		t.Fatalf("since(0) = (%q, %d, %d), want last 4 lines, cursor 10, 6 dropped", buf, next, dropped)
 	}
-	if buf, next := r.since(8); string(buf) != "l8\nl9\n" || next != 10 {
-		t.Fatalf("since(8) = (%q, %d)", buf, next)
+	if buf, next, dropped := r.since(8); string(buf) != "l8\nl9\n" || next != 10 || dropped != 0 {
+		t.Fatalf("since(8) = (%q, %d, %d)", buf, next, dropped)
 	}
-	if buf, next := r.since(10); len(buf) != 0 || next != 10 {
-		t.Fatalf("since(10) = (%q, %d), want empty", buf, next)
+	if buf, next, dropped := r.since(10); len(buf) != 0 || next != 10 || dropped != 0 {
+		t.Fatalf("since(10) = (%q, %d, %d), want empty", buf, next, dropped)
 	}
 	r.append([]byte("l10\n"))
-	if buf, next := r.since(10); string(buf) != "l10\n" || next != 11 {
-		t.Fatalf("since(10) after append = (%q, %d)", buf, next)
+	if buf, next, dropped := r.since(10); string(buf) != "l10\n" || next != 11 || dropped != 0 {
+		t.Fatalf("since(10) after append = (%q, %d, %d)", buf, next, dropped)
 	}
 }
 

@@ -145,6 +145,16 @@ func (s *HAServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			StoreBlocks:     s.opts.Coordinator.Store.Len(),
 		}
 		writeJSON(w, http.StatusOK, ci)
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		// A standby is still a process worth scraping: its ha.* counters
+		// (promotions, depositions, renewals) are how an operator sees an
+		// election happening. Nil-safe — PromHandler on a nil registry
+		// serves an empty exposition.
+		var reg *obs.Registry
+		if s.opts.Obs != nil {
+			reg = s.opts.Obs.Metrics
+		}
+		reg.PromHandler().ServeHTTP(w, r)
 	default:
 		// Retryable by design: the client's failover loop reprobes and
 		// lands on the active coordinator (or waits out an election).

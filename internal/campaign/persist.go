@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
@@ -26,13 +27,20 @@ const PersistSchema = 1
 // and the assembled artifact are deliberately absent: events are bounded
 // in-memory telemetry, and the artifact is rebuilt from the store.
 type persistedCampaign struct {
-	Schema int              `json:"schema"`
-	ID     string           `json:"id"`
-	Spec   Spec             `json:"spec"`
-	State  string           `json:"state"`
-	Err    string           `json:"err,omitempty"`
-	Cells  []persistedCell  `json:"cells"`
-	Leases []persistedLease `json:"leases,omitempty"`
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	State  string `json:"state"`
+	Err    string `json:"err,omitempty"`
+	// Trace is the campaign's distributed trace ID. Journaling it is what
+	// keeps one trace across a failover: the promoted coordinator restores
+	// it instead of minting a new one. Optional (older documents predate
+	// it); a restored campaign without one gets a fresh ID.
+	Trace string `json:"trace,omitempty"`
+	// Submitted anchors queue-wait derivation (optional, unix nanos).
+	Submitted int64            `json:"submitted_unix_nano,omitempty"`
+	Cells     []persistedCell  `json:"cells"`
+	Leases    []persistedLease `json:"leases,omitempty"`
 }
 
 type persistedCell struct {
@@ -42,6 +50,12 @@ type persistedCell struct {
 	FromHit  bool   `json:"from_hit,omitempty"`
 	Lease    uint64 `json:"lease,omitempty"`
 	Err      string `json:"err,omitempty"`
+	// FirstLeased is when the cell's first lease was granted (unix nanos,
+	// 0 = never leased); Prov is the completing attempt's measurement
+	// pedigree. Both optional — observability state, carried so a
+	// restarted coordinator can still serve provenance and queue waits.
+	FirstLeased int64             `json:"first_leased_unix_nano,omitempty"`
+	Prov        *bench.Provenance `json:"prov,omitempty"`
 }
 
 type persistedLease struct {
@@ -50,6 +64,9 @@ type persistedLease struct {
 	Worker   string `json:"worker"`
 	Deadline int64  `json:"deadline_unix_nano"`
 	Expired  bool   `json:"expired,omitempty"`
+	// Attempt freezes which cell attempt this lease represents (optional;
+	// 0 in older documents falls back to the cell's live attempt count).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // record snapshots a campaign (and its leases) into its durable form.
@@ -61,12 +78,21 @@ func (c *Coordinator) recordLocked(camp *campaignState) persistedCampaign {
 		Spec:   camp.spec,
 		State:  camp.state,
 		Err:    camp.err,
+		Trace:  camp.trace,
+	}
+	if !camp.submitted.IsZero() {
+		rec.Submitted = camp.submitted.UnixNano()
 	}
 	for _, cell := range camp.cells {
-		rec.Cells = append(rec.Cells, persistedCell{
+		pc := persistedCell{
 			Bench: cell.Bench, State: cell.state, Attempts: cell.attempts,
 			FromHit: cell.fromHit, Lease: cell.lease, Err: cell.err,
-		})
+			Prov: cell.prov,
+		}
+		if !cell.firstGrant.IsZero() {
+			pc.FirstLeased = cell.firstGrant.UnixNano()
+		}
+		rec.Cells = append(rec.Cells, pc)
 	}
 	for _, l := range c.leases {
 		if l.campaign != camp {
@@ -75,6 +101,7 @@ func (c *Coordinator) recordLocked(camp *campaignState) persistedCampaign {
 		rec.Leases = append(rec.Leases, persistedLease{
 			ID: l.id, Bench: l.cell.Bench, Worker: l.worker,
 			Deadline: l.deadline.UnixNano(), Expired: l.expired,
+			Attempt: l.attempt,
 		})
 	}
 	return rec
@@ -128,7 +155,13 @@ func (c *Coordinator) restore(rec persistedCampaign) (*campaignState, error) {
 	}
 	camp := &campaignState{
 		id: rec.ID, spec: rec.Spec, tenant: tenantOf(rec.Spec), state: rec.State, err: rec.Err,
-		events: newEventRing(c.eventCap),
+		events: newEventRing(c.eventCap), trace: rec.Trace,
+	}
+	if camp.trace == "" {
+		camp.trace = obs.NewTraceID() // pre-trace document
+	}
+	if rec.Submitted != 0 {
+		camp.submitted = time.Unix(0, rec.Submitted)
 	}
 	byBench := map[string]persistedCell{}
 	for _, pc := range rec.Cells {
@@ -142,6 +175,10 @@ func (c *Coordinator) restore(rec persistedCampaign) (*campaignState, error) {
 		st := &cellState{
 			CellSpec: cs, state: pc.State, attempts: pc.Attempts,
 			fromHit: pc.FromHit, lease: pc.Lease, err: pc.Err,
+			prov: pc.Prov,
+		}
+		if pc.FirstLeased != 0 {
+			st.firstGrant = time.Unix(0, pc.FirstLeased)
 		}
 		switch st.state {
 		case cellPending, cellLeased, cellDone, cellFailed:
@@ -162,9 +199,14 @@ func (c *Coordinator) restore(rec persistedCampaign) (*campaignState, error) {
 		if !ok {
 			return nil, fmt.Errorf("campaign %s: lease %d names unknown cell %q", rec.ID, pl.ID, pl.Bench)
 		}
+		attempt := pl.Attempt
+		if attempt == 0 {
+			attempt = cell.attempts
+		}
 		c.leases[pl.ID] = &lease{
 			id: pl.ID, campaign: camp, cell: cell, worker: pl.Worker,
 			deadline: time.Unix(0, pl.Deadline), expired: pl.Expired,
+			attempt: attempt,
 		}
 		if pl.ID > c.nextLease {
 			c.nextLease = pl.ID

@@ -107,15 +107,31 @@ func (c *Coordinator) scheduleLocked(worker string) (*lease, int) {
 		cell.state = cellLeased
 		cell.attempts++
 		cell.lease = c.nextLease
+		if cell.firstGrant.IsZero() {
+			cell.firstGrant = c.opts.now()
+			if !camp.submitted.IsZero() {
+				// Queue wait: submit → first lease, per cell. Wall-clock and
+				// scheduling-dependent, hence non-golden; feeds /metrics and
+				// the timeline's straggler report.
+				wait := cell.firstGrant.Sub(camp.submitted).Seconds()
+				if wait < 0 {
+					wait = 0
+				}
+				c.metrics().Histogram("campaign.queue.wait_seconds").Observe(wait)
+			}
+		}
 		grant := &lease{
 			id: c.nextLease, campaign: camp, cell: cell, worker: worker,
 			deadline: c.opts.now().Add(c.opts.LeaseTTL),
+			attempt:  cell.attempts,
 		}
 		c.leases[grant.id] = grant
 		c.metrics().Counter("campaign.leases.granted").Inc()
 		c.eventLocked(camp, "lease granted", obs.F("cell", cell.Bench),
 			obs.F("worker", worker), obs.F("lease", grant.id),
-			obs.F("attempt", cell.attempts), obs.F("tenant", winner))
+			obs.F("attempt", cell.attempts), obs.F("tenant", winner),
+			obs.F("trace", camp.trace),
+			obs.F("span", obs.SpanID(camp.id, cell.Bench, cell.attempts)))
 		return grant, remaining
 	}
 	return nil, remaining // unreachable: head had a pending cell

@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// timelineJournal is a hand-built journal for one campaign that exercises
+// every message the reconstruction reads: submit, a grant that expires on
+// worker A (lost time + requeue), a coordinator takeover, a second grant
+// that completes on worker B with its compute span, a second cell
+// completing normally, and the terminal event. Timestamps are nanoseconds
+// on a fake epoch (base 1e12) so the derived seconds are easy to assert.
+const timelineJournal = `{"level":"info","msg":"campaign submitted","campaign":"c0001","cells":2,"store_hits":0,"runs":3,"seed":1,"tenant":"ci","trace":"aabbccdd00112233","t_wall_ns_nongolden":1000000000000}
+{"level":"info","msg":"lease granted","campaign":"c0001","cell":"astar","worker":"w-a","lease":1,"attempt":1,"tenant":"ci","trace":"aabbccdd00112233","span":"c0001/astar#1","t_wall_ns_nongolden":1000500000000}
+{"level":"info","msg":"lease granted","campaign":"c0001","cell":"bzip2","worker":"w-b","lease":2,"attempt":1,"tenant":"ci","trace":"aabbccdd00112233","span":"c0001/bzip2#1","t_wall_ns_nongolden":1000600000000}
+{"level":"info","msg":"cell span","campaign":"c0001","cell":"bzip2","worker":"w-b","attempt":1,"trace":"aabbccdd00112233","span":"c0001/bzip2#1","start_unix_ns":1000700000000,"end_unix_ns":1001700000000,"t_wall_ns_nongolden":1001800000000}
+{"level":"info","msg":"cell complete","campaign":"c0001","cell":"bzip2","worker":"w-b","runs":3,"trace":"aabbccdd00112233","span":"c0001/bzip2#1","t_wall_ns_nongolden":1001800000000}
+{"level":"info","msg":"lease expired","campaign":"c0001","cell":"astar","worker":"w-a","attempt":1,"trace":"aabbccdd00112233","span":"c0001/astar#1","t_wall_ns_nongolden":1030500000000}
+{"level":"info","msg":"cell requeued","campaign":"c0001","cell":"astar","attempt":1,"reason":"lease expired (worker presumed dead)","trace":"aabbccdd00112233","t_wall_ns_nongolden":1030500000001}
+{"level":"info","msg":"campaign restored from durable state","campaign":"c0001","state":"running","cells":2,"recovered_from_store":0,"t_wall_ns_nongolden":1031000000000}
+{"level":"info","msg":"lease granted","campaign":"c0001","cell":"astar","worker":"w-b","lease":3,"attempt":2,"tenant":"ci","trace":"aabbccdd00112233","span":"c0001/astar#2","t_wall_ns_nongolden":1031200000000}
+{"level":"info","msg":"cell span","campaign":"c0001","cell":"astar","worker":"w-b","attempt":2,"trace":"aabbccdd00112233","span":"c0001/astar#2","start_unix_ns":1031300000000,"end_unix_ns":1033300000000,"t_wall_ns_nongolden":1033400000000}
+{"level":"info","msg":"cell complete","campaign":"c0001","cell":"astar","worker":"w-b","runs":3,"trace":"aabbccdd00112233","span":"c0001/astar#2","t_wall_ns_nongolden":1033400000000}
+{"level":"info","msg":"campaign complete","campaign":"c0001","cells":2,"t_wall_ns_nongolden":1033400000001}
+`
+
+// TestBuildTimelineMergedTrace pins the reconstruction over a journal that
+// spans two workers and a coordinator takeover: the output is a valid
+// Chrome trace, the processes and cell lanes are laid out as documented,
+// and the straggler report derives the right numbers.
+func TestBuildTimelineMergedTrace(t *testing.T) {
+	tl, err := BuildTimeline([]byte(timelineJournal), "c0001")
+	if err != nil {
+		t.Fatalf("BuildTimeline: %v", err)
+	}
+	if tl.Trace != "aabbccdd00112233" {
+		t.Fatalf("trace = %q", tl.Trace)
+	}
+
+	buf, err := tl.EncodeTrace()
+	if err != nil {
+		t.Fatalf("EncodeTrace: %v", err)
+	}
+	if err := obs.ValidateTrace(buf); err != nil {
+		t.Fatalf("reconstructed trace fails validation: %v\n%s", err, buf)
+	}
+
+	// Multi-process layout: the coordinator plus both workers appear as
+	// named processes, and both cells as named lanes.
+	text := string(buf)
+	for _, want := range []string{
+		`"name":"coordinator"`, `"name":"worker w-a"`, `"name":"worker w-b"`,
+		`"name":"astar"`, `"name":"bzip2"`,
+		`"name":"coordinator takeover"`,
+		`"name":"astar attempt 1 (expired)"`,
+		`"name":"astar compute"`, `"name":"bzip2 compute"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+
+	rep := tl.Report
+	if rep.Failovers != 1 {
+		t.Errorf("failovers = %d, want 1", rep.Failovers)
+	}
+	if rep.CriticalPath != "astar" {
+		t.Errorf("critical path = %q, want astar (finished last)", rep.CriticalPath)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Cell != "astar" {
+		t.Fatalf("cells = %+v, want astar first (straggler order)", rep.Cells)
+	}
+	astar, bzip2 := rep.Cells[0], rep.Cells[1]
+	if astar.Attempts != 2 || astar.Requeues != 1 {
+		t.Errorf("astar attempts/requeues = %d/%d, want 2/1", astar.Attempts, astar.Requeues)
+	}
+	// astar attempt 1 held a lease from t=0.5s to its expiry at t=30.5s.
+	if got := astar.LostSeconds; got < 29.9 || got > 30.1 {
+		t.Errorf("astar lost = %vs, want ~30s", got)
+	}
+	if got := astar.QueueWaitSeconds; got < 0.49 || got > 0.51 {
+		t.Errorf("astar queue wait = %vs, want 0.5s", got)
+	}
+	if got := astar.RunSeconds; got < 1.99 || got > 2.01 {
+		t.Errorf("astar run = %vs, want 2s", got)
+	}
+	if want := []string{"w-a", "w-b"}; strings.Join(astar.Workers, ",") != strings.Join(want, ",") {
+		t.Errorf("astar workers = %v, want %v", astar.Workers, want)
+	}
+	if bzip2.Attempts != 1 || bzip2.LostSeconds != 0 {
+		t.Errorf("bzip2 attempts/lost = %d/%v", bzip2.Attempts, bzip2.LostSeconds)
+	}
+	if rep.TotalSeconds < 33.3 || rep.TotalSeconds > 33.5 {
+		t.Errorf("total = %vs, want ~33.4s", rep.TotalSeconds)
+	}
+
+	if r := rep.Render(); !strings.Contains(r, "critical path: astar") || !strings.Contains(r, "w-a,w-b") {
+		t.Errorf("report render missing expected lines:\n%s", r)
+	}
+}
+
+// TestBuildTimelineDeterministic pins that reconstruction is a pure
+// function of the journal bytes: building twice yields byte-identical
+// trace output. This is what lets CI archive a timeline artifact and
+// still trust a later re-derivation.
+func TestBuildTimelineDeterministic(t *testing.T) {
+	a, err := BuildTimeline([]byte(timelineJournal), "c0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTimeline([]byte(timelineJournal), "c0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufA, errA := a.EncodeTrace()
+	bufB, errB := b.EncodeTrace()
+	if errA != nil || errB != nil {
+		t.Fatalf("encode: %v / %v", errA, errB)
+	}
+	if !bytes.Equal(bufA, bufB) {
+		t.Fatal("double reconstruction differs")
+	}
+	if a.Report.Render() != b.Report.Render() {
+		t.Fatal("double report render differs")
+	}
+}
+
+// TestBuildTimelineTornTail pins that a torn last line (crash mid-append)
+// degrades to a skipped-line count, not a failed reconstruction, and that
+// attempts left open by the truncation close at the log's end.
+func TestBuildTimelineTornTail(t *testing.T) {
+	journal := timelineJournal[:strings.LastIndex(strings.TrimSpace(timelineJournal), "\n")]
+	journal += "\n" + `{"level":"info","msg":"campaign comp` // torn
+	tl, err := BuildTimeline([]byte(journal), "c0001")
+	if err != nil {
+		t.Fatalf("BuildTimeline over torn journal: %v", err)
+	}
+	if tl.Report.MalformedLines != 1 {
+		t.Errorf("malformed = %d, want 1", tl.Report.MalformedLines)
+	}
+	buf, err := tl.EncodeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(buf); err != nil {
+		t.Fatalf("torn-tail trace fails validation: %v", err)
+	}
+}

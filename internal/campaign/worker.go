@@ -74,6 +74,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.Obs != nil {
 		w.Obs.Metrics.Counter("worker.leases.acquired").NonGolden()
 		w.Obs.Metrics.Counter("worker.heartbeats.sent").NonGolden()
+		w.Obs.Metrics.Histogram("worker.cell.seconds").NonGolden()
 	}
 	backoff := poll
 	for {
@@ -123,7 +124,13 @@ func (w *Worker) Run(ctx context.Context) error {
 // coordinator's expiry requeues.
 func (w *Worker) runLease(ctx context.Context, l *Lease) {
 	w.logger().Info("lease acquired", obs.F("worker", w.Name), obs.F("cell", l.Bench),
-		obs.F("campaign", l.Campaign), obs.F("lease", l.ID), obs.F("attempt", l.Attempt))
+		obs.F("campaign", l.Campaign), obs.F("lease", l.ID), obs.F("attempt", l.Attempt),
+		obs.F("trace", l.Trace), obs.F("span", l.Span))
+
+	// Every exchange for this lease — heartbeats, the completion, the
+	// release — carries the grant's trace context, so the coordinator's
+	// log and the worker's compute join into one distributed trace.
+	ctx = obs.WithTraceContext(ctx, obs.TraceContext{TraceID: l.Trace, SpanID: l.Span})
 
 	// Heartbeat at a third of the TTL until the cell completes. A failed
 	// heartbeat with StatusGone means the lease expired under us: cancel
@@ -163,13 +170,25 @@ func (w *Worker) runLease(ctx context.Context, l *Lease) {
 		}
 	}()
 
+	started := time.Now()
 	results, events, err := w.computeCell(cellCtx, l)
+	finished := time.Now()
 	cancelHB()
+	w.metrics().Histogram("worker.cell.seconds").NonGolden().Observe(finished.Sub(started).Seconds())
 	req := CompleteRequest{
 		Worker: w.Name, Results: results, Events: events,
 		// The lease id is single-use, so it keys this completion for
 		// server-side dedup when the post is retried after a lost response.
 		IdempotencyKey: fmt.Sprintf("lease-%d", l.ID),
+		Trace:          l.Trace,
+		Span:           l.Span,
+		// The worker-side half of the attempt's span: compile + runs on
+		// this worker's wall clock. The coordinator folds it into the
+		// event log for the timeline and into artifact provenance.
+		SpanRecord: &SpanRecord{
+			Trace: l.Trace, Span: l.Span, Worker: w.Name,
+			StartUnixNs: started.UnixNano(), EndUnixNs: finished.UnixNano(),
+		},
 	}
 	if err != nil {
 		if errors.Is(cellCtx.Err(), context.Canceled) && ctx.Err() == nil {
@@ -237,6 +256,7 @@ func (w *Worker) computeCell(ctx context.Context, l *Lease) ([]experiment.RunRes
 	var line lineBuffer
 	obs.NewLogger(&line, obs.LevelInfo).Info("cell computed",
 		obs.F("worker", w.Name), obs.F("cell", l.Bench), obs.F("runs", l.Runs),
+		obs.F("trace", l.Trace), obs.F("span", l.Span),
 		obs.F("host_seconds_nongolden", time.Since(start).Seconds()))
 	return ss.Results, []json.RawMessage{json.RawMessage(trimNL(line.line))}, nil
 }

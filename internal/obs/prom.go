@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry. The exposition is an operational surface — scrapers want
+// everything the process knows right now — so it always includes the
+// non-golden section. Golden byte-identity applies to snapshots and
+// artifacts, never to /metrics.
+//
+// Dotted registry names map to underscored Prometheus names under an
+// "sz_" prefix: "campaign.cells.completed" → "sz_campaign_cells_completed".
+// A registry name may carry a label suffix in curly braces
+// (`campaign.tenant.pending{tenant="ci"}`); the base name becomes the
+// metric family and the braces pass through as the sample's labels, so
+// per-tenant gauges land as one family with a tenant label.
+
+// promContentType is the exposition content type scrapers expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromHandler serves the registry in Prometheus text format. Nil-receiver
+// safe: a nil registry serves an empty exposition.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		WriteProm(w, r.Snapshot(true))
+	})
+}
+
+// WriteProm renders a snapshot in Prometheus text format. Families are
+// sorted by name; within a family, samples follow sorted registry-key
+// order (so labeled variants sort by label) and histogram buckets keep
+// ascending-le order with +Inf last. Equal snapshots render to equal
+// bytes.
+func WriteProm(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	add := func(raw, typ string, samples ...promSample) {
+		base, _ := splitPromName(raw)
+		f, ok := fams[base]
+		if !ok {
+			f = &promFamily{name: base, typ: typ}
+			fams[base] = f
+		}
+		f.samples = append(f.samples, samples...)
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		base, labels := splitPromName(k)
+		add(k, "counter", promSample{name: base, labels: labels, value: formatPromValue(float64(s.Counters[k]))})
+	}
+	for _, k := range sortedKeys(s.NonGoldenCounters) {
+		base, labels := splitPromName(k)
+		add(k, "counter", promSample{name: base, labels: labels, value: formatPromValue(float64(s.NonGoldenCounters[k]))})
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		base, labels := splitPromName(k)
+		add(k, "gauge", promSample{name: base, labels: labels, value: formatPromValue(s.Gauges[k])})
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		add(k, "histogram", histSamples(k, s.Histograms[k])...)
+	}
+	for _, k := range sortedKeys(s.NonGolden) {
+		add(k, "histogram", histSamples(k, s.NonGolden[k])...)
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", smp.name, smp.labels, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	name   string
+	labels string // "{k=\"v\",...}" or ""
+	value  string
+}
+
+// histSamples expands one histogram into cumulative _bucket series plus
+// _sum and _count, recovering numeric bounds from the snapshot's
+// "le_2^k" keys. The underflow bucket (zero, negative, non-finite
+// observations) folds into the smallest bound.
+func histSamples(raw string, h HistogramSnapshot) []promSample {
+	base, labels := splitPromName(raw)
+	type bound struct {
+		le float64
+		n  uint64
+	}
+	bounds := make([]bound, 0, len(h.Buckets))
+	for key, n := range h.Buckets {
+		bounds = append(bounds, bound{le: bucketKeyBound(key), n: n})
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i].le < bounds[j].le })
+	samples := make([]promSample, 0, len(bounds)+3)
+	var cum uint64
+	for _, b := range bounds {
+		cum += b.n
+		samples = append(samples, promSample{
+			name:   base + "_bucket",
+			labels: mergeLabel(labels, "le", formatPromValue(b.le)),
+			value:  formatPromValue(float64(cum)),
+		})
+	}
+	samples = append(samples,
+		promSample{name: base + "_bucket", labels: mergeLabel(labels, "le", "+Inf"), value: formatPromValue(float64(h.Count))},
+		promSample{name: base + "_sum", labels: labels, value: formatPromValue(h.Sum)},
+		promSample{name: base + "_count", labels: labels, value: formatPromValue(float64(h.Count))},
+	)
+	return samples
+}
+
+// bucketKeyBound parses a HistogramSnapshot bucket key back to its
+// numeric upper bound.
+func bucketKeyBound(key string) float64 {
+	if key == "underflow" {
+		return math.Ldexp(1, histMinExp)
+	}
+	exp, err := strconv.Atoi(strings.TrimPrefix(key, "le_2^"))
+	if err != nil {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, exp)
+}
+
+// splitPromName maps a registry name to (prometheus family name, label
+// suffix). The label suffix, when present, passes through with its
+// quoting intact.
+func splitPromName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	} else {
+		base = name
+	}
+	var b strings.Builder
+	b.Grow(len(base) + 3)
+	b.WriteString("sz_")
+	for _, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String(), labels
+}
+
+// mergeLabel inserts one more label into an existing "{...}" suffix (or
+// starts one), escaping the value per the exposition format.
+func mergeLabel(labels, key, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	pair := key + `="` + esc + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + pair + "}"
+}
+
+// formatPromValue renders a sample value the way Prometheus expects:
+// shortest round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseProm is a minimal exposition-format checker used by tests and the
+// CI smoke job: it verifies comment lines are well-formed HELP/TYPE
+// entries and every sample line parses as `name[{labels}] value`,
+// returning the samples keyed by name+labels.
+func ParseProm(data []byte) (map[string]float64, error) {
+	series := map[string]float64{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.Fields(line)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				return nil, fmt.Errorf("prom: line %d: malformed comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				if len(parts) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE %q", ln+1, line)
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", ln+1, parts[3])
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("prom: line %d: no value in %q", ln+1, line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if !validPromSampleName(name) {
+			return nil, fmt.Errorf("prom: line %d: bad sample name %q", ln+1, name)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: bad value %q: %v", ln+1, val, err)
+		}
+		series[name] = v
+	}
+	return series, nil
+}
+
+// validPromSampleName accepts `name` or `name{label="v",...}`.
+func validPromSampleName(s string) bool {
+	name := s
+	if i := strings.IndexByte(s, '{'); i >= 0 {
+		if !strings.HasSuffix(s, "}") {
+			return false
+		}
+		name = s[:i]
+	}
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

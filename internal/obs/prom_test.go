@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("campaign.cells.completed").Add(7)
+	r.Counter("campaign.leases.granted").NonGolden().Add(9)
+	r.Gauge(`campaign.tenant.pending{tenant="ci"}`).Set(3)
+	r.Gauge(`campaign.tenant.pending{tenant="default"}`).Set(5)
+	h := r.Histogram("campaign.queue.wait_seconds").NonGolden()
+	h.Observe(0.25)
+	h.Observe(0.3)
+	h.Observe(100)
+	h.Observe(0) // underflow bucket
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot(true)); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	series, err := ParseProm(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+
+	if series["sz_campaign_cells_completed"] != 7 {
+		t.Fatalf("counter = %v, want 7\n%s", series["sz_campaign_cells_completed"], text)
+	}
+	if series["sz_campaign_leases_granted"] != 9 {
+		t.Fatalf("non-golden counter missing from exposition\n%s", text)
+	}
+	if series[`sz_campaign_tenant_pending{tenant="ci"}`] != 3 ||
+		series[`sz_campaign_tenant_pending{tenant="default"}`] != 5 {
+		t.Fatalf("labeled gauges wrong\n%s", text)
+	}
+	if series["sz_campaign_queue_wait_seconds_count"] != 4 {
+		t.Fatalf("histogram count = %v, want 4\n%s", series["sz_campaign_queue_wait_seconds_count"], text)
+	}
+	if series[`sz_campaign_queue_wait_seconds_bucket{le="+Inf"}`] != 4 {
+		t.Fatalf("+Inf bucket must equal count\n%s", text)
+	}
+	// One TYPE line per family, and the tenant gauge family appears once.
+	if n := strings.Count(text, "# TYPE sz_campaign_tenant_pending gauge"); n != 1 {
+		t.Fatalf("tenant gauge TYPE lines = %d, want 1\n%s", n, text)
+	}
+
+	// Buckets are cumulative: each successive bound's value never decreases.
+	var last float64 = -1
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "sz_campaign_queue_wait_seconds_bucket") {
+			continue
+		}
+		v := series[line[:strings.LastIndexByte(line, ' ')]]
+		if v < last {
+			t.Fatalf("bucket series not cumulative at %q\n%s", line, text)
+		}
+		last = v
+	}
+
+	// Deterministic rendering: same snapshot, same bytes.
+	var buf2 bytes.Buffer
+	if err := WriteProm(&buf2, r.Snapshot(true)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("worker.cells.completed").NonGolden().Inc()
+	srv := httptest.NewServer(r.PromHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != promContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := ParseProm(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series["sz_worker_cells_completed"] != 1 {
+		t.Fatalf("series = %v", series)
+	}
+}
+
+func TestPromHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.PromHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if _, err := ParseProm(rec.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"sz_ok\n",                  // no value
+		"1bad_name 3\n",            // name starts with a digit
+		"sz_ok notanumber\n",       // bad value
+		"# TYPE sz_ok spaceship\n", // unknown type
+		"# BOGUS sz_ok counter\n",  // unknown comment kind
+	} {
+		if _, err := ParseProm([]byte(bad)); err == nil {
+			t.Fatalf("ParseProm accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Farm trace headers. Every coordinator↔worker exchange carries the
+// campaign's trace ID and the cell attempt's span ID so lease grant →
+// run → complete → store Put is one causally linked trace, even when a
+// failover moves the campaign to another coordinator. Trace IDs are
+// random identity — non-golden by nature — while span IDs are
+// deterministic functions of (campaign, cell, attempt), so a span names
+// the same attempt no matter which process minted it.
+const (
+	HeaderTrace = "X-Sz-Trace"
+	HeaderSpan  = "X-Sz-Span"
+)
+
+// TraceContext identifies one unit of farm work: the campaign's trace
+// and the current cell attempt's span. The zero value means "no trace".
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// traceFallback seeds the counter-based fallback IDs minted if the
+// system entropy source ever fails; IDs are correlation telemetry, not
+// security material, so degrading to a counter beats failing a campaign.
+var traceFallback atomic.Uint64
+
+// NewTraceID mints a 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], traceFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanID names one cell attempt deterministically: every process that
+// refers to campaign c0001's astar attempt 2 derives the same
+// "c0001/astar#2", which is what lets the timeline join coordinator
+// events with worker span records without a handshake.
+func SpanID(campaign, cell string, attempt int) string {
+	return fmt.Sprintf("%s/%s#%d", campaign, cell, attempt)
+}
+
+// Valid reports whether the context carries a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" }
+
+// Inject stamps the trace headers onto h. A zero context stamps nothing.
+func (tc TraceContext) Inject(h http.Header) {
+	if tc.TraceID != "" {
+		h.Set(HeaderTrace, tc.TraceID)
+	}
+	if tc.SpanID != "" {
+		h.Set(HeaderSpan, tc.SpanID)
+	}
+}
+
+// ExtractTrace reads the trace headers from h; absent headers yield the
+// zero context.
+func ExtractTrace(h http.Header) TraceContext {
+	return TraceContext{
+		TraceID: h.Get(HeaderTrace),
+		SpanID:  h.Get(HeaderSpan),
+	}
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc; the farm client
+// injects it into every outgoing request's headers.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context carried by ctx, or the
+// zero context.
+func TraceContextFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+func TestTraceContextHeaderRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: SpanID("c0001", "astar", 2)}
+	h := http.Header{}
+	tc.Inject(h)
+	if h.Get(HeaderTrace) != tc.TraceID || h.Get(HeaderSpan) != tc.SpanID {
+		t.Fatalf("inject: headers = %v, want trace=%s span=%s", h, tc.TraceID, tc.SpanID)
+	}
+	got := ExtractTrace(h)
+	if got != tc {
+		t.Fatalf("extract = %+v, want %+v", got, tc)
+	}
+}
+
+func TestTraceContextZeroInjectsNothing(t *testing.T) {
+	h := http.Header{}
+	TraceContext{}.Inject(h)
+	if len(h) != 0 {
+		t.Fatalf("zero context stamped headers: %v", h)
+	}
+	if ExtractTrace(h).Valid() {
+		t.Fatal("empty headers extracted a valid trace")
+	}
+}
+
+func TestTraceContextViaContext(t *testing.T) {
+	tc := TraceContext{TraceID: "abc", SpanID: "c0001/bzip2#1"}
+	ctx := WithTraceContext(context.Background(), tc)
+	if got := TraceContextFrom(ctx); got != tc {
+		t.Fatalf("TraceContextFrom = %+v, want %+v", got, tc)
+	}
+	if TraceContextFrom(context.Background()).Valid() {
+		t.Fatal("bare context carries a trace")
+	}
+}
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanIDDeterministic(t *testing.T) {
+	if SpanID("c0002", "astar", 3) != "c0002/astar#3" {
+		t.Fatalf("SpanID = %q", SpanID("c0002", "astar", 3))
+	}
+}

@@ -282,3 +282,63 @@ func TestStateArea(t *testing.T) {
 		t.Fatalf("doc lost across reopen: (%q, %v)", buf, err)
 	}
 }
+
+// TestStateAreaAppendLog covers the append-only event journal: ordered
+// appends, torn-tail tolerance, .jsonl logs staying out of List, and the
+// name guard.
+func TestStateAreaAppendLog(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	area, err := s.StateArea("campaigns")
+	if err != nil {
+		t.Fatalf("state area: %v", err)
+	}
+	if buf, err := area.LoadLog("c0001.events"); err != nil || buf != nil {
+		t.Fatalf("load of missing log = (%q, %v), want (nil, nil)", buf, err)
+	}
+	if err := area.AppendLog("c0001.events", []byte(`{"n":1}`)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := area.AppendLog("c0001.events", []byte(`{"n":2}`+"\n")); err != nil {
+		t.Fatalf("append with newline: %v", err)
+	}
+	buf, err := area.LoadLog("c0001.events")
+	if err != nil || string(buf) != "{\"n\":1}\n{\"n\":2}\n" {
+		t.Fatalf("load log = (%q, %v)", buf, err)
+	}
+	// Logs never surface as documents.
+	if err := area.Save("c0001", []byte(`{"v":1}`)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	names, err := area.List()
+	if err != nil || len(names) != 1 || names[0] != "c0001" {
+		t.Fatalf("list = (%v, %v), want just the document", names, err)
+	}
+	// A torn final line (crash mid-append) is dropped on read.
+	if err := os.WriteFile(filepath.Join(dir, "campaigns", "c0001.events.jsonl"),
+		[]byte("{\"n\":1}\n{\"n\":2}\n{\"torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf, err = area.LoadLog("c0001.events")
+	if err != nil || string(buf) != "{\"n\":1}\n{\"n\":2}\n" {
+		t.Fatalf("torn tail not dropped: (%q, %v)", buf, err)
+	}
+	// A log that is nothing but a torn line reads as empty.
+	if err := os.WriteFile(filepath.Join(dir, "campaigns", "torn.jsonl"), []byte("{\"t"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err := area.LoadLog("torn"); err != nil || buf != nil {
+		t.Fatalf("all-torn log = (%q, %v), want (nil, nil)", buf, err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", ".hidden"} {
+		if err := area.AppendLog(bad, []byte("x")); err == nil {
+			t.Errorf("AppendLog(%q) accepted", bad)
+		}
+		if _, err := area.LoadLog(bad); err == nil {
+			t.Errorf("LoadLog(%q) accepted", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -103,6 +104,57 @@ func (a *StateArea) List() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// AppendLog appends one line to the named append-only log, stored as
+// <name>.jsonl beside the area's documents (the .jsonl suffix keeps logs
+// out of List, which only returns .json documents). Unlike Save, appends
+// are not atomic — a crash can tear the final line — so LoadLog drops an
+// unterminated tail. The coordinator's durable per-campaign event
+// journal lives here: it is what lets `szfarm timeline` reconstruct a
+// campaign across restarts, failovers, and event-ring wraps.
+func (a *StateArea) AppendLog(name string, line []byte) error {
+	if err := validStateName(name); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(a.dir, name+".jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: appending log %s: %w", name, err)
+	}
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		line = append(append([]byte(nil), line...), '\n')
+	}
+	_, werr := f.Write(line)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("store: appending log %s: %w", name, werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: appending log %s: %w", name, cerr)
+	}
+	return nil
+}
+
+// LoadLog reads the named append-only log; a missing log is (nil, nil).
+// A torn final line — the crash window AppendLog documents — is dropped,
+// so callers always see whole lines.
+func (a *StateArea) LoadLog(name string) ([]byte, error) {
+	if err := validStateName(name); err != nil {
+		return nil, err
+	}
+	buf, err := os.ReadFile(filepath.Join(a.dir, name+".jsonl"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: loading log %s: %w", name, err)
+	}
+	if i := bytes.LastIndexByte(buf, '\n'); i < 0 {
+		return nil, nil
+	} else if i != len(buf)-1 {
+		buf = buf[:i+1]
+	}
+	return buf, nil
 }
 
 // Delete removes one document; deleting a missing document is a no-op.
